@@ -1,0 +1,73 @@
+// Ablation A6: dependability under middlebox failure. Fails IDS boxes one
+// by one; after each failure the controller recomputes assignments and
+// re-solves the LP over the survivors. Reports the realized IDS max load
+// and the LP's λ — enforcement keeps working (no blackholed policy traffic)
+// until the last implementer dies, at which point the controller refuses.
+#include "analytic/load_evaluator.hpp"
+#include "common.hpp"
+
+using namespace sdmbox;
+using namespace sdmbox::bench;
+
+int main() {
+  std::printf("=== Ablation A6: progressive IDS failures with controller recompute ===\n\n");
+
+  EvalScenario s = build_eval_scenario();
+  const Workload w = make_workload(s, 5'000'000ULL, /*seed=*/77);
+  s.deployment.set_uniform_capacity(std::max(1.0, w.traffic.grand_total()));
+
+  const auto ids_boxes = s.deployment.implementers(policy::kIntrusionDetection);
+  double ids_demand = 0;
+  for (const auto& p : s.gen.policies.all()) {
+    if (p.action_index(policy::kIntrusionDetection) >= 0) ids_demand += w.traffic.total(p.id);
+  }
+
+  stats::TextTable table("IDS demand: " + util::format_millions(ids_demand) +
+                         " packets over " + std::to_string(ids_boxes.size()) + " boxes");
+  table.set_header({"failed IDS", "live", "fair share(M)", "LB max(M)", "lambda", "enforced"});
+
+  for (std::size_t failed = 0; failed < ids_boxes.size(); ++failed) {
+    if (failed > 0) {
+      s.deployment.set_failed(ids_boxes[failed - 1], true);
+    }
+    const std::size_t live = ids_boxes.size() - failed;
+    std::string max_str = "-", lambda_str = "-", enforced = "no (refused)";
+    try {
+      s.controller->recompute();
+      const auto plan = s.controller->compile(core::StrategyKind::kLoadBalanced, &w.traffic);
+      const auto report = analytic::evaluate_loads(s.network, s.deployment, s.gen.policies,
+                                                   plan, w.flows.flows);
+      std::uint64_t max_load = 0;
+      std::uint64_t total = 0;
+      for (const auto m : ids_boxes) {
+        max_load = std::max(max_load, report.load_of(m));
+        total += report.load_of(m);
+      }
+      max_str = util::format_millions(static_cast<double>(max_load));
+      lambda_str = util::format_fixed(plan.lambda, 4);
+      // Every IDS-requiring packet still crosses exactly one live IDS.
+      enforced = static_cast<double>(total) == ids_demand ? "yes (full coverage)" : "NO";
+    } catch (const ContractViolation&) {
+      // recompute() refuses when a required function has no live implementer.
+    }
+    table.add_row({std::to_string(failed), std::to_string(live),
+                   util::format_millions(ids_demand / static_cast<double>(live)), max_str,
+                   lambda_str, enforced});
+  }
+  // The all-failed row: the controller must refuse rather than silently
+  // skip the function.
+  for (const auto m : ids_boxes) s.deployment.set_failed(m, true);
+  bool refused = false;
+  try {
+    s.controller->recompute();
+  } catch (const ContractViolation&) {
+    refused = true;
+  }
+  table.add_row({std::to_string(ids_boxes.size()), "0", "-", "-", "-",
+                 refused ? "no (refused)" : "BUG"});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Expected shape: max load follows demand/live (the LP rebalances onto\n"
+              "survivors); enforcement never silently drops a required function, and\n"
+              "the controller refuses outright when no implementer is left.\n");
+  return 0;
+}

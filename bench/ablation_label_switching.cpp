@@ -1,0 +1,114 @@
+// Ablation A3 (§III.E): IP-over-IP tunneling vs label switching, measured in
+// the packet simulator — bytes on the wire, fragmentation events, and the
+// per-packet handling mix at proxies/middleboxes, as the flow count grows.
+// Payloads are sized near the MTU so tunnel encapsulation is exactly what
+// pushes packets over it (the fragmentation scenario §III.E is built for).
+#include "common.hpp"
+#include "core/agents.hpp"
+#include "sim/network.hpp"
+
+using namespace sdmbox;
+using namespace sdmbox::bench;
+
+namespace {
+
+struct DesTotals {
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t frag_events = 0;
+  std::uint64_t fragments = 0;
+  std::uint64_t tunneled = 0;
+  std::uint64_t switched = 0;
+  std::uint64_t classifier_lookups = 0;
+  std::uint64_t delivered = 0;
+};
+
+DesTotals run_des(EvalScenario& s, const Workload& w, bool label_switching) {
+  const auto routing = net::RoutingTables::compute(s.network.topo);
+  const auto resolver = net::AddressResolver::build(s.network.topo);
+  sim::SimNetwork simnet(s.network.topo, routing, resolver);
+  s.deployment.set_uniform_capacity(std::max(1.0, w.traffic.grand_total()));
+  const auto plan = s.controller->compile(core::StrategyKind::kLoadBalanced, &w.traffic);
+  core::AgentOptions opt;
+  opt.enable_label_switching = label_switching;
+  const auto agents =
+      core::install_agents(simnet, s.network, s.deployment, s.gen.policies, plan, opt);
+
+  // Packets of a flow are paced 2 ms apart — wide enough for the first
+  // packet's chain setup + confirmation to land before packet 2 (sub-ms
+  // RTTs), as in a real network where the TCP handshake leads the data.
+  const std::uint32_t payload = 1500 - packet::kIpv4HeaderBytes - packet::kL4HeaderBytes;
+  for (std::size_t i = 0; i < w.flows.flows.size(); ++i) {
+    const auto& f = w.flows.flows[i];
+    const net::NodeId proxy = s.network.proxies[static_cast<std::size_t>(f.src_subnet)];
+    const double start = static_cast<double>(i) * 1e-5;
+    for (std::uint64_t j = 0; j < f.packets; ++j) {
+      packet::Packet p;
+      p.inner.src = f.id.src;
+      p.inner.dst = f.id.dst;
+      p.inner.protocol = f.id.protocol;
+      p.src_port = f.id.src_port;
+      p.dst_port = f.id.dst_port;
+      p.payload_bytes = payload;
+      p.flow_seq = j;
+      simnet.inject(proxy, std::move(p), start + static_cast<double>(j) * 2e-3);
+    }
+  }
+  simnet.run();
+
+  DesTotals t;
+  for (std::uint32_t l = 0; l < s.network.topo.link_count(); ++l) {
+    const auto& lc = simnet.link_counters(net::LinkId{l});
+    t.wire_bytes += lc.bytes;
+    t.frag_events += lc.fragmentation_events;
+    t.fragments += lc.fragments;
+  }
+  for (const auto* p : agents.proxies) {
+    t.tunneled += p->counters().tunneled_packets;
+    t.switched += p->counters().label_switched_packets;
+    t.classifier_lookups += p->counters().classifier_lookups;
+  }
+  for (const auto* m : agents.middleboxes) {
+    t.classifier_lookups += m->counters().classifier_lookups;
+  }
+  t.delivered = simnet.counters().delivered;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A3: IP-over-IP vs label switching (campus, packet-level DES) ===\n");
+  std::printf("MTU 1500; payload sized so only tunneled packets fragment.\n\n");
+
+  stats::TextTable table;
+  table.set_header({"packets", "mode", "wire bytes", "frag events", "tunneled@proxy",
+                    "switched@proxy", "delivered"});
+
+  for (const std::uint64_t target : {5'000ULL, 20'000ULL, 50'000ULL}) {
+    EvalScenario s1 = build_eval_scenario();
+    const Workload w = make_workload(s1, target, /*seed=*/5);
+    const DesTotals tun = run_des(s1, w, /*label_switching=*/false);
+    EvalScenario s2 = build_eval_scenario();
+    const DesTotals ls = run_des(s2, w, /*label_switching=*/true);
+    table.add_row({util::with_thousands(w.flows.total_packets), "IP-over-IP",
+                   util::with_thousands(tun.wire_bytes), util::with_thousands(tun.frag_events),
+                   util::with_thousands(tun.tunneled), util::with_thousands(tun.switched),
+                   util::with_thousands(tun.delivered)});
+    table.add_row({"", "label switching", util::with_thousands(ls.wire_bytes),
+                   util::with_thousands(ls.frag_events), util::with_thousands(ls.tunneled),
+                   util::with_thousands(ls.switched), util::with_thousands(ls.delivered)});
+    const double byte_saving =
+        100.0 * (1.0 - static_cast<double>(ls.wire_bytes) / static_cast<double>(tun.wire_bytes));
+    const double frag_saving =
+        100.0 * (1.0 - static_cast<double>(ls.frag_events) /
+                           std::max<double>(1.0, static_cast<double>(tun.frag_events)));
+    table.add_row({"", "  (saving)", util::format_fixed(byte_saving, 1) + "%",
+                   util::format_fixed(frag_saving, 1) + "%", "", "", ""});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Expected shape (§III.E): under label switching only each flow's FIRST\n"
+              "packet tunnels (and may fragment); all later packets avoid the +20-byte\n"
+              "outer header, so fragmentation events collapse to ~(flows x chain hops)\n"
+              "and bytes on the wire drop.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation A9: end-to-end delivery latency under enforcement (packet-level
+// DES). Chaining detours packets through middleboxes; the table shows the
+// mean/median/p99 latency of (a) plain routing with no policies, (b)
+// hot-potato, (c) load-balanced, and (d) hot-potato with label switching —
+// which trims the per-packet 20-byte tunnel overhead but not the detour.
+#include "common.hpp"
+#include "core/agents.hpp"
+#include "sim/network.hpp"
+#include "stats/histogram.hpp"
+
+using namespace sdmbox;
+using namespace sdmbox::bench;
+
+namespace {
+
+struct LatencyRow {
+  stats::Histogram hist;
+  std::uint64_t delivered = 0;
+};
+
+LatencyRow run_des(EvalScenario& s, const Workload& w, bool enforce,
+                   core::StrategyKind strategy, bool label_switching) {
+  const auto routing = net::RoutingTables::compute(s.network.topo);
+  const auto resolver = net::AddressResolver::build(s.network.topo);
+  sim::SimNetwork simnet(s.network.topo, routing, resolver);
+
+  policy::PolicyList no_policies;  // plain-routing baseline
+  const policy::PolicyList& policies = enforce ? s.gen.policies : no_policies;
+  core::Controller controller(s.network, s.deployment, policies);
+  const auto plan = controller.compile(
+      strategy, strategy == core::StrategyKind::kLoadBalanced ? &w.traffic : nullptr);
+  core::AgentOptions opt;
+  opt.enable_label_switching = label_switching;
+  core::install_agents(simnet, s.network, s.deployment, policies, plan, opt);
+
+  LatencyRow row;
+  simnet.on_delivered([&row](const packet::Packet& pkt, sim::SimTime latency) {
+    if (pkt.kind == packet::PacketKind::kData) row.hist.add(latency * 1e6);  // µs
+  });
+
+  // Flow packets paced 1 ms apart (so label switching can kick in), flows
+  // staggered to avoid synthetic queue synchronization.
+  for (std::size_t i = 0; i < w.flows.flows.size(); ++i) {
+    const auto& f = w.flows.flows[i];
+    const net::NodeId proxy = s.network.proxies[static_cast<std::size_t>(f.src_subnet)];
+    for (std::uint64_t j = 0; j < f.packets; ++j) {
+      packet::Packet p;
+      p.inner.src = f.id.src;
+      p.inner.dst = f.id.dst;
+      p.src_port = f.id.src_port;
+      p.dst_port = f.id.dst_port;
+      p.payload_bytes = 800;
+      p.flow_seq = j;
+      simnet.inject(proxy, std::move(p),
+                    static_cast<double>(i) * 13e-6 + static_cast<double>(j) * 1e-3);
+    }
+  }
+  simnet.run();
+  row.delivered = simnet.counters().delivered;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A9: delivery latency under enforcement (campus, DES) ===\n\n");
+
+  EvalScenario s = build_eval_scenario();
+  const Workload w = make_workload(s, 30'000ULL, /*seed=*/3);
+  s.deployment.set_uniform_capacity(std::max(1.0, w.traffic.grand_total()));
+
+  stats::TextTable table(util::with_thousands(w.flows.total_packets) +
+                         " data packets; latencies in microseconds");
+  table.set_header({"mode", "mean", "p50", "p99", "max"});
+  const auto add_row = [&](const char* name, const LatencyRow& row) {
+    table.add_row({name, util::format_fixed(row.hist.mean(), 0),
+                   util::format_fixed(row.hist.quantile(0.5), 0),
+                   util::format_fixed(row.hist.quantile(0.99), 0),
+                   util::format_fixed(row.hist.max(), 0)});
+  };
+
+  add_row("no enforcement", run_des(s, w, false, core::StrategyKind::kHotPotato, false));
+  add_row("hot-potato, IP-over-IP", run_des(s, w, true, core::StrategyKind::kHotPotato, false));
+  add_row("load-balanced, IP-over-IP",
+          run_des(s, w, true, core::StrategyKind::kLoadBalanced, false));
+  add_row("hot-potato + label switching",
+          run_des(s, w, true, core::StrategyKind::kHotPotato, true));
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Expected shape: enforcement roughly doubles the p50 (the chain detour,\n"
+              "cf. hop stretch in ablation A7). The tail is where strategies separate:\n"
+              "hot-potato concentrates flows on few boxes whose access links queue up,\n"
+              "so its mean/p99 exceed load-balanced despite HP's shorter paths —\n"
+              "load balancing helps latency, not just middlebox load. Label switching\n"
+              "shaves the 20-byte outer-header serialization but not the detour.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation A1 (§III.C motivation): Eq. (1)'s per-(s,d,p) decision variables
+// vs Eq. (2)'s aggregate variables. The paper introduces Eq. (2) to "reduce
+// the number of decision variables and consequently reduce the computation
+// overhead at the controller as well as the communication overhead"; this
+// bench quantifies exactly that, plus the effect of our exact source
+// aggregation on top of Eq. (2).
+#include "analytic/load_evaluator.hpp"
+#include "common.hpp"
+
+using namespace sdmbox;
+using namespace sdmbox::bench;
+
+namespace {
+
+void run_topology(const char* label, bool waxman, std::size_t policies_per_class,
+                  bool solve_eq1_too) {
+  EvalParams params;
+  params.waxman = waxman;
+  params.policies_per_class = policies_per_class;
+  EvalScenario s = build_eval_scenario(params);
+  const Workload w = make_workload(s, 2'000'000ULL, /*seed=*/7);
+  s.deployment.set_uniform_capacity(std::max(1.0, w.traffic.grand_total()));
+
+  const core::FormulationInputs inputs{s.network, s.deployment, s.gen.policies,
+                                       s.controller->configs(), w.traffic};
+  core::FormulationOptions agg, raw;
+  raw.aggregate_sources = false;
+
+  stats::TextTable table(std::string(label) + " (" +
+                         std::to_string(3 * policies_per_class) + " policies, " +
+                         std::to_string(s.network.proxies.size()) + " proxies)");
+  table.set_header({"formulation", "variables", "constraints", "nonzeros", "solve(s)", "lambda"});
+
+  const auto add_solved = [&](const char* name, const core::RatioResult& r, double secs) {
+    table.add_row({name, util::with_thousands(r.stats.variables),
+                   util::with_thousands(r.stats.constraints),
+                   util::with_thousands(r.stats.nonzeros),
+                   r.status == lp::SolveStatus::kOptimal ? util::format_fixed(secs, 3)
+                                                         : lp::to_string(r.status),
+                   util::format_fixed(r.lambda, 4)});
+  };
+
+  auto start = std::chrono::steady_clock::now();
+  const auto eq2 = core::solve_eq2(inputs, agg);
+  add_solved("Eq.(2) + source aggregation", eq2, seconds_since(start));
+
+  start = std::chrono::steady_clock::now();
+  const auto eq2raw = core::solve_eq2(inputs, raw);
+  add_solved("Eq.(2) per-source", eq2raw, seconds_since(start));
+
+  if (solve_eq1_too) {
+    start = std::chrono::steady_clock::now();
+    const auto eq1 = core::solve_eq1(inputs, raw);
+    add_solved("Eq.(1) per-(s,d,p)", eq1, seconds_since(start));
+
+    // With both data planes implemented, compare REALIZED max loads: the
+    // per-(s,d) ratios buy Eq.(1) nothing here — the paper's case for
+    // Eq.(2).
+    const auto realized_max = [&](const core::RatioResult& r) {
+      core::EnforcementPlan plan;
+      plan.strategy = core::StrategyKind::kLoadBalanced;
+      plan.configs = s.controller->configs();
+      plan.ratios = r.ratios;
+      plan.lambda = r.lambda;
+      const auto report = analytic::evaluate_loads(s.network, s.deployment, s.gen.policies,
+                                                   plan, w.flows.flows);
+      std::uint64_t max_load = 0;
+      for (const auto& m : s.deployment.middleboxes()) {
+        max_load = std::max(max_load, report.load_of(m.node));
+      }
+      return max_load;
+    };
+    std::printf("Realized max load on this workload: Eq.(2) data plane %s vs "
+                "Eq.(1) data plane %s packets\n",
+                util::with_thousands(realized_max(eq2)).c_str(),
+                util::with_thousands(realized_max(eq1)).c_str());
+  } else {
+    const auto stats = core::measure_eq1(inputs, raw);
+    table.add_row({"Eq.(1) per-(s,d,p)", util::with_thousands(stats.variables),
+                   util::with_thousands(stats.constraints), util::with_thousands(stats.nonzeros),
+                   "(too large; not solved)", "-"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A1: LP formulation size — Eq.(1) vs Eq.(2) vs Eq.(2)+aggregation ===\n\n");
+  run_topology("Campus topology", /*waxman=*/false, 4, /*solve_eq1_too=*/true);
+  run_topology("Waxman topology", /*waxman=*/true, 4, /*solve_eq1_too=*/false);
+  std::printf("Expected shape: Eq.(1) has far more decision variables than Eq.(2)\n"
+              "(the paper's reason for introducing Eq.(2)); source aggregation shrinks\n"
+              "Eq.(2) further — drastically on the 400-proxy Waxman graph — while a test\n"
+              "asserts it leaves the optimum unchanged.\n");
+  return 0;
+}

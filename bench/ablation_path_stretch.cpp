@@ -1,0 +1,58 @@
+// Ablation A7: the path-length price of enforcement. Chaining detours
+// packets through middleboxes; hot-potato minimizes the detour (always the
+// closest box) while load balancing accepts longer paths in exchange for
+// balance. Also reports the controller->device configuration footprint per
+// strategy (the state the paper's controller distributes instead of
+// programming switches).
+#include "analytic/load_evaluator.hpp"
+#include "common.hpp"
+#include "net/routing.hpp"
+
+using namespace sdmbox;
+using namespace sdmbox::bench;
+
+int main() {
+  std::printf("=== Ablation A7: path stretch & config footprint per strategy ===\n\n");
+
+  for (const bool waxman : {false, true}) {
+    EvalScenario s = build_eval_scenario([&] {
+      EvalParams p;
+      p.waxman = waxman;
+      return p;
+    }());
+    const Workload w = make_workload(s, 2'000'000ULL, /*seed=*/13);
+    s.deployment.set_uniform_capacity(std::max(1.0, w.traffic.grand_total()));
+    const auto routing = net::RoutingTables::compute(s.network.topo);
+
+    stats::TextTable table(waxman ? "Waxman topology (400 edge, 25 core)"
+                                  : "Campus topology (10 edge, 16 core)");
+    table.set_header({"strategy", "direct hops", "enforced hops", "stretch", "max load(M)",
+                      "config bytes"});
+    for (const auto strategy : {core::StrategyKind::kHotPotato, core::StrategyKind::kRandom,
+                                core::StrategyKind::kLoadBalanced}) {
+      const auto plan = s.controller->compile(
+          strategy, strategy == core::StrategyKind::kLoadBalanced ? &w.traffic : nullptr);
+      const auto stretch = analytic::evaluate_path_stretch(s.network, s.gen.policies, plan,
+                                                           routing, w.flows.flows);
+      const auto report = analytic::evaluate_loads(s.network, s.deployment, s.gen.policies,
+                                                   plan, w.flows.flows);
+      std::uint64_t max_load = 0;
+      for (const auto& m : s.deployment.middleboxes()) {
+        max_load = std::max(max_load, report.load_of(m.node));
+      }
+      const auto fp = core::measure_distribution(plan);
+      table.add_row({to_string(strategy), util::format_fixed(stretch.direct_hops, 2),
+                     util::format_fixed(stretch.enforced_hops, 2),
+                     util::format_fixed(stretch.stretch(), 2),
+                     util::format_millions(static_cast<double>(max_load)),
+                     util::with_thousands(fp.total_bytes)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  std::printf("Expected shape: HP has the smallest enforced-hop count (closest boxes)\n"
+              "but the worst max load; LB pays a modest extra detour for near-fair\n"
+              "balance. Config bytes grow under LB (split ratios ride along) yet stay\n"
+              "kilobytes — the controller state the paper contrasts with per-switch\n"
+              "SDN flow rules.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation A5: periodic re-optimization (§III.C — proxies report traffic
+// periodically; the controller re-solves Eq. (2)). A drifting workload is
+// replayed over measurement epochs; we compare the realized max middlebox
+// load when the split ratios are (a) recomputed from the previous epoch's
+// reports, (b) frozen at epoch 0, and (c) solved on each epoch's own
+// traffic (oracle).
+#include "analytic/epoch_driver.hpp"
+#include "common.hpp"
+
+using namespace sdmbox;
+using namespace sdmbox::bench;
+
+int main() {
+  std::printf("=== Ablation A5: measurement epochs & re-optimization under traffic drift ===\n");
+  std::printf("Campus topology; class mix drifts from many-to-one-heavy to one-to-one-heavy.\n\n");
+
+  EvalScenario s = build_eval_scenario();
+
+  constexpr int kEpochs = 8;
+  std::vector<workload::GeneratedFlows> epochs;
+  util::Rng rng(404);
+  for (int i = 0; i < kEpochs; ++i) {
+    workload::FlowGenParams fp;
+    fp.target_total_packets = 2'000'000;
+    fp.class_weights[0] = static_cast<double>(kEpochs - i);
+    fp.class_weights[1] = 1.0;
+    fp.class_weights[2] = static_cast<double>(1 + i);
+    epochs.push_back(workload::generate_flows(s.network, s.gen, fp, rng));
+  }
+
+  const auto study = analytic::run_epoch_study(s.network, s.deployment, s.gen.policies,
+                                               *s.controller, epochs);
+
+  stats::TextTable table("Realized max middlebox load per epoch (packets, millions)");
+  table.set_header({"epoch", "oracle(M)", "reoptimized(M)", "stale(M)", "stale penalty"});
+  for (int i = 0; i < kEpochs; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double reopt = static_cast<double>(study.reoptimized[idx].max_load);
+    const double stale = static_cast<double>(study.stale[idx].max_load);
+    table.add_row({std::to_string(i),
+                   util::format_millions(static_cast<double>(study.oracle[idx].max_load)),
+                   util::format_millions(reopt), util::format_millions(stale),
+                   "+" + util::format_fixed(100.0 * (stale / reopt - 1.0), 1) + "%"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Expected shape: reoptimized tracks the oracle within hash-granularity\n"
+              "noise (one epoch of measurement lag), while the stale plan degrades as\n"
+              "the traffic drifts away from what it was optimized for.\n");
+  return 0;
+}

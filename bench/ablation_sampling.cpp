@@ -1,0 +1,59 @@
+// Ablation A11: measurement fidelity. Real proxies rarely count every
+// flow; the LP sees a NetFlow-style flow-sampled estimate of T_{s,p}. How
+// much sampling can load balancing tolerate before its advantage over
+// hot-potato erodes? (§III.C assumes measured volumes but never says how
+// they are collected.)
+#include "analytic/load_evaluator.hpp"
+#include "common.hpp"
+
+using namespace sdmbox;
+using namespace sdmbox::bench;
+
+int main() {
+  std::printf("=== Ablation A11: LB quality vs measurement sampling rate (campus, 5M pkts) ===\n\n");
+
+  EvalScenario s = build_eval_scenario();
+  const Workload w = make_workload(s, 5'000'000ULL, /*seed=*/21);
+  s.deployment.set_uniform_capacity(std::max(1.0, w.traffic.grand_total()));
+
+  const auto realized_max = [&](const core::EnforcementPlan& plan) {
+    const auto report = analytic::evaluate_loads(s.network, s.deployment, s.gen.policies, plan,
+                                                 w.flows.flows);
+    std::uint64_t max_load = 0;
+    for (const auto& m : s.deployment.middleboxes()) {
+      max_load = std::max(max_load, report.load_of(m.node));
+    }
+    return max_load;
+  };
+
+  const std::uint64_t hp_max =
+      realized_max(s.controller->compile(core::StrategyKind::kHotPotato));
+
+  stats::TextTable table("LP solved on flow-sampled measurements; loads realized on the FULL workload");
+  table.set_header({"sampling rate", "measured packets", "LB max(M)", "vs full-measurement",
+                    "vs hot-potato"});
+  std::uint64_t full_lb_max = 0;
+  for (const double rate : {1.0, 0.5, 0.1, 0.01, 0.001}) {
+    const auto sampled =
+        workload::TrafficMatrix::measure_sampled(s.gen.policies, w.flows.flows, rate, 99);
+    const auto plan = s.controller->compile(core::StrategyKind::kLoadBalanced, &sampled);
+    const std::uint64_t lb_max = realized_max(plan);
+    if (rate == 1.0) full_lb_max = lb_max;
+    table.add_row(
+        {util::format_fixed(rate, 3),
+         util::with_thousands(static_cast<std::uint64_t>(sampled.grand_total())),
+         util::format_millions(static_cast<double>(lb_max)),
+         "+" + util::format_fixed(
+                   100.0 * (static_cast<double>(lb_max) / static_cast<double>(full_lb_max) - 1.0),
+                   1) +
+             "%",
+         util::format_fixed(static_cast<double>(lb_max) / static_cast<double>(hp_max), 2) + "x"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Hot-potato max for reference: %s packets.\n",
+              util::with_thousands(hp_max).c_str());
+  std::printf("Expected shape: the LP's split ratios are robust down to ~1%% sampling\n"
+              "(relative volumes survive); at 0.1%% the estimate gets noisy enough to\n"
+              "cost some balance, yet LB still beats hot-potato by a wide margin.\n");
+  return 0;
+}

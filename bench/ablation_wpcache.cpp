@@ -1,0 +1,82 @@
+// Ablation A12: web-proxy caching (§III.F). In the paper's Figure 3 chain
+// (WP -> FW -> IDS) a cache hit at the WP answers the client directly and
+// the rest of the chain never sees the flow. Sweeps the cache hit rate and
+// reports the downstream FW/IDS load relief.
+#include "analytic/load_evaluator.hpp"
+#include "common.hpp"
+
+using namespace sdmbox;
+using namespace sdmbox::bench;
+
+int main() {
+  std::printf("=== Ablation A12: WP cache hit rate vs downstream chain load (Fig. 3 chain) ===\n\n");
+
+  util::Rng rng(2019);
+  net::GeneratedNetwork network = net::make_campus_topology();
+  const auto catalog = policy::FunctionCatalog::standard();
+  core::Deployment deployment =
+      core::deploy_middleboxes(network, catalog, core::DeploymentParams{}, rng);
+
+  // One Figure-3 policy per subnet: outbound web passes WP -> FW -> IDS.
+  policy::PolicyList policies;
+  for (std::size_t i = 0; i < network.subnets.size(); ++i) {
+    policy::TrafficDescriptor td;
+    td.src = network.subnets[i];
+    td.dst_port = policy::PortRange::exactly(80);
+    policies.add(td, {policy::kWebProxy, policy::kFirewall, policy::kIntrusionDetection},
+                 "fig3-" + std::to_string(i));
+  }
+
+  // Web flows between random subnet pairs.
+  std::vector<workload::FlowRecord> flows;
+  std::uint64_t total = 0;
+  while (total < 2'000'000) {
+    workload::FlowRecord f;
+    f.src_subnet = static_cast<int>(rng.pick_index(network.subnets.size()));
+    do {
+      f.dst_subnet = static_cast<int>(rng.pick_index(network.subnets.size()));
+    } while (f.dst_subnet == f.src_subnet);
+    f.id.src = net::IpAddress(
+        network.subnets[static_cast<std::size_t>(f.src_subnet)].base().value() + 2 +
+        static_cast<std::uint32_t>(rng.next_below(4000)));
+    f.id.dst = net::IpAddress(
+        network.subnets[static_cast<std::size_t>(f.dst_subnet)].base().value() + 2 +
+        static_cast<std::uint32_t>(rng.next_below(4000)));
+    f.id.src_port = static_cast<std::uint16_t>(49152 + rng.next_below(16384));
+    f.id.dst_port = 80;
+    f.packets = rng.next_power_law(1, 5000, 1.6);
+    total += f.packets;
+    flows.push_back(f);
+  }
+  const auto traffic = workload::TrafficMatrix::measure(policies, flows);
+  deployment.set_uniform_capacity(std::max(1.0, traffic.grand_total()));
+  core::Controller controller(network, deployment, policies);
+  const auto plan = controller.compile(core::StrategyKind::kLoadBalanced, &traffic);
+
+  stats::TextTable table(util::with_thousands(total) + " web packets, chain WP -> FW -> IDS");
+  table.set_header({"WP hit rate", "WP load(M)", "FW load(M)", "IDS load(M)", "chain relief"});
+  double base_fw = 0;
+  for (const double rate : {0.0, 0.2, 0.4, 0.6, 0.8, 0.95}) {
+    analytic::EvalOptions opt;
+    opt.wp_cache_hit_rate = rate;
+    const auto report =
+        analytic::evaluate_loads(network, deployment, policies, plan, flows, opt);
+    const auto type_total = [&](policy::FunctionId e) {
+      std::uint64_t sum = 0;
+      for (const auto m : deployment.implementers(e)) sum += report.load_of(m, e);
+      return static_cast<double>(sum);
+    };
+    const double wp = type_total(policy::kWebProxy);
+    const double fw = type_total(policy::kFirewall);
+    const double ids = type_total(policy::kIntrusionDetection);
+    if (rate == 0.0) base_fw = fw;
+    table.add_row({util::format_fixed(rate, 2), util::format_millions(wp),
+                   util::format_millions(fw), util::format_millions(ids),
+                   "-" + util::format_fixed(100.0 * (1.0 - fw / base_fw), 1) + "%"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Expected shape: WP load is constant (every flow reaches the proxy); FW\n"
+              "and IDS loads fall linearly with the hit rate — cached responses never\n"
+              "enter the rest of the chain (§III.F).\n");
+  return 0;
+}

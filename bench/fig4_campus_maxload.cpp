@@ -1,0 +1,4 @@
+// Regenerates Figure 4: max middlebox load vs. traffic volume, campus topology.
+#include "fig_maxload.hpp"
+
+int main() { return sdmbox::bench::run_maxload_figure("Figure 4", /*waxman=*/false); }

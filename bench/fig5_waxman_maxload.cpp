@@ -1,0 +1,4 @@
+// Regenerates Figure 5: max middlebox load vs. traffic volume, Waxman topology.
+#include "fig_maxload.hpp"
+
+int main() { return sdmbox::bench::run_maxload_figure("Figure 5", /*waxman=*/true); }

@@ -1,0 +1,80 @@
+// Micro-benchmark: the from-scratch simplex solver on synthetic min-max-load
+// problems shaped like the controller's Eq. (2) instances (sources ->
+// middlebox layer 1 -> middlebox layer 2, capacity rows, min λ).
+#include <benchmark/benchmark.h>
+
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sdmbox;
+
+lp::LpModel make_chain_lp(std::size_t sources, std::size_t layer1, std::size_t layer2,
+                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  lp::LpModel m;
+  const lp::VarId lambda = m.add_variable("lambda", 1.0);
+  std::vector<std::vector<lp::Term>> inflow1(layer1), inflow2(layer2);
+  std::vector<std::vector<lp::Term>> outflow1(layer1);
+
+  double total = 0;
+  for (std::size_t s = 0; s < sources; ++s) {
+    const double supply = 1.0 + static_cast<double>(rng.next_below(100));
+    total += supply;
+    std::vector<lp::Term> row;
+    for (std::size_t a = 0; a < layer1; ++a) {
+      if (layer1 > 4 && rng.next_bool(0.5)) continue;  // sparse candidate sets
+      const lp::VarId v = m.add_variable({});
+      row.push_back({v, 1.0});
+      inflow1[a].push_back({v, 1.0});
+    }
+    if (row.empty()) {
+      const lp::VarId v = m.add_variable({});
+      row.push_back({v, 1.0});
+      inflow1[0].push_back({v, 1.0});
+    }
+    m.add_constraint(std::move(row), lp::Relation::kEqual, supply);
+  }
+  for (std::size_t a = 0; a < layer1; ++a) {
+    for (std::size_t b = 0; b < layer2; ++b) {
+      const lp::VarId v = m.add_variable({});
+      outflow1[a].push_back({v, 1.0});
+      inflow2[b].push_back({v, 1.0});
+    }
+    std::vector<lp::Term> cons = inflow1[a];
+    for (const auto& t : outflow1[a]) cons.push_back({t.var, -1.0});
+    m.add_constraint(std::move(cons), lp::Relation::kEqual, 0.0);
+  }
+  const double cap = total;  // normalized capacity
+  for (std::size_t a = 0; a < layer1; ++a) {
+    std::vector<lp::Term> row = inflow1[a];
+    row.push_back({lambda, -cap});
+    m.add_constraint(std::move(row), lp::Relation::kLessEqual, 0.0);
+  }
+  for (std::size_t b = 0; b < layer2; ++b) {
+    std::vector<lp::Term> row = inflow2[b];
+    row.push_back({lambda, -cap});
+    m.add_constraint(std::move(row), lp::Relation::kLessEqual, 0.0);
+  }
+  m.add_constraint({{lambda, 1.0}}, lp::Relation::kLessEqual, 1.0);
+  return m;
+}
+
+void BM_SimplexChainLp(benchmark::State& state) {
+  const auto sources = static_cast<std::size_t>(state.range(0));
+  const lp::LpModel m = make_chain_lp(sources, 7, 7, 3);
+  std::size_t pivots = 0;
+  for (auto _ : state) {
+    const lp::Solution s = lp::solve(m);
+    benchmark::DoNotOptimize(s.objective);
+    pivots = s.pivots;
+    if (s.status != lp::SolveStatus::kOptimal) state.SkipWithError("not optimal");
+  }
+  state.counters["vars"] = static_cast<double>(m.variable_count());
+  state.counters["rows"] = static_cast<double>(m.constraint_count());
+  state.counters["pivots"] = static_cast<double>(pivots);
+}
+BENCHMARK(BM_SimplexChainLp)->Arg(10)->Arg(40)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Walkthrough of the paper's Figure 3 example (§III.F): a web flow from
+// stub-network A is chained through WP -> FW -> IDS. The first packet is
+// tunneled IP-over-IP and plants label-table state along the chain; the last
+// middlebox sends a control packet back to the proxy; every later packet is
+// label-switched — destination-address rewriting, no outer header, no
+// fragmentation risk.
+//
+// The example prints the proxy flow table and middlebox label tables at each
+// stage, mirroring Figure 3's sub-figures (b) through (f).
+//
+// Run: ./build/examples/fig3_walkthrough
+#include <cstdio>
+
+#include "core/agents.hpp"
+#include "core/controller.hpp"
+#include "net/topologies.hpp"
+#include "sim/network.hpp"
+
+using namespace sdmbox;
+
+namespace {
+
+void print_stage(const char* stage, const core::ProxyAgent& proxy,
+                 const core::InstalledAgents& agents, const core::Deployment& deployment) {
+  std::printf("--- %s ---\n", stage);
+  std::printf("proxy y: flow entries=%zu tunneled=%llu switched=%llu confirmations=%llu\n",
+              proxy.flow_table().size(),
+              static_cast<unsigned long long>(proxy.counters().tunneled_packets),
+              static_cast<unsigned long long>(proxy.counters().label_switched_packets),
+              static_cast<unsigned long long>(proxy.counters().confirmations));
+  for (std::size_t i = 0; i < deployment.size(); ++i) {
+    const auto* m = agents.middleboxes[i];
+    if (m->counters().processed_packets == 0) continue;
+    std::printf("  %-5s: processed=%llu label-entries=%zu switched-in=%llu%s\n",
+                deployment.middleboxes()[i].name.c_str(),
+                static_cast<unsigned long long>(m->counters().processed_packets),
+                m->label_table().size(),
+                static_cast<unsigned long long>(m->counters().label_switched_in),
+                m->counters().confirmations_sent > 0 ? "  [sent control packet to proxy]" : "");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  net::GeneratedNetwork network = net::make_campus_topology();
+  util::Rng rng(3);
+  const auto catalog = policy::FunctionCatalog::standard();
+  core::Deployment deployment =
+      core::deploy_middleboxes(network, catalog, core::DeploymentParams{}, rng);
+
+  // The Figure 3 policy: web traffic leaving stub-network A goes through
+  // web proxy, then firewall, then IDS.
+  policy::PolicyList policies;
+  policy::TrafficDescriptor outbound_web;
+  outbound_web.src = network.subnets[0];  // stub-network A
+  outbound_web.dst_port = policy::PortRange::exactly(80);
+  policies.add(outbound_web,
+               {policy::kWebProxy, policy::kFirewall, policy::kIntrusionDetection},
+               "figure3-web-chain");
+  std::printf("Figure 3 policy on stub-network A (%s): WP -> FW -> IDS\n\n",
+              network.subnets[0].to_string().c_str());
+
+  core::Controller controller(network, deployment, policies);
+  const core::EnforcementPlan plan = controller.compile(core::StrategyKind::kHotPotato);
+
+  const auto routing = net::RoutingTables::compute(network.topo);
+  const auto resolver = net::AddressResolver::build(network.topo);
+  sim::SimNetwork simnet(network.topo, routing, resolver);
+  core::AgentOptions options;
+  options.enable_label_switching = true;
+  const auto agents =
+      core::install_agents(simnet, network, deployment, policies, plan, options);
+  const auto& proxy_y = *agents.proxies[0];
+
+  // Flow f: a host in stub-network A fetches a page from a server in subnet 7.
+  packet::FlowId f;
+  f.src = net::IpAddress(network.subnets[0].base().value() + 20);
+  f.dst = net::IpAddress(network.subnets[7].base().value() + 20);
+  f.src_port = 52000;
+  f.dst_port = 80;
+  const auto send_packet = [&](std::uint64_t seq, double at) {
+    packet::Packet p;
+    p.inner.src = f.src;
+    p.inner.dst = f.dst;
+    p.src_port = f.src_port;
+    p.dst_port = f.dst_port;
+    p.payload_bytes = 800;
+    p.flow_seq = seq;
+    simnet.inject(network.proxies[0], p, at);
+  };
+
+  std::printf("Flow f = %s\n\n", f.to_string().c_str());
+
+  // Stage 1 (Figure 3.b-3.f): the FIRST packet tunnels through the chain,
+  // planting <src|l, a> label entries; the tail adds dst and confirms.
+  send_packet(0, 0.0);
+  simnet.run();
+  print_stage("after first packet: chain setup via IP-over-IP, control packet returned",
+              proxy_y, agents, deployment);
+
+  // Stage 2: subsequent packets are label-switched end to end.
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    send_packet(seq, 0.1 + static_cast<double>(seq) * 0.01);
+  }
+  simnet.run();
+  print_stage("after four more packets: label switching, no outer IP header", proxy_y, agents,
+              deployment);
+
+  std::printf("All %llu data packets reached subnet 7's proxy: %llu inbound there.\n",
+              5ULL,
+              static_cast<unsigned long long>(agents.proxies[7]->counters().inbound_packets));
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Tour of the three enforcement strategies on the paper's evaluation
+// workload: generate the §IV.A three-class policy mix and a power-law flow
+// set, then print the per-middlebox load distribution under hot-potato,
+// random and LP-driven load balancing — an ASCII rendition of Figures 4 and
+// Table III on one workload.
+//
+// Run: ./build/examples/load_balancing_tour
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "analytic/load_evaluator.hpp"
+#include "core/controller.hpp"
+#include "net/topologies.hpp"
+#include "workload/flow_gen.hpp"
+#include "workload/policy_gen.hpp"
+#include "workload/traffic_matrix.hpp"
+
+using namespace sdmbox;
+
+namespace {
+
+void print_distribution(const char* title, const analytic::LoadReport& report,
+                        const core::Deployment& deployment, std::uint64_t scale_max) {
+  std::printf("%s\n", title);
+  for (const auto& m : deployment.middleboxes()) {
+    const std::uint64_t load = report.load_of(m.node);
+    const int bar = static_cast<int>(60.0 * static_cast<double>(load) /
+                                     static_cast<double>(std::max<std::uint64_t>(1, scale_max)));
+    std::printf("  %-5s %8llu k |%s\n", m.name.c_str(),
+                static_cast<unsigned long long>(load / 1000), std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  util::Rng rng(2019);
+  net::GeneratedNetwork network = net::make_campus_topology();
+  const auto catalog = policy::FunctionCatalog::standard();
+  core::Deployment deployment =
+      core::deploy_middleboxes(network, catalog, core::DeploymentParams{}, rng);
+
+  workload::PolicyGenParams pp;  // 4 policies per class (§IV.A's three classes)
+  const auto gen = workload::generate_policies(network, pp, rng);
+  workload::FlowGenParams fp;
+  fp.target_total_packets = 2'000'000;
+  const auto flows = workload::generate_flows(network, gen, fp, rng);
+  const auto traffic = workload::TrafficMatrix::measure(gen.policies, flows.flows);
+  deployment.set_uniform_capacity(traffic.grand_total());
+
+  std::printf("Workload: %zu flows, %llu packets across %zu policies (3 classes)\n\n",
+              flows.flows.size(), static_cast<unsigned long long>(flows.total_packets),
+              gen.policies.size());
+
+  core::Controller controller(network, deployment, gen.policies);
+  std::uint64_t scale_max = 0;
+  struct Outcome {
+    const char* name;
+    analytic::LoadReport report;
+    double lambda;
+  };
+  std::vector<Outcome> outcomes;
+  for (const auto strategy : {core::StrategyKind::kHotPotato, core::StrategyKind::kRandom,
+                              core::StrategyKind::kLoadBalanced}) {
+    const auto plan = controller.compile(
+        strategy, strategy == core::StrategyKind::kLoadBalanced ? &traffic : nullptr);
+    auto report =
+        analytic::evaluate_loads(network, deployment, gen.policies, plan, flows.flows);
+    for (const auto& m : deployment.middleboxes()) {
+      scale_max = std::max(scale_max, report.load_of(m.node));
+    }
+    outcomes.push_back(Outcome{to_string(strategy), std::move(report), plan.lambda});
+  }
+
+  for (const auto& o : outcomes) {
+    char title[128];
+    if (o.lambda > 0) {
+      std::snprintf(title, sizeof(title), "=== %s (LP lambda = %.3f) ===", o.name, o.lambda);
+    } else {
+      std::snprintf(title, sizeof(title), "=== %s ===", o.name);
+    }
+    print_distribution(title, o.report, deployment, scale_max);
+  }
+
+  std::printf("Same traffic, same middleboxes — only the controller's forwarding\n"
+              "configuration differs. Hot-potato piles flows onto the closest box;\n"
+              "the LP spreads every type toward its fair share.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Quickstart: enforce a middlebox service chain on a traditional (non-SDN)
+// network in ~80 lines of API use.
+//
+//   1. build the campus topology (routers run plain shortest-path routing),
+//   2. deploy software-defined middleboxes on core routers,
+//   3. write one policy: external web traffic into subnet 0 must pass
+//      FW -> IDS (paper Table I, row 3),
+//   4. let the controller pre-configure proxies/middleboxes,
+//   5. push a packet through the packet-level simulator and watch the chain.
+//
+// Run: ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/agents.hpp"
+#include "core/controller.hpp"
+#include "core/deployment.hpp"
+#include "net/topologies.hpp"
+#include "sim/network.hpp"
+
+using namespace sdmbox;
+
+int main() {
+  // 1. A traditional network: OSPF-style shortest-path routing, no SDN.
+  net::GeneratedNetwork network = net::make_campus_topology();
+  std::printf("Campus topology: %zu nodes, %zu links (2 gateways, 16 core, 10 edge)\n",
+              network.topo.node_count(), network.topo.link_count());
+
+  // 2. Software-defined middleboxes, attached to random core routers.
+  util::Rng rng(7);
+  const auto catalog = policy::FunctionCatalog::standard();
+  core::Deployment deployment =
+      core::deploy_middleboxes(network, catalog, core::DeploymentParams{}, rng);
+  std::printf("Deployed %zu middleboxes: FW=%zu IDS=%zu WP=%zu TM=%zu\n\n", deployment.size(),
+              deployment.implementers(policy::kFirewall).size(),
+              deployment.implementers(policy::kIntrusionDetection).size(),
+              deployment.implementers(policy::kWebProxy).size(),
+              deployment.implementers(policy::kTrafficMeasure).size());
+
+  // 3. One policy: anything -> subnet 0 on port 80 must pass FW then IDS.
+  policy::PolicyList policies;
+  policy::TrafficDescriptor inbound_web;
+  inbound_web.dst = network.subnets[0];
+  inbound_web.dst_port = policy::PortRange::exactly(80);
+  policies.add(inbound_web, {policy::kFirewall, policy::kIntrusionDetection},
+               "protect-subnet0-web");
+  std::printf("Policy: [%s] -> FW, IDS\n\n", inbound_web.to_string().c_str());
+
+  // 4. The controller pre-configures every proxy and middlebox. It is never
+  //    consulted again at packet time.
+  core::Controller controller(network, deployment, policies);
+  const core::EnforcementPlan plan = controller.compile(core::StrategyKind::kHotPotato);
+
+  // 5. Simulate one inbound web packet from subnet 3 to a host in subnet 0.
+  const auto routing = net::RoutingTables::compute(network.topo);
+  const auto resolver = net::AddressResolver::build(network.topo);
+  sim::SimNetwork simnet(network.topo, routing, resolver);
+  const auto agents =
+      core::install_agents(simnet, network, deployment, policies, plan, core::AgentOptions{});
+
+  packet::Packet pkt;
+  pkt.inner.src = net::IpAddress(network.subnets[3].base().value() + 10);
+  pkt.inner.dst = net::IpAddress(network.subnets[0].base().value() + 10);
+  pkt.src_port = 51000;
+  pkt.dst_port = 80;
+  pkt.payload_bytes = 600;
+  std::printf("Injecting %s at proxy of subnet 3...\n", pkt.flow_id().to_string().c_str());
+  simnet.inject(network.proxies[3], pkt, 0.0);
+  simnet.run();
+
+  for (std::size_t i = 0; i < deployment.size(); ++i) {
+    const auto& counters = agents.middleboxes[i]->counters();
+    if (counters.processed_packets > 0) {
+      std::printf("  middlebox %-5s processed %llu packet(s)%s\n",
+                  deployment.middleboxes()[i].name.c_str(),
+                  static_cast<unsigned long long>(counters.processed_packets),
+                  counters.chain_tails > 0 ? "  <- chain tail, released toward destination" : "");
+    }
+  }
+  std::printf("Delivered end-to-end: %llu packet(s), latency %.1f us\n",
+              static_cast<unsigned long long>(simnet.counters().delivered),
+              simnet.counters().total_latency * 1e6);
+  std::printf("\nThe routers never saw a policy: the proxy tunneled the packet IP-over-IP\n"
+              "to the closest FW, the FW to the closest IDS, and the IDS released it.\n");
+  return 0;
+}

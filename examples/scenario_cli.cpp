@@ -1,0 +1,229 @@
+// Command-line scenario runner: the library as a tool. Builds a topology,
+// deploys middleboxes, generates the §IV.A workload, validates the policy
+// list, compiles a plan for the chosen strategy, and prints per-type loads,
+// path stretch and the controller's distribution footprint.
+//
+// Usage:
+//   scenario_cli [--topology campus|waxman] [--strategy hp|rand|lb]
+//                [--packets N] [--policies-per-class N] [--seed N]
+//                [--off-path] [--fail-one FW|IDS|WP|TM]
+//                [--policy-file FILE]   # Table-I-style file; replaces the
+//                                       # generated policy list for analysis
+//
+// Example:
+//   ./build/examples/scenario_cli --topology waxman --strategy lb --packets 5000000
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <fstream>
+#include <sstream>
+
+#include "analytic/load_evaluator.hpp"
+#include "core/controller.hpp"
+#include "core/validate.hpp"
+#include "net/topologies.hpp"
+#include "policy/analysis.hpp"
+#include "policy/parser.hpp"
+#include "stats/table.hpp"
+#include "util/strings.hpp"
+#include "workload/flow_gen.hpp"
+#include "workload/policy_gen.hpp"
+#include "workload/traffic_matrix.hpp"
+
+using namespace sdmbox;
+
+namespace {
+
+struct CliOptions {
+  bool waxman = false;
+  core::StrategyKind strategy = core::StrategyKind::kLoadBalanced;
+  std::uint64_t packets = 1'000'000;
+  std::size_t policies_per_class = 4;
+  std::uint64_t seed = 2019;
+  bool off_path = false;
+  std::string fail_one;     // function name, or empty
+  std::string policy_file;  // optional Table-I-style policy file to audit
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--topology campus|waxman] [--strategy hp|rand|lb]\n"
+               "          [--packets N] [--policies-per-class N] [--seed N]\n"
+               "          [--off-path] [--fail-one FW|IDS|WP|TM]\n",
+               argv0);
+  return 2;
+}
+
+bool parse(int argc, char** argv, CliOptions& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--topology") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "campus") == 0) {
+        opt.waxman = false;
+      } else if (std::strcmp(v, "waxman") == 0) {
+        opt.waxman = true;
+      } else {
+        return false;
+      }
+    } else if (arg == "--strategy") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "hp") == 0) {
+        opt.strategy = core::StrategyKind::kHotPotato;
+      } else if (std::strcmp(v, "rand") == 0) {
+        opt.strategy = core::StrategyKind::kRandom;
+      } else if (std::strcmp(v, "lb") == 0) {
+        opt.strategy = core::StrategyKind::kLoadBalanced;
+      } else {
+        return false;
+      }
+    } else if (arg == "--packets") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.packets = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--policies-per-class") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.policies_per_class = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--off-path") {
+      opt.off_path = true;
+    } else if (arg == "--fail-one") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.fail_one = v;
+    } else if (arg == "--policy-file") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.policy_file = v;
+    } else {
+      return false;
+    }
+  }
+  return opt.packets > 0 && opt.policies_per_class > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  if (!parse(argc, argv, opt)) return usage(argv[0]);
+
+  util::Rng rng(opt.seed);
+  net::GeneratedNetwork network;
+  if (opt.waxman) {
+    net::WaxmanParams wp;
+    wp.seed = opt.seed;
+    wp.proxy_mode = opt.off_path ? net::ProxyMode::kOffPath : net::ProxyMode::kInPath;
+    network = net::make_waxman_topology(wp);
+  } else {
+    net::CampusParams cp;
+    cp.proxy_mode = opt.off_path ? net::ProxyMode::kOffPath : net::ProxyMode::kInPath;
+    network = net::make_campus_topology(cp);
+  }
+  const auto catalog = policy::FunctionCatalog::standard();
+  core::Deployment deployment =
+      core::deploy_middleboxes(network, catalog, core::DeploymentParams{}, rng);
+  std::printf("topology: %s (%zu nodes, %zu links), proxies %s, %zu middleboxes\n",
+              opt.waxman ? "waxman" : "campus", network.topo.node_count(),
+              network.topo.link_count(), opt.off_path ? "off-path" : "in-path",
+              deployment.size());
+
+  if (!opt.policy_file.empty()) {
+    // Audit mode: parse and statically analyze the operator's policy file.
+    std::ifstream in(opt.policy_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", opt.policy_file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto parsed = policy::parse_policies(text.str(), catalog);
+    for (const auto& err : parsed.errors) {
+      std::printf("parse error line %zu: %s\n", err.line, err.message.c_str());
+    }
+    const auto audit = policy::analyze_policies(parsed.policies);
+    std::printf("%zu policies parsed, %zu parse error(s), %zu analysis issue(s)\n",
+                parsed.policies.size(), parsed.errors.size(), audit.issues.size());
+    for (const auto& issue : audit.issues) {
+      std::printf("  [%s] %s\n", to_string(issue.kind), issue.detail.c_str());
+    }
+    return parsed.ok() && audit.clean() ? 0 : 1;
+  }
+
+  workload::PolicyGenParams pp;
+  pp.many_to_one = pp.one_to_many = pp.one_to_one = opt.policies_per_class;
+  const auto gen = workload::generate_policies(network, pp, rng);
+  const auto issues = policy::analyze_policies(gen.policies);
+  std::printf("policies: %zu (analysis: %zu issue(s))\n", gen.policies.size(),
+              issues.issues.size());
+  for (const auto& issue : issues.issues) {
+    std::printf("  [%s] %s\n", to_string(issue.kind), issue.detail.c_str());
+  }
+
+  workload::FlowGenParams fp;
+  fp.target_total_packets = opt.packets;
+  const auto flows = workload::generate_flows(network, gen, fp, rng);
+  const auto traffic = workload::TrafficMatrix::measure(gen.policies, flows.flows);
+  deployment.set_uniform_capacity(std::max(1.0, traffic.grand_total()));
+  std::printf("workload: %zu flows, %s packets\n", flows.flows.size(),
+              util::with_thousands(flows.total_packets).c_str());
+
+  core::Controller controller(network, deployment, gen.policies);
+  if (!opt.fail_one.empty()) {
+    const policy::FunctionId fn = catalog.find(opt.fail_one);
+    if (!fn.valid() || deployment.implementers(fn).empty()) {
+      std::fprintf(stderr, "unknown or undeployed function for --fail-one: %s\n",
+                   opt.fail_one.c_str());
+      return 2;
+    }
+    const net::NodeId victim = deployment.implementers(fn)[0];
+    deployment.set_failed(victim, true);
+    controller.recompute();
+    std::printf("failed middlebox: %s (controller recomputed)\n",
+                deployment.find(victim)->name.c_str());
+  }
+
+  const auto plan = controller.compile(
+      opt.strategy, opt.strategy == core::StrategyKind::kLoadBalanced ? &traffic : nullptr);
+  const auto violations = core::validate_plan(plan, network, deployment, gen.policies);
+  std::printf("plan: %s, audit %s", to_string(opt.strategy),
+              violations.empty() ? "clean" : "VIOLATIONS:");
+  if (plan.lambda > 0) std::printf(", lambda=%.4f", plan.lambda);
+  std::printf("\n");
+  for (const auto& v : violations) std::printf("  %s\n", v.c_str());
+
+  const auto report =
+      analytic::evaluate_loads(network, deployment, gen.policies, plan, flows.flows);
+  const auto summaries = analytic::summarize_by_function(report, deployment, catalog);
+  stats::TextTable table("per-type loads (packets)");
+  table.set_header({"type", "boxes", "max", "min", "total"});
+  for (const auto& su : summaries) {
+    table.add_row({su.function_name, std::to_string(deployment.implementers(su.function).size()),
+                   util::with_thousands(su.max_load), util::with_thousands(su.min_load),
+                   util::with_thousands(su.total_load)});
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+
+  const auto rt = net::RoutingTables::compute(network.topo);
+  const auto stretch =
+      analytic::evaluate_path_stretch(network, gen.policies, plan, rt, flows.flows);
+  const auto fp_dist = core::measure_distribution(plan);
+  std::printf("path stretch: %.2f (direct %.2f hops -> enforced %.2f hops)\n",
+              stretch.stretch(), stretch.direct_hops, stretch.enforced_hops);
+  std::printf("controller distribution: %s bytes to %llu devices (%llu candidates, %llu policy "
+              "entries, %llu ratio shares)\n",
+              util::with_thousands(fp_dist.total_bytes).c_str(),
+              static_cast<unsigned long long>(fp_dist.devices),
+              static_cast<unsigned long long>(fp_dist.candidate_entries),
+              static_cast<unsigned long long>(fp_dist.policy_entries),
+              static_cast<unsigned long long>(fp_dist.ratio_entries));
+  return 0;
+}

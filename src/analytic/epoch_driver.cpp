@@ -1,0 +1,68 @@
+#include "analytic/epoch_driver.hpp"
+
+#include <algorithm>
+
+namespace sdmbox::analytic {
+
+namespace {
+
+std::uint64_t realized_max_load(const net::GeneratedNetwork& network,
+                                const core::Deployment& deployment,
+                                const policy::PolicyList& policies,
+                                const core::EnforcementPlan& plan,
+                                const workload::GeneratedFlows& flows) {
+  const LoadReport report =
+      evaluate_loads(network, deployment, policies, plan, flows.flows);
+  std::uint64_t max_load = 0;
+  for (const auto& m : deployment.middleboxes()) {
+    max_load = std::max(max_load, report.load_of(m.node));
+  }
+  return max_load;
+}
+
+}  // namespace
+
+EpochStudy run_epoch_study(const net::GeneratedNetwork& network, core::Deployment& deployment,
+                           const policy::PolicyList& policies, core::Controller& controller,
+                           const std::vector<workload::GeneratedFlows>& epochs) {
+  SDM_CHECK_MSG(!epochs.empty(), "epoch study needs at least one epoch");
+  EpochStudy study;
+
+  // Measurements per epoch, as the proxies would report them.
+  std::vector<workload::TrafficMatrix> measured;
+  measured.reserve(epochs.size());
+  double peak_traffic = 1.0;
+  for (const auto& flows : epochs) {
+    measured.push_back(workload::TrafficMatrix::measure(policies, flows.flows));
+    peak_traffic = std::max(peak_traffic, measured.back().grand_total());
+  }
+  // One capacity normalization across the whole study so λ values compare.
+  deployment.set_uniform_capacity(peak_traffic);
+
+  const core::EnforcementPlan stale_plan =
+      controller.compile(core::StrategyKind::kLoadBalanced, &measured.front());
+
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    const workload::TrafficMatrix& own = measured[i];
+    const workload::TrafficMatrix& prev = measured[i == 0 ? 0 : i - 1];
+
+    const core::EnforcementPlan oracle_plan =
+        controller.compile(core::StrategyKind::kLoadBalanced, &own);
+    const core::EnforcementPlan reopt_plan =
+        controller.compile(core::StrategyKind::kLoadBalanced, &prev);
+
+    const auto outcome = [&](const core::EnforcementPlan& plan) {
+      EpochOutcome o;
+      o.max_load = realized_max_load(network, deployment, policies, plan, epochs[i]);
+      o.total_packets = epochs[i].total_packets;
+      o.lambda = plan.lambda;
+      return o;
+    };
+    study.oracle.push_back(outcome(oracle_plan));
+    study.reoptimized.push_back(outcome(reopt_plan));
+    study.stale.push_back(outcome(stale_plan));
+  }
+  return study;
+}
+
+}  // namespace sdmbox::analytic

@@ -1,0 +1,43 @@
+// Measurement-epoch study (§III.C: "Periodically, all policy proxies send
+// their measured traffic volumes to the controller").
+//
+// The controller never sees the future: in epoch i it balances with split
+// ratios computed from epoch i-1's proxy reports. This driver replays a
+// sequence of (possibly drifting) workloads under three regimes and records
+// the realized max load per epoch:
+//   * oracle      — LP solved on the epoch's own traffic (upper bound on
+//                    what re-optimization can achieve),
+//   * reoptimized — LP solved on the previous epoch's measurement (the
+//                    paper's actual operating mode),
+//   * stale       — LP solved once on epoch 0 and never refreshed.
+// The gap stale-vs-reoptimized quantifies why periodic measurement matters.
+#pragma once
+
+#include <vector>
+
+#include "analytic/load_evaluator.hpp"
+#include "core/controller.hpp"
+#include "workload/traffic_matrix.hpp"
+
+namespace sdmbox::analytic {
+
+struct EpochOutcome {
+  std::uint64_t max_load = 0;     // realized max over all middleboxes
+  std::uint64_t total_packets = 0;
+  double lambda = 0;              // the LP's own prediction for its input traffic
+};
+
+struct EpochStudy {
+  std::vector<EpochOutcome> oracle;
+  std::vector<EpochOutcome> reoptimized;
+  std::vector<EpochOutcome> stale;
+};
+
+/// Run the study over `epochs` workloads (all against the same network,
+/// deployment and policies). Epoch 0 of `reoptimized` uses its own
+/// measurement (there is no prior epoch), like `oracle`.
+EpochStudy run_epoch_study(const net::GeneratedNetwork& network, core::Deployment& deployment,
+                           const policy::PolicyList& policies, core::Controller& controller,
+                           const std::vector<workload::GeneratedFlows>& epochs);
+
+}  // namespace sdmbox::analytic

@@ -1,0 +1,113 @@
+#include "analytic/load_evaluator.hpp"
+
+#include <limits>
+
+#include "core/strategy.hpp"
+
+namespace sdmbox::analytic {
+
+LoadReport evaluate_loads(const net::GeneratedNetwork& network,
+                          const core::Deployment& deployment,
+                          const policy::PolicyList& policies, const core::EnforcementPlan& plan,
+                          std::span<const workload::FlowRecord> flows,
+                          const EvalOptions& options) {
+  (void)deployment;
+  LoadReport report;
+  for (const workload::FlowRecord& f : flows) {
+    const policy::Policy* pol = policies.first_match(f.id);
+    if (pol == nullptr || pol->is_permit()) {
+      report.unmatched_packets += f.packets;
+      continue;
+    }
+    if (pol->deny) {
+      report.denied_packets += f.packets;
+      continue;
+    }
+    report.matched_packets += f.packets;
+    SDM_CHECK(f.src_subnet >= 0 &&
+              static_cast<std::size_t>(f.src_subnet) < network.proxies.size());
+    net::NodeId at = network.proxies[static_cast<std::size_t>(f.src_subnet)];
+    for (const policy::FunctionId e : pol->actions) {
+      const net::NodeId y =
+          core::select_next_hop(plan, at, *pol, e, f.id, f.src_subnet, f.dst_subnet);
+      SDM_CHECK_MSG(y.valid(), "flow chain hit a function with no candidates");
+      report.load[y.v] += f.packets;
+      report.load_by_function[(std::uint64_t{y.v} << 8) | e.v] += f.packets;
+      if (y == at) {
+        report.local_continuations += f.packets;
+      } else {
+        report.forwarded_transitions += f.packets;
+      }
+      at = y;
+      // §III.F: a caching WP answers the source; the chain truncates here.
+      if (e == policy::kWebProxy && core::wp_cache_hit(f.id, options.wp_cache_hit_rate)) break;
+    }
+  }
+  return report;
+}
+
+PathStretchReport evaluate_path_stretch(const net::GeneratedNetwork& network,
+                                        const policy::PolicyList& policies,
+                                        const core::EnforcementPlan& plan,
+                                        const net::RoutingTables& routing,
+                                        std::span<const workload::FlowRecord> flows) {
+  PathStretchReport out;
+  double direct_sum = 0, enforced_sum = 0;
+  for (const workload::FlowRecord& f : flows) {
+    const policy::Policy* pol = policies.first_match(f.id);
+    if (pol == nullptr || pol->is_permit() || pol->deny) continue;
+    const net::NodeId src = network.proxies[static_cast<std::size_t>(f.src_subnet)];
+    const net::NodeId dst = network.proxies[static_cast<std::size_t>(f.dst_subnet)];
+    const auto w = static_cast<double>(f.packets);
+    direct_sum += w * routing.distance(src, dst);
+    net::NodeId at = src;
+    double hops = 0;
+    for (const policy::FunctionId e : pol->actions) {
+      const net::NodeId y =
+          core::select_next_hop(plan, at, *pol, e, f.id, f.src_subnet, f.dst_subnet);
+      SDM_CHECK_MSG(y.valid(), "flow chain hit a function with no candidates");
+      if (y != at) hops += routing.distance(at, y);
+      at = y;
+    }
+    hops += routing.distance(at, dst);
+    enforced_sum += w * hops;
+    out.matched_packets += f.packets;
+  }
+  if (out.matched_packets > 0) {
+    out.direct_hops = direct_sum / static_cast<double>(out.matched_packets);
+    out.enforced_hops = enforced_sum / static_cast<double>(out.matched_packets);
+  }
+  return out;
+}
+
+std::vector<TypeLoadSummary> summarize_by_function(const LoadReport& report,
+                                                   const core::Deployment& deployment,
+                                                   const policy::FunctionCatalog& catalog) {
+  std::vector<TypeLoadSummary> out;
+  for (const policy::FunctionId e : catalog.all()) {
+    const auto& impls = deployment.implementers(e);
+    if (impls.empty()) continue;
+    TypeLoadSummary s;
+    s.function = e;
+    s.function_name = catalog.name(e);
+    s.min_load = std::numeric_limits<std::uint64_t>::max();
+    for (const net::NodeId m : impls) {
+      const std::uint64_t load = report.load_of(m, e);
+      const core::MiddleboxInfo* info = deployment.find(m);
+      const std::string name = info != nullptr ? info->name : "?";
+      s.total_load += load;
+      if (s.max_name.empty() || load > s.max_load) {
+        s.max_load = load;
+        s.max_name = name;
+      }
+      if (load < s.min_load) {
+        s.min_load = load;
+        s.min_name = name;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace sdmbox::analytic

@@ -1,0 +1,98 @@
+// Flow-level load evaluation.
+//
+// Because every strategy's next-hop choice is a pure function of the flow
+// 5-tuple (see core/strategy.hpp), all packets of a flow traverse the same
+// middlebox chain; per-middlebox packet loads therefore equal the sum of
+// flow sizes over flows routed through the box. This evaluator walks each
+// flow's chain once — no event simulation — and produces exactly the loads
+// the packet simulator would count. An integration test asserts that
+// equivalence; the figure benches rely on it to reach the paper's 10M-packet
+// operating points in milliseconds.
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/agents.hpp"
+#include "core/controller.hpp"
+#include "workload/flow_gen.hpp"
+
+namespace sdmbox::analytic {
+
+struct LoadReport {
+  /// Packets processed per middlebox node (NodeId.v -> packets), counting
+  /// one unit per function application (a consolidated box applying two
+  /// chain functions counts each packet twice).
+  std::unordered_map<std::uint32_t, std::uint64_t> load;
+  /// Same, split per function: key = (NodeId.v << 8) | FunctionId.v.
+  std::unordered_map<std::uint64_t, std::uint64_t> load_by_function;
+  std::uint64_t matched_packets = 0;    // packets of chain-enforced flows
+  std::uint64_t unmatched_packets = 0;  // permit / background packets
+  std::uint64_t denied_packets = 0;     // dropped at the proxy by deny rules
+  /// Packet-weighted chain transitions that crossed the network (sender !=
+  /// receiver) vs. continued locally on a consolidated middlebox.
+  std::uint64_t forwarded_transitions = 0;
+  std::uint64_t local_continuations = 0;
+
+  std::uint64_t load_of(net::NodeId n) const {
+    const auto it = load.find(n.v);
+    return it == load.end() ? 0 : it->second;
+  }
+  std::uint64_t load_of(net::NodeId n, policy::FunctionId e) const {
+    const auto it = load_by_function.find((std::uint64_t{n.v} << 8) | e.v);
+    return it == load_by_function.end() ? 0 : it->second;
+  }
+};
+
+/// Min/max/total load over the middleboxes of one function type — the unit
+/// of the paper's Figures 4-5 and Table III.
+struct TypeLoadSummary {
+  policy::FunctionId function;
+  std::string function_name;
+  std::uint64_t max_load = 0;
+  std::uint64_t min_load = 0;
+  std::uint64_t total_load = 0;
+  std::string max_name;  // middlebox with the max load
+  std::string min_name;
+};
+
+struct EvalOptions {
+  /// §III.F web-proxy caching: flows hit in cache stop their chain at the
+  /// WP (must match the AgentOptions value used in a paired DES run).
+  double wp_cache_hit_rate = 0.0;
+};
+
+/// Walk every flow's enforcement chain under `plan` and tally loads.
+LoadReport evaluate_loads(const net::GeneratedNetwork& network,
+                          const core::Deployment& deployment,
+                          const policy::PolicyList& policies, const core::EnforcementPlan& plan,
+                          std::span<const workload::FlowRecord> flows,
+                          const EvalOptions& options = {});
+
+/// Per-function-type min/max/total over the deployment.
+std::vector<TypeLoadSummary> summarize_by_function(const LoadReport& report,
+                                                   const core::Deployment& deployment,
+                                                   const policy::FunctionCatalog& catalog);
+
+/// Path-length cost of enforcement: packet-weighted router hops from the
+/// source proxy to the destination subnet, directly (what plain routing
+/// would do) vs. through the policy's middlebox chain under `plan`.
+/// Stretch = enforced / direct. Hot-potato minimizes it by construction;
+/// load balancing trades hops for balance — the tension §III.C navigates.
+struct PathStretchReport {
+  double direct_hops = 0;    // packet-weighted mean, matched flows only
+  double enforced_hops = 0;
+  std::uint64_t matched_packets = 0;
+
+  double stretch() const noexcept { return direct_hops > 0 ? enforced_hops / direct_hops : 1.0; }
+};
+
+PathStretchReport evaluate_path_stretch(const net::GeneratedNetwork& network,
+                                        const policy::PolicyList& policies,
+                                        const core::EnforcementPlan& plan,
+                                        const net::RoutingTables& routing,
+                                        std::span<const workload::FlowRecord> flows);
+
+}  // namespace sdmbox::analytic

@@ -1,0 +1,172 @@
+#include "control/codec.hpp"
+
+#include "control/wire.hpp"
+
+namespace sdmbox::control {
+
+namespace {
+constexpr std::uint16_t kConfigMagic = 0x5dc0;  // SDm-Config
+constexpr std::uint16_t kReportMagic = 0x5d20;  // SDm-Report
+}  // namespace
+
+std::vector<std::uint8_t> encode_device_config(const core::DeviceConfig& config) {
+  ByteWriter w;
+  w.u16(kConfigMagic);
+  w.u8(static_cast<std::uint8_t>(config.strategy));
+  w.u64(config.version);
+  w.u32(config.node.node.v);
+  w.u8(config.node.is_proxy ? 1 : 0);
+  // own functions as a bitmask
+  std::uint64_t own = 0;
+  for (const policy::FunctionId e : config.node.own_functions.to_vector()) {
+    own |= std::uint64_t{1} << e.v;
+  }
+  w.u64(own);
+  // relevant policies
+  w.u32(static_cast<std::uint32_t>(config.node.relevant_policies.size()));
+  for (const policy::PolicyId id : config.node.relevant_policies) w.u32(id.v);
+  // candidate sets: count of non-empty functions, then per function
+  std::uint8_t non_empty = 0;
+  for (const auto& cands : config.node.candidates) non_empty += !cands.empty();
+  w.u8(non_empty);
+  for (std::uint8_t ev = 0; ev < policy::kMaxFunctions; ++ev) {
+    const auto& cands = config.node.candidates[ev];
+    if (cands.empty()) continue;
+    w.u8(ev);
+    w.u16(static_cast<std::uint16_t>(cands.size()));
+    for (const net::NodeId c : cands) w.u32(c.v);
+  }
+  // ratio slice: aggregate (Eq. 2) then detailed (Eq. 1) entries
+  w.u32(static_cast<std::uint32_t>(config.ratios.size()));
+  config.ratios.for_each([&](net::NodeId from, policy::FunctionId e, policy::PolicyId p,
+                             const std::vector<core::SplitRatioTable::Share>& shares) {
+    (void)from;  // always this device
+    w.u8(e.v);
+    w.u32(p.v);
+    w.u16(static_cast<std::uint16_t>(shares.size()));
+    for (const auto& s : shares) {
+      w.u32(s.to.v);
+      w.f64(s.weight);
+    }
+  });
+  w.u32(static_cast<std::uint32_t>(config.ratios.detailed_size()));
+  config.ratios.for_each_detailed(
+      [&](net::NodeId from, policy::FunctionId e, policy::PolicyId p, int s, int d,
+          const std::vector<core::SplitRatioTable::Share>& shares) {
+        (void)from;
+        w.u8(e.v);
+        w.u32(p.v);
+        w.u32(static_cast<std::uint32_t>(s));
+        w.u32(static_cast<std::uint32_t>(d));
+        w.u16(static_cast<std::uint16_t>(shares.size()));
+        for (const auto& share : shares) {
+          w.u32(share.to.v);
+          w.f64(share.weight);
+        }
+      });
+  return w.take();
+}
+
+std::optional<core::DeviceConfig> decode_device_config(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.u16() != kConfigMagic) return std::nullopt;
+  core::DeviceConfig cfg;
+  const std::uint8_t strategy = r.u8();
+  if (strategy > static_cast<std::uint8_t>(core::StrategyKind::kLoadBalanced)) {
+    return std::nullopt;
+  }
+  cfg.strategy = static_cast<core::StrategyKind>(strategy);
+  cfg.version = r.u64();
+  cfg.node.node = net::NodeId{r.u32()};
+  cfg.node.is_proxy = r.u8() != 0;
+  const std::uint64_t own = r.u64();
+  for (std::uint8_t ev = 0; ev < policy::kMaxFunctions; ++ev) {
+    if ((own >> ev) & 1) cfg.node.own_functions.insert(policy::FunctionId{ev});
+  }
+  const std::uint32_t n_policies = r.u32();
+  if (!r.ok() || n_policies > 1'000'000) return std::nullopt;
+  cfg.node.relevant_policies.reserve(n_policies);
+  for (std::uint32_t i = 0; i < n_policies && r.ok(); ++i) {
+    cfg.node.relevant_policies.push_back(policy::PolicyId{r.u32()});
+  }
+  const std::uint8_t non_empty = r.u8();
+  for (std::uint8_t i = 0; i < non_empty && r.ok(); ++i) {
+    const std::uint8_t ev = r.u8();
+    if (ev >= policy::kMaxFunctions) return std::nullopt;
+    const std::uint16_t count = r.u16();
+    auto& cands = cfg.node.candidates[ev];
+    cands.reserve(count);
+    for (std::uint16_t c = 0; c < count && r.ok(); ++c) cands.push_back(net::NodeId{r.u32()});
+  }
+  const std::uint32_t n_ratios = r.u32();
+  if (!r.ok() || n_ratios > 10'000'000) return std::nullopt;
+  for (std::uint32_t i = 0; i < n_ratios && r.ok(); ++i) {
+    const policy::FunctionId e{r.u8()};
+    const policy::PolicyId p{r.u32()};
+    const std::uint16_t n_shares = r.u16();
+    std::vector<core::SplitRatioTable::Share> shares;
+    shares.reserve(n_shares);
+    for (std::uint16_t s = 0; s < n_shares && r.ok(); ++s) {
+      const net::NodeId to{r.u32()};
+      const double weight = r.f64();
+      if (weight < 0) return std::nullopt;
+      shares.push_back(core::SplitRatioTable::Share{to, weight});
+    }
+    if (r.ok()) cfg.ratios.set(cfg.node.node, e, p, std::move(shares));
+  }
+  const std::uint32_t n_detailed = r.u32();
+  if (!r.ok() || n_detailed > 10'000'000) return std::nullopt;
+  for (std::uint32_t i = 0; i < n_detailed && r.ok(); ++i) {
+    const policy::FunctionId e{r.u8()};
+    const policy::PolicyId p{r.u32()};
+    const int s = static_cast<std::int32_t>(r.u32());
+    const int d = static_cast<std::int32_t>(r.u32());
+    const std::uint16_t n_shares = r.u16();
+    std::vector<core::SplitRatioTable::Share> shares;
+    shares.reserve(n_shares);
+    for (std::uint16_t k = 0; k < n_shares && r.ok(); ++k) {
+      const net::NodeId to{r.u32()};
+      const double weight = r.f64();
+      if (weight < 0) return std::nullopt;
+      shares.push_back(core::SplitRatioTable::Share{to, weight});
+    }
+    if (r.ok()) cfg.ratios.set_detailed(cfg.node.node, e, p, s, d, std::move(shares));
+  }
+  if (!r.done()) return std::nullopt;
+  return cfg;
+}
+
+std::vector<std::uint8_t> encode_measurement_report(const MeasurementReport& report) {
+  ByteWriter w;
+  w.u16(kReportMagic);
+  w.u32(static_cast<std::uint32_t>(report.src_subnet));
+  w.u32(static_cast<std::uint32_t>(report.lines.size()));
+  for (const auto& line : report.lines) {
+    w.u32(line.policy);
+    w.u32(static_cast<std::uint32_t>(line.dst_subnet));
+    w.u64(line.packets);
+  }
+  return w.take();
+}
+
+std::optional<MeasurementReport> decode_measurement_report(
+    const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.u16() != kReportMagic) return std::nullopt;
+  MeasurementReport report;
+  report.src_subnet = static_cast<std::int32_t>(r.u32());
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > 10'000'000) return std::nullopt;
+  report.lines.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    MeasurementReport::Line line;
+    line.policy = r.u32();
+    line.dst_subnet = static_cast<std::int32_t>(r.u32());
+    line.packets = r.u64();
+    report.lines.push_back(line);
+  }
+  if (!r.done()) return std::nullopt;
+  return report;
+}
+
+}  // namespace sdmbox::control

@@ -1,0 +1,211 @@
+#include "control/endpoints.hpp"
+
+namespace sdmbox::control {
+
+// ---------------------------------------------------------------------------
+// ManagedDevice
+// ---------------------------------------------------------------------------
+
+ManagedDevice::ManagedDevice(net::NodeId node, net::IpAddress address,
+                             std::unique_ptr<core::ProxyAgent> proxy,
+                             std::unique_ptr<core::MiddleboxAgent> middlebox)
+    : node_(node), address_(address), proxy_(std::move(proxy)), middlebox_(std::move(middlebox)) {
+  SDM_CHECK_MSG((proxy_ != nullptr) != (middlebox_ != nullptr),
+                "a managed device wraps exactly one agent");
+}
+
+void ManagedDevice::on_packet(sim::SimNetwork& net, packet::Packet pkt, net::NodeId from) {
+  if (pkt.kind == packet::PacketKind::kConfigPush && pkt.routing_header().dst == address_) {
+    bool applied = false;
+    if (pkt.control_payload != nullptr) {
+      if (auto config = decode_device_config(*pkt.control_payload)) {
+        applied = proxy_ ? proxy_->apply_config(std::move(*config))
+                         : middlebox_->apply_config(std::move(*config));
+      }
+    }
+    ++(applied ? counters_.configs_applied : counters_.configs_rejected);
+    if (applied) {
+      // Confirm the rollout to the controller.
+      packet::Packet ack;
+      ack.kind = packet::PacketKind::kConfigAck;
+      ack.inner.src = address_;
+      ack.inner.dst = pkt.inner.src;  // the controller
+      ack.inner.protocol = packet::kProtoUdp;
+      ack.payload_bytes = 12;
+      net.inject(node_, std::move(ack), net.simulator().now());
+    }
+    net.deliver(node_, pkt);
+    return;
+  }
+  if (pkt.kind == packet::PacketKind::kConfigAck && pkt.routing_header().dst != address_) {
+    net.forward(node_, std::move(pkt));
+    return;
+  }
+  // Control traffic originated here (reports) or transiting: plain routing,
+  // not policy enforcement.
+  if (pkt.kind == packet::PacketKind::kConfigPush ||
+      pkt.kind == packet::PacketKind::kMeasurementReport) {
+    net.forward(node_, std::move(pkt));
+    return;
+  }
+  if (proxy_ != nullptr) {
+    proxy_->on_packet(net, std::move(pkt), from);
+  } else {
+    middlebox_->on_packet(net, std::move(pkt), from);
+  }
+}
+
+std::size_t ManagedDevice::send_report(sim::SimNetwork& net, net::IpAddress controller) {
+  SDM_CHECK_MSG(proxy_ != nullptr, "only proxies produce measurement reports");
+  MeasurementReport report;
+  report.src_subnet = proxy_->subnet_index();
+  for (const auto& m : proxy_->measurements()) {
+    report.lines.push_back(MeasurementReport::Line{m.policy.v, m.dst_subnet, m.packets});
+  }
+  proxy_->clear_measurements();
+
+  packet::Packet pkt;
+  pkt.kind = packet::PacketKind::kMeasurementReport;
+  pkt.inner.src = address_;
+  pkt.inner.dst = controller;
+  pkt.inner.protocol = packet::kProtoUdp;
+  pkt.control_payload =
+      std::make_shared<const std::vector<std::uint8_t>>(encode_measurement_report(report));
+  const std::size_t bytes = pkt.control_payload->size();
+  pkt.payload_bytes = static_cast<std::uint32_t>(bytes);
+  ++counters_.reports_sent;
+  net.inject(node_, std::move(pkt), net.simulator().now());
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// ControllerAgent
+// ---------------------------------------------------------------------------
+
+ControllerAgent::ControllerAgent(net::NodeId node, net::IpAddress address,
+                                 core::Controller& controller,
+                                 const net::GeneratedNetwork& network)
+    : node_(node), address_(address), controller_(controller), network_(network) {}
+
+void ControllerAgent::on_packet(sim::SimNetwork& net, packet::Packet pkt, net::NodeId /*from*/) {
+  if (pkt.routing_header().dst != address_) {
+    // Our own outbound control traffic (config pushes) leaving this host.
+    net.forward(node_, std::move(pkt));
+    return;
+  }
+  if (pkt.kind == packet::PacketKind::kConfigAck) {
+    ++acks_;
+    net.deliver(node_, pkt);
+    return;
+  }
+  if (pkt.kind == packet::PacketKind::kMeasurementReport && pkt.control_payload != nullptr) {
+    if (const auto report = decode_measurement_report(*pkt.control_payload)) {
+      for (const auto& line : report->lines) {
+        collected_.add_sample(policy::PolicyId{line.policy}, report->src_subnet,
+                              line.dst_subnet, static_cast<double>(line.packets));
+      }
+      ++reports_received_;
+    } else {
+      ++malformed_;
+    }
+  }
+  // Reports and anything else addressed here are consumed (management host).
+  net.deliver(node_, pkt);
+}
+
+std::size_t ControllerAgent::push_plan(sim::SimNetwork& net, const core::EnforcementPlan& plan) {
+  ++version_;
+  std::size_t pushed = 0;
+  for (const auto& [node_v, cfg] : plan.configs) {
+    const net::NodeId device{node_v};
+    // Differential distribution: compare against the last pushed slice with
+    // the version zeroed out — unchanged devices are skipped entirely.
+    core::DeviceConfig slice = core::slice_for_device(plan, device, 0);
+    const std::vector<std::uint8_t> fingerprint = encode_device_config(slice);
+    const auto it = last_pushed_.find(node_v);
+    if (it != last_pushed_.end() && it->second == fingerprint) {
+      ++pushes_skipped_;
+      continue;
+    }
+    last_pushed_[node_v] = fingerprint;
+    slice.version = version_;
+    packet::Packet pkt;
+    pkt.kind = packet::PacketKind::kConfigPush;
+    pkt.inner.src = address_;
+    pkt.inner.dst = net.topology().node(device).address;
+    pkt.inner.protocol = packet::kProtoUdp;
+    pkt.control_payload =
+        std::make_shared<const std::vector<std::uint8_t>>(encode_device_config(slice));
+    pkt.payload_bytes = static_cast<std::uint32_t>(pkt.control_payload->size());
+    push_bytes_ += pkt.payload_bytes;
+    net.inject(node_, std::move(pkt), net.simulator().now());
+    ++pushed;
+    ++pushes_sent_;
+  }
+  return pushed;
+}
+
+core::EnforcementPlan ControllerAgent::reoptimize_and_push(sim::SimNetwork& net) {
+  core::EnforcementPlan plan =
+      controller_.compile(core::StrategyKind::kLoadBalanced, &collected_);
+  push_plan(net, plan);
+  collected_ = workload::TrafficMatrix{};
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Installation
+// ---------------------------------------------------------------------------
+
+net::NodeId add_controller_host(net::GeneratedNetwork& network) {
+  // The controller is a management host off the first gateway (campus) or
+  // the first core router (gateway-less topologies).
+  const net::NodeId attach =
+      network.gateways.empty() ? network.core_routers.front() : network.gateways.front();
+  const net::NodeId node = network.topo.add_node(net::NodeKind::kHost, "controller",
+                                                 net::IpAddress(172, 30, 0, 1));
+  network.topo.add_link(attach, node, net::LinkParams{});
+  return node;
+}
+
+ControlPlane install_control_plane(sim::SimNetwork& simnet, net::GeneratedNetwork& network,
+                                   const core::Deployment& deployment,
+                                   const policy::PolicyList& policies,
+                                   core::Controller& controller, net::NodeId controller_node,
+                                   const core::EnforcementPlan& initial_plan,
+                                   const core::AgentOptions& options) {
+  ControlPlane cp;
+  cp.controller_node = controller_node;
+  auto controller_agent = std::make_unique<ControllerAgent>(
+      controller_node, network.topo.node(controller_node).address, controller, network);
+  cp.controller = controller_agent.get();
+  simnet.attach(controller_node, std::move(controller_agent));
+
+  for (std::size_t s = 0; s < network.proxies.size(); ++s) {
+    auto proxy =
+        std::make_unique<core::ProxyAgent>(network, s, policies, initial_plan, options);
+    auto managed = std::make_unique<ManagedDevice>(
+        network.proxies[s], network.topo.node(network.proxies[s]).address, std::move(proxy),
+        nullptr);
+    cp.proxies.push_back(managed.get());
+    simnet.attach(network.proxies[s], std::move(managed));
+  }
+  if (network.proxy_mode == net::ProxyMode::kOffPath) {
+    for (std::size_t e = 0; e < network.edge_routers.size(); ++e) {
+      simnet.attach(network.edge_routers[e],
+                    std::make_unique<core::EdgeLoopbackAgent>(network.edge_routers[e],
+                                                              network.proxies[e]));
+    }
+  }
+  for (const core::MiddleboxInfo& m : deployment.middleboxes()) {
+    auto box =
+        std::make_unique<core::MiddleboxAgent>(network, m, policies, initial_plan, options);
+    auto managed = std::make_unique<ManagedDevice>(m.node, network.topo.node(m.node).address,
+                                                   nullptr, std::move(box));
+    cp.middleboxes.push_back(managed.get());
+    simnet.attach(m.node, std::move(managed));
+  }
+  return cp;
+}
+
+}  // namespace sdmbox::control

@@ -1,0 +1,143 @@
+// Control-plane endpoints running INSIDE the simulated network.
+//
+// This closes the paper's architecture loop end to end (§III.A/C): the
+// controller is an ordinary host on the topology; configuration reaches the
+// SDM devices as packets (kConfigPush carrying a serialized DeviceConfig),
+// and the proxies' traffic measurements travel back as kMeasurementReport
+// packets. No side channels: if the network can't deliver a config, the
+// device keeps enforcing its previous one — exactly the failure semantics a
+// real deployment would have.
+//
+// Pieces:
+//  * ManagedDevice — wraps a ProxyAgent/MiddleboxAgent; intercepts config
+//    pushes addressed to the device, decodes and applies them, and (for
+//    proxies) emits measurement reports on demand; everything else is
+//    delegated to the wrapped agent untouched.
+//  * ControllerAgent — collects measurement reports into a TrafficMatrix;
+//    push_plan() serializes per-device slices and injects them;
+//    reoptimize_and_push() runs the §III.C loop: assemble reports, solve
+//    the LP, distribute new split ratios.
+//  * install_control_plane — attaches a controller host node plus managed
+//    devices over a whole GeneratedNetwork.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "control/codec.hpp"
+#include "core/agents.hpp"
+#include "sim/network.hpp"
+#include "workload/traffic_matrix.hpp"
+
+namespace sdmbox::control {
+
+struct ControlCounters {
+  std::uint64_t configs_applied = 0;
+  std::uint64_t configs_rejected = 0;  // malformed or stale
+  std::uint64_t reports_sent = 0;
+};
+
+/// Wraps a device agent; owns it.
+class ManagedDevice final : public sim::NodeAgent {
+public:
+  /// Exactly one of `proxy` / `middlebox` is set.
+  ManagedDevice(net::NodeId node, net::IpAddress address,
+                std::unique_ptr<core::ProxyAgent> proxy,
+                std::unique_ptr<core::MiddleboxAgent> middlebox);
+
+  void on_packet(sim::SimNetwork& net, packet::Packet pkt, net::NodeId from) override;
+
+  /// Proxy only: package the current measurements as a report packet to
+  /// `controller`, inject it, and clear the local counters (§III.C
+  /// "periodically, all policy proxies send their measured traffic").
+  /// Returns the encoded report size in bytes.
+  std::size_t send_report(sim::SimNetwork& net, net::IpAddress controller);
+
+  core::ProxyAgent* proxy() const noexcept { return proxy_.get(); }
+  core::MiddleboxAgent* middlebox() const noexcept { return middlebox_.get(); }
+  const ControlCounters& counters() const noexcept { return counters_; }
+  std::uint64_t config_version() const noexcept {
+    return proxy_ ? proxy_->config_version() : middlebox_->config_version();
+  }
+
+private:
+  net::NodeId node_;
+  net::IpAddress address_;
+  std::unique_ptr<core::ProxyAgent> proxy_;
+  std::unique_ptr<core::MiddleboxAgent> middlebox_;
+  ControlCounters counters_;
+};
+
+/// The controller host's agent.
+class ControllerAgent final : public sim::NodeAgent {
+public:
+  ControllerAgent(net::NodeId node, net::IpAddress address, core::Controller& controller,
+                  const net::GeneratedNetwork& network);
+
+  void on_packet(sim::SimNetwork& net, packet::Packet pkt, net::NodeId from) override;
+
+  /// Serialize per-device slices of `plan` and inject one kConfigPush per
+  /// device whose slice CHANGED since the last push (differential
+  /// distribution — unchanged devices keep their current config and version).
+  /// Returns the number of pushes sent. Increments the config version.
+  std::size_t push_plan(sim::SimNetwork& net, const core::EnforcementPlan& plan);
+
+  /// Devices acknowledge applied configs; lets the controller see rollout
+  /// completion instead of assuming it.
+  std::uint64_t acks_received() const noexcept { return acks_; }
+  std::uint64_t pushes_sent() const noexcept { return pushes_sent_; }
+  std::uint64_t pushes_skipped_unchanged() const noexcept { return pushes_skipped_; }
+  std::uint64_t push_bytes_sent() const noexcept { return push_bytes_; }
+
+  /// The §III.C loop: build a TrafficMatrix from the reports received so
+  /// far, compile a load-balanced plan, push it, and clear the report pool.
+  /// Returns the compiled plan (for offline comparison in tests/benches).
+  core::EnforcementPlan reoptimize_and_push(sim::SimNetwork& net);
+
+  /// Matrix assembled from reports received so far.
+  const workload::TrafficMatrix& collected() const noexcept { return collected_; }
+  std::uint64_t reports_received() const noexcept { return reports_received_; }
+  std::uint64_t malformed_messages() const noexcept { return malformed_; }
+  std::uint64_t current_version() const noexcept { return version_; }
+  net::IpAddress address() const noexcept { return address_; }
+
+private:
+  net::NodeId node_;
+  net::IpAddress address_;
+  core::Controller& controller_;
+  const net::GeneratedNetwork& network_;
+  workload::TrafficMatrix collected_;
+  std::uint64_t reports_received_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::uint64_t version_ = 0;
+  std::uint64_t acks_ = 0;
+  std::uint64_t pushes_sent_ = 0;
+  std::uint64_t pushes_skipped_ = 0;
+  std::uint64_t push_bytes_ = 0;
+  /// Last pushed slice per device, version field zeroed for comparison —
+  /// the differential-push baseline.
+  std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> last_pushed_;
+};
+
+struct ControlPlane {
+  ControllerAgent* controller = nullptr;
+  net::NodeId controller_node;
+  std::vector<ManagedDevice*> proxies;      // parallel to network.proxies
+  std::vector<ManagedDevice*> middleboxes;  // parallel to deployment order
+};
+
+/// Create a controller host attached to the network core, wrap every proxy
+/// and middlebox in a ManagedDevice initialized from `initial_plan`, and
+/// attach everything to `simnet`. Mutates the topology (adds the controller
+/// node), so call before computing routing tables.
+net::NodeId add_controller_host(net::GeneratedNetwork& network);
+
+ControlPlane install_control_plane(sim::SimNetwork& simnet, net::GeneratedNetwork& network,
+                                   const core::Deployment& deployment,
+                                   const policy::PolicyList& policies,
+                                   core::Controller& controller, net::NodeId controller_node,
+                                   const core::EnforcementPlan& initial_plan,
+                                   const core::AgentOptions& options);
+
+}  // namespace sdmbox::control

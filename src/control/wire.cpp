@@ -1,0 +1,72 @@
+#include "control/wire.hpp"
+
+#include <cstring>
+
+namespace sdmbox::control {
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!take(1)) return 0;
+  return bytes_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  const std::uint16_t lo = u8();
+  const std::uint16_t hi = u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::uint32_t lo = u16();
+  const std::uint32_t hi = u16();
+  return lo | (hi << 16);
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return ok_ ? v : 0.0;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t len = u32();
+  if (!take(len)) return {};
+  std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+}  // namespace sdmbox::control

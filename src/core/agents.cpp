@@ -1,0 +1,430 @@
+#include "core/agents.hpp"
+
+#include <utility>
+
+namespace sdmbox::core {
+
+using packet::Packet;
+using policy::PolicyId;
+
+// ---------------------------------------------------------------------------
+// ProxyAgent
+// ---------------------------------------------------------------------------
+
+ProxyAgent::ProxyAgent(const net::GeneratedNetwork& network, std::size_t subnet_index,
+                       const policy::PolicyList& policies, const EnforcementPlan& plan,
+                       AgentOptions options)
+    : network_(network),
+      policies_(policies),
+      options_(options),
+      subnet_index_(subnet_index),
+      self_(network.proxies.at(subnet_index)),
+      subnet_(network.subnets.at(subnet_index)),
+      address_(network.topo.node(self_).address),
+      flow_table_(options.flow_idle_timeout, options.flow_table_capacity) {
+  SDM_CHECK_MSG(!options_.enable_label_switching || options_.enable_flow_cache,
+                "label switching requires the flow cache (labels live in flow entries)");
+  apply_config(slice_for_device(plan, self_));
+}
+
+bool ProxyAgent::apply_config(DeviceConfig config) {
+  if (classifier_ != nullptr && config.version <= config_.version) return false;
+  SDM_CHECK_MSG(config.node.node == self_, "config pushed to the wrong device");
+  config_ = std::move(config);
+  p_x_ = policies_.subset_pointers(config_.node.relevant_policies);
+  classifier_ = options_.trie_classifier ? policy::make_trie_classifier(p_x_)
+                                         : policy::make_linear_classifier(p_x_);
+  return true;
+}
+
+int ProxyAgent::resolve_dst_subnet(net::IpAddress dst) const noexcept {
+  for (std::size_t i = 0; i < network_.subnets.size(); ++i) {
+    if (network_.subnets[i].contains(dst)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<ProxyAgent::Measurement> ProxyAgent::measurements() const {
+  std::vector<Measurement> out;
+  out.reserve(measure_.size());
+  for (const auto& [key, packets] : measure_) {
+    out.push_back(Measurement{policy::PolicyId{static_cast<std::uint32_t>(key >> 32)},
+                              static_cast<std::int32_t>(key & 0xffffffff), packets});
+  }
+  return out;
+}
+
+void ProxyAgent::on_packet(sim::SimNetwork& net, Packet pkt, net::NodeId /*from*/) {
+  const tables::SimTime now = net.simulator().now();
+
+  // Label-switching confirmation from a chain tail (§III.E).
+  if (pkt.kind == packet::PacketKind::kLabelConfirm && pkt.routing_header().dst == address_) {
+    ++counters_.confirmations;
+    SDM_CHECK(pkt.control_flow.has_value());
+    flow_table_.confirm_label(*pkt.control_flow, now);
+    net.deliver(self_, pkt);
+    return;
+  }
+
+  const bool outbound =
+      !pkt.outer && subnet_.contains(pkt.inner.src) && !subnet_.contains(pkt.inner.dst);
+  if (!outbound) {
+    ++counters_.inbound_packets;
+    if (pkt.routing_header().dst == address_) {
+      net.deliver(self_, pkt);
+    } else {
+      net.forward(self_, std::move(pkt));
+    }
+    return;
+  }
+  ++counters_.outbound_packets;
+  handle_outbound(net, std::move(pkt));
+}
+
+void ProxyAgent::handle_outbound(sim::SimNetwork& net, Packet pkt) {
+  const tables::SimTime now = net.simulator().now();
+  const packet::FlowId flow = pkt.flow_id();
+
+  PolicyId matched;
+  int dst_subnet = -1;
+  const policy::ActionList* actions = nullptr;
+  tables::FlowEntry* entry = nullptr;
+  if (options_.enable_flow_cache) {
+    entry = flow_table_.lookup(flow, now);
+    if (entry == nullptr) {
+      ++counters_.classifier_lookups;
+      const policy::Policy* pol = classifier_->first_match(flow);
+      entry = &flow_table_.insert(flow, pol ? pol->id : PolicyId{},
+                                  pol ? pol->actions : policy::ActionList{}, now);
+      // Cache the destination-subnet index for measurement reporting.
+      entry->user_tag = resolve_dst_subnet(flow.dst);
+    }
+    matched = entry->policy;
+    actions = &entry->actions;
+    dst_subnet = entry->user_tag;
+  } else {
+    ++counters_.classifier_lookups;
+    const policy::Policy* pol = classifier_->first_match(flow);
+    static const policy::ActionList kEmpty;
+    matched = pol ? pol->id : PolicyId{};
+    actions = pol ? &pol->actions : &kEmpty;
+    dst_subnet = resolve_dst_subnet(flow.dst);
+  }
+
+  // Measurement (§III.C): per-policy outbound volume with destination
+  // breakdown, reported to the controller on request.
+  if (matched.valid()) {
+    ++measure_[(std::uint64_t{matched.v} << 32) |
+               static_cast<std::uint32_t>(dst_subnet)];
+  }
+
+  if (actions->empty()) {
+    if (matched.valid() && policies_.at(matched).deny) {
+      // Deny rule: the proxy drops the packet inline.
+      ++counters_.denied_packets;
+      return;
+    }
+    // No policy, or an explicit permit: plain routing.
+    ++counters_.permit_packets;
+    net.forward(self_, std::move(pkt));
+    return;
+  }
+
+  const policy::Policy& pol = policies_.at(matched);
+  const policy::FunctionId first_fn = actions->front();
+  const net::NodeId first =
+      select_next_hop(config_, pol, first_fn, flow, subnet_index(), dst_subnet);
+  SDM_CHECK_MSG(first.valid(), "no candidate middlebox for first chain function");
+  const net::IpAddress first_addr = net.topology().node(first).address;
+
+  if (options_.enable_label_switching) {
+    SDM_CHECK(entry != nullptr);
+    if (entry->label == 0) flow_table_.allocate_label(*entry);
+    if (entry->label_switched) {
+      // Switched path (§III.E): embed the label, rewrite the destination to
+      // the first middlebox, and send without an outer header.
+      packet::set_label(pkt.inner, entry->label);
+      pkt.inner.dst = first_addr;
+      ++counters_.label_switched_packets;
+      net.forward(self_, std::move(pkt));
+      return;
+    }
+    // Chain not confirmed yet: tunnel, but carry the label so middleboxes
+    // can populate their label tables.
+    packet::set_label(pkt.inner, entry->label);
+  }
+
+  pkt.chain_pos = 0;  // service index: the first middlebox serves action 0
+  pkt.encapsulate(address_, first_addr);
+  ++counters_.tunneled_packets;
+  net.forward(self_, std::move(pkt));
+}
+
+// ---------------------------------------------------------------------------
+// MiddleboxAgent
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Pack (src_subnet, dst_subnet) into a FlowEntry::user_tag. Subnet indices
+/// fit 12 bits (the address plan allows 4095 subnets); 0xfff encodes -1.
+std::int32_t pack_subnets(int s, int d) noexcept {
+  return ((s & 0xfff) << 12) | (d & 0xfff);
+}
+std::pair<int, int> unpack_subnets(std::int32_t tag) noexcept {
+  const int s = (tag >> 12) & 0xfff;
+  const int d = tag & 0xfff;
+  return {s == 0xfff ? -1 : s, d == 0xfff ? -1 : d};
+}
+
+int subnet_index_of(const net::GeneratedNetwork& network, net::IpAddress a) noexcept {
+  for (std::size_t i = 0; i < network.subnets.size(); ++i) {
+    if (network.subnets[i].contains(a)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+MiddleboxAgent::MiddleboxAgent(const net::GeneratedNetwork& network, const MiddleboxInfo& info,
+                               const policy::PolicyList& policies, const EnforcementPlan& plan,
+                               AgentOptions options)
+    : network_(network),
+      info_(info),
+      policies_(policies),
+      options_(options),
+      flow_table_(options.flow_idle_timeout, options.flow_table_capacity),
+      label_table_(options.flow_idle_timeout) {
+  SDM_CHECK_MSG(!info_.functions.empty(), "middlebox agent needs at least one function");
+  apply_config(slice_for_device(plan, info_.node));
+}
+
+bool MiddleboxAgent::apply_config(DeviceConfig config) {
+  if (classifier_ != nullptr && config.version <= config_.version) return false;
+  SDM_CHECK_MSG(config.node.node == info_.node, "config pushed to the wrong device");
+  config_ = std::move(config);
+  p_x_ = policies_.subset_pointers(config_.node.relevant_policies);
+  classifier_ = options_.trie_classifier ? policy::make_trie_classifier(p_x_)
+                                         : policy::make_linear_classifier(p_x_);
+  return true;
+}
+
+MiddleboxAgent::Resolved MiddleboxAgent::resolve_policy(const packet::FlowId& flow,
+                                                        sim::SimTime now) {
+  Resolved out;
+  if (options_.enable_flow_cache) {
+    if (tables::FlowEntry* entry = flow_table_.lookup(flow, now)) {
+      out.pol = entry->is_negative() ? nullptr : &policies_.at(entry->policy);
+      std::tie(out.src_subnet, out.dst_subnet) = unpack_subnets(entry->user_tag);
+      return out;
+    }
+    ++counters_.classifier_lookups;
+    out.pol = classifier_->first_match(flow);
+    out.src_subnet = subnet_index_of(network_, flow.src);
+    out.dst_subnet = subnet_index_of(network_, flow.dst);
+    tables::FlowEntry& entry =
+        flow_table_.insert(flow, out.pol ? out.pol->id : PolicyId{},
+                           out.pol ? out.pol->actions : policy::ActionList{}, now);
+    entry.user_tag = pack_subnets(out.src_subnet, out.dst_subnet);
+    return out;
+  }
+  ++counters_.classifier_lookups;
+  out.pol = classifier_->first_match(flow);
+  out.src_subnet = subnet_index_of(network_, flow.src);
+  out.dst_subnet = subnet_index_of(network_, flow.dst);
+  return out;
+}
+
+void MiddleboxAgent::on_packet(sim::SimNetwork& net, Packet pkt, net::NodeId /*from*/) {
+  const net::IpAddress my_addr = net.topology().node(info_.node).address;
+  if (pkt.outer && pkt.outer->dst == my_addr) {
+    handle_tunneled(net, std::move(pkt));
+    return;
+  }
+  if (!pkt.outer && pkt.inner.dst == my_addr && packet::has_label(pkt.inner)) {
+    handle_switched(net, std::move(pkt));
+    return;
+  }
+  // Anything else is misdirected: a middlebox is a leaf and should only see
+  // traffic addressed to it. Count and sink.
+  ++counters_.anomalies;
+  net.deliver(info_.node, pkt);
+}
+
+void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
+  const tables::SimTime now = net.simulator().now();
+  const packet::Ipv4Header outer = pkt.decapsulate();  // outer.src = originating proxy
+
+  const packet::FlowId flow = pkt.flow_id();
+  const Resolved resolved = resolve_policy(flow, now);
+  const policy::Policy* pol = resolved.pol;
+  const std::size_t first_position = pkt.chain_pos;
+  std::size_t position = pkt.chain_pos;
+  if (pol == nullptr || position >= pol->actions.size() ||
+      !info_.functions.contains(pol->actions[position])) {
+    // The sender believed we serve this chain position but our policy view
+    // disagrees (e.g. stale config). Fail open: forward toward the real
+    // destination — still counting one processing pass.
+    ++counters_.processed_packets;
+    ++counters_.anomalies;
+    net.forward(info_.node, std::move(pkt));
+    return;
+  }
+
+  // Apply our function at the designated position, then keep applying
+  // consecutive chain functions we also implement — a consolidated
+  // middlebox never forwards to itself (Π_x excludes own functions).
+  for (;;) {
+    ++counters_.processed_packets;
+    // §III.F: a web proxy with the page cached answers the source directly;
+    // the rest of the chain never sees the flow.
+    if (pol->actions[position] == policy::kWebProxy &&
+        wp_cache_hit(flow, options_.wp_cache_hit_rate)) {
+      ++counters_.cache_responses;
+      std::swap(pkt.inner.src, pkt.inner.dst);
+      std::swap(pkt.src_port, pkt.dst_port);
+      packet::clear_label(pkt.inner);
+      net.forward(info_.node, std::move(pkt));
+      return;
+    }
+    if (position + 1 >= pol->actions.size() ||
+        !info_.functions.contains(pol->actions[position + 1])) {
+      break;
+    }
+    ++position;
+  }
+
+  const std::uint16_t label =
+      options_.enable_label_switching ? packet::get_label(pkt.inner) : 0;
+  const policy::FunctionId next_fn = pol->next_after(position);
+
+  if (next_fn.valid()) {
+    const net::NodeId y = select_next_hop(config_, *pol, next_fn, flow, resolved.src_subnet,
+                                          resolved.dst_subnet);
+    SDM_CHECK_MSG(y.valid(), "no candidate middlebox for mid-chain function");
+    SDM_CHECK_MSG(y != info_.node, "local continuation must not re-tunnel to self");
+    const net::IpAddress y_addr = net.topology().node(y).address;
+    if (label != 0) {
+      const tables::LabelKey key{pkt.inner.src, label};
+      if (label_table_.lookup(key, now) == nullptr) {
+        tables::LabelEntry e;
+        e.actions = pol->actions;
+        e.first_position = first_position;
+        e.position = position;
+        e.next_hop = y_addr;
+        label_table_.insert(key, std::move(e), now);
+      }
+    }
+    // Re-tunnel, preserving the proxy as the outer source (§III.E: the tail
+    // learns the proxy address from it); the service index tells the next
+    // box which chain position it serves.
+    pkt.chain_pos = static_cast<std::uint8_t>(position + 1);
+    pkt.encapsulate(outer.src, y_addr);
+    ++counters_.tunneled_out;
+    net.forward(info_.node, std::move(pkt));
+    return;
+  }
+
+  // Chain tail: record ⟨src|l, a, dst⟩, notify the proxy, release the packet
+  // toward its true destination on plain routing (§III.B/E).
+  ++counters_.chain_tails;
+  if (label != 0) {
+    const tables::LabelKey key{pkt.inner.src, label};
+    if (label_table_.lookup(key, now) == nullptr) {
+      tables::LabelEntry e;
+      e.actions = pol->actions;
+      e.first_position = first_position;
+      e.position = position;
+      e.final_dst = pkt.inner.dst;
+      label_table_.insert(key, std::move(e), now);
+
+      Packet confirm;
+      confirm.kind = packet::PacketKind::kLabelConfirm;
+      confirm.inner.src = net.topology().node(info_.node).address;
+      confirm.inner.dst = outer.src;  // the proxy
+      confirm.inner.protocol = packet::kProtoUdp;
+      confirm.payload_bytes = 16;
+      confirm.control_flow = flow;
+      ++counters_.confirmations_sent;
+      net.forward(info_.node, std::move(confirm));
+    }
+    packet::clear_label(pkt.inner);
+  }
+  net.forward(info_.node, std::move(pkt));
+}
+
+void MiddleboxAgent::handle_switched(sim::SimNetwork& net, Packet pkt) {
+  const tables::SimTime now = net.simulator().now();
+  ++counters_.label_switched_in;
+
+  const std::uint16_t label = packet::get_label(pkt.inner);
+  const tables::LabelKey key{pkt.inner.src, label};
+  tables::LabelEntry* entry = label_table_.lookup(key, now);
+  counters_.processed_packets += entry != nullptr ? entry->functions_applied() : 1;
+  if (entry == nullptr) {
+    // Soft state expired under us; without the original destination the
+    // packet cannot be repaired here. Count and drop — the transport layer
+    // retransmits and the proxy's next first-packet re-establishes state.
+    ++counters_.anomalies;
+    return;
+  }
+  if (entry->is_chain_tail()) {
+    pkt.inner.dst = *entry->final_dst;
+    packet::clear_label(pkt.inner);
+    ++counters_.chain_tails;
+  } else {
+    SDM_CHECK(entry->next_hop.has_value());
+    pkt.inner.dst = *entry->next_hop;
+  }
+  net.forward(info_.node, std::move(pkt));
+}
+
+// ---------------------------------------------------------------------------
+// EdgeLoopbackAgent
+// ---------------------------------------------------------------------------
+
+void EdgeLoopbackAgent::on_packet(sim::SimNetwork& net, Packet pkt, net::NodeId from) {
+  if (from != proxy_) {
+    // Loopback: every packet received on a non-proxy interface is handed to
+    // the off-path proxy first (§III.A).
+    ++looped_;
+    net.transmit(self_, proxy_, std::move(pkt));
+    return;
+  }
+  // Returned from the proxy: regular routing-table lookup and forwarding.
+  const auto dest = net.resolver().resolve(pkt.routing_header().dst);
+  if (dest && *dest == self_) {
+    net.deliver(self_, pkt);
+    return;
+  }
+  net.forward(self_, std::move(pkt));
+}
+
+// ---------------------------------------------------------------------------
+
+InstalledAgents install_agents(sim::SimNetwork& net, const net::GeneratedNetwork& network,
+                               const Deployment& deployment, const policy::PolicyList& policies,
+                               const EnforcementPlan& plan, const AgentOptions& options) {
+  InstalledAgents out;
+  for (std::size_t s = 0; s < network.proxies.size(); ++s) {
+    auto agent = std::make_unique<ProxyAgent>(network, s, policies, plan, options);
+    out.proxies.push_back(agent.get());
+    net.attach(network.proxies[s], std::move(agent));
+  }
+  if (network.proxy_mode == net::ProxyMode::kOffPath) {
+    for (std::size_t e = 0; e < network.edge_routers.size(); ++e) {
+      auto agent =
+          std::make_unique<EdgeLoopbackAgent>(network.edge_routers[e], network.proxies[e]);
+      out.loopbacks.push_back(agent.get());
+      net.attach(network.edge_routers[e], std::move(agent));
+    }
+  }
+  for (const MiddleboxInfo& m : deployment.middleboxes()) {
+    auto agent = std::make_unique<MiddleboxAgent>(network, m, policies, plan, options);
+    out.middleboxes.push_back(agent.get());
+    net.attach(m.node, std::move(agent));
+  }
+  return out;
+}
+
+}  // namespace sdmbox::core

@@ -1,0 +1,196 @@
+// Packet-level SDM data plane: the proxy and middlebox agents (§III.B-E).
+//
+// ProxyAgent guards one stub subnet in-path. For outbound packets it
+// classifies against its P_x slice (through the flow cache of §III.D),
+// tunnels policy traffic IP-over-IP to the chosen first middlebox, and —
+// when label switching is enabled — allocates a per-flow label, embeds it in
+// the header, and flips the flow to destination-rewrite forwarding once the
+// chain tail's confirmation control packet arrives (§III.E).
+//
+// MiddleboxAgent performs its network function on every packet it receives,
+// resolves the action list (flow cache -> P_x classifier), picks the next
+// middlebox with the plan's strategy, and either re-tunnels (keeping the
+// proxy's address as the outer source, so the tail knows where to send the
+// confirmation) or follows its label table for switched packets.
+//
+// Both agents are pure consumers of the compiled EnforcementPlan — they
+// never talk to the controller at packet time, which is the paper's central
+// scalability argument.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/strategy.hpp"
+#include "policy/classifier.hpp"
+#include "sim/network.hpp"
+#include "tables/flow_table.hpp"
+#include "tables/label_table.hpp"
+
+namespace sdmbox::core {
+
+struct AgentOptions {
+  /// §III.D flow cache in front of the classifier.
+  bool enable_flow_cache = true;
+  /// §III.E label switching (requires the flow cache).
+  bool enable_label_switching = false;
+  /// Use the hierarchical-trie classifier instead of linear scan.
+  bool trie_classifier = true;
+  double flow_idle_timeout = 30.0;
+  std::size_t flow_table_capacity = 1 << 20;
+  /// §III.F: probability that a WP middlebox serves a flow from cache, in
+  /// which case it answers the source directly and the rest of the chain is
+  /// skipped. 0 disables caching. Per-flow deterministic (see wp_cache_hit).
+  double wp_cache_hit_rate = 0.0;
+};
+
+struct ProxyCounters {
+  std::uint64_t outbound_packets = 0;
+  std::uint64_t inbound_packets = 0;
+  std::uint64_t classifier_lookups = 0;   // multi-field matches actually performed
+  std::uint64_t tunneled_packets = 0;     // sent IP-over-IP
+  std::uint64_t label_switched_packets = 0;
+  std::uint64_t permit_packets = 0;       // matched a permit policy or nothing
+  std::uint64_t denied_packets = 0;       // dropped by a deny policy
+  std::uint64_t confirmations = 0;        // label confirmations received
+};
+
+struct MiddleboxCounters {
+  std::uint64_t processed_packets = 0;    // packets this middlebox applied its function to
+  std::uint64_t classifier_lookups = 0;
+  std::uint64_t tunneled_out = 0;
+  std::uint64_t label_switched_in = 0;
+  std::uint64_t chain_tails = 0;          // packets for which this box ended the chain
+  std::uint64_t confirmations_sent = 0;
+  std::uint64_t cache_responses = 0;      // WP only: packets answered from cache (§III.F)
+  std::uint64_t anomalies = 0;            // packets this box could not interpret
+};
+
+class ProxyAgent final : public sim::NodeAgent {
+public:
+  /// `subnet_index` locates this proxy's subnet in `network`. All references
+  /// must outlive the agent. The agent takes its initial configuration as a
+  /// slice of `plan` (exactly what the controller would push).
+  ProxyAgent(const net::GeneratedNetwork& network, std::size_t subnet_index,
+             const policy::PolicyList& policies, const EnforcementPlan& plan,
+             AgentOptions options);
+
+  void on_packet(sim::SimNetwork& net, packet::Packet pkt, net::NodeId from) override;
+
+  /// Install a newer configuration (a control-plane push). Stale versions
+  /// (<= current) are ignored; returns whether it was applied. The flow
+  /// cache is kept — cached action lists stay valid because policy ids are
+  /// stable — but future selections use the new candidates/ratios.
+  bool apply_config(DeviceConfig config);
+  std::uint64_t config_version() const noexcept { return config_.version; }
+
+  const ProxyCounters& counters() const noexcept { return counters_; }
+  const tables::FlowTable& flow_table() const noexcept { return flow_table_; }
+
+  /// Measured outbound volumes since the last clear: (policy, dst_subnet)
+  /// -> packets. What this proxy reports to the controller (§III.C).
+  struct Measurement {
+    policy::PolicyId policy;
+    int dst_subnet;
+    std::uint64_t packets;
+  };
+  std::vector<Measurement> measurements() const;
+  void clear_measurements() { measure_.clear(); }
+  int subnet_index() const noexcept { return static_cast<int>(subnet_index_); }
+
+private:
+  void handle_outbound(sim::SimNetwork& net, packet::Packet pkt);
+  int resolve_dst_subnet(net::IpAddress dst) const noexcept;
+
+  const net::GeneratedNetwork& network_;
+  const policy::PolicyList& policies_;
+  AgentOptions options_;
+  std::size_t subnet_index_;
+  net::NodeId self_;
+  net::Prefix subnet_;
+  net::IpAddress address_;
+  DeviceConfig config_;
+  std::vector<const policy::Policy*> p_x_;
+  std::unique_ptr<policy::Classifier> classifier_;
+  tables::FlowTable flow_table_;
+  ProxyCounters counters_;
+  std::unordered_map<std::uint64_t, std::uint64_t> measure_;  // (policy<<32|subnet) -> packets
+};
+
+class MiddleboxAgent final : public sim::NodeAgent {
+public:
+  MiddleboxAgent(const net::GeneratedNetwork& network, const MiddleboxInfo& info,
+                 const policy::PolicyList& policies, const EnforcementPlan& plan,
+                 AgentOptions options);
+
+  void on_packet(sim::SimNetwork& net, packet::Packet pkt, net::NodeId from) override;
+
+  /// Install a newer configuration (see ProxyAgent::apply_config).
+  bool apply_config(DeviceConfig config);
+  std::uint64_t config_version() const noexcept { return config_.version; }
+
+  const MiddleboxCounters& counters() const noexcept { return counters_; }
+  const tables::FlowTable& flow_table() const noexcept { return flow_table_; }
+  const tables::LabelTable& label_table() const noexcept { return label_table_; }
+
+private:
+  void handle_tunneled(sim::SimNetwork& net, packet::Packet pkt);
+  void handle_switched(sim::SimNetwork& net, packet::Packet pkt);
+  /// Resolve the action list for a flow via cache + classifier, along with
+  /// the flow's (source, destination) subnet indices (-1 when outside any
+  /// stub subnet) — needed for Eq. (1) per-(s,d) split ratios.
+  struct Resolved {
+    const policy::Policy* pol = nullptr;
+    int src_subnet = -1;
+    int dst_subnet = -1;
+  };
+  Resolved resolve_policy(const packet::FlowId& flow, sim::SimTime now);
+
+  const net::GeneratedNetwork& network_;
+  const MiddleboxInfo& info_;
+  const policy::PolicyList& policies_;
+  AgentOptions options_;
+  DeviceConfig config_;
+  std::vector<const policy::Policy*> p_x_;
+  std::unique_ptr<policy::Classifier> classifier_;
+  tables::FlowTable flow_table_;
+  tables::LabelTable label_table_;
+  MiddleboxCounters counters_;
+};
+
+/// Edge-router behavior for OFF-PATH proxy deployments (§III.A, Figure 2's
+/// proxy y): the router "is configured with a loopback interface that
+/// forwards all received packets to proxy y and after receiving these
+/// packets back, performs regular routing-table lookup and packet
+/// forwarding". Packets arriving FROM the proxy interface are exempt from
+/// the loopback (else they would cycle forever).
+class EdgeLoopbackAgent final : public sim::NodeAgent {
+public:
+  EdgeLoopbackAgent(net::NodeId self, net::NodeId proxy) : self_(self), proxy_(proxy) {}
+
+  void on_packet(sim::SimNetwork& net, packet::Packet pkt, net::NodeId from) override;
+
+  std::uint64_t looped_packets() const noexcept { return looped_; }
+
+private:
+  net::NodeId self_;
+  net::NodeId proxy_;
+  std::uint64_t looped_ = 0;
+};
+
+/// Attach proxy agents to every proxy and middlebox agents to every
+/// middlebox of the network; for off-path networks, also attach the
+/// loopback behavior to every edge router. Returns non-owning pointers (the
+/// network owns the agents) for counter inspection.
+struct InstalledAgents {
+  std::vector<ProxyAgent*> proxies;          // parallel to network.proxies
+  std::vector<MiddleboxAgent*> middleboxes;  // parallel to deployment order
+  std::vector<EdgeLoopbackAgent*> loopbacks;  // off-path mode only; parallel to edge_routers
+};
+InstalledAgents install_agents(sim::SimNetwork& net, const net::GeneratedNetwork& network,
+                               const Deployment& deployment, const policy::PolicyList& policies,
+                               const EnforcementPlan& plan, const AgentOptions& options);
+
+}  // namespace sdmbox::core

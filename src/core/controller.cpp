@@ -1,0 +1,131 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+#include "net/shortest_path.hpp"
+#include "util/hash.hpp"
+
+namespace sdmbox::core {
+
+Controller::Controller(const net::GeneratedNetwork& network, const Deployment& deployment,
+                       const policy::PolicyList& policies, ControllerParams params)
+    : network_(network), deployment_(deployment), policies_(policies),
+      params_(std::move(params)) {
+  // Validate policies against the deployment once, up front.
+  for (const policy::Policy& p : policies_.all()) {
+    policy::FunctionSet seen;
+    for (policy::FunctionId e : p.actions) {
+      SDM_CHECK_MSG(!seen.contains(e),
+                    "action list repeats a function (policy " + p.name + ")");
+      seen.insert(e);
+      SDM_CHECK_MSG(!deployment_.implementers(e).empty(),
+                    "no middlebox implements a function required by policy " + p.name);
+    }
+  }
+  compute_assignments();
+}
+
+std::size_t Controller::k_for(policy::FunctionId e) const noexcept {
+  for (const auto& [f, k] : params_.k) {
+    if (f == e) return k;
+  }
+  return params_.default_k;
+}
+
+void Controller::recompute() { compute_assignments(); }
+
+void Controller::compute_assignments() {
+  // Every function referenced by a policy must still have a live
+  // implementer; without one, enforcement of that policy is impossible and
+  // silently skipping it would be the opposite of dependable.
+  for (const policy::Policy& p : policies_.all()) {
+    for (policy::FunctionId e : p.actions) {
+      SDM_CHECK_MSG(!deployment_.active_implementers(e).empty(),
+                    "all middleboxes for a function required by policy " + p.name +
+                        " are failed");
+    }
+  }
+
+  // Distances from every middlebox to every node via one Dijkstra per
+  // middlebox (|M| is small; links are symmetric, so dist(m, x) = dist(x, m)).
+  std::unordered_map<std::uint32_t, net::ShortestPathTree> from_mbox;
+  for (const MiddleboxInfo& m : deployment_.middleboxes()) {
+    from_mbox.emplace(m.node.v, net::dijkstra(network_.topo, m.node));
+  }
+
+  const policy::FunctionSet all = deployment_.all_functions();
+
+  // Candidate sets for one device x over the functions it does not implement.
+  const auto make_config = [&](net::NodeId x, bool is_proxy,
+                               policy::FunctionSet own_functions) {
+    NodeConfig cfg;
+    cfg.node = x;
+    cfg.is_proxy = is_proxy;
+    cfg.own_functions = own_functions;
+    for (policy::FunctionId e : all.minus(own_functions).to_vector()) {
+      std::vector<net::NodeId> sorted = deployment_.active_implementers(e);
+      std::sort(sorted.begin(), sorted.end(), [&](net::NodeId a, net::NodeId b) {
+        const double da = from_mbox.at(a.v).distance[x.v];
+        const double db = from_mbox.at(b.v).distance[x.v];
+        if (da != db) return da < db;
+        // Equal-cost tie-break: deterministic but *per-device*. Flat
+        // topologies (e.g. the campus core, where every non-local middlebox
+        // is equidistant) would otherwise herd every device onto the same
+        // lowest-id candidates, starving the rest — candidate sets must
+        // cover the deployment for the LP to balance (§III.C).
+        return util::hash_combine(util::mix64(x.v), a.v) <
+               util::hash_combine(util::mix64(x.v), b.v);
+      });
+      const std::size_t k = std::min(k_for(e), sorted.size());
+      sorted.resize(k);
+      cfg.candidates[e.v] = std::move(sorted);
+    }
+    return cfg;
+  };
+
+  configs_.clear();
+  // Proxies: P_x = policies whose source field can contain an address of the
+  // subnet behind x (§III.B).
+  for (std::size_t s = 0; s < network_.proxies.size(); ++s) {
+    const net::NodeId proxy = network_.proxies[s];
+    NodeConfig cfg = make_config(proxy, /*is_proxy=*/true, policy::FunctionSet{});
+    for (const policy::Policy& p : policies_.all()) {
+      if (p.descriptor.src.overlaps(network_.subnets[s])) cfg.relevant_policies.push_back(p.id);
+    }
+    configs_.emplace(proxy.v, std::move(cfg));
+  }
+  // Middleboxes: P_x = policies whose action list contains a function x
+  // performs (§III.B).
+  for (const MiddleboxInfo& m : deployment_.middleboxes()) {
+    NodeConfig cfg = make_config(m.node, /*is_proxy=*/false, m.functions);
+    for (const policy::Policy& p : policies_.all()) {
+      const bool relevant = std::any_of(p.actions.begin(), p.actions.end(),
+                                        [&](policy::FunctionId e) { return m.functions.contains(e); });
+      if (relevant) cfg.relevant_policies.push_back(p.id);
+    }
+    configs_.emplace(m.node.v, std::move(cfg));
+  }
+}
+
+EnforcementPlan Controller::compile(StrategyKind strategy,
+                                    const workload::TrafficMatrix* traffic) const {
+  EnforcementPlan plan;
+  plan.strategy = strategy;
+  plan.configs = configs_;
+  if (strategy == StrategyKind::kLoadBalanced) {
+    SDM_CHECK_MSG(traffic != nullptr, "load-balanced compilation needs traffic measurements");
+    RatioResult lp = solve_load_balancing(*traffic);
+    SDM_CHECK_MSG(lp.status == lp::SolveStatus::kOptimal,
+                  std::string("load-balancing LP not optimal: ") + lp::to_string(lp.status));
+    plan.ratios = std::move(lp.ratios);
+    plan.lambda = lp.lambda;
+  }
+  return plan;
+}
+
+RatioResult Controller::solve_load_balancing(const workload::TrafficMatrix& traffic) const {
+  const FormulationInputs inputs{network_, deployment_, policies_, configs_, traffic};
+  return params_.use_eq1 ? solve_eq1(inputs, params_.lp) : solve_eq2(inputs, params_.lp);
+}
+
+}  // namespace sdmbox::core

@@ -1,0 +1,82 @@
+// The middlebox controller (§III.A-C).
+//
+// Pre-configures the software-defined middleboxes and policy proxies; it is
+// NOT on the per-flow path (the paper's key architectural difference from
+// SDN controllers). Responsibilities:
+//  * from the topology and middlebox placement, compute for every proxy/
+//    middlebox x and every function e ∈ Π_x the candidate set M_x^e — the
+//    k_e closest middleboxes implementing e (k_e = 1 degenerates to the
+//    hot-potato assignment m_x^e);
+//  * distribute to each device its relevant policy slice P_x: proxies get
+//    policies whose source field overlaps their subnet, middleboxes get
+//    policies whose action list mentions a function they implement;
+//  * under load balancing, ingest proxy traffic reports and solve the
+//    Eq. (2) LP (or Eq. (1) for the ablation), then distribute split ratios.
+#pragma once
+
+#include "core/deployment.hpp"
+#include "core/lp_formulations.hpp"
+#include "core/plan.hpp"
+#include "workload/traffic_matrix.hpp"
+
+namespace sdmbox::core {
+
+struct ControllerParams {
+  /// Candidate-set sizes per function; the paper's evaluation uses
+  /// FW=4, IDS=4, WP=2, TM=2 (§IV.A).
+  std::vector<std::pair<policy::FunctionId, std::size_t>> k = {
+      {policy::kFirewall, 4},
+      {policy::kIntrusionDetection, 4},
+      {policy::kWebProxy, 2},
+      {policy::kTrafficMeasure, 2},
+  };
+  /// Candidate-set size for functions not listed in `k`.
+  std::size_t default_k = 1;
+  /// Use the per-(s,d,p) Eq. (1) instead of Eq. (2) (ablation only).
+  bool use_eq1 = false;
+  FormulationOptions lp;
+};
+
+class Controller {
+public:
+  /// The network, deployment and policies must outlive the controller.
+  /// Validates that every function referenced by a policy is deployed and
+  /// that no action list repeats a function.
+  Controller(const net::GeneratedNetwork& network, const Deployment& deployment,
+             const policy::PolicyList& policies, ControllerParams params = {});
+
+  /// Per-device configuration (assignments + P_x), computed at construction.
+  const std::unordered_map<std::uint32_t, NodeConfig>& configs() const noexcept {
+    return configs_;
+  }
+
+  /// Recompute all assignments against the deployment's CURRENT operational
+  /// state (middleboxes marked failed are excluded from every m_x^e and
+  /// M_x^e). Call after Deployment::set_failed, then compile fresh plans —
+  /// this is the controller-driven failure recovery that makes enforcement
+  /// dependable. Throws if a function some policy needs has no live
+  /// implementer left.
+  void recompute();
+
+  /// Compile a full enforcement plan. `traffic` is required for
+  /// kLoadBalanced (the proxies' measurement reports) and ignored otherwise.
+  EnforcementPlan compile(StrategyKind strategy,
+                          const workload::TrafficMatrix* traffic = nullptr) const;
+
+  /// Solve the load-balancing LP and return ratios + solver metrics.
+  RatioResult solve_load_balancing(const workload::TrafficMatrix& traffic) const;
+
+  const ControllerParams& params() const noexcept { return params_; }
+
+private:
+  void compute_assignments();
+  std::size_t k_for(policy::FunctionId e) const noexcept;
+
+  const net::GeneratedNetwork& network_;
+  const Deployment& deployment_;
+  const policy::PolicyList& policies_;
+  ControllerParams params_;
+  std::unordered_map<std::uint32_t, NodeConfig> configs_;
+};
+
+}  // namespace sdmbox::core

@@ -1,0 +1,81 @@
+// Load-balancing LP formulations (§III.C).
+//
+// Eq. (2) — the reduced aggregate formulation, used in production: variables
+// t_{e,p}(x,y) (volume of p-traffic sent x->y for next function e) and
+// t_p(x,d) (final-hop volume), objective min λ with per-middlebox capacity
+// rows load(x) <= λ·C(x).
+//
+// Two exact reductions keep instances small on the 400-proxy Waxman graph
+// (both proved in DESIGN.md §6 and asserted by tests):
+//  * source aggregation — proxies with identical candidate sets M_s^e for a
+//    policy's first function are interchangeable; we solve per-group and
+//    de-aggregate proportionally;
+//  * destination aggregation — per-destination final-hop constraints can be
+//    merged into one per policy, since no other constraint distinguishes
+//    destinations and any aggregate split de-aggregates proportionally.
+//
+// Eq. (1) — the per-(s,d,p) formulation, kept for the variable-count
+// ablation (the paper introduces Eq. (2) precisely because Eq. (1) blows
+// up); ratios are extracted by marginalizing over (s,d).
+//
+// Both builders prune unreachable positions: a middlebox that no upstream
+// candidate set can deliver policy-p traffic to gets no variables.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/plan.hpp"
+#include "lp/simplex.hpp"
+#include "workload/traffic_matrix.hpp"
+
+namespace sdmbox::core {
+
+struct FormulationInputs {
+  const net::GeneratedNetwork& network;
+  const Deployment& deployment;
+  const policy::PolicyList& policies;
+  /// Candidate sets per proxy/middlebox as compiled by the controller.
+  const std::unordered_map<std::uint32_t, NodeConfig>& configs;
+  const workload::TrafficMatrix& traffic;
+};
+
+struct LpBuildStats {
+  std::size_t variables = 0;
+  std::size_t constraints = 0;
+  std::size_t nonzeros = 0;
+};
+
+struct RatioResult {
+  SplitRatioTable ratios;
+  double lambda = 0;
+  lp::SolveStatus status = lp::SolveStatus::kIterationLimit;
+  LpBuildStats stats;
+  std::size_t pivots = 0;
+};
+
+struct FormulationOptions {
+  /// Eq. (2): merge sources with identical first-hop candidate sets.
+  bool aggregate_sources = true;
+  /// Lexicographic second pass: among λ-optimal solutions, pick one that
+  /// minimizes total overload above each middlebox's per-function fair
+  /// share. min-max alone pins only the binding type; the paper's Table III
+  /// shows every type tightly balanced, which requires this refinement.
+  bool even_secondary = true;
+  /// Include the paper's redundant aggregate-conservation equalities
+  /// (they never change the optimum; a test asserts that).
+  bool include_redundant_constraints = false;
+  lp::SimplexOptions simplex;
+};
+
+/// Build and solve Eq. (2); extract split ratios for every proxy/middlebox.
+RatioResult solve_eq2(const FormulationInputs& in, const FormulationOptions& opt = {});
+
+/// Build and solve Eq. (1); ratios are marginalized over (s, d).
+RatioResult solve_eq1(const FormulationInputs& in, const FormulationOptions& opt = {});
+
+/// Model-size metrics without solving (for the formulation ablation at
+/// scales where Eq. (1) is too large to solve).
+LpBuildStats measure_eq2(const FormulationInputs& in, const FormulationOptions& opt = {});
+LpBuildStats measure_eq1(const FormulationInputs& in, const FormulationOptions& opt = {});
+
+}  // namespace sdmbox::core

@@ -1,0 +1,88 @@
+#include "core/plan.hpp"
+
+namespace sdmbox::core {
+
+const char* to_string(StrategyKind s) noexcept {
+  switch (s) {
+    case StrategyKind::kHotPotato: return "hot-potato";
+    case StrategyKind::kRandom: return "random";
+    case StrategyKind::kLoadBalanced: return "load-balanced";
+  }
+  return "?";
+}
+
+void SplitRatioTable::set(net::NodeId from, policy::FunctionId e, policy::PolicyId p,
+                          std::vector<Share> shares) {
+  SDM_CHECK(from.valid() && e.valid() && p.valid());
+  double total = 0;
+  for (const Share& s : shares) {
+    SDM_CHECK_MSG(s.weight >= 0, "negative split weight");
+    total += s.weight;
+  }
+  if (total <= 0) return;  // nothing to record; selection falls back to hot-potato
+  table_[key(from, e, p)] = std::move(shares);
+}
+
+const std::vector<SplitRatioTable::Share>* SplitRatioTable::find(
+    net::NodeId from, policy::FunctionId e, policy::PolicyId p) const noexcept {
+  const auto it = table_.find(key(from, e, p));
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+void SplitRatioTable::set_detailed(net::NodeId from, policy::FunctionId e, policy::PolicyId p,
+                                   int s, int d, std::vector<Share> shares) {
+  SDM_CHECK(from.valid() && e.valid() && p.valid());
+  double total = 0;
+  for (const Share& share : shares) {
+    SDM_CHECK_MSG(share.weight >= 0, "negative split weight");
+    total += share.weight;
+  }
+  if (total <= 0) return;
+  detailed_[DetailedKey{from.v, e.v, p.v, s, d}] = std::move(shares);
+}
+
+const std::vector<SplitRatioTable::Share>* SplitRatioTable::find_detailed(
+    net::NodeId from, policy::FunctionId e, policy::PolicyId p, int s, int d) const noexcept {
+  if (detailed_.empty()) return nullptr;
+  const auto it = detailed_.find(DetailedKey{from.v, e.v, p.v, s, d});
+  return it == detailed_.end() ? nullptr : &it->second;
+}
+
+SplitRatioTable SplitRatioTable::slice(net::NodeId from) const {
+  SplitRatioTable out;
+  for_each([&](net::NodeId sender, policy::FunctionId e, policy::PolicyId p,
+               const std::vector<Share>& shares) {
+    if (sender == from) out.set(sender, e, p, shares);
+  });
+  for_each_detailed([&](net::NodeId sender, policy::FunctionId e, policy::PolicyId p, int s,
+                        int d, const std::vector<Share>& shares) {
+    if (sender == from) out.set_detailed(sender, e, p, s, d, shares);
+  });
+  return out;
+}
+
+DeviceConfig slice_for_device(const EnforcementPlan& plan, net::NodeId device,
+                              std::uint64_t version) {
+  DeviceConfig cfg;
+  cfg.strategy = plan.strategy;
+  cfg.version = version;
+  cfg.node = plan.config(device);
+  if (plan.strategy == StrategyKind::kLoadBalanced) cfg.ratios = plan.ratios.slice(device);
+  return cfg;
+}
+
+DistributionFootprint measure_distribution(const EnforcementPlan& plan) {
+  DistributionFootprint fp;
+  fp.devices = plan.configs.size();
+  for (const auto& [node, cfg] : plan.configs) {
+    fp.policy_entries += cfg.relevant_policies.size();
+    for (const auto& cands : cfg.candidates) fp.candidate_entries += cands.size();
+  }
+  fp.ratio_entries = plan.ratios.total_shares();
+  fp.total_bytes = fp.candidate_entries * DistributionFootprint::kCandidateBytes +
+                   fp.policy_entries * DistributionFootprint::kPolicyBytes +
+                   fp.ratio_entries * DistributionFootprint::kRatioBytes;
+  return fp;
+}
+
+}  // namespace sdmbox::core

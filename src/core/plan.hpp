@@ -1,0 +1,202 @@
+// The enforcement plan: everything the controller pushes to the SDM devices.
+//
+// Per proxy/middlebox x the controller distributes (§III.B/C):
+//  * P_x — the relevant slice of the networkwide policy list, in list order;
+//  * for every function e in Π_x, the candidate set M_x^e (k closest
+//    middleboxes implementing e, closest first — so candidates.front() is
+//    the hot-potato target m_x^e);
+//  * under load balancing, the split ratios t_{e,p}(x, y).
+// The same plan drives both the packet-level agents (core/agents) and the
+// flow-level analytic evaluator (analytic/), which is what makes their load
+// accounting provably identical.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "net/topology.hpp"
+#include "policy/policy.hpp"
+#include "util/hash.hpp"
+
+namespace sdmbox::core {
+
+enum class StrategyKind : std::uint8_t {
+  kHotPotato,     // HP: always the closest middlebox m_x^e (§III.B)
+  kRandom,        // Rand: per-flow uniform choice over M_x^e (§IV baseline)
+  kLoadBalanced,  // LB: per-flow choice with probability ∝ t_{e,p}(x,y) (§III.C)
+};
+
+const char* to_string(StrategyKind s) noexcept;
+
+/// Configuration installed at one proxy or middlebox.
+struct NodeConfig {
+  net::NodeId node;
+  bool is_proxy = false;
+  /// Functions this device implements itself (empty for proxies). A device
+  /// never needs candidates for its own functions — it processes them
+  /// locally (Π_x excludes them, §III.B).
+  policy::FunctionSet own_functions;
+  /// P_x: relevant policies, ascending id (list order preserved).
+  std::vector<policy::PolicyId> relevant_policies;
+  /// M_x^e per function e in Π_x, ordered closest-first.
+  std::vector<std::vector<net::NodeId>> candidates =
+      std::vector<std::vector<net::NodeId>>(policy::kMaxFunctions);
+
+  const std::vector<net::NodeId>& candidates_for(policy::FunctionId e) const {
+    SDM_CHECK(e.valid() && e.v < candidates.size());
+    return candidates[e.v];
+  }
+  /// m_x^e — the hot-potato target.
+  net::NodeId closest(policy::FunctionId e) const {
+    const auto& c = candidates_for(e);
+    return c.empty() ? net::NodeId{} : c.front();
+  }
+};
+
+/// Split ratios distributed by the controller under LB.
+///
+/// Two granularities, mirroring the paper's two formulations:
+///  * aggregate t_{e,p}(x, y) — Eq. (2), keyed (from, e, p);
+///  * detailed t_{s,d,p}(x, y) — Eq. (1), additionally keyed by the flow's
+///    source and destination subnet indices. Selection consults the
+///    detailed entry first and falls back to the aggregate one.
+class SplitRatioTable {
+public:
+  struct Share {
+    net::NodeId to;
+    double weight = 0;  // traffic volume assigned to this next hop
+  };
+
+  void set(net::NodeId from, policy::FunctionId e, policy::PolicyId p, std::vector<Share> shares);
+
+  /// Eq. (1) granularity: shares for (from, e, p) restricted to flows from
+  /// subnet `s` to subnet `d`.
+  void set_detailed(net::NodeId from, policy::FunctionId e, policy::PolicyId p, int s, int d,
+                    std::vector<Share> shares);
+
+  /// Shares for (from, e, p); nullptr when the LP assigned no traffic here
+  /// (callers fall back to hot-potato).
+  const std::vector<Share>* find(net::NodeId from, policy::FunctionId e,
+                                 policy::PolicyId p) const noexcept;
+
+  const std::vector<Share>* find_detailed(net::NodeId from, policy::FunctionId e,
+                                          policy::PolicyId p, int s, int d) const noexcept;
+
+  std::size_t detailed_size() const noexcept { return detailed_.size(); }
+
+  /// Visit every detailed entry as (from, e, p, s, d, shares).
+  template <typename Fn>
+  void for_each_detailed(Fn&& fn) const {
+    for (const auto& [key, shares] : detailed_) {
+      fn(net::NodeId{static_cast<std::uint32_t>(key.from)},
+         policy::FunctionId{static_cast<std::uint8_t>(key.e)},
+         policy::PolicyId{static_cast<std::uint32_t>(key.p)}, key.s, key.d, shares);
+    }
+  }
+
+  std::size_t size() const noexcept { return table_.size(); }
+
+  /// Total individual (next hop, weight) shares across all entries,
+  /// aggregate and detailed.
+  std::size_t total_shares() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [key, shares] : table_) n += shares.size();
+    for (const auto& [key, shares] : detailed_) n += shares.size();
+    return n;
+  }
+
+  /// The entries belonging to one sending device (what the controller
+  /// actually pushes to it).
+  SplitRatioTable slice(net::NodeId from) const;
+
+  /// Visit every entry as (from, e, p, shares).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, shares] : table_) {
+      fn(net::NodeId{static_cast<std::uint32_t>(key >> 40)},
+         policy::FunctionId{static_cast<std::uint8_t>((key >> 32) & 0xff)},
+         policy::PolicyId{static_cast<std::uint32_t>(key & 0xffffffff)}, shares);
+    }
+  }
+
+private:
+  static std::uint64_t key(net::NodeId from, policy::FunctionId e, policy::PolicyId p) noexcept {
+    return (std::uint64_t{from.v} << 40) | (std::uint64_t{e.v} << 32) | p.v;
+  }
+  struct DetailedKey {
+    std::uint32_t from;
+    std::uint8_t e;
+    std::uint32_t p;
+    int s;
+    int d;
+    friend bool operator==(const DetailedKey&, const DetailedKey&) = default;
+  };
+  struct DetailedHash {
+    std::size_t operator()(const DetailedKey& k) const noexcept {
+      std::uint64_t h = util::mix64(k.from);
+      h = util::hash_combine(h, (std::uint64_t{k.e} << 32) | k.p);
+      h = util::hash_combine(h, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.s)) << 32) |
+                                    static_cast<std::uint32_t>(k.d));
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<std::uint64_t, std::vector<Share>> table_;
+  std::unordered_map<DetailedKey, std::vector<Share>, DetailedHash> detailed_;
+};
+
+/// The full compiled plan for one strategy.
+struct EnforcementPlan {
+  StrategyKind strategy = StrategyKind::kHotPotato;
+  /// Configs keyed by NodeId.v, for every proxy and middlebox.
+  std::unordered_map<std::uint32_t, NodeConfig> configs;
+  SplitRatioTable ratios;  // populated only for kLoadBalanced
+  /// λ reported by the LP (kLoadBalanced only); 0 otherwise.
+  double lambda = 0;
+
+  const NodeConfig& config(net::NodeId node) const {
+    const auto it = configs.find(node.v);
+    SDM_CHECK_MSG(it != configs.end(), "node has no enforcement config");
+    return it->second;
+  }
+  bool has_config(net::NodeId node) const noexcept { return configs.contains(node.v); }
+};
+
+/// Everything one device needs from the controller: its assignment slice,
+/// policy slice, split ratios and the strategy to apply — the unit of
+/// configuration the control plane serializes and pushes (§III.A: the
+/// controller "pre-configures the middleboxes"). `version` lets a device
+/// discard stale or replayed pushes.
+struct DeviceConfig {
+  StrategyKind strategy = StrategyKind::kHotPotato;
+  std::uint64_t version = 0;
+  NodeConfig node;
+  SplitRatioTable ratios;  // only this device's entries
+};
+
+/// Extract the slice of a compiled plan destined for one device.
+DeviceConfig slice_for_device(const EnforcementPlan& plan, net::NodeId device,
+                              std::uint64_t version = 0);
+
+/// Modeled size of the controller -> device configuration push — the
+/// "communication overhead" the paper reduces by moving from Eq. (1) to
+/// Eq. (2). Entry sizes model a compact wire encoding: a candidate is a
+/// (function id, middlebox address) pair, a policy slice entry a compressed
+/// descriptor + action list, a split share a (function, policy, address,
+/// weight) tuple.
+struct DistributionFootprint {
+  std::uint64_t devices = 0;
+  std::uint64_t candidate_entries = 0;  // Σ_x Σ_e |M_x^e|
+  std::uint64_t policy_entries = 0;     // Σ_x |P_x|
+  std::uint64_t ratio_entries = 0;      // Σ split shares
+  std::uint64_t total_bytes = 0;
+
+  static constexpr std::uint64_t kCandidateBytes = 5;   // function + IPv4 address
+  static constexpr std::uint64_t kPolicyBytes = 16;     // descriptor + action list
+  static constexpr std::uint64_t kRatioBytes = 14;      // e, p, address, weight
+};
+
+DistributionFootprint measure_distribution(const EnforcementPlan& plan);
+
+}  // namespace sdmbox::core

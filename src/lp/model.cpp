@@ -1,0 +1,56 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdmbox::lp {
+
+const char* to_string(Relation r) noexcept {
+  switch (r) {
+    case Relation::kLessEqual: return "<=";
+    case Relation::kEqual: return "=";
+    case Relation::kGreaterEqual: return ">=";
+  }
+  return "?";
+}
+
+VarId LpModel::add_variable(std::string name, double objective_coeff) {
+  SDM_CHECK_MSG(std::isfinite(objective_coeff), "objective coefficient must be finite");
+  var_names_.push_back(std::move(name));
+  objective_.push_back(objective_coeff);
+  return VarId{static_cast<std::uint32_t>(var_names_.size() - 1)};
+}
+
+void LpModel::set_objective_coeff(VarId v, double coeff) {
+  SDM_CHECK(v.v < objective_.size());
+  SDM_CHECK_MSG(std::isfinite(coeff), "objective coefficient must be finite");
+  objective_[v.v] = coeff;
+}
+
+void LpModel::add_constraint(std::vector<Term> terms, Relation relation, double rhs,
+                             std::string name) {
+  SDM_CHECK_MSG(std::isfinite(rhs), "constraint rhs must be finite");
+  // Merge duplicate variables so the solver sees each column once per row.
+  std::sort(terms.begin(), terms.end(), [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::vector<Term> merged;
+  merged.reserve(terms.size());
+  for (const Term& t : terms) {
+    SDM_CHECK_MSG(t.var.v < var_names_.size(), "constraint references unknown variable");
+    SDM_CHECK_MSG(std::isfinite(t.coeff), "constraint coefficient must be finite");
+    if (!merged.empty() && merged.back().var == t.var) {
+      merged.back().coeff += t.coeff;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  std::erase_if(merged, [](const Term& t) { return t.coeff == 0.0; });
+  constraints_.push_back(Constraint{std::move(merged), relation, rhs, std::move(name)});
+}
+
+std::size_t LpModel::nonzero_count() const noexcept {
+  std::size_t n = 0;
+  for (const Constraint& c : constraints_) n += c.terms.size();
+  return n;
+}
+
+}  // namespace sdmbox::lp

@@ -1,0 +1,80 @@
+// Linear-program model builder.
+//
+// The controller's load-balancing optimizations (Eq. (1) and Eq. (2) of the
+// paper) are built as LpModel instances and handed to the simplex solver.
+// Conventions: all variables are non-negative reals, the objective is
+// MINIMIZED, and constraints are sparse rows with a relation and rhs.
+// Upper bounds (e.g. λ ≤ 1) are expressed as ordinary constraints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sdmbox::lp {
+
+struct VarId {
+  std::uint32_t v = kInvalid;
+  static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+  constexpr bool valid() const noexcept { return v != kInvalid; }
+  friend constexpr auto operator<=>(VarId, VarId) noexcept = default;
+};
+
+enum class Relation : std::uint8_t { kLessEqual, kEqual, kGreaterEqual };
+
+const char* to_string(Relation r) noexcept;
+
+/// One sparse term: coefficient * variable.
+struct Term {
+  VarId var;
+  double coeff;
+};
+
+struct Constraint {
+  std::vector<Term> terms;
+  Relation relation = Relation::kEqual;
+  double rhs = 0;
+  std::string name;
+};
+
+class LpModel {
+public:
+  /// Add a non-negative variable with the given objective coefficient.
+  VarId add_variable(std::string name, double objective_coeff = 0.0);
+
+  /// Replace a variable's objective coefficient (used for lexicographic
+  /// re-solves: fix the primary optimum with a constraint, swap objectives,
+  /// solve again).
+  void set_objective_coeff(VarId v, double coeff);
+
+  /// Add a constraint; duplicate variables in `terms` are summed.
+  void add_constraint(std::vector<Term> terms, Relation relation, double rhs,
+                      std::string name = {});
+
+  std::size_t variable_count() const noexcept { return var_names_.size(); }
+  std::size_t constraint_count() const noexcept { return constraints_.size(); }
+
+  const std::string& variable_name(VarId v) const {
+    SDM_CHECK(v.v < var_names_.size());
+    return var_names_[v.v];
+  }
+  double objective_coeff(VarId v) const {
+    SDM_CHECK(v.v < objective_.size());
+    return objective_[v.v];
+  }
+  const std::vector<Constraint>& constraints() const noexcept { return constraints_; }
+  const std::vector<double>& objective() const noexcept { return objective_; }
+
+  /// Total nonzero coefficients across all constraints (model-size metric for
+  /// the Eq.(1)-vs-Eq.(2) ablation).
+  std::size_t nonzero_count() const noexcept;
+
+private:
+  std::vector<std::string> var_names_;
+  std::vector<double> objective_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace sdmbox::lp

@@ -1,0 +1,63 @@
+// Two-phase primal simplex on a dense tableau.
+//
+// Written from scratch (no external solver dependency) for the controller's
+// load-balancing LPs. Design choices:
+//  * dense tableau — the Eq. (2) instances we solve are a few thousand
+//    variables by a few thousand constraints after source aggregation, where
+//    dense row operations are simple and fast enough (seconds, offline at
+//    the controller, matching the paper's "calculation is done offline");
+//  * Dantzig pricing (most negative reduced cost) with an automatic switch
+//    to Bland's rule after a run of degenerate pivots, which guarantees
+//    termination;
+//  * two phases — artificial variables are driven out in phase 1, so
+//    arbitrary =/>= constraints are supported.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace sdmbox::lp {
+
+enum class SolveStatus : std::uint8_t {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+const char* to_string(SolveStatus s) noexcept;
+
+struct SimplexOptions {
+  double tolerance = 1e-9;
+  /// Max pivots per phase; 0 derives a limit from the model size.
+  std::size_t max_iterations = 0;
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  std::size_t degenerate_switch = 64;
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0;
+  std::vector<double> values;  // indexed by VarId.v
+  std::size_t pivots = 0;
+
+  double value(VarId v) const {
+    SDM_CHECK(v.v < values.size());
+    return values[v.v];
+  }
+  bool optimal() const noexcept { return status == SolveStatus::kOptimal; }
+};
+
+/// Minimize the model's objective subject to its constraints, x >= 0.
+Solution solve(const LpModel& model, const SimplexOptions& options = {});
+
+/// Verify a candidate solution against the model within `tolerance`
+/// (non-negativity + every constraint). Used by tests and as a postcondition
+/// in the controller. Returns a human-readable violation, or empty if valid.
+std::string check_feasible(const LpModel& model, const std::vector<double>& values,
+                           double tolerance = 1e-6);
+
+}  // namespace sdmbox::lp

@@ -1,0 +1,56 @@
+#include "net/ip.hpp"
+
+#include <charconv>
+
+namespace sdmbox::net {
+
+std::optional<IpAddress> IpAddress::parse(const std::string& text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return IpAddress(value);
+}
+
+std::string IpAddress::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i) out += '.';
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::optional<Prefix> Prefix::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) {
+    auto a = IpAddress::parse(text);
+    if (!a) return std::nullopt;
+    return Prefix::host(*a);
+  }
+  auto a = IpAddress::parse(text.substr(0, slash));
+  if (!a) return std::nullopt;
+  unsigned len = 0;
+  const std::string tail = text.substr(slash + 1);
+  auto [next, ec] = std::from_chars(tail.data(), tail.data() + tail.size(), len);
+  if (ec != std::errc{} || next != tail.data() + tail.size() || len > 32) return std::nullopt;
+  return Prefix(*a, static_cast<std::uint8_t>(len));
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace sdmbox::net

@@ -1,0 +1,94 @@
+// IPv4 addresses and prefixes.
+//
+// The enforcement plane matches traffic descriptors whose source/destination
+// fields are prefixes (possibly the full wildcard 0.0.0.0/0), and the
+// substrate resolves destination addresses to attachment routers by
+// longest-prefix match, so Prefix is the workhorse type here.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sdmbox::net {
+
+/// An IPv4 address as a host-order 32-bit value.
+class IpAddress {
+public:
+  constexpr IpAddress() noexcept : value_(0) {}
+  constexpr explicit IpAddress(std::uint32_t value) noexcept : value_(value) {}
+  constexpr IpAddress(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) |
+               std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// Parse dotted-quad notation; nullopt on malformed input.
+  static std::optional<IpAddress> parse(const std::string& text);
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(IpAddress, IpAddress) noexcept = default;
+
+private:
+  std::uint32_t value_;
+};
+
+/// A CIDR prefix, e.g. 10.1.0.0/20. length == 0 is the full wildcard.
+class Prefix {
+public:
+  constexpr Prefix() noexcept : base_(), length_(0) {}  // wildcard
+  /// Host bits of `base` below `length` are masked off.
+  constexpr Prefix(IpAddress base, std::uint8_t length) noexcept
+      : base_(IpAddress(length == 0 ? 0 : (base.value() & mask_for(length)))), length_(length) {}
+
+  static constexpr Prefix wildcard() noexcept { return Prefix(); }
+  /// A /32 prefix matching exactly one address.
+  static constexpr Prefix host(IpAddress a) noexcept { return Prefix(a, 32); }
+
+  /// Parse "a.b.c.d/len" (or bare "a.b.c.d" as /32); nullopt on malformed input.
+  static std::optional<Prefix> parse(const std::string& text);
+
+  constexpr IpAddress base() const noexcept { return base_; }
+  constexpr std::uint8_t length() const noexcept { return length_; }
+  constexpr bool is_wildcard() const noexcept { return length_ == 0; }
+
+  constexpr bool contains(IpAddress a) const noexcept {
+    if (length_ == 0) return true;
+    return (a.value() & mask_for(length_)) == base_.value();
+  }
+
+  constexpr bool contains(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.base_);
+  }
+
+  /// Two prefixes overlap iff one contains the other.
+  constexpr bool overlaps(const Prefix& other) const noexcept {
+    return contains(other) || other.contains(*this);
+  }
+
+  /// First address in the prefix (the base).
+  constexpr IpAddress first() const noexcept { return base_; }
+  /// Last address in the prefix.
+  constexpr IpAddress last() const noexcept {
+    return IpAddress(base_.value() | ~mask_for(length_));
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) noexcept = default;
+
+private:
+  static constexpr std::uint32_t mask_for(std::uint8_t length) noexcept {
+    return length == 0 ? 0u : (~std::uint32_t{0} << (32 - length));
+  }
+
+  IpAddress base_;
+  std::uint8_t length_;
+};
+
+}  // namespace sdmbox::net

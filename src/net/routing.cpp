@@ -1,0 +1,82 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+
+namespace sdmbox::net {
+
+RoutingTables RoutingTables::compute(const Topology& topo,
+                                     const std::vector<bool>* down_links) {
+  RoutingTables rt;
+  const std::size_t n = topo.node_count();
+  rt.next_.assign(n, std::vector<NextHop>(n));
+  rt.dist_.assign(n, std::vector<double>(n, ShortestPathTree::kInfinity));
+
+  for (std::uint32_t src = 0; src < n; ++src) {
+    const ShortestPathTree tree = dijkstra(topo, NodeId{src}, down_links);
+    for (std::uint32_t dst = 0; dst < n; ++dst) {
+      rt.dist_[src][dst] = tree.distance[dst];
+      if (dst == src || !tree.reachable(NodeId{dst})) continue;
+      // Walk predecessors from dst back to src to find the first hop.
+      NodeId hop{dst};
+      while (tree.predecessor[hop.v] != NodeId{src}) {
+        hop = tree.predecessor[hop.v];
+        SDM_CHECK_MSG(hop.valid(), "broken predecessor chain");
+      }
+      rt.next_[src][dst] = NextHop{hop, topo.find_link(NodeId{src}, hop)};
+    }
+  }
+  return rt;
+}
+
+std::vector<NodeId> RoutingTables::path(NodeId from, NodeId to) const {
+  std::vector<NodeId> out;
+  if (from.v >= next_.size() || to.v >= next_.size()) return out;
+  if (distance(from, to) == ShortestPathTree::kInfinity) return out;
+  out.push_back(from);
+  NodeId cur = from;
+  while (cur != to) {
+    const NextHop hop = next_hop(cur, to);
+    if (!hop.valid()) return {};
+    cur = hop.node;
+    out.push_back(cur);
+    SDM_CHECK_MSG(out.size() <= next_.size(), "forwarding loop detected");
+  }
+  return out;
+}
+
+AddressResolver AddressResolver::build(const Topology& topo) {
+  AddressResolver r;
+  for (std::uint32_t i = 0; i < topo.node_count(); ++i) {
+    const Node& node = topo.node(NodeId{i});
+    r.exact_.emplace(node.address.value(), NodeId{i});
+  }
+  // Stub subnets terminate at the node the topology declared (the in-path
+  // proxy for in-path deployments, the edge router for off-path ones).
+  for (std::uint32_t i = 0; i < topo.node_count(); ++i) {
+    const Node& node = topo.node(NodeId{i});
+    if (node.kind != NodeKind::kEdgeRouter || !node.has_subnet) continue;
+    r.subnets_.push_back(SubnetEntry{node.subnet, node.subnet_terminal, NodeId{i}});
+  }
+  std::sort(r.subnets_.begin(), r.subnets_.end(), [](const SubnetEntry& a, const SubnetEntry& b) {
+    if (a.prefix.length() != b.prefix.length()) return a.prefix.length() > b.prefix.length();
+    return a.prefix.base() < b.prefix.base();
+  });
+  return r;
+}
+
+std::optional<NodeId> AddressResolver::resolve(IpAddress a) const {
+  if (const auto it = exact_.find(a.value()); it != exact_.end()) return it->second;
+  for (const auto& entry : subnets_) {
+    if (entry.prefix.contains(a)) return entry.terminal;
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeId> AddressResolver::owning_edge_router(IpAddress a) const {
+  for (const auto& entry : subnets_) {
+    if (entry.prefix.contains(a)) return entry.edge_router;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sdmbox::net

@@ -1,0 +1,93 @@
+// Forwarding tables and address resolution — the "traditional routing" substrate.
+//
+// This is the piece the paper deliberately does NOT modify: routers run a
+// classical link-state protocol (OSPF in the paper), forwarding every packet
+// toward its destination address along shortest paths, oblivious to
+// middlebox policies. We model the converged state of that protocol: each
+// node gets a next-hop table over all destination nodes, computed from
+// per-node Dijkstra trees with deterministic equal-cost tie-breaking.
+//
+// AddressResolver maps packet destination addresses to topology nodes:
+// exact match on device (interface) addresses first, then longest-prefix
+// match over the stub subnets originated by edge routers, mirroring how OSPF
+// advertises stub prefixes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/shortest_path.hpp"
+#include "net/topology.hpp"
+
+namespace sdmbox::net {
+
+/// Next-hop entry: neighbor to forward to and the connecting link.
+struct NextHop {
+  NodeId node;
+  LinkId link;
+  bool valid() const noexcept { return node.valid(); }
+};
+
+/// Converged forwarding state for the whole network.
+class RoutingTables {
+public:
+  /// Build forwarding tables for every node from link-state shortest paths.
+  /// `down_links` (indexed by LinkId.v) models the converged state after the
+  /// routing protocol detected those link failures.
+  static RoutingTables compute(const Topology& topo,
+                               const std::vector<bool>* down_links = nullptr);
+
+  /// Next hop at `at` towards destination node `dest`; invalid if unreachable
+  /// or at == dest.
+  NextHop next_hop(NodeId at, NodeId dest) const {
+    SDM_CHECK(at.v < next_.size() && dest.v < next_[at.v].size());
+    return next_[at.v][dest.v];
+  }
+
+  /// Shortest-path cost between two nodes (infinity if unreachable).
+  double distance(NodeId from, NodeId to) const {
+    SDM_CHECK(from.v < dist_.size() && to.v < dist_[from.v].size());
+    return dist_[from.v][to.v];
+  }
+
+  /// Full node path from -> to (inclusive); empty if unreachable.
+  std::vector<NodeId> path(NodeId from, NodeId to) const;
+
+  std::size_t node_count() const noexcept { return next_.size(); }
+
+private:
+  // next_[u][d] = next hop at u towards d; dist_[u][d] = shortest cost.
+  std::vector<std::vector<NextHop>> next_;
+  std::vector<std::vector<double>> dist_;
+};
+
+/// Maps IP addresses to the topology node that terminates them.
+class AddressResolver {
+public:
+  /// Index all device addresses and stub subnets in the topology. Stub
+  /// subnets resolve to `subnet_terminal(edge_router)` — the in-path policy
+  /// proxy when one is attached, else the edge router itself.
+  static AddressResolver build(const Topology& topo);
+
+  /// Resolve an address: exact device match first, then longest-prefix match
+  /// over stub subnets. nullopt if nothing matches.
+  std::optional<NodeId> resolve(IpAddress a) const;
+
+  /// The edge router owning the longest-prefix stub subnet containing `a`,
+  /// if any (used to locate the source/destination subnet of a flow).
+  std::optional<NodeId> owning_edge_router(IpAddress a) const;
+
+private:
+  std::unordered_map<std::uint32_t, NodeId> exact_;
+  // Subnets keyed by (prefix length desc, base) for longest-prefix scan.
+  struct SubnetEntry {
+    Prefix prefix;
+    NodeId terminal;
+    NodeId edge_router;
+  };
+  std::vector<SubnetEntry> subnets_;  // sorted by descending prefix length
+};
+
+}  // namespace sdmbox::net

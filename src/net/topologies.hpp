@@ -1,0 +1,97 @@
+// Evaluation topologies from §IV.A of the paper.
+//
+// 1. Campus: a real-world campus network — two Internet gateways, 16 core
+//    routers each connected to both gateways, and 10 edge routers each
+//    connecting one stub network to the core.
+// 2. Waxman: 25 core routers placed uniformly at random in a 100x100 region,
+//    interconnected with probability exponentially decreasing in Euclidean
+//    distance (Waxman 1988) with 4 core-core links per core router, and 400
+//    edge routers spread evenly across the cores.
+//
+// Both generators attach one in-path policy proxy per edge router (guarding
+// that router's stub subnet) and optionally a few hosts per subnet.
+// Middlebox placement is a deployment concern and lives in core/deployment.
+//
+// Addressing scheme (documented so traffic descriptors in tests are readable):
+//   device interfaces:  172.16.0.0/12, allocated sequentially
+//   stub subnet i:      10.(i+1 >> 4).((i+1) & 15 << 4).0/20  (base 10.0.16.0)
+//   proxy of subnet i:  first host address of the subnet
+//   hosts of subnet i:  subsequent addresses
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace sdmbox::net {
+
+/// How policy proxies are wired to their edge routers (§III.A, Figure 2):
+/// in-path proxies sit between the edge router and the stub network (hosts
+/// hang off the proxy); off-path proxies hang off the edge router, which
+/// loops every received packet through the proxy and back.
+enum class ProxyMode : std::uint8_t { kInPath, kOffPath };
+
+/// A generated network with its role inventory. proxies[i] guards
+/// subnets[i], which is originated by edge_routers[i].
+struct GeneratedNetwork {
+  Topology topo;
+  std::vector<NodeId> gateways;
+  std::vector<NodeId> core_routers;
+  std::vector<NodeId> edge_routers;
+  std::vector<NodeId> proxies;             // parallel to edge_routers
+  std::vector<Prefix> subnets;             // parallel to edge_routers
+  std::vector<std::vector<NodeId>> hosts;  // parallel to edge_routers
+  ProxyMode proxy_mode = ProxyMode::kInPath;
+
+  /// The subnet index guarded by `proxy`, or -1.
+  int subnet_index_of_proxy(NodeId proxy) const noexcept;
+};
+
+/// Hands out device addresses and stub subnets deterministically.
+class AddressPlan {
+public:
+  IpAddress next_device();        // from 172.16.0.0/12
+  Prefix next_subnet();           // /20 slices of 10.0.0.0/8
+  IpAddress host_in(const Prefix& subnet, std::uint32_t index) const;
+
+private:
+  std::uint32_t device_count_ = 0;
+  std::uint32_t subnet_count_ = 0;
+};
+
+struct CampusParams {
+  std::size_t gateway_count = 2;
+  std::size_t core_count = 16;
+  std::size_t edge_count = 10;
+  std::size_t cores_per_edge = 2;   // redundant uplinks per edge router
+  std::size_t hosts_per_subnet = 2;
+  ProxyMode proxy_mode = ProxyMode::kInPath;
+  LinkParams core_link{};           // gateway-core and core-core fabric
+  LinkParams edge_link{};           // edge-core uplinks
+  LinkParams stub_link{};           // edge-proxy and proxy-host
+};
+
+/// Build the campus topology of §IV.A. Deterministic (no randomness needed).
+GeneratedNetwork make_campus_topology(const CampusParams& params = {});
+
+struct WaxmanParams {
+  std::size_t core_count = 25;
+  std::size_t edge_count = 400;
+  std::size_t core_degree = 4;      // core-core links per core router
+  double region = 100.0;            // coordinates in [0, region)^2
+  double alpha = 0.4;               // Waxman locality parameter
+  std::size_t hosts_per_subnet = 0;
+  ProxyMode proxy_mode = ProxyMode::kInPath;
+  LinkParams core_link{};
+  LinkParams edge_link{};
+  LinkParams stub_link{};
+  std::uint64_t seed = 1;
+};
+
+/// Build a Waxman random topology per §IV.A. Deterministic for a fixed seed;
+/// the core graph is post-processed to guarantee connectivity.
+GeneratedNetwork make_waxman_topology(const WaxmanParams& params = {});
+
+}  // namespace sdmbox::net

@@ -1,0 +1,92 @@
+#include "net/topology.hpp"
+
+#include <vector>
+
+namespace sdmbox::net {
+
+const char* to_string(NodeKind kind) noexcept {
+  switch (kind) {
+    case NodeKind::kGatewayRouter: return "gateway";
+    case NodeKind::kCoreRouter: return "core";
+    case NodeKind::kEdgeRouter: return "edge";
+    case NodeKind::kHost: return "host";
+    case NodeKind::kPolicyProxy: return "proxy";
+    case NodeKind::kMiddlebox: return "middlebox";
+  }
+  return "?";
+}
+
+bool is_router(NodeKind kind) noexcept {
+  return kind == NodeKind::kGatewayRouter || kind == NodeKind::kCoreRouter ||
+         kind == NodeKind::kEdgeRouter;
+}
+
+bool is_forwarding(NodeKind kind) noexcept {
+  return is_router(kind) || kind == NodeKind::kPolicyProxy;
+}
+
+NodeId Topology::add_node(NodeKind kind, std::string name, IpAddress address) {
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(Node{kind, std::move(name), address, Prefix{}, false, NodeId{}});
+  adjacency_.emplace_back();
+  return id;
+}
+
+void Topology::set_subnet(NodeId edge_router, Prefix subnet, NodeId terminal) {
+  SDM_CHECK(edge_router.v < nodes_.size());
+  SDM_CHECK_MSG(nodes_[edge_router.v].kind == NodeKind::kEdgeRouter,
+                "only edge routers own stub subnets");
+  SDM_CHECK(!terminal.valid() || terminal.v < nodes_.size());
+  nodes_[edge_router.v].subnet = subnet;
+  nodes_[edge_router.v].has_subnet = true;
+  nodes_[edge_router.v].subnet_terminal = terminal.valid() ? terminal : edge_router;
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, LinkParams params) {
+  SDM_CHECK(a.v < nodes_.size() && b.v < nodes_.size());
+  SDM_CHECK_MSG(a != b, "self-links are not allowed");
+  SDM_CHECK_MSG(params.cost > 0, "link cost must be positive");
+  const LinkId id{static_cast<std::uint32_t>(links_.size())};
+  links_.push_back(Link{a, b, params});
+  adjacency_[a.v].push_back(Adjacency{b, id});
+  adjacency_[b.v].push_back(Adjacency{a, id});
+  return id;
+}
+
+std::vector<NodeId> Topology::nodes_of_kind(NodeKind kind) const {
+  std::vector<NodeId> out;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == kind) out.push_back(NodeId{i});
+  }
+  return out;
+}
+
+LinkId Topology::find_link(NodeId a, NodeId b) const noexcept {
+  if (a.v >= adjacency_.size()) return LinkId{};
+  for (const auto& adj : adjacency_[a.v]) {
+    if (adj.neighbor == b) return adj.link;
+  }
+  return LinkId{};
+}
+
+bool Topology::is_connected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack{NodeId{0}};
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (const auto& adj : adjacency_[n.v]) {
+      if (!seen[adj.neighbor.v]) {
+        seen[adj.neighbor.v] = true;
+        ++count;
+        stack.push_back(adj.neighbor);
+      }
+    }
+  }
+  return count == nodes_.size();
+}
+
+}  // namespace sdmbox::net

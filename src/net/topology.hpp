@@ -1,0 +1,134 @@
+// Network topology graph.
+//
+// Nodes are routers (gateway/core/edge), hosts, policy proxies and
+// middleboxes; links are bidirectional with an OSPF-style cost plus physical
+// parameters (propagation delay, bandwidth, MTU) used by the discrete-event
+// simulator. The topology is append-only: nodes and links are never removed,
+// so NodeId/LinkId are stable dense indices and the routing substrate can
+// store per-node tables in flat vectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "util/check.hpp"
+
+namespace sdmbox::net {
+
+enum class NodeKind : std::uint8_t {
+  kGatewayRouter,  // border router towards the Internet
+  kCoreRouter,     // interconnects edge routers; policy-unaware
+  kEdgeRouter,     // connects one stub network to the core
+  kHost,           // endpoint inside a stub network
+  kPolicyProxy,    // SDM proxy guarding a stub network (§III.A)
+  kMiddlebox,      // SDM implementing one or more network functions
+};
+
+const char* to_string(NodeKind kind) noexcept;
+bool is_router(NodeKind kind) noexcept;
+
+/// True for nodes that forward transit traffic: routers, plus policy proxies
+/// (which are deployed in-path between an edge router and its stub network,
+/// §III.A). Hosts and middleboxes are leaves.
+bool is_forwarding(NodeKind kind) noexcept;
+
+/// Strongly-typed dense node index.
+struct NodeId {
+  std::uint32_t v = kInvalid;
+  static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+  constexpr bool valid() const noexcept { return v != kInvalid; }
+  friend constexpr auto operator<=>(NodeId, NodeId) noexcept = default;
+};
+
+/// Strongly-typed dense link index.
+struct LinkId {
+  std::uint32_t v = kInvalid;
+  static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+  constexpr bool valid() const noexcept { return v != kInvalid; }
+  friend constexpr auto operator<=>(LinkId, LinkId) noexcept = default;
+};
+
+struct LinkParams {
+  double cost = 1.0;             // OSPF metric used by shortest-path routing
+  double delay_us = 100.0;       // one-way propagation delay
+  double bandwidth_bps = 1e9;    // serialization rate
+  std::uint32_t mtu = 1500;      // maximum transmission unit in bytes
+  /// Drop-tail queue bound in bytes per direction; 0 = unbounded (the
+  /// default keeps load studies loss-free; latency/congestion studies set
+  /// realistic buffer sizes).
+  std::uint64_t queue_limit_bytes = 0;
+};
+
+struct Node {
+  NodeKind kind = NodeKind::kHost;
+  std::string name;
+  IpAddress address;          // management / tunnel endpoint address
+  Prefix subnet;              // owned stub subnet (edge routers only; else wildcard-length 32 empty)
+  bool has_subnet = false;
+  /// Node that terminates traffic to otherwise-unknown addresses inside the
+  /// subnet: the in-path proxy when one guards the subnet, else the edge
+  /// router itself (off-path deployments).
+  NodeId subnet_terminal;
+};
+
+struct Link {
+  NodeId a;
+  NodeId b;
+  LinkParams params;
+
+  NodeId other(NodeId n) const noexcept { return n == a ? b : a; }
+};
+
+/// A node's adjacency: the neighbor and the connecting link.
+struct Adjacency {
+  NodeId neighbor;
+  LinkId link;
+};
+
+class Topology {
+public:
+  NodeId add_node(NodeKind kind, std::string name, IpAddress address);
+
+  /// Declare that `edge_router` owns (originates) the given stub subnet.
+  /// `terminal` is the node consuming traffic to non-device subnet addresses
+  /// (defaults to the edge router itself when invalid).
+  void set_subnet(NodeId edge_router, Prefix subnet, NodeId terminal = {});
+
+  LinkId add_link(NodeId a, NodeId b, LinkParams params = {});
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t link_count() const noexcept { return links_.size(); }
+
+  const Node& node(NodeId id) const {
+    SDM_CHECK(id.v < nodes_.size());
+    return nodes_[id.v];
+  }
+  const Link& link(LinkId id) const {
+    SDM_CHECK(id.v < links_.size());
+    return links_[id.v];
+  }
+
+  std::span<const Adjacency> neighbors(NodeId id) const {
+    SDM_CHECK(id.v < adjacency_.size());
+    return adjacency_[id.v];
+  }
+
+  /// All node ids of a given kind, in creation order.
+  std::vector<NodeId> nodes_of_kind(NodeKind kind) const;
+
+  /// The link between a and b, if one exists (first match).
+  LinkId find_link(NodeId a, NodeId b) const noexcept;
+
+  /// True if every node can reach every other node.
+  bool is_connected() const;
+
+private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+}  // namespace sdmbox::net

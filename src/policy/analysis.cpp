@@ -1,0 +1,91 @@
+#include "policy/analysis.hpp"
+
+namespace sdmbox::policy {
+
+const char* to_string(IssueKind kind) noexcept {
+  switch (kind) {
+    case IssueKind::kShadowedConflict: return "shadowed-conflict";
+    case IssueKind::kRedundant: return "redundant";
+    case IssueKind::kOverlapConflict: return "overlap-conflict";
+  }
+  return "?";
+}
+
+std::size_t AnalysisReport::count(IssueKind kind) const noexcept {
+  std::size_t n = 0;
+  for (const AnalysisIssue& issue : issues) n += issue.kind == kind;
+  return n;
+}
+
+std::vector<const AnalysisIssue*> AnalysisReport::affecting(PolicyId p) const {
+  std::vector<const AnalysisIssue*> out;
+  for (const AnalysisIssue& issue : issues) {
+    if (issue.policy == p) out.push_back(&issue);
+  }
+  return out;
+}
+
+namespace {
+
+/// Two policies have the same effect iff both deny, or both run the same
+/// chain (empty chain = permit).
+bool same_effect(const Policy& a, const Policy& b) noexcept {
+  return a.deny == b.deny && a.actions == b.actions;
+}
+
+bool range_contains(PortRange outer, PortRange inner) noexcept {
+  return outer.lo <= inner.lo && inner.hi <= outer.hi;
+}
+
+bool proto_contains(const std::optional<std::uint8_t>& outer,
+                    const std::optional<std::uint8_t>& inner) noexcept {
+  if (!outer) return true;              // wildcard contains everything
+  return inner && *inner == *outer;     // exact contains only the same value
+}
+
+}  // namespace
+
+bool descriptor_contains(const TrafficDescriptor& outer,
+                         const TrafficDescriptor& inner) noexcept {
+  return outer.src.contains(inner.src) && outer.dst.contains(inner.dst) &&
+         range_contains(outer.src_port, inner.src_port) &&
+         range_contains(outer.dst_port, inner.dst_port) &&
+         proto_contains(outer.protocol, inner.protocol);
+}
+
+AnalysisReport analyze_policies(const PolicyList& policies) {
+  AnalysisReport report;
+  const auto& all = policies.all();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Policy& later = all[i];
+    std::vector<AnalysisIssue> overlaps;
+    bool dead = false;
+    for (std::size_t j = 0; j < i && !dead; ++j) {
+      const Policy& earlier = all[j];
+      if (descriptor_contains(earlier.descriptor, later.descriptor)) {
+        // The later rule can never be the first match; any overlap warnings
+        // about a dead rule would be noise, so report only the shadow.
+        const bool same_actions = same_effect(earlier, later);
+        report.issues.push_back(AnalysisIssue{
+            same_actions ? IssueKind::kRedundant : IssueKind::kShadowedConflict, later.id,
+            earlier.id,
+            "policy '" + later.name + "' is fully covered by earlier policy '" + earlier.name +
+                (same_actions ? "' with the same actions" : "' with DIFFERENT actions")});
+        dead = true;
+        break;
+      }
+      if (earlier.descriptor.overlaps(later.descriptor) && !same_effect(earlier, later)) {
+        overlaps.push_back(AnalysisIssue{
+            IssueKind::kOverlapConflict, later.id, earlier.id,
+            "policies '" + earlier.name + "' and '" + later.name +
+                "' overlap with different action lists; list order decides"});
+      }
+    }
+    if (!dead) {
+      for (auto& issue : overlaps) report.issues.push_back(std::move(issue));
+    }
+  }
+  return report;
+}
+
+}  // namespace sdmbox::policy

@@ -1,0 +1,61 @@
+// Static analysis of an ordered policy list.
+//
+// The paper's motivation is that manual middlebox policy management is
+// "complex and tedious, involving unreliable and error-prone manual
+// re-configuration" (§I). Once policies are first-class objects, the
+// classic rule-list pathologies become mechanically checkable before the
+// controller distributes anything:
+//  * shadowed  — a policy whose descriptor is fully contained in an earlier
+//    policy's descriptor can never be the first match; if its action list
+//    differs, the operator's intent is silently overridden;
+//  * redundant — shadowed with an identical action list (harmless but dead
+//    weight in every P_x slice and TCAM);
+//  * overlap conflict — two policies match a common flow set with different
+//    action lists; legal under first-match semantics, but the list order
+//    decides, so surfacing these prevents surprises when reordering.
+//
+// Containment checks are exact per field (prefixes, port ranges, protocol);
+// shadowing is detected pairwise, the standard sound-but-not-complete
+// criterion (a union of earlier rules can shadow without any single rule
+// containing — such cases pass silently).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "policy/policy.hpp"
+
+namespace sdmbox::policy {
+
+enum class IssueKind : std::uint8_t {
+  kShadowedConflict,  // never matched, and the shadowing rule acts differently
+  kRedundant,         // never matched, same action list
+  kOverlapConflict,   // partially overlapping descriptors, different actions
+};
+
+const char* to_string(IssueKind kind) noexcept;
+
+struct AnalysisIssue {
+  IssueKind kind;
+  PolicyId policy;  // the later rule (the one affected)
+  PolicyId by;      // the earlier rule causing it
+  std::string detail;
+};
+
+struct AnalysisReport {
+  std::vector<AnalysisIssue> issues;
+
+  bool clean() const noexcept { return issues.empty(); }
+  std::size_t count(IssueKind kind) const noexcept;
+  /// All issues affecting `p`.
+  std::vector<const AnalysisIssue*> affecting(PolicyId p) const;
+};
+
+/// True if every flow matching `inner` also matches `outer`.
+bool descriptor_contains(const TrafficDescriptor& outer, const TrafficDescriptor& inner) noexcept;
+
+/// Pairwise scan of the list in first-match order.
+AnalysisReport analyze_policies(const PolicyList& policies);
+
+}  // namespace sdmbox::policy

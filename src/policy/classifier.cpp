@@ -1,0 +1,31 @@
+#include "policy/classifier.hpp"
+
+namespace sdmbox::policy {
+
+namespace {
+
+class LinearClassifier final : public Classifier {
+public:
+  explicit LinearClassifier(std::vector<const Policy*> view) : view_(std::move(view)) {}
+
+  const Policy* first_match(const packet::FlowId& f) const override {
+    return first_match_in(view_, f);
+  }
+
+  std::size_t memory_bytes() const override {
+    return view_.size() * (sizeof(const Policy*) + sizeof(Policy));
+  }
+
+  const char* name() const override { return "linear"; }
+
+private:
+  std::vector<const Policy*> view_;
+};
+
+}  // namespace
+
+std::unique_ptr<Classifier> make_linear_classifier(std::vector<const Policy*> view) {
+  return std::make_unique<LinearClassifier>(std::move(view));
+}
+
+}  // namespace sdmbox::policy

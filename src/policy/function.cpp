@@ -1,0 +1,60 @@
+#include "policy/function.hpp"
+
+#include <bit>
+
+namespace sdmbox::policy {
+
+FunctionCatalog FunctionCatalog::standard() {
+  FunctionCatalog c;
+  const FunctionId fw = c.register_function("FW");
+  const FunctionId ids = c.register_function("IDS");
+  const FunctionId wp = c.register_function("WP");
+  const FunctionId tm = c.register_function("TM");
+  SDM_CHECK(fw == kFirewall && ids == kIntrusionDetection && wp == kWebProxy &&
+            tm == kTrafficMeasure);
+  return c;
+}
+
+FunctionId FunctionCatalog::register_function(std::string name) {
+  SDM_CHECK_MSG(names_.size() < kMaxFunctions, "function catalog full");
+  SDM_CHECK_MSG(!find(name).valid(), "duplicate function name");
+  names_.push_back(std::move(name));
+  return FunctionId{static_cast<std::uint8_t>(names_.size() - 1)};
+}
+
+const std::string& FunctionCatalog::name(FunctionId f) const {
+  SDM_CHECK(f.valid() && f.v < names_.size());
+  return names_[f.v];
+}
+
+FunctionId FunctionCatalog::find(const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return FunctionId{static_cast<std::uint8_t>(i)};
+  }
+  return FunctionId{};
+}
+
+std::vector<FunctionId> FunctionCatalog::all() const {
+  std::vector<FunctionId> out;
+  out.reserve(names_.size());
+  for (std::size_t i = 0; i < names_.size(); ++i) out.push_back(FunctionId{static_cast<std::uint8_t>(i)});
+  return out;
+}
+
+FunctionSet FunctionSet::universe(const FunctionCatalog& catalog) {
+  FunctionSet s;
+  for (FunctionId f : catalog.all()) s.insert(f);
+  return s;
+}
+
+std::size_t FunctionSet::size() const noexcept { return static_cast<std::size_t>(std::popcount(bits_)); }
+
+std::vector<FunctionId> FunctionSet::to_vector() const {
+  std::vector<FunctionId> out;
+  for (std::uint8_t i = 0; i < kMaxFunctions; ++i) {
+    if (contains(FunctionId{i})) out.push_back(FunctionId{i});
+  }
+  return out;
+}
+
+}  // namespace sdmbox::policy

@@ -1,0 +1,100 @@
+// Network functions (the Π of the paper) and sets thereof.
+//
+// A middlebox implements one or more network functions; a policy's action
+// list is an ordered sequence of functions. The evaluation uses four — FW,
+// IDS, WP (web proxy) and TM (traffic measurement) — but the architecture is
+// open-ended, so functions are a small registry of ids with names, capped at
+// 64 so sets are a single word.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sdmbox::policy {
+
+/// Strongly typed network-function id.
+struct FunctionId {
+  std::uint8_t v = kInvalid;
+  static constexpr std::uint8_t kInvalid = 0xff;
+  constexpr bool valid() const noexcept { return v != kInvalid; }
+  friend constexpr auto operator<=>(FunctionId, FunctionId) noexcept = default;
+};
+
+inline constexpr std::size_t kMaxFunctions = 64;
+
+/// The four functions used throughout the paper's evaluation (§IV.A). A
+/// FunctionCatalog created with `FunctionCatalog::standard()` registers them
+/// at exactly these ids.
+inline constexpr FunctionId kFirewall{0};          // FW
+inline constexpr FunctionId kIntrusionDetection{1};  // IDS
+inline constexpr FunctionId kWebProxy{2};          // WP
+inline constexpr FunctionId kTrafficMeasure{3};    // TM
+
+/// Registry of function ids to human-readable names.
+class FunctionCatalog {
+public:
+  /// Catalog with FW, IDS, WP, TM pre-registered.
+  static FunctionCatalog standard();
+
+  FunctionId register_function(std::string name);
+  const std::string& name(FunctionId f) const;
+  /// Lookup by name; invalid id if unknown.
+  FunctionId find(const std::string& name) const noexcept;
+  std::size_t size() const noexcept { return names_.size(); }
+
+  /// All registered ids in registration order.
+  std::vector<FunctionId> all() const;
+
+private:
+  std::vector<std::string> names_;
+};
+
+/// A set of network functions as a 64-bit mask (Π, Π_x in the paper).
+class FunctionSet {
+public:
+  constexpr FunctionSet() noexcept = default;
+
+  static FunctionSet of(std::initializer_list<FunctionId> fs) {
+    FunctionSet s;
+    for (FunctionId f : fs) s.insert(f);
+    return s;
+  }
+
+  /// All functions registered in a catalog.
+  static FunctionSet universe(const FunctionCatalog& catalog);
+
+  void insert(FunctionId f) {
+    SDM_CHECK(f.valid() && f.v < kMaxFunctions);
+    bits_ |= (std::uint64_t{1} << f.v);
+  }
+  void erase(FunctionId f) {
+    SDM_CHECK(f.valid() && f.v < kMaxFunctions);
+    bits_ &= ~(std::uint64_t{1} << f.v);
+  }
+  constexpr bool contains(FunctionId f) const noexcept {
+    return f.valid() && f.v < kMaxFunctions && (bits_ >> f.v) & 1;
+  }
+  constexpr bool empty() const noexcept { return bits_ == 0; }
+  std::size_t size() const noexcept;
+
+  /// Set difference: functions in this set but not in `other` (used to form
+  /// Π_x = Π \ functions-of-x).
+  constexpr FunctionSet minus(FunctionSet other) const noexcept {
+    FunctionSet s;
+    s.bits_ = bits_ & ~other.bits_;
+    return s;
+  }
+
+  std::vector<FunctionId> to_vector() const;
+
+  friend constexpr auto operator<=>(FunctionSet, FunctionSet) noexcept = default;
+
+private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace sdmbox::policy

@@ -1,0 +1,212 @@
+#include "policy/parser.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "packet/packet.hpp"
+#include "util/strings.hpp"
+
+namespace sdmbox::policy {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+bool parse_prefix(const std::string& tok, net::Prefix& out) {
+  if (tok == "*") {
+    out = net::Prefix::wildcard();
+    return true;
+  }
+  const auto parsed = net::Prefix::parse(tok);
+  if (!parsed) return false;
+  out = *parsed;
+  return true;
+}
+
+bool parse_u16(const std::string& tok, std::uint16_t& out) {
+  unsigned v = 0;
+  const auto [end, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || end != tok.data() + tok.size() || v > 65535) return false;
+  out = static_cast<std::uint16_t>(v);
+  return true;
+}
+
+bool parse_ports(const std::string& tok, PortRange& out) {
+  if (tok == "*") {
+    out = PortRange::wildcard();
+    return true;
+  }
+  const auto dash = tok.find('-');
+  if (dash == std::string::npos) {
+    std::uint16_t p = 0;
+    if (!parse_u16(tok, p)) return false;
+    out = PortRange::exactly(p);
+    return true;
+  }
+  std::uint16_t lo = 0, hi = 0;
+  if (!parse_u16(tok.substr(0, dash), lo) || !parse_u16(tok.substr(dash + 1), hi) || lo > hi) {
+    return false;
+  }
+  out = PortRange{lo, hi};
+  return true;
+}
+
+bool parse_proto(const std::string& tok, std::optional<std::uint8_t>& out) {
+  if (tok == "*") {
+    out = std::nullopt;
+    return true;
+  }
+  if (tok == "tcp") {
+    out = packet::kProtoTcp;
+    return true;
+  }
+  if (tok == "udp") {
+    out = packet::kProtoUdp;
+    return true;
+  }
+  unsigned v = 0;
+  const auto [end, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || end != tok.data() + tok.size() || v > 255) return false;
+  out = static_cast<std::uint8_t>(v);
+  return true;
+}
+
+}  // namespace
+
+ParseResult parse_policies(const std::string& text, const FunctionCatalog& catalog) {
+  ParseResult result;
+  std::istringstream is(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    // Strip comments.
+    if (const auto hash = raw.find('#'); hash != std::string::npos) raw.resize(hash);
+    auto tokens = tokenize(raw);
+    if (tokens.empty()) continue;
+    const auto fail = [&](std::string message) {
+      result.errors.push_back(ParseError{line_no, std::move(message)});
+    };
+
+    // Optional "name =" prefix.
+    std::string name;
+    if (tokens.size() >= 2 && tokens[1] == "=") {
+      name = tokens[0];
+      tokens.erase(tokens.begin(), tokens.begin() + 2);
+    }
+
+    // Locate '->'.
+    std::size_t arrow = tokens.size();
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i] == "->") arrow = i;
+    }
+    if (arrow == tokens.size() || arrow + 1 >= tokens.size()) {
+      fail("expected '-> <actions>'");
+      continue;
+    }
+    if (arrow != 4 && arrow != 5) {
+      fail("expected 4 or 5 match fields before '->' (src dst sport dport [proto])");
+      continue;
+    }
+
+    TrafficDescriptor td;
+    if (!parse_prefix(tokens[0], td.src)) {
+      fail("bad source prefix '" + tokens[0] + "'");
+      continue;
+    }
+    if (!parse_prefix(tokens[1], td.dst)) {
+      fail("bad destination prefix '" + tokens[1] + "'");
+      continue;
+    }
+    if (!parse_ports(tokens[2], td.src_port)) {
+      fail("bad source port '" + tokens[2] + "'");
+      continue;
+    }
+    if (!parse_ports(tokens[3], td.dst_port)) {
+      fail("bad destination port '" + tokens[3] + "'");
+      continue;
+    }
+    if (arrow == 5 && !parse_proto(tokens[4], td.protocol)) {
+      fail("bad protocol '" + tokens[4] + "'");
+      continue;
+    }
+
+    // Action spec: tokens after the arrow joined (commas may be spaced).
+    std::string spec;
+    for (std::size_t i = arrow + 1; i < tokens.size(); ++i) spec += tokens[i];
+    if (spec == "permit") {
+      result.policies.add(td, {}, std::move(name));
+      continue;
+    }
+    if (spec == "deny") {
+      result.policies.add_deny(td, std::move(name));
+      continue;
+    }
+    ActionList actions;
+    bool bad = false;
+    for (const std::string& fn_name : util::split(spec, ',')) {
+      const FunctionId fn = catalog.find(fn_name);
+      if (!fn.valid()) {
+        fail("unknown function '" + fn_name + "'");
+        bad = true;
+        break;
+      }
+      actions.push_back(fn);
+    }
+    if (bad || actions.empty()) {
+      if (!bad) fail("empty action list");
+      continue;
+    }
+    result.policies.add(td, std::move(actions), std::move(name));
+  }
+  return result;
+}
+
+std::string format_policy(const Policy& policy, const FunctionCatalog& catalog) {
+  const auto prefix_str = [](const net::Prefix& p) {
+    return p.is_wildcard() ? std::string("*") : p.to_string();
+  };
+  std::string out;
+  if (!policy.name.empty()) out += policy.name + " = ";
+  const TrafficDescriptor& td = policy.descriptor;
+  out += prefix_str(td.src) + " " + prefix_str(td.dst) + " " + td.src_port.to_string() + " " +
+         td.dst_port.to_string();
+  if (td.protocol) {
+    if (*td.protocol == packet::kProtoTcp) {
+      out += " tcp";
+    } else if (*td.protocol == packet::kProtoUdp) {
+      out += " udp";
+    } else {
+      out += " " + std::to_string(*td.protocol);
+    }
+  }
+  out += " -> ";
+  if (policy.deny) {
+    out += "deny";
+  } else if (policy.actions.empty()) {
+    out += "permit";
+  } else {
+    for (std::size_t i = 0; i < policy.actions.size(); ++i) {
+      if (i) out += ",";
+      out += catalog.name(policy.actions[i]);
+    }
+  }
+  return out;
+}
+
+std::string format_policies(const PolicyList& policies, const FunctionCatalog& catalog) {
+  std::string out;
+  for (const Policy& p : policies.all()) {
+    out += format_policy(p, catalog);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sdmbox::policy

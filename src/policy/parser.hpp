@@ -1,0 +1,50 @@
+// Text format for policy lists — the operator-facing syntax of the paper's
+// Table I, one policy per line, first-match order:
+//
+//   # web traffic inside the enterprise is fine
+//   permit-internal = 128.40.0.0/16 128.40.0.0/16 * 80 -> permit
+//   inbound-web     = *             128.40.0.0/16 * 80 -> FW,IDS
+//   outbound-web    = 128.40.0.0/16 *             * 80 -> FW,IDS,WP
+//   no-telnet       = *             *             * 23 -> deny
+//
+// Grammar per line (tokens whitespace-separated):
+//   [name '='] <src> <dst> <sport> <dport> [proto] '->' <actions>
+//   src, dst  : '*' | CIDR prefix | bare address (/32)
+//   ports     : '*' | N | N-M
+//   proto     : 'tcp' | 'udp' | numeric  (optional; '*' also accepted)
+//   actions   : 'permit' | 'deny' | comma-separated function names from the
+//               catalog (e.g. FW,IDS,WP)
+// '#' starts a comment; blank lines are ignored.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "policy/function.hpp"
+#include "policy/policy.hpp"
+
+namespace sdmbox::policy {
+
+struct ParseError {
+  std::size_t line = 0;  // 1-based
+  std::string message;
+};
+
+struct ParseResult {
+  PolicyList policies;
+  std::vector<ParseError> errors;
+
+  bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Parse a whole policy file; policies keep file order (= match priority).
+/// Lines with errors are skipped and reported; parsing continues.
+ParseResult parse_policies(const std::string& text, const FunctionCatalog& catalog);
+
+/// Render one policy in the exact syntax parse_policies accepts.
+std::string format_policy(const Policy& policy, const FunctionCatalog& catalog);
+
+/// Render the whole list; parse_policies(format_policies(L)) == L.
+std::string format_policies(const PolicyList& policies, const FunctionCatalog& catalog);
+
+}  // namespace sdmbox::policy

@@ -1,0 +1,73 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+
+namespace sdmbox::policy {
+
+std::string PortRange::to_string() const {
+  if (is_wildcard()) return "*";
+  if (lo == hi) return std::to_string(lo);
+  return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+std::string TrafficDescriptor::to_string() const {
+  const auto prefix_str = [](const net::Prefix& p) {
+    return p.is_wildcard() ? std::string("*") : p.to_string();
+  };
+  std::string out = prefix_str(src) + ":" + src_port.to_string() + " -> " + prefix_str(dst) + ":" +
+                    dst_port.to_string();
+  if (protocol) out += " proto=" + std::to_string(*protocol);
+  return out;
+}
+
+int Policy::action_index(FunctionId f) const noexcept {
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (actions[i] == f) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+PolicyId PolicyList::add(TrafficDescriptor descriptor, ActionList actions, std::string name) {
+  const PolicyId id{static_cast<std::uint32_t>(policies_.size())};
+  policies_.push_back(Policy{id, descriptor, std::move(actions), false, std::move(name)});
+  return id;
+}
+
+PolicyId PolicyList::add_deny(TrafficDescriptor descriptor, std::string name) {
+  const PolicyId id{static_cast<std::uint32_t>(policies_.size())};
+  policies_.push_back(Policy{id, descriptor, {}, true, std::move(name)});
+  return id;
+}
+
+const Policy* PolicyList::first_match(const packet::FlowId& f) const noexcept {
+  for (const Policy& p : policies_) {
+    if (p.descriptor.matches(f)) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<const Policy*> PolicyList::all_pointers() const {
+  std::vector<const Policy*> out;
+  out.reserve(policies_.size());
+  for (const Policy& p : policies_) out.push_back(&p);
+  return out;
+}
+
+std::vector<const Policy*> PolicyList::subset_pointers(const std::vector<PolicyId>& ids) const {
+  std::vector<const Policy*> out;
+  out.reserve(ids.size());
+  for (const PolicyId id : ids) out.push_back(&at(id));
+  std::sort(out.begin(), out.end(),
+            [](const Policy* a, const Policy* b) { return a->id < b->id; });
+  return out;
+}
+
+const Policy* first_match_in(const std::vector<const Policy*>& view,
+                             const packet::FlowId& f) noexcept {
+  for (const Policy* p : view) {
+    if (p->descriptor.matches(f)) return p;
+  }
+  return nullptr;
+}
+
+}  // namespace sdmbox::policy

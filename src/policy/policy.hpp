@@ -1,0 +1,128 @@
+// Policies: traffic descriptors + ordered action lists (§II).
+//
+// A policy's traffic descriptor is a multi-field predicate over the 5-tuple
+// — source/destination address prefixes, source/destination port ranges and
+// an optional protocol — with wildcards allowed in every field, exactly as
+// in the paper's Table I examples. An ordered policy list applies
+// first-match semantics.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "packet/packet.hpp"
+#include "policy/function.hpp"
+
+namespace sdmbox::policy {
+
+/// Inclusive port range; [0, 65535] is the wildcard.
+struct PortRange {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 65535;
+
+  static constexpr PortRange wildcard() noexcept { return {0, 65535}; }
+  static constexpr PortRange exactly(std::uint16_t p) noexcept { return {p, p}; }
+
+  constexpr bool contains(std::uint16_t p) const noexcept { return lo <= p && p <= hi; }
+  constexpr bool is_wildcard() const noexcept { return lo == 0 && hi == 65535; }
+  constexpr bool overlaps(PortRange o) const noexcept { return lo <= o.hi && o.lo <= hi; }
+
+  friend constexpr auto operator<=>(PortRange, PortRange) noexcept = default;
+
+  std::string to_string() const;
+};
+
+/// The multi-field predicate of a policy.
+struct TrafficDescriptor {
+  net::Prefix src = net::Prefix::wildcard();
+  net::Prefix dst = net::Prefix::wildcard();
+  PortRange src_port = PortRange::wildcard();
+  PortRange dst_port = PortRange::wildcard();
+  std::optional<std::uint8_t> protocol;  // nullopt = wildcard
+
+  bool matches(const packet::FlowId& f) const noexcept {
+    return src.contains(f.src) && dst.contains(f.dst) && src_port.contains(f.src_port) &&
+           dst_port.contains(f.dst_port) && (!protocol || *protocol == f.protocol);
+  }
+
+  /// Conservative overlap test: true if some flow could match both
+  /// descriptors (used by the controller to compute P_x relevance).
+  bool overlaps(const TrafficDescriptor& o) const noexcept {
+    return src.overlaps(o.src) && dst.overlaps(o.dst) && src_port.overlaps(o.src_port) &&
+           dst_port.overlaps(o.dst_port) && (!protocol || !o.protocol || *protocol == *o.protocol);
+  }
+
+  std::string to_string() const;
+};
+
+/// Stable policy identifier: the index in the networkwide ordered list P.
+struct PolicyId {
+  std::uint32_t v = kInvalid;
+  static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+  constexpr bool valid() const noexcept { return v != kInvalid; }
+  friend constexpr auto operator<=>(PolicyId, PolicyId) noexcept = default;
+};
+
+/// Ordered action list; empty means "permit" (forward with no processing).
+using ActionList = std::vector<FunctionId>;
+
+struct Policy {
+  PolicyId id;
+  TrafficDescriptor descriptor;
+  ActionList actions;
+  /// Deny rule: matching traffic is dropped at the policy proxy — inline
+  /// firewalling without consuming a middlebox. Mutually exclusive with a
+  /// non-empty action list.
+  bool deny = false;
+  std::string name;  // diagnostic label, e.g. "inbound-web-protect"
+
+  bool is_permit() const noexcept { return actions.empty() && !deny; }
+
+  /// Position of `f` in the action list, or -1.
+  int action_index(FunctionId f) const noexcept;
+
+  /// The function after position i, or invalid if i is the last.
+  FunctionId next_after(std::size_t i) const noexcept {
+    return i + 1 < actions.size() ? actions[i + 1] : FunctionId{};
+  }
+};
+
+/// The networkwide ordered policy list P with first-match semantics.
+class PolicyList {
+public:
+  PolicyId add(TrafficDescriptor descriptor, ActionList actions, std::string name = {});
+
+  /// Add a deny rule: first-matching traffic is dropped at the proxy.
+  PolicyId add_deny(TrafficDescriptor descriptor, std::string name = {});
+
+  std::size_t size() const noexcept { return policies_.size(); }
+  bool empty() const noexcept { return policies_.empty(); }
+  const Policy& at(PolicyId id) const {
+    SDM_CHECK(id.v < policies_.size());
+    return policies_[id.v];
+  }
+  const std::vector<Policy>& all() const noexcept { return policies_; }
+
+  /// First policy matching the flow, in list order; nullptr if none.
+  const Policy* first_match(const packet::FlowId& f) const noexcept;
+
+  /// Pointers to all policies in list order (classifier input). Invalidated
+  /// by add().
+  std::vector<const Policy*> all_pointers() const;
+
+  /// Pointers to the given subset, sorted by id (preserves first-match order
+  /// within the subset). Used to build per-device P_x classifiers.
+  std::vector<const Policy*> subset_pointers(const std::vector<PolicyId>& ids) const;
+
+private:
+  std::vector<Policy> policies_;
+};
+
+/// First match over an id-ordered policy view (e.g. a device's P_x slice).
+const Policy* first_match_in(const std::vector<const Policy*>& view, const packet::FlowId& f) noexcept;
+
+}  // namespace sdmbox::policy

@@ -1,0 +1,85 @@
+// Tuple-space-search classifier (Srinivasan & Varghese): rules are grouped
+// by their (source prefix length, destination prefix length) tuple; within a
+// tuple an exact-match hash table keys on the masked address pair, and the
+// small per-bucket lists (sorted by priority) are checked linearly for the
+// port/protocol fields. A lookup probes one hash table per distinct tuple —
+// O(#tuples) probes instead of O(#rules) scans, with #tuples small in
+// practice because operators use few distinct prefix lengths.
+#include <unordered_map>
+
+#include "policy/classifier.hpp"
+#include "util/hash.hpp"
+
+namespace sdmbox::policy {
+
+namespace {
+
+class TupleSpaceClassifier final : public Classifier {
+public:
+  explicit TupleSpaceClassifier(std::vector<const Policy*> view) {
+    for (const Policy* p : view) {
+      tuples_[tuple_of(p->descriptor)]
+          .rules[mask_key(p->descriptor.src.base().value(), p->descriptor.dst.base().value())]
+          .push_back(p);
+    }
+  }
+
+  const Policy* first_match(const packet::FlowId& f) const override {
+    const Policy* best = nullptr;
+    for (const auto& [tuple, table] : tuples_) {
+      const std::uint8_t src_len = static_cast<std::uint8_t>(tuple >> 8);
+      const std::uint8_t dst_len = static_cast<std::uint8_t>(tuple & 0xff);
+      const std::uint64_t key =
+          mask_key(f.src.value() & mask(src_len), f.dst.value() & mask(dst_len));
+      const auto bucket = table.rules.find(key);
+      if (bucket == table.rules.end()) continue;
+      for (const Policy* p : bucket->second) {
+        if (best != nullptr && best->id < p->id) break;  // sorted by id
+        const TrafficDescriptor& td = p->descriptor;
+        if (td.src_port.contains(f.src_port) && td.dst_port.contains(f.dst_port) &&
+            (!td.protocol || *td.protocol == f.protocol)) {
+          best = p;
+          break;
+        }
+      }
+    }
+    return best;
+  }
+
+  std::size_t memory_bytes() const override {
+    std::size_t bytes = tuples_.size() * sizeof(Table);
+    for (const auto& [tuple, table] : tuples_) {
+      for (const auto& [key, rules] : table.rules) {
+        bytes += sizeof(key) + rules.size() * sizeof(const Policy*);
+      }
+    }
+    return bytes;
+  }
+
+  const char* name() const override { return "tuple-space"; }
+
+private:
+  static constexpr std::uint32_t mask(std::uint8_t len) noexcept {
+    return len == 0 ? 0u : (~std::uint32_t{0} << (32 - len));
+  }
+  static std::uint16_t tuple_of(const TrafficDescriptor& td) noexcept {
+    return static_cast<std::uint16_t>((td.src.length() << 8) | td.dst.length());
+  }
+  static std::uint64_t mask_key(std::uint32_t src, std::uint32_t dst) noexcept {
+    return (std::uint64_t{src} << 32) | dst;
+  }
+
+  struct Table {
+    // Bucket rules stay sorted by id because insertion follows list order.
+    std::unordered_map<std::uint64_t, std::vector<const Policy*>> rules;
+  };
+  std::unordered_map<std::uint16_t, Table> tuples_;
+};
+
+}  // namespace
+
+std::unique_ptr<Classifier> make_tuple_space_classifier(std::vector<const Policy*> view) {
+  return std::make_unique<TupleSpaceClassifier>(std::move(view));
+}
+
+}  // namespace sdmbox::policy

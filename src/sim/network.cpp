@@ -1,0 +1,153 @@
+#include "sim/network.hpp"
+
+namespace sdmbox::sim {
+
+SimNetwork::SimNetwork(const net::Topology& topo, const net::RoutingTables& routing,
+                       const net::AddressResolver& resolver)
+    : topo_(topo), routing_(routing), resolver_(resolver) {
+  agents_.resize(topo.node_count());
+  node_up_.assign(topo.node_count(), true);
+  node_counters_.resize(topo.node_count());
+  link_counters_.resize(topo.link_count());
+  link_free_at_.resize(topo.link_count(), 0.0);
+}
+
+void SimNetwork::attach(net::NodeId node, std::unique_ptr<NodeAgent> agent) {
+  SDM_CHECK(node.v < agents_.size());
+  agents_[node.v] = std::move(agent);
+}
+
+void SimNetwork::inject(net::NodeId node, packet::Packet pkt, SimTime at) {
+  ++counters_.injected;
+  sim_.schedule_at(at, [this, node, pkt = std::move(pkt), at]() mutable {
+    handle_at_node(node, std::move(pkt), at, /*origin=*/true, net::NodeId{});
+  });
+}
+
+void SimNetwork::arrive(net::NodeId node, packet::Packet pkt, SimTime injected_at,
+                        net::NodeId from) {
+  handle_at_node(node, std::move(pkt), injected_at, /*origin=*/false, from);
+}
+
+void SimNetwork::set_node_up(net::NodeId node, bool up) {
+  SDM_CHECK(node.v < node_up_.size());
+  node_up_[node.v] = up;
+}
+
+bool SimNetwork::node_up(net::NodeId node) const {
+  SDM_CHECK(node.v < node_up_.size());
+  return node_up_[node.v];
+}
+
+void SimNetwork::handle_at_node(net::NodeId node, packet::Packet pkt, SimTime injected_at,
+                                bool origin, net::NodeId from) {
+  if (!node_up_[node.v]) {
+    // Crash-stop: the node is dark; whatever reaches it is lost.
+    ++node_counters_[node.v].packets_dropped;
+    ++counters_.dropped_node_down;
+    return;
+  }
+  ++node_counters_[node.v].packets_seen;
+  current_injected_at_ = injected_at;
+  if (agents_[node.v]) {
+    agents_[node.v]->on_packet(*this, std::move(pkt), from);
+    return;
+  }
+  // No agent: routers forward; the packet's addressed terminal consumes it;
+  // leaves emit their own traffic but sink transit that reaches them.
+  const auto dest = resolver_.resolve(pkt.routing_header().dst);
+  if (dest && *dest == node) {
+    deliver(node, pkt);
+    return;
+  }
+  if (origin || net::is_forwarding(topo_.node(node).kind)) {
+    forward(node, std::move(pkt));
+    return;
+  }
+  deliver(node, pkt);
+}
+
+void SimNetwork::forward(net::NodeId at_node, packet::Packet pkt) {
+  const auto dest = resolver_.resolve(pkt.routing_header().dst);
+  if (!dest) {
+    ++node_counters_[at_node.v].packets_dropped;
+    ++counters_.dropped_no_route;
+    return;
+  }
+  if (*dest == at_node) {
+    deliver(at_node, pkt);
+    return;
+  }
+  // TTL check on the header the network routes on.
+  packet::Ipv4Header& h = pkt.outer ? *pkt.outer : pkt.inner;
+  if (h.ttl == 0) {
+    ++node_counters_[at_node.v].packets_dropped;
+    ++counters_.dropped_ttl;
+    return;
+  }
+  --h.ttl;
+  const net::NextHop hop = routing_.next_hop(at_node, *dest);
+  if (!hop.valid()) {
+    ++node_counters_[at_node.v].packets_dropped;
+    ++counters_.dropped_no_route;
+    return;
+  }
+  transmit(at_node, hop.node, std::move(pkt));
+}
+
+void SimNetwork::transmit(net::NodeId from, net::NodeId to, packet::Packet pkt) {
+  const net::LinkId link = topo_.find_link(from, to);
+  SDM_CHECK_MSG(link.valid(), "transmit between non-adjacent nodes");
+  const net::LinkParams& lp = topo_.link(link).params;
+
+  // Fragmentation accounting: payload above the MTU costs one extra IP
+  // header per additional fragment on the wire.
+  const std::uint32_t wire = pkt.wire_bytes();
+  const std::uint32_t frags = packet::fragments_needed(wire, lp.mtu);
+  LinkCounters& lc = link_counters_[link.v];
+  if (frags == 0) {  // unfragmentable (pathological MTU): drop
+    ++node_counters_[from.v].packets_dropped;
+    ++counters_.dropped_no_route;
+    return;
+  }
+
+  const std::uint64_t tx_bytes = wire + (frags - 1) * packet::kIpv4HeaderBytes;
+  const double tx_time = static_cast<double>(tx_bytes) * 8.0 / lp.bandwidth_bps;
+  const SimTime start = std::max(sim_.now(), link_free_at_[link.v]);
+  // Drop-tail: the backlog (everything already committed to the link) must
+  // fit the configured buffer, measured in bytes at line rate.
+  const double backlog_s = start - sim_.now();
+  if (lp.queue_limit_bytes > 0) {
+    const double backlog_bytes = backlog_s * lp.bandwidth_bps / 8.0;
+    if (backlog_bytes + static_cast<double>(tx_bytes) >
+        static_cast<double>(lp.queue_limit_bytes)) {
+      ++lc.queue_drops;
+      ++node_counters_[from.v].packets_dropped;
+      ++counters_.dropped_queue;
+      return;
+    }
+  }
+
+  // Accounting for traffic that actually enters the wire.
+  ++lc.packets;
+  lc.fragments += frags;
+  lc.bytes += tx_bytes;
+  if (frags > 1) ++lc.fragmentation_events;
+  lc.max_backlog_s = std::max(lc.max_backlog_s, backlog_s);
+  link_free_at_[link.v] = start + tx_time;
+  const SimTime arrival = start + tx_time + lp.delay_us * 1e-6;
+  const SimTime injected_at = current_injected_at_;
+  sim_.schedule_at(arrival, [this, from, to, pkt = std::move(pkt), injected_at]() mutable {
+    arrive(to, std::move(pkt), injected_at, from);
+  });
+}
+
+void SimNetwork::deliver(net::NodeId at_node, const packet::Packet& pkt) {
+  ++node_counters_[at_node.v].packets_delivered;
+  ++counters_.delivered;
+  const SimTime latency = sim_.now() - current_injected_at_;
+  counters_.total_latency += latency;
+  if (delivery_observer_) delivery_observer_(pkt, latency);
+}
+
+}  // namespace sdmbox::sim

@@ -1,0 +1,149 @@
+// Packet-level network simulation over a Topology.
+//
+// SimNetwork wires the routing substrate (net::RoutingTables — the converged
+// "OSPF" state) into the event engine: packets travel link by link with
+// serialization + propagation delay, routers forward by destination-address
+// lookup only (policy-oblivious, as the paper requires of the traditional
+// network), and programmable agents attached to proxy/middlebox nodes
+// implement the SDM enforcement plane on top.
+//
+// Fragmentation is modeled by accounting: when a packet's wire size exceeds
+// a link MTU we count the fragmentation event and charge the extra per-
+// fragment header bytes to the link, but deliver the packet whole — the
+// paper's §III.E concern is the overhead, which this captures exactly,
+// without needing reassembly buffers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "packet/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdmbox::sim {
+
+class SimNetwork;
+
+/// Behavior attached to a node. Routers need none (pure forwarding); the SDM
+/// layer (core/) attaches proxy and middlebox agents.
+class NodeAgent {
+public:
+  virtual ~NodeAgent() = default;
+
+  /// Called when a packet arrives at this node (either addressed to it or
+  /// transiting it). `from` is the neighbor the packet arrived from — the
+  /// ingress interface — or an invalid NodeId for locally injected packets.
+  /// The agent owns the packet from here: consume it, or hand it back to
+  /// the network via forward()/transmit().
+  virtual void on_packet(SimNetwork& net, packet::Packet pkt, net::NodeId from) = 0;
+};
+
+/// Per-node counters.
+struct NodeCounters {
+  std::uint64_t packets_seen = 0;      // every packet handled at this node
+  std::uint64_t packets_delivered = 0; // consumed here as final destination
+  std::uint64_t packets_dropped = 0;   // TTL expiry / no route
+};
+
+/// Per-link counters (both directions combined).
+struct LinkCounters {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;             // wire bytes including fragment overhead
+  std::uint64_t fragmentation_events = 0;
+  std::uint64_t fragments = 0;         // total fragments emitted (>= packets)
+  std::uint64_t queue_drops = 0;       // drop-tail losses (bounded queues only)
+  double max_backlog_s = 0;            // worst serialization backlog observed
+};
+
+struct NetworkCounters {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_ttl = 0;
+  std::uint64_t dropped_no_route = 0;
+  std::uint64_t dropped_node_down = 0; // arrived at a failed node
+  std::uint64_t dropped_queue = 0;     // drop-tail losses across all links
+  double total_latency = 0;            // sum of delivery latencies (s)
+};
+
+class SimNetwork {
+public:
+  /// The topology, routing tables and resolver must outlive the network.
+  SimNetwork(const net::Topology& topo, const net::RoutingTables& routing,
+             const net::AddressResolver& resolver);
+
+  /// Attach an agent to a node (replaces any previous agent).
+  void attach(net::NodeId node, std::unique_ptr<NodeAgent> agent);
+
+  /// Failure injection: a down node silently drops everything that reaches
+  /// it (crash-stop). Used by the dependability tests/benches to model
+  /// middlebox failure before the controller reacts.
+  void set_node_up(net::NodeId node, bool up);
+  bool node_up(net::NodeId node) const;
+
+  /// Optional per-delivery observer: called with the delivered packet and
+  /// its injection-to-delivery latency (latency studies, traces).
+  using DeliveryObserver = std::function<void(const packet::Packet&, SimTime latency)>;
+  void on_delivered(DeliveryObserver observer) { delivery_observer_ = std::move(observer); }
+
+  /// Inject a packet into the network at `node` at time `at` (it is handled
+  /// as if it had just arrived there).
+  void inject(net::NodeId node, packet::Packet pkt, SimTime at);
+
+  /// Route one hop toward the packet's routing destination from `at_node`:
+  /// resolve the destination, look up the next hop, and transmit. Drops (and
+  /// counts) packets with no route or expired TTL.
+  void forward(net::NodeId at_node, packet::Packet pkt);
+
+  /// Transmit a packet on the link between `from` and its neighbor `to`
+  /// (must be adjacent). Used by agents that make explicit next-hop choices.
+  void transmit(net::NodeId from, net::NodeId to, packet::Packet pkt);
+
+  /// Deliver a packet to its final destination node counters (agents call
+  /// this when they terminate a packet).
+  void deliver(net::NodeId at_node, const packet::Packet& pkt);
+
+  Simulator& simulator() noexcept { return sim_; }
+  const net::Topology& topology() const noexcept { return topo_; }
+  const net::RoutingTables& routing() const noexcept { return routing_; }
+  const net::AddressResolver& resolver() const noexcept { return resolver_; }
+
+  const NodeCounters& node_counters(net::NodeId n) const { return node_counters_[n.v]; }
+  const LinkCounters& link_counters(net::LinkId l) const { return link_counters_[l.v]; }
+  const NetworkCounters& counters() const noexcept { return counters_; }
+
+  /// Run the event loop to completion (or until `until`).
+  void run(SimTime until = Simulator::kForever) { sim_.run(until); }
+
+  /// Packets carry an injection timestamp for latency accounting; agents
+  /// must not alter it.
+  struct InFlightMeta {
+    SimTime injected_at = 0;
+  };
+
+private:
+  void arrive(net::NodeId node, packet::Packet pkt, SimTime injected_at, net::NodeId from);
+  /// `origin` marks locally-generated packets: a leaf node may emit its own
+  /// traffic even though it never forwards transit traffic. `from` is the
+  /// ingress neighbor (invalid for injected packets).
+  void handle_at_node(net::NodeId node, packet::Packet pkt, SimTime injected_at, bool origin,
+                      net::NodeId from);
+
+  const net::Topology& topo_;
+  const net::RoutingTables& routing_;
+  const net::AddressResolver& resolver_;
+  Simulator sim_;
+  std::vector<std::unique_ptr<NodeAgent>> agents_;
+  std::vector<bool> node_up_;
+  std::vector<NodeCounters> node_counters_;
+  std::vector<LinkCounters> link_counters_;
+  std::vector<SimTime> link_free_at_;  // per-link serialization horizon
+  NetworkCounters counters_;
+  DeliveryObserver delivery_observer_;
+  // Injection time of the packet currently being handled (for latency).
+  SimTime current_injected_at_ = 0;
+};
+
+}  // namespace sdmbox::sim

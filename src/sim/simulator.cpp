@@ -1,0 +1,34 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace sdmbox::sim {
+
+void Simulator::schedule_at(SimTime at, Handler fn) {
+  SDM_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
+  SDM_CHECK(fn != nullptr);
+  queue_.push(Event{at, seq_++, std::move(fn)});
+}
+
+void Simulator::run(SimTime until) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the event is copied cheaply except the
+    // handler, which we move out after the pop-order is fixed.
+    const Event& top = queue_.top();
+    if (top.at > until) break;
+    Event ev{top.at, top.seq, std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    now_ = ev.at;
+    ++processed_;
+    ev.fn();
+  }
+}
+
+void Simulator::reset() {
+  while (!queue_.empty()) queue_.pop();
+  now_ = 0;
+  seq_ = 0;
+  processed_ = 0;
+}
+
+}  // namespace sdmbox::sim

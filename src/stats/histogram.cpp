@@ -1,0 +1,52 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sdmbox::stats {
+
+void Histogram::add(double value) {
+  SDM_CHECK_MSG(std::isfinite(value), "histogram samples must be finite");
+  if (!samples_.empty() && value < samples_.back()) sorted_ = false;
+  samples_.push_back(value);
+}
+
+void Histogram::ensure_sorted() const {
+  if (!sorted_) {
+    auto& mutable_samples = const_cast<std::vector<double>&>(samples_);
+    std::sort(mutable_samples.begin(), mutable_samples.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::min() const {
+  SDM_CHECK(!samples_.empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Histogram::max() const {
+  SDM_CHECK(!samples_.empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Histogram::mean() const {
+  SDM_CHECK(!samples_.empty());
+  double sum = 0;
+  for (const double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::quantile(double q) const {
+  SDM_CHECK(!samples_.empty());
+  SDM_CHECK(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace sdmbox::stats

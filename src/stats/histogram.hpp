@@ -1,0 +1,32 @@
+// Reservoir-free exact histogram for bench-scale sample sets (delivery
+// latencies, queue depths): stores samples, sorts lazily, answers mean and
+// quantiles. Bench-scale means up to a few million doubles — fine to hold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sdmbox::stats {
+
+class Histogram {
+public:
+  void add(double value);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Quantile in [0, 1] by nearest-rank on the sorted samples; q=0.5 is the
+  /// median. Requires at least one sample.
+  double quantile(double q) const;
+
+private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace sdmbox::stats

@@ -1,0 +1,56 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace sdmbox::stats {
+
+void TextTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths;
+  const auto account = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row);
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += "  ";
+      // Right-align all but the first column (numbers read better).
+      out += i == 0 ? util::pad_right(row[i], widths[i]) : util::pad_left(row[i], widths[i]);
+    }
+    out += "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i ? 2 : 0);
+    out += std::string(total, '-') + "\n";
+  }
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string TextTable::to_csv() const {
+  std::string out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ",";
+      out += row[i];
+    }
+    out += "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+}  // namespace sdmbox::stats

@@ -1,0 +1,31 @@
+// Plain-text and CSV table rendering for the bench harnesses, which print
+// the same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sdmbox::stats {
+
+class TextTable {
+public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and a separator under the header.
+  std::string to_string() const;
+
+  /// Render as CSV (header first if set).
+  std::string to_csv() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sdmbox::stats

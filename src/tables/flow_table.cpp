@@ -1,0 +1,118 @@
+#include "tables/flow_table.hpp"
+
+#include "util/check.hpp"
+
+namespace sdmbox::tables {
+
+FlowTable::FlowTable(SimTime idle_timeout, std::size_t capacity)
+    : idle_timeout_(idle_timeout), capacity_(capacity) {
+  SDM_CHECK(idle_timeout > 0);
+  SDM_CHECK(capacity >= 1);
+}
+
+void FlowTable::touch(Slot& slot, SimTime now) {
+  slot.entry.last_used = now;
+  lru_.splice(lru_.begin(), lru_, slot.lru_pos);
+}
+
+void FlowTable::erase_slot(std::unordered_map<packet::FlowId, Slot, KeyHash>::iterator it) {
+  if (const std::uint16_t label = it->second.entry.label; label != 0) {
+    --live_labels_;
+    label_in_use_[label] = false;
+  }
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+FlowEntry* FlowTable::lookup(const packet::FlowId& f, SimTime now) {
+  auto it = entries_.find(f);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (now - it->second.entry.last_used > idle_timeout_) {
+    // Lazy soft-state expiry: the entry died of idleness before this packet.
+    erase_slot(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  touch(it->second, now);
+  ++stats_.hits;
+  if (it->second.entry.is_negative()) ++stats_.negative_hits;
+  return &it->second.entry;
+}
+
+FlowEntry& FlowTable::insert(const packet::FlowId& f, policy::PolicyId policy,
+                             policy::ActionList actions, SimTime now) {
+  auto it = entries_.find(f);
+  if (it != entries_.end()) {
+    if (const std::uint16_t label = it->second.entry.label; label != 0) {
+      --live_labels_;
+      label_in_use_[label] = false;
+    }
+    it->second.entry = FlowEntry{f, policy, std::move(actions), 0, false, -1, now};
+    touch(it->second, now);
+    return it->second.entry;
+  }
+  if (entries_.size() >= capacity_) evict_for_space();
+  lru_.push_front(f);
+  auto [pos, inserted] =
+      entries_.emplace(f, Slot{FlowEntry{f, policy, std::move(actions), 0, false, -1, now}, lru_.begin()});
+  SDM_CHECK(inserted);
+  return pos->second.entry;
+}
+
+void FlowTable::evict_for_space() {
+  SDM_CHECK(!lru_.empty());
+  auto it = entries_.find(lru_.back());
+  SDM_CHECK(it != entries_.end());
+  erase_slot(it);
+  ++stats_.evictions;
+}
+
+std::uint16_t FlowTable::allocate_label(FlowEntry& entry) {
+  SDM_CHECK_MSG(entry.label == 0, "entry already labeled");
+  SDM_CHECK_MSG(live_labels_ < 0xffff, "label space exhausted");
+  // Labels are locally unique among live entries; 0 is reserved for
+  // "no label". Scan the rolling counter forward until a free value; the
+  // bitmap makes each probe O(1) and termination follows from
+  // live_labels_ < 0xffff.
+  for (;;) {
+    const std::uint16_t candidate = next_label_;
+    next_label_ = static_cast<std::uint16_t>(next_label_ == 0xffff ? 1 : next_label_ + 1);
+    if (!label_in_use_[candidate]) {
+      label_in_use_[candidate] = true;
+      entry.label = candidate;
+      ++live_labels_;
+      return candidate;
+    }
+  }
+}
+
+bool FlowTable::confirm_label(const packet::FlowId& f, SimTime now) {
+  auto it = entries_.find(f);
+  if (it == entries_.end()) return false;
+  if (now - it->second.entry.last_used > idle_timeout_) {
+    erase_slot(it);
+    ++stats_.expirations;
+    return false;
+  }
+  touch(it->second, now);
+  it->second.entry.label_switched = true;
+  return true;
+}
+
+void FlowTable::expire_idle(SimTime now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.entry.last_used > idle_timeout_) {
+      auto victim = it++;
+      erase_slot(victim);
+      ++stats_.expirations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace sdmbox::tables

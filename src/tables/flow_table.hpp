@@ -1,0 +1,122 @@
+// Per-node flow cache (§III.D) with label-switching state (§III.E).
+//
+// Stores ⟨f, a⟩ pairs keyed by 5-tuple so that only the first packet of a
+// flow pays for multi-field classification. Three refinements from the
+// paper, all implemented here:
+//  * negative caching — a flow that matches no policy is cached with a null
+//    action so later packets skip the policy table entirely;
+//  * soft state — entries expire after `idle_timeout` without a hit;
+//  * label switching — proxy-side entries carry a locally unique label and a
+//    "switched" flag set when the last middlebox's confirmation arrives.
+//
+// Bounded capacity with least-recently-used eviction protects the middlebox
+// from state exhaustion under flow churn (the paper leaves sizing open; a
+// production table must bound memory).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "packet/packet.hpp"
+#include "policy/policy.hpp"
+
+namespace sdmbox::tables {
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+struct FlowEntry {
+  packet::FlowId flow;
+  /// Matched policy, or invalid for a negative (null-action) entry.
+  policy::PolicyId policy;
+  /// Copy of the matched action list (empty for permit and negative entries).
+  policy::ActionList actions;
+  /// Locally unique label allocated by the proxy; 0 when unused.
+  std::uint16_t label = 0;
+  /// Set when the label-switching confirmation control packet arrived.
+  bool label_switched = false;
+  /// Free annotation slot for the owning agent (the proxy caches the flow's
+  /// destination-subnet index here for measurement reporting). -1 = unset.
+  std::int32_t user_tag = -1;
+  SimTime last_used = 0;
+
+  bool is_negative() const noexcept { return !policy.valid(); }
+};
+
+struct FlowTableStats {
+  std::uint64_t hits = 0;
+  std::uint64_t negative_hits = 0;  // subset of hits landing on null entries
+  std::uint64_t misses = 0;
+  std::uint64_t expirations = 0;
+  std::uint64_t evictions = 0;
+
+  double hit_rate() const noexcept {
+    const double total = static_cast<double>(hits + misses);
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class FlowTable {
+public:
+  /// idle_timeout: seconds an entry may go unreferenced before expiring.
+  /// capacity: maximum live entries; LRU eviction beyond that.
+  explicit FlowTable(SimTime idle_timeout = 30.0, std::size_t capacity = 1 << 20);
+
+  /// Look up `f` at time `now`. Refreshes last_used on hit; lazily expires
+  /// and miss-counts entries idle past the timeout. The returned pointer is
+  /// invalidated by the next non-const call.
+  FlowEntry* lookup(const packet::FlowId& f, SimTime now);
+
+  /// Insert (or overwrite) an entry; returns it. `policy` invalid + empty
+  /// actions makes a negative entry. Allocates no label — see
+  /// allocate_label().
+  FlowEntry& insert(const packet::FlowId& f, policy::PolicyId policy, policy::ActionList actions,
+                    SimTime now);
+
+  /// Assign a locally unique non-zero label to an existing entry (proxy-side,
+  /// first packet of a flow under label switching). Returns the label.
+  std::uint16_t allocate_label(FlowEntry& entry);
+
+  /// Mark the entry for `f` as label-switched (confirmation received).
+  /// Returns false if the entry is gone (expired — the confirmation is then
+  /// simply dropped, as the paper's soft-state design implies).
+  bool confirm_label(const packet::FlowId& f, SimTime now);
+
+  /// Proactively drop all entries idle past the timeout.
+  void expire_idle(SimTime now);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  SimTime idle_timeout() const noexcept { return idle_timeout_; }
+  const FlowTableStats& stats() const noexcept { return stats_; }
+
+private:
+  struct KeyHash {
+    std::size_t operator()(const packet::FlowId& f) const noexcept {
+      return static_cast<std::size_t>(f.hash(0x7ab1e5));
+    }
+  };
+
+  struct Slot {
+    FlowEntry entry;
+    std::list<packet::FlowId>::iterator lru_pos;
+  };
+
+  void touch(Slot& slot, SimTime now);
+  void erase_slot(std::unordered_map<packet::FlowId, Slot, KeyHash>::iterator it);
+  void evict_for_space();
+
+  SimTime idle_timeout_;
+  std::size_t capacity_;
+  std::unordered_map<packet::FlowId, Slot, KeyHash> entries_;
+  std::list<packet::FlowId> lru_;  // front = most recently used
+  std::uint16_t next_label_ = 1;
+  std::uint64_t live_labels_ = 0;
+  std::vector<bool> label_in_use_ = std::vector<bool>(1 << 16, false);
+  FlowTableStats stats_;
+};
+
+}  // namespace sdmbox::tables

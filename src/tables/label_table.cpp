@@ -1,0 +1,45 @@
+#include "tables/label_table.hpp"
+
+#include "util/check.hpp"
+
+namespace sdmbox::tables {
+
+LabelTable::LabelTable(SimTime idle_timeout) : idle_timeout_(idle_timeout) {
+  SDM_CHECK(idle_timeout > 0);
+}
+
+LabelEntry& LabelTable::insert(const LabelKey& key, LabelEntry entry, SimTime now) {
+  entry.last_used = now;
+  auto [it, unused_inserted] = entries_.insert_or_assign(key, std::move(entry));
+  return it->second;
+}
+
+LabelEntry* LabelTable::lookup(const LabelKey& key, SimTime now) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (now - it->second.last_used > idle_timeout_) {
+    entries_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  it->second.last_used = now;
+  ++stats_.hits;
+  return &it->second;
+}
+
+void LabelTable::expire_idle(SimTime now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.last_used > idle_timeout_) {
+      it = entries_.erase(it);
+      ++stats_.expirations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace sdmbox::tables

@@ -1,0 +1,87 @@
+// Per-middlebox label table (§III.E).
+//
+// Keyed by ⟨src | l⟩ — the original source address concatenated with the
+// proxy-allocated label, which together are network-unique because labels
+// are locally unique per proxy and the proxy's address rides the outer IP
+// header's source field during chain setup. Each entry stores the action
+// list a (and, at the last middlebox of the chain, the original destination
+// address dst) so subsequent packets can be label-switched by rewriting the
+// destination address instead of being tunneled IP-over-IP.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/ip.hpp"
+#include "policy/policy.hpp"
+#include "tables/flow_table.hpp"
+
+namespace sdmbox::tables {
+
+struct LabelKey {
+  net::IpAddress src;   // original flow source address
+  std::uint16_t label;  // proxy-allocated label
+
+  friend constexpr auto operator<=>(const LabelKey&, const LabelKey&) noexcept = default;
+};
+
+struct LabelEntry {
+  policy::ActionList actions;
+  /// Indices in `actions` of the chain segment THIS middlebox performs for
+  /// the flow: [first_position, position]. More than one entry when a
+  /// consolidated middlebox implements consecutive chain functions. The
+  /// next hop serves actions[position + 1].
+  std::size_t first_position = 0;
+  std::size_t position = 0;
+
+  /// Number of functions this box applies per packet of the flow.
+  std::size_t functions_applied() const noexcept { return position - first_position + 1; }
+  /// Address of the next middlebox in the chain, chosen when the flow's
+  /// first packet passed through tunneled. Label-switched packets have their
+  /// destination rewritten hop by hop, so the choice cannot be recomputed
+  /// from the packet — it is pinned here. Absent at the chain tail.
+  std::optional<net::IpAddress> next_hop;
+  /// Original destination; present only at the last middlebox of the chain.
+  std::optional<net::IpAddress> final_dst;
+  SimTime last_used = 0;
+
+  bool is_chain_tail() const noexcept { return final_dst.has_value(); }
+};
+
+struct LabelTableStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t expirations = 0;
+};
+
+class LabelTable {
+public:
+  explicit LabelTable(SimTime idle_timeout = 30.0);
+
+  /// Insert or overwrite the entry for `key`.
+  LabelEntry& insert(const LabelKey& key, LabelEntry entry, SimTime now);
+
+  /// Lookup with soft-state expiry; nullptr on miss. The returned pointer is
+  /// invalidated by the next non-const call.
+  LabelEntry* lookup(const LabelKey& key, SimTime now);
+
+  void expire_idle(SimTime now);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const LabelTableStats& stats() const noexcept { return stats_; }
+
+private:
+  struct KeyHash {
+    std::size_t operator()(const LabelKey& k) const noexcept {
+      return static_cast<std::size_t>(
+          util::hash_combine(util::mix64(k.src.value()), k.label));
+    }
+  };
+
+  SimTime idle_timeout_;
+  std::unordered_map<LabelKey, LabelEntry, KeyHash> entries_;
+  LabelTableStats stats_;
+};
+
+}  // namespace sdmbox::tables

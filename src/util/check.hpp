@@ -1,0 +1,48 @@
+// Lightweight precondition / invariant checking.
+//
+// SDM_CHECK is always on (cheap comparisons guarding API contracts);
+// SDM_DCHECK compiles out in NDEBUG builds (hot-path invariants).
+// Violations throw sdmbox::ContractViolation so tests can assert on them
+// and long-running simulations fail loudly instead of corrupting results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sdmbox {
+
+/// Thrown when a SDM_CHECK / SDM_DCHECK contract is violated.
+class ContractViolation : public std::logic_error {
+public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failed(const char* expr, const char* file, int line,
+                                         const std::string& msg) {
+  std::string full = std::string("contract violated: ") + expr + " at " + file + ":" +
+                     std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw ContractViolation(full);
+}
+}  // namespace detail
+
+}  // namespace sdmbox
+
+#define SDM_CHECK(expr)                                                              \
+  do {                                                                               \
+    if (!(expr)) ::sdmbox::detail::contract_failed(#expr, __FILE__, __LINE__, {});   \
+  } while (0)
+
+#define SDM_CHECK_MSG(expr, msg)                                                     \
+  do {                                                                               \
+    if (!(expr)) ::sdmbox::detail::contract_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SDM_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define SDM_DCHECK(expr) SDM_CHECK(expr)
+#endif

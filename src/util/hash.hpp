@@ -1,0 +1,46 @@
+// Deterministic, seedable hashing primitives.
+//
+// Every probabilistic decision in the enforcement plane (next-middlebox
+// selection in the load-balanced strategy, flow-table bucketing) is keyed by
+// these hashes so that runs are reproducible across platforms. We do not use
+// std::hash anywhere decisions matter because its output is implementation
+// defined.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sdmbox::util {
+
+/// splitmix64 finalizer — a strong 64-bit mixing function.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over raw bytes, 64-bit.
+constexpr std::uint64_t fnv1a64(const void* data, std::size_t len,
+                                std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t fnv1a64(std::string_view s,
+                                std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept {
+  return fnv1a64(s.data(), s.size(), seed);
+}
+
+/// Combine two hashes (boost-style but 64-bit, order sensitive).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace sdmbox::util

@@ -1,0 +1,36 @@
+// Minimal leveled logger for the simulator and controller.
+//
+// Deliberately tiny: benches and tests run quiet by default; examples turn on
+// Info to narrate enforcement decisions. Not thread-safe by design — the
+// simulator is single-threaded (discrete-event), and benches log only from
+// the main thread.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sdmbox::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line at `level` with a subsystem tag, e.g. log_line(kInfo, "ctrl", "...").
+void log_line(LogLevel level, const char* tag, const std::string& message);
+
+}  // namespace sdmbox::util
+
+#define SDM_LOG(level, tag, expr)                                    \
+  do {                                                               \
+    if ((level) >= ::sdmbox::util::log_level()) {                    \
+      std::ostringstream sdm_log_os_;                                \
+      sdm_log_os_ << expr;                                           \
+      ::sdmbox::util::log_line((level), (tag), sdm_log_os_.str());   \
+    }                                                                \
+  } while (0)
+
+#define SDM_LOG_INFO(tag, expr) SDM_LOG(::sdmbox::util::LogLevel::kInfo, tag, expr)
+#define SDM_LOG_DEBUG(tag, expr) SDM_LOG(::sdmbox::util::LogLevel::kDebug, tag, expr)
+#define SDM_LOG_WARN(tag, expr) SDM_LOG(::sdmbox::util::LogLevel::kWarn, tag, expr)

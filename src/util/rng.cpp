@@ -1,0 +1,99 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/hash.hpp"
+
+namespace sdmbox::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // splitmix64 expansion; guarantees a non-zero state for any seed.
+  std::uint64_t z = seed;
+  for (auto& s : s_) {
+    z += 0x9e3779b97f4a7c15ULL;
+    s = mix64(z);
+  }
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  SDM_DCHECK(bound > 0);
+  // Lemire-style rejection over the top of the range to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) noexcept {
+  SDM_DCHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() noexcept {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) noexcept { return next_double() < p; }
+
+double Rng::next_exponential(double mean) noexcept {
+  SDM_DCHECK(mean > 0);
+  double u;
+  do {
+    u = next_double();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::next_power_law(std::uint64_t lo, std::uint64_t hi, double alpha) noexcept {
+  SDM_DCHECK(lo >= 1 && lo <= hi);
+  SDM_DCHECK(alpha > 0 && alpha != 1.0);
+  const double a = 1.0 - alpha;
+  const double lo_p = std::pow(static_cast<double>(lo), a);
+  const double hi_p = std::pow(static_cast<double>(hi) + 1.0, a);
+  const double u = next_double();
+  const double x = std::pow(lo_p + u * (hi_p - lo_p), 1.0 / a);
+  auto s = static_cast<std::uint64_t>(x);
+  if (s < lo) s = lo;
+  if (s > hi) s = hi;
+  return s;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) noexcept {
+  SDM_DCHECK(k <= n);
+  // Partial Fisher-Yates over an index vector; O(n) memory is fine for the
+  // topology sizes we deal with (hundreds of routers).
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(next_below(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::fork() noexcept { return Rng(next_u64()); }
+
+}  // namespace sdmbox::util

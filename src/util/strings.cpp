@@ -1,0 +1,48 @@
+#include "util/strings.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace sdmbox::util {
+
+std::string with_thousands(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - first) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string format_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string format_millions(double v) { return format_fixed(v / 1e6, 2) + "M"; }
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(s);
+  while (std::getline(is, item, delim)) out.push_back(item);
+  if (!s.empty() && s.back() == delim) out.emplace_back();
+  if (s.empty()) out.emplace_back();
+  return out;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace sdmbox::util

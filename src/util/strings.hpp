@@ -1,0 +1,28 @@
+// Small string/format helpers shared by report printers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdmbox::util {
+
+/// 1234567 -> "1,234,567" (used by the paper-style load tables).
+std::string with_thousands(std::uint64_t v);
+
+/// Fixed-point with `digits` decimals, e.g. format_fixed(1.6589, 2) == "1.66".
+std::string format_fixed(double v, int digits);
+
+/// Millions with two decimals, e.g. 1659 -> "0.00M", 1658900 -> "1.66M".
+std::string format_millions(double v);
+
+/// Split on a delimiter, keeping empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Left-pad to width with spaces (no truncation).
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pad to width with spaces (no truncation).
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace sdmbox::util

@@ -1,0 +1,139 @@
+#include "workload/flow_gen.hpp"
+
+#include <algorithm>
+
+namespace sdmbox::workload {
+
+namespace {
+
+/// Random host address inside a stub subnet (skipping the proxy at offset 1).
+net::IpAddress random_host(const net::Prefix& subnet, util::Rng& rng) {
+  const std::uint32_t span = (1u << (32 - subnet.length())) - 4;
+  return net::IpAddress(subnet.base().value() + 2 +
+                        static_cast<std::uint32_t>(rng.next_below(span)));
+}
+
+std::uint16_t ephemeral_port(util::Rng& rng) {
+  return static_cast<std::uint16_t>(49152 + rng.next_below(16384));
+}
+
+}  // namespace
+
+GeneratedFlows generate_flows(const net::GeneratedNetwork& network,
+                              const GeneratedPolicies& policies, const FlowGenParams& params,
+                              util::Rng& rng) {
+  SDM_CHECK(params.min_flow_packets >= 1);
+  SDM_CHECK(params.min_flow_packets <= params.max_flow_packets);
+  SDM_CHECK(network.subnets.size() >= 2);
+
+  const auto mto = policies.of_class(PolicyClass::kManyToOne);
+  const auto otm = policies.of_class(PolicyClass::kOneToMany);
+  const auto oto = policies.of_class(PolicyClass::kOneToOne);
+  SDM_CHECK_MSG(!mto.empty() && !otm.empty() && !oto.empty(),
+                "flow generation needs at least one policy of each class");
+  const std::vector<const PolicyClassInfo*>* class_pools[3] = {&mto, &otm, &oto};
+
+  GeneratedFlows out;
+  const std::size_t subnet_count = network.subnets.size();
+  const double weight_total =
+      params.class_weights[0] + params.class_weights[1] + params.class_weights[2];
+  SDM_CHECK_MSG(weight_total > 0 && params.class_weights[0] >= 0 &&
+                    params.class_weights[1] >= 0 && params.class_weights[2] >= 0,
+                "class weights must be non-negative with a positive sum");
+
+  while (out.total_packets < params.target_total_packets) {
+    // Flows split across the classes by weight (§IV.A uses even thirds).
+    double r = rng.next_double() * weight_total;
+    std::size_t cls = 0;
+    while (cls < 2 && r >= params.class_weights[cls]) {
+      r -= params.class_weights[cls];
+      ++cls;
+    }
+    const auto& pool = *class_pools[cls];
+    const PolicyClassInfo& info = *pool[rng.pick_index(pool.size())];
+    const policy::Policy& pol = policies.policies.at(info.id);
+
+    FlowRecord f;
+    f.intended = info.id;
+    // Source subnet: the policy's fixed subnet, else any subnet other than
+    // the destination.
+    f.dst_subnet = info.dst_subnet >= 0 ? info.dst_subnet
+                                        : static_cast<int>(rng.pick_index(subnet_count));
+    if (info.src_subnet >= 0) {
+      f.src_subnet = info.src_subnet;
+    } else {
+      do {
+        f.src_subnet = static_cast<int>(rng.pick_index(subnet_count));
+      } while (f.src_subnet == f.dst_subnet && subnet_count > 1);
+    }
+    if (info.dst_subnet < 0) {
+      while (f.dst_subnet == f.src_subnet && subnet_count > 1) {
+        f.dst_subnet = static_cast<int>(rng.pick_index(subnet_count));
+      }
+    }
+    f.id.src = random_host(network.subnets[static_cast<std::size_t>(f.src_subnet)], rng);
+    f.id.dst = random_host(network.subnets[static_cast<std::size_t>(f.dst_subnet)], rng);
+    // Ports: land inside the policy's (exact or wildcard) port ranges.
+    f.id.dst_port = pol.descriptor.dst_port.is_wildcard() ? ephemeral_port(rng)
+                                                          : pol.descriptor.dst_port.lo;
+    f.id.src_port = pol.descriptor.src_port.is_wildcard() ? ephemeral_port(rng)
+                                                          : pol.descriptor.src_port.lo;
+    f.id.protocol = packet::kProtoTcp;
+    f.packets = rng.next_power_law(params.min_flow_packets, params.max_flow_packets,
+                                   params.power_law_alpha);
+    out.total_packets += f.packets;
+    out.flows.push_back(f);
+    SDM_DCHECK(policies.policies.first_match(f.id) == &pol);
+
+    // Web responses: the reversed 5-tuple matches the one-to-many policy's
+    // return companion (src port 80 toward the client subnet).
+    if (params.web_return_traffic && info.cls == PolicyClass::kOneToMany) {
+      FlowRecord back;
+      back.id.src = f.id.dst;
+      back.id.dst = f.id.src;
+      back.id.src_port = f.id.dst_port;  // 80
+      back.id.dst_port = f.id.src_port;
+      back.id.protocol = f.id.protocol;
+      back.src_subnet = f.dst_subnet;
+      back.dst_subnet = f.src_subnet;
+      back.packets = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(static_cast<double>(f.packets) *
+                                        params.web_return_scale));
+      const policy::Policy* return_pol = policies.policies.first_match(back.id);
+      SDM_CHECK_MSG(return_pol != nullptr,
+                    "web_return_traffic needs companion policies "
+                    "(PolicyGenParams::web_return_companions)");
+      back.intended = return_pol->id;
+      out.total_packets += back.packets;
+      out.flows.push_back(back);
+    }
+  }
+
+  if (params.background_flow_fraction > 0) {
+    const auto n_background = static_cast<std::size_t>(
+        static_cast<double>(out.flows.size()) * params.background_flow_fraction);
+    for (std::size_t i = 0; i < n_background; ++i) {
+      FlowRecord f;
+      f.src_subnet = static_cast<int>(rng.pick_index(subnet_count));
+      do {
+        f.dst_subnet = static_cast<int>(rng.pick_index(subnet_count));
+      } while (f.dst_subnet == f.src_subnet && subnet_count > 1);
+      f.id.src = random_host(network.subnets[static_cast<std::size_t>(f.src_subnet)], rng);
+      f.id.dst = random_host(network.subnets[static_cast<std::size_t>(f.dst_subnet)], rng);
+      // Destination ports in [40000, 49152) are touched by no generated
+      // policy (services sit below 2048, ephemeral ports at 49152+), so
+      // these flows match nothing by construction.
+      f.id.dst_port = static_cast<std::uint16_t>(40000 + rng.next_below(9000));
+      f.id.src_port = ephemeral_port(rng);
+      f.id.protocol = packet::kProtoUdp;
+      f.packets = rng.next_power_law(params.min_flow_packets, params.max_flow_packets,
+                                     params.power_law_alpha);
+      out.background_packets += f.packets;
+      out.flows.push_back(f);
+      SDM_DCHECK(policies.policies.first_match(f.id) == nullptr);
+    }
+  }
+  return out;
+}
+
+}  // namespace sdmbox::workload

@@ -1,0 +1,74 @@
+#include "workload/traffic_matrix.hpp"
+
+#include <algorithm>
+
+namespace sdmbox::workload {
+
+void TrafficMatrix::add_sample(policy::PolicyId p, int src_subnet, int dst_subnet,
+                               double volume) {
+  if (volume <= 0) return;
+  total_[key1(p)] += volume;
+  from_[key2(p, src_subnet)] += volume;
+  to_[key2(p, dst_subnet)] += volume;
+  pair_[key3(p, src_subnet, dst_subnet)] += volume;
+  grand_total_ += volume;
+}
+
+TrafficMatrix TrafficMatrix::measure(const policy::PolicyList& policies,
+                                     std::span<const FlowRecord> flows) {
+  TrafficMatrix tm;
+  for (const FlowRecord& f : flows) {
+    const policy::Policy* p = policies.first_match(f.id);
+    if (p == nullptr) continue;
+    tm.add_sample(p->id, f.src_subnet, f.dst_subnet, static_cast<double>(f.packets));
+  }
+  return tm;
+}
+
+TrafficMatrix TrafficMatrix::measure_sampled(const policy::PolicyList& policies,
+                                             std::span<const FlowRecord> flows, double rate,
+                                             std::uint64_t seed) {
+  SDM_CHECK_MSG(rate > 0 && rate <= 1.0, "sampling rate must be in (0, 1]");
+  if (rate >= 1.0) return measure(policies, flows);
+  TrafficMatrix tm;
+  const auto threshold =
+      static_cast<std::uint64_t>(rate * static_cast<double>(~std::uint64_t{0}));
+  for (const FlowRecord& f : flows) {
+    if (f.id.hash(0x5a3f1e ^ seed) > threshold) continue;  // flow not sampled
+    const policy::Policy* p = policies.first_match(f.id);
+    if (p == nullptr) continue;
+    tm.add_sample(p->id, f.src_subnet, f.dst_subnet, static_cast<double>(f.packets) / rate);
+  }
+  return tm;
+}
+
+std::vector<int> TrafficMatrix::active_sources(policy::PolicyId p) const {
+  std::vector<int> out;
+  for (const auto& [k, v] : from_) {
+    if ((k >> 24) == p.v && v > 0) out.push_back(static_cast<int>(k & 0xffffff));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> TrafficMatrix::active_destinations(policy::PolicyId p) const {
+  std::vector<int> out;
+  for (const auto& [k, v] : to_) {
+    if ((k >> 24) == p.v && v > 0) out.push_back(static_cast<int>(k & 0xffffff));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<int, int>> TrafficMatrix::active_pairs(policy::PolicyId p) const {
+  std::vector<std::pair<int, int>> out;
+  for (const auto& [k, v] : pair_) {
+    if ((k >> 48) == p.v && v > 0) {
+      out.emplace_back(static_cast<int>((k >> 24) & 0xffffff), static_cast<int>(k & 0xffffff));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sdmbox::workload

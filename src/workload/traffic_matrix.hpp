@@ -1,0 +1,80 @@
+// Traffic measurements reported by the policy proxies (§III.C).
+//
+// The controller's LPs consume per-policy volumes at three granularities:
+//   T_p       — total volume matching policy p,
+//   T_{s,p}   — volume from source subnet s matching p,
+//   T_{d,p}   — volume received by destination subnet d matching p,
+//   T_{s,d,p} — volume from s to d matching p (Eq. (1) only).
+// Volumes are in packets, matching the paper's load metric.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "policy/policy.hpp"
+#include "workload/flow_gen.hpp"
+
+namespace sdmbox::workload {
+
+class TrafficMatrix {
+public:
+  /// Measure a flow set against a policy list (first-match). Flows matching
+  /// no policy contribute nothing. This is what the proxies would report in
+  /// aggregate over a measurement period.
+  static TrafficMatrix measure(const policy::PolicyList& policies,
+                               std::span<const FlowRecord> flows);
+
+  /// Accumulate one measured sample — the control plane assembles the
+  /// matrix from proxy reports via this (each report line is "policy p,
+  /// from my subnet s, toward subnet d, v packets").
+  void add_sample(policy::PolicyId p, int src_subnet, int dst_subnet, double volume);
+
+  /// Flow-sampled measurement: keep each flow with probability `rate`
+  /// (deterministic per 5-tuple hash) and scale kept volumes by 1/rate —
+  /// the classic NetFlow-style estimator a proxy would use when it cannot
+  /// afford to count every flow. rate = 1 reduces to measure().
+  static TrafficMatrix measure_sampled(const policy::PolicyList& policies,
+                                       std::span<const FlowRecord> flows, double rate,
+                                       std::uint64_t seed = 0);
+
+  double total(policy::PolicyId p) const { return get(total_, key1(p)); }
+  double from(policy::PolicyId p, int src_subnet) const { return get(from_, key2(p, src_subnet)); }
+  double to(policy::PolicyId p, int dst_subnet) const { return get(to_, key2(p, dst_subnet)); }
+  double between(policy::PolicyId p, int src_subnet, int dst_subnet) const {
+    return get(pair_, key3(p, src_subnet, dst_subnet));
+  }
+
+  /// Source subnets with nonzero T_{s,p}, ascending.
+  std::vector<int> active_sources(policy::PolicyId p) const;
+  /// Destination subnets with nonzero T_{d,p}, ascending.
+  std::vector<int> active_destinations(policy::PolicyId p) const;
+  /// (s, d) pairs with nonzero T_{s,d,p}, lexicographic.
+  std::vector<std::pair<int, int>> active_pairs(policy::PolicyId p) const;
+
+  /// Sum of T_p over all policies.
+  double grand_total() const noexcept { return grand_total_; }
+
+private:
+  static std::uint64_t key1(policy::PolicyId p) noexcept { return p.v; }
+  static std::uint64_t key2(policy::PolicyId p, int subnet) noexcept {
+    return (std::uint64_t{p.v} << 24) | static_cast<std::uint32_t>(subnet);
+  }
+  static std::uint64_t key3(policy::PolicyId p, int s, int d) noexcept {
+    return (std::uint64_t{p.v} << 48) | (static_cast<std::uint64_t>(s) << 24) |
+           static_cast<std::uint32_t>(d);
+  }
+  static double get(const std::unordered_map<std::uint64_t, double>& m, std::uint64_t k) {
+    const auto it = m.find(k);
+    return it == m.end() ? 0.0 : it->second;
+  }
+
+  std::unordered_map<std::uint64_t, double> total_;
+  std::unordered_map<std::uint64_t, double> from_;
+  std::unordered_map<std::uint64_t, double> to_;
+  std::unordered_map<std::uint64_t, double> pair_;
+  double grand_total_ = 0;
+};
+
+}  // namespace sdmbox::workload

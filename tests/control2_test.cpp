@@ -1,0 +1,174 @@
+// Differential config distribution with acknowledgments, and enforcement
+// surviving routing reconvergence after a link failure — the architectural
+// payoff of being policy-transparent to the routers (§I: routers "perform
+// their operations oblivious to policy enforcement").
+#include <gtest/gtest.h>
+
+#include "analytic/load_evaluator.hpp"
+#include "control/endpoints.hpp"
+#include "scenario.hpp"
+
+namespace sdmbox {
+namespace {
+
+using core::StrategyKind;
+using sdmbox::testing::Scenario;
+using sdmbox::testing::ScenarioParams;
+using sdmbox::testing::make_scenario;
+
+struct Loop {
+  explicit Loop(Scenario& s, const core::EnforcementPlan& initial)
+      : controller_node(control::add_controller_host(s.network)),
+        routing(net::RoutingTables::compute(s.network.topo)),
+        resolver(net::AddressResolver::build(s.network.topo)),
+        simnet(s.network.topo, routing, resolver),
+        cp(control::install_control_plane(simnet, s.network, s.deployment, s.gen.policies,
+                                          *s.controller, controller_node, initial,
+                                          core::AgentOptions{})) {}
+
+  net::NodeId controller_node;
+  net::RoutingTables routing;
+  net::AddressResolver resolver;
+  sim::SimNetwork simnet;
+  control::ControlPlane cp;
+};
+
+// ---------------------------------------------------------------------------
+// Differential pushes + acks
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialPush, UnchangedPlanSendsNothingTheSecondTime) {
+  ScenarioParams sp;
+  sp.seed = 81;
+  sp.target_packets = 1000;
+  Scenario s = make_scenario(sp);
+  const auto initial = s.controller->compile(StrategyKind::kHotPotato);
+  Loop loop(s, initial);
+  const auto plan = s.controller->compile(StrategyKind::kRandom);
+
+  const std::size_t first = loop.cp.controller->push_plan(loop.simnet, plan);
+  loop.simnet.run();
+  EXPECT_EQ(first, s.network.proxies.size() + s.deployment.size());
+  // Every applied push is acknowledged in-band.
+  EXPECT_EQ(loop.cp.controller->acks_received(), first);
+
+  const std::size_t second = loop.cp.controller->push_plan(loop.simnet, plan);
+  loop.simnet.run();
+  EXPECT_EQ(second, 0u);
+  EXPECT_EQ(loop.cp.controller->pushes_skipped_unchanged(), first);
+  EXPECT_EQ(loop.cp.controller->acks_received(), first);  // no new acks
+}
+
+TEST(DifferentialPush, OnlyChangedSlicesTravel) {
+  ScenarioParams sp;
+  sp.seed = 82;
+  sp.target_packets = 50000;
+  Scenario s = make_scenario(sp);
+  const auto initial = s.controller->compile(StrategyKind::kHotPotato);
+  Loop loop(s, initial);
+
+  // Push an LB plan, then an LB plan from slightly different traffic: the
+  // candidate sets (most of each slice) are identical, so some devices —
+  // at minimum those whose ratios didn't change — are skipped.
+  const auto lb1 = s.controller->compile(StrategyKind::kLoadBalanced, &s.traffic);
+  loop.cp.controller->push_plan(loop.simnet, lb1);
+  loop.simnet.run();
+  const auto again = loop.cp.controller->push_plan(loop.simnet, lb1);
+  EXPECT_EQ(again, 0u);
+
+  // Same strategy, same candidates, different ratios: pushes happen again,
+  // but only for devices with LP shares.
+  util::Rng rng(9);
+  workload::FlowGenParams fp;
+  fp.target_total_packets = 50000;
+  fp.class_weights[0] = 3.0;
+  const auto flows2 = workload::generate_flows(s.network, s.gen, fp, rng);
+  const auto traffic2 = workload::TrafficMatrix::measure(s.gen.policies, flows2.flows);
+  const auto lb2 = s.controller->compile(StrategyKind::kLoadBalanced, &traffic2);
+  const std::size_t changed = loop.cp.controller->push_plan(loop.simnet, lb2);
+  EXPECT_GT(changed, 0u);
+  EXPECT_LT(changed, s.network.proxies.size() + s.deployment.size() + 1);
+  EXPECT_GT(loop.cp.controller->push_bytes_sent(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Routing reconvergence under link failure
+// ---------------------------------------------------------------------------
+
+TEST(LinkFailure, RoutingRoutesAroundDownLinks) {
+  const auto network = net::make_campus_topology();
+  // Fail one of edge0's two uplinks.
+  const net::NodeId edge = network.edge_routers[0];
+  net::LinkId victim;
+  for (const auto& adj : network.topo.neighbors(edge)) {
+    if (network.topo.node(adj.neighbor).kind == net::NodeKind::kCoreRouter) {
+      victim = adj.link;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  std::vector<bool> down(network.topo.link_count(), false);
+  down[victim.v] = true;
+  const auto before = net::RoutingTables::compute(network.topo);
+  const auto after = net::RoutingTables::compute(network.topo, &down);
+  // Still fully reachable (redundant uplink), possibly at higher cost.
+  for (std::size_t d = 1; d < network.edge_routers.size(); ++d) {
+    EXPECT_LT(after.distance(edge, network.edge_routers[d]),
+              net::ShortestPathTree::kInfinity);
+    EXPECT_GE(after.distance(edge, network.edge_routers[d]),
+              before.distance(edge, network.edge_routers[d]));
+  }
+  // The failed link is never used.
+  for (std::size_t d = 0; d < network.edge_routers.size(); ++d) {
+    const auto hop = after.next_hop(edge, network.edge_routers[d]);
+    EXPECT_NE(hop.link, victim);
+  }
+}
+
+TEST(LinkFailure, EnforcementSurvivesReconvergenceWithoutControllerAction) {
+  // The paper's transparency claim: routers reconverge after a link failure
+  // and the SDM plan — tunnels addressed to middlebox ADDRESSES — keeps
+  // working with zero controller involvement and identical loads.
+  ScenarioParams sp;
+  sp.seed = 83;
+  sp.target_packets = 3000;
+  Scenario s = make_scenario(sp);
+  const auto plan = s.controller->compile(StrategyKind::kLoadBalanced, &s.traffic);
+  const auto expected =
+      analytic::evaluate_loads(s.network, s.deployment, s.gen.policies, plan, s.flows.flows);
+
+  // Fail one core<->gateway link; recompute routing (OSPF reconverged).
+  net::LinkId victim = s.network.topo.find_link(s.network.core_routers[0], s.network.gateways[0]);
+  ASSERT_TRUE(victim.valid());
+  std::vector<bool> down(s.network.topo.link_count(), false);
+  down[victim.v] = true;
+  const auto routing = net::RoutingTables::compute(s.network.topo, &down);
+  const auto resolver = net::AddressResolver::build(s.network.topo);
+  sim::SimNetwork simnet(s.network.topo, routing, resolver);
+  const auto agents =
+      core::install_agents(simnet, s.network, s.deployment, s.gen.policies, plan, {});
+  for (const auto& f : s.flows.flows) {
+    for (std::uint64_t j = 0; j < f.packets; ++j) {
+      packet::Packet p;
+      p.inner.src = f.id.src;
+      p.inner.dst = f.id.dst;
+      p.src_port = f.id.src_port;
+      p.dst_port = f.id.dst_port;
+      p.payload_bytes = 200;
+      p.flow_seq = j;
+      simnet.inject(s.network.proxies[static_cast<std::size_t>(f.src_subnet)], p, 0.0);
+    }
+  }
+  simnet.run();
+  // The failed link carried nothing; loads are bit-identical to the
+  // pre-failure plan's prediction; everything was delivered.
+  EXPECT_EQ(simnet.link_counters(victim).packets, 0u);
+  EXPECT_EQ(simnet.counters().dropped_no_route, 0u);
+  for (std::size_t i = 0; i < s.deployment.size(); ++i) {
+    EXPECT_EQ(agents.middleboxes[i]->counters().processed_packets,
+              expected.load_of(s.deployment.middleboxes()[i].node));
+  }
+}
+
+}  // namespace
+}  // namespace sdmbox

@@ -1,0 +1,272 @@
+// Tests for the §III.F web-proxy cache, drifting class weights, and the
+// measurement-epoch re-optimization driver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analytic/epoch_driver.hpp"
+#include "analytic/load_evaluator.hpp"
+#include "core/agents.hpp"
+#include "scenario.hpp"
+#include "sim/network.hpp"
+
+namespace sdmbox {
+namespace {
+
+using core::AgentOptions;
+using core::StrategyKind;
+using sdmbox::testing::Scenario;
+using sdmbox::testing::ScenarioParams;
+using sdmbox::testing::make_scenario;
+
+// ---------------------------------------------------------------------------
+// WP cache (§III.F)
+// ---------------------------------------------------------------------------
+
+TEST(WpCache, DeterministicPerFlow) {
+  packet::FlowId f;
+  f.src = net::IpAddress(10, 1, 0, 1);
+  f.dst = net::IpAddress(10, 2, 0, 1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(core::wp_cache_hit(f, 0.5), core::wp_cache_hit(f, 0.5));
+  }
+  EXPECT_FALSE(core::wp_cache_hit(f, 0.0));
+  EXPECT_TRUE(core::wp_cache_hit(f, 1.0));
+}
+
+TEST(WpCache, HitRateIsRespectedAcrossFlows) {
+  util::Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    packet::FlowId f;
+    f.src = net::IpAddress(static_cast<std::uint32_t>(rng.next_u64()));
+    f.dst = net::IpAddress(static_cast<std::uint32_t>(rng.next_u64()));
+    f.src_port = static_cast<std::uint16_t>(rng.next_below(65536));
+    hits += core::wp_cache_hit(f, 0.3);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(WpCache, TruncatesChainsInAnalyticLoads) {
+  ScenarioParams sp;
+  sp.target_packets = 200000;
+  Scenario s = make_scenario(sp);
+  const auto plan = s.controller->compile(StrategyKind::kHotPotato);
+  const auto no_cache =
+      analytic::evaluate_loads(s.network, s.deployment, s.gen.policies, plan, s.flows.flows);
+  analytic::EvalOptions opt;
+  opt.wp_cache_hit_rate = 1.0;  // every WP-bound flow is served from cache
+  const auto full_cache = analytic::evaluate_loads(s.network, s.deployment, s.gen.policies, plan,
+                                                   s.flows.flows, opt);
+  // WP is the LAST function of the only chain containing it (FW->IDS->WP),
+  // so with a 100% hit rate WP loads are unchanged and nothing downstream
+  // existed to lose load; totals must match per box.
+  for (const auto& m : s.deployment.middleboxes()) {
+    EXPECT_EQ(no_cache.load_of(m.node), full_cache.load_of(m.node));
+  }
+}
+
+TEST(WpCache, TruncatesDownstreamWhenWpLeadsTheChain) {
+  // Custom policy with WP first (the paper's Figure 3 chain WP->FW->IDS).
+  Scenario s = make_scenario();
+  policy::PolicyList policies;
+  policy::TrafficDescriptor td;
+  td.src = s.network.subnets[0];
+  td.dst_port = policy::PortRange::exactly(80);
+  policies.add(td, {policy::kWebProxy, policy::kFirewall, policy::kIntrusionDetection}, "fig3");
+  core::Controller controller(s.network, s.deployment, policies);
+  const auto plan = controller.compile(StrategyKind::kHotPotato);
+
+  std::vector<workload::FlowRecord> flows;
+  util::Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    workload::FlowRecord f;
+    f.src_subnet = 0;
+    f.dst_subnet = 1;
+    f.id.src = net::IpAddress(s.network.subnets[0].base().value() + 5 +
+                              static_cast<std::uint32_t>(rng.next_below(1000)));
+    f.id.dst = net::IpAddress(s.network.subnets[1].base().value() + 5);
+    f.id.src_port = static_cast<std::uint16_t>(49152 + rng.next_below(16384));
+    f.id.dst_port = 80;
+    f.packets = 10;
+    flows.push_back(f);
+  }
+  const auto without =
+      analytic::evaluate_loads(s.network, s.deployment, policies, plan, flows);
+  analytic::EvalOptions opt;
+  opt.wp_cache_hit_rate = 0.6;
+  const auto with =
+      analytic::evaluate_loads(s.network, s.deployment, policies, plan, flows, opt);
+
+  const auto type_total = [&](const analytic::LoadReport& r, policy::FunctionId e) {
+    std::uint64_t total = 0;
+    for (const auto m : s.deployment.implementers(e)) total += r.load_of(m);
+    return total;
+  };
+  // WP load unchanged; FW/IDS lose roughly the hit fraction.
+  EXPECT_EQ(type_total(with, policy::kWebProxy), type_total(without, policy::kWebProxy));
+  EXPECT_LT(type_total(with, policy::kFirewall),
+            static_cast<std::uint64_t>(0.55 * static_cast<double>(
+                                                  type_total(without, policy::kFirewall))));
+  EXPECT_GT(type_total(with, policy::kFirewall), 0u);
+  EXPECT_EQ(type_total(with, policy::kFirewall), type_total(with, policy::kIntrusionDetection));
+}
+
+TEST(WpCache, DesMatchesAnalyticWithCaching) {
+  Scenario s = make_scenario();
+  policy::PolicyList policies;
+  policy::TrafficDescriptor td;
+  td.src = s.network.subnets[0];
+  td.dst_port = policy::PortRange::exactly(80);
+  policies.add(td, {policy::kWebProxy, policy::kFirewall, policy::kIntrusionDetection}, "fig3");
+  core::Controller controller(s.network, s.deployment, policies);
+  const auto plan = controller.compile(StrategyKind::kRandom);
+
+  std::vector<workload::FlowRecord> flows;
+  util::Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    workload::FlowRecord f;
+    f.src_subnet = 0;
+    f.dst_subnet = 2;
+    f.id.src = net::IpAddress(s.network.subnets[0].base().value() + 5 +
+                              static_cast<std::uint32_t>(rng.next_below(1000)));
+    f.id.dst = net::IpAddress(s.network.subnets[2].base().value() + 5);
+    f.id.src_port = static_cast<std::uint16_t>(49152 + rng.next_below(16384));
+    f.id.dst_port = 80;
+    f.packets = 5;
+    flows.push_back(f);
+  }
+
+  analytic::EvalOptions eopt;
+  eopt.wp_cache_hit_rate = 0.5;
+  const auto expected =
+      analytic::evaluate_loads(s.network, s.deployment, policies, plan, flows, eopt);
+
+  const auto routing = net::RoutingTables::compute(s.network.topo);
+  const auto resolver = net::AddressResolver::build(s.network.topo);
+  sim::SimNetwork simnet(s.network.topo, routing, resolver);
+  AgentOptions aopt;
+  aopt.wp_cache_hit_rate = 0.5;
+  const auto agents =
+      core::install_agents(simnet, s.network, s.deployment, policies, plan, aopt);
+  for (const auto& f : flows) {
+    for (std::uint64_t j = 0; j < f.packets; ++j) {
+      packet::Packet p;
+      p.inner.src = f.id.src;
+      p.inner.dst = f.id.dst;
+      p.src_port = f.id.src_port;
+      p.dst_port = f.id.dst_port;
+      p.payload_bytes = 200;
+      p.flow_seq = j;
+      simnet.inject(s.network.proxies[0], p, 0.0);
+    }
+  }
+  simnet.run();
+
+  std::uint64_t cache_responses = 0;
+  for (std::size_t i = 0; i < s.deployment.size(); ++i) {
+    EXPECT_EQ(agents.middleboxes[i]->counters().processed_packets,
+              expected.load_of(s.deployment.middleboxes()[i].node))
+        << s.deployment.middleboxes()[i].name;
+    cache_responses += agents.middleboxes[i]->counters().cache_responses;
+  }
+  EXPECT_GT(cache_responses, 0u);
+  // Every packet is delivered somewhere: cached responses to the source,
+  // the rest to the destination.
+  EXPECT_EQ(simnet.counters().delivered, 500u);
+}
+
+// ---------------------------------------------------------------------------
+// Class weights
+// ---------------------------------------------------------------------------
+
+TEST(ClassWeights, SkewedWeightsShiftTheMix) {
+  Scenario base = make_scenario();
+  workload::FlowGenParams fp;
+  fp.target_total_packets = 100000;
+  fp.class_weights[0] = 8.0;  // many-to-one dominates
+  fp.class_weights[1] = 1.0;
+  fp.class_weights[2] = 1.0;
+  util::Rng rng(3);
+  const auto flows = workload::generate_flows(base.network, base.gen, fp, rng);
+  std::size_t counts[3] = {0, 0, 0};
+  for (const auto& f : flows.flows) {
+    for (const auto& info : base.gen.classes) {
+      if (info.id == f.intended) {
+        counts[static_cast<int>(info.cls)]++;
+        break;
+      }
+    }
+  }
+  const double total = static_cast<double>(flows.flows.size());
+  EXPECT_NEAR(static_cast<double>(counts[0]) / total, 0.8, 0.04);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / total, 0.1, 0.03);
+}
+
+TEST(ClassWeights, ZeroWeightClassGetsNoFlows) {
+  Scenario base = make_scenario();
+  workload::FlowGenParams fp;
+  fp.target_total_packets = 20000;
+  fp.class_weights[2] = 0.0;
+  util::Rng rng(4);
+  const auto flows = workload::generate_flows(base.network, base.gen, fp, rng);
+  for (const auto& f : flows.flows) {
+    const auto* pol = base.gen.policies.first_match(f.id);
+    ASSERT_NE(pol, nullptr);
+    EXPECT_EQ(std::count(pol->actions.begin(), pol->actions.end(), policy::kTrafficMeasure), 0);
+  }
+}
+
+TEST(ClassWeights, InvalidWeightsRejected) {
+  Scenario base = make_scenario();
+  workload::FlowGenParams fp;
+  fp.class_weights[0] = -1.0;
+  util::Rng rng(5);
+  EXPECT_THROW(workload::generate_flows(base.network, base.gen, fp, rng), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch re-optimization study
+// ---------------------------------------------------------------------------
+
+TEST(EpochStudy, ReoptimizationTracksDriftBetterThanStalePlans) {
+  ScenarioParams sp;
+  sp.seed = 17;
+  sp.target_packets = 300000;
+  Scenario s = make_scenario(sp);
+
+  // Drift: the mix rotates from mto-heavy to oto-heavy over 6 epochs.
+  std::vector<workload::GeneratedFlows> epochs;
+  util::Rng rng(99);
+  for (int i = 0; i < 6; ++i) {
+    workload::FlowGenParams fp;
+    fp.target_total_packets = 300000;
+    fp.class_weights[0] = static_cast<double>(6 - i);
+    fp.class_weights[1] = 1.0;
+    fp.class_weights[2] = static_cast<double>(1 + i);
+    epochs.push_back(workload::generate_flows(s.network, s.gen, fp, rng));
+  }
+
+  const auto study = analytic::run_epoch_study(s.network, s.deployment, s.gen.policies,
+                                               *s.controller, epochs);
+  ASSERT_EQ(study.oracle.size(), 6u);
+  ASSERT_EQ(study.reoptimized.size(), 6u);
+  ASSERT_EQ(study.stale.size(), 6u);
+
+  std::uint64_t oracle_sum = 0, reopt_sum = 0, stale_sum = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    oracle_sum += study.oracle[i].max_load;
+    reopt_sum += study.reoptimized[i].max_load;
+    stale_sum += study.stale[i].max_load;
+  }
+  // Oracle <= reoptimized (small slack for hash granularity), and staleness
+  // costs real load by the later epochs.
+  EXPECT_LE(static_cast<double>(oracle_sum), static_cast<double>(reopt_sum) * 1.05);
+  EXPECT_LT(reopt_sum, stale_sum);
+  // At epoch 0 stale == reoptimized == oracle input-wise.
+  EXPECT_EQ(study.stale[0].max_load, study.reoptimized[0].max_load);
+}
+
+}  // namespace
+}  // namespace sdmbox

@@ -1,0 +1,217 @@
+// Dependability under middlebox failure: the controller marks a box failed,
+// recomputes assignments, and pushes fresh plans; traffic steers around the
+// dead box. Also exercises the crash-stop window BEFORE the controller
+// reacts (packets headed to the dead box are lost) and repair.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analytic/load_evaluator.hpp"
+#include "core/agents.hpp"
+#include "scenario.hpp"
+#include "sim/network.hpp"
+
+namespace sdmbox::core {
+namespace {
+
+using sdmbox::testing::Scenario;
+using sdmbox::testing::ScenarioParams;
+using sdmbox::testing::make_scenario;
+
+// ---------------------------------------------------------------------------
+// Deployment failure bookkeeping
+// ---------------------------------------------------------------------------
+
+TEST(DeploymentFailure, SetAndClear) {
+  Scenario s = make_scenario();
+  const net::NodeId victim = s.deployment.implementers(policy::kFirewall)[0];
+  EXPECT_FALSE(s.deployment.is_failed(victim));
+  EXPECT_TRUE(s.deployment.set_failed(victim, true));
+  EXPECT_TRUE(s.deployment.is_failed(victim));
+  EXPECT_EQ(s.deployment.failed_count(), 1u);
+  EXPECT_TRUE(s.deployment.set_failed(victim, false));
+  EXPECT_EQ(s.deployment.failed_count(), 0u);
+}
+
+TEST(DeploymentFailure, UnknownNodeRejected) {
+  Scenario s = make_scenario();
+  EXPECT_FALSE(s.deployment.set_failed(s.network.gateways[0], true));
+}
+
+TEST(DeploymentFailure, ActiveImplementersShrink) {
+  Scenario s = make_scenario();
+  const auto all = s.deployment.implementers(policy::kIntrusionDetection);
+  s.deployment.set_failed(all[2], true);
+  const auto active = s.deployment.active_implementers(policy::kIntrusionDetection);
+  EXPECT_EQ(active.size(), all.size() - 1);
+  EXPECT_EQ(std::find(active.begin(), active.end(), all[2]), active.end());
+}
+
+// ---------------------------------------------------------------------------
+// Controller recompute
+// ---------------------------------------------------------------------------
+
+TEST(ControllerRecompute, CandidatesExcludeFailedBox) {
+  Scenario s = make_scenario();
+  const net::NodeId victim = s.deployment.implementers(policy::kFirewall)[3];
+  s.deployment.set_failed(victim, true);
+  s.controller->recompute();
+  for (const auto& [node, cfg] : s.controller->configs()) {
+    const auto& cands = cfg.candidates_for(policy::kFirewall);
+    EXPECT_EQ(std::find(cands.begin(), cands.end(), victim), cands.end());
+  }
+}
+
+TEST(ControllerRecompute, RepairRestoresCandidates) {
+  Scenario s = make_scenario();
+  const net::NodeId victim = s.deployment.implementers(policy::kFirewall)[3];
+  s.deployment.set_failed(victim, true);
+  s.controller->recompute();
+  s.deployment.set_failed(victim, false);
+  s.controller->recompute();
+  bool victim_back = false;
+  for (const auto& [node, cfg] : s.controller->configs()) {
+    const auto& cands = cfg.candidates_for(policy::kFirewall);
+    victim_back |= std::find(cands.begin(), cands.end(), victim) != cands.end();
+  }
+  EXPECT_TRUE(victim_back);
+}
+
+TEST(ControllerRecompute, LastImplementerFailureThrows) {
+  Scenario s = make_scenario();
+  for (const net::NodeId m : s.deployment.implementers(policy::kWebProxy)) {
+    s.deployment.set_failed(m, true);
+  }
+  EXPECT_THROW(s.controller->recompute(), ContractViolation);
+}
+
+TEST(ControllerRecompute, PlansAvoidFailedBoxInAnalyticChains) {
+  ScenarioParams sp;
+  sp.target_packets = 100000;
+  Scenario s = make_scenario(sp);
+  const net::NodeId victim = s.deployment.implementers(policy::kIntrusionDetection)[0];
+  s.deployment.set_failed(victim, true);
+  s.controller->recompute();
+  for (const StrategyKind strategy :
+       {StrategyKind::kHotPotato, StrategyKind::kRandom, StrategyKind::kLoadBalanced}) {
+    const auto plan = s.controller->compile(
+        strategy, strategy == StrategyKind::kLoadBalanced ? &s.traffic : nullptr);
+    const auto report =
+        analytic::evaluate_loads(s.network, s.deployment, s.gen.policies, plan, s.flows.flows);
+    EXPECT_EQ(report.load_of(victim), 0u) << to_string(strategy);
+    // The surviving boxes absorb the full demand.
+    const auto summaries = analytic::summarize_by_function(report, s.deployment, s.catalog);
+    for (const auto& summary : summaries) {
+      double expected = 0;
+      for (const auto& p : s.gen.policies.all()) {
+        if (p.action_index(summary.function) >= 0) expected += s.traffic.total(p.id);
+      }
+      EXPECT_DOUBLE_EQ(static_cast<double>(summary.total_load), expected);
+    }
+  }
+}
+
+TEST(ControllerRecompute, LoadBalancerRebalancesOntoSurvivors) {
+  ScenarioParams sp;
+  sp.target_packets = 300000;
+  Scenario s = make_scenario(sp);
+  const auto ids_boxes = s.deployment.implementers(policy::kIntrusionDetection);
+  const net::NodeId victim = ids_boxes[1];
+  s.deployment.set_failed(victim, true);
+  s.controller->recompute();
+  const auto plan = s.controller->compile(StrategyKind::kLoadBalanced, &s.traffic);
+  const auto report =
+      analytic::evaluate_loads(s.network, s.deployment, s.gen.policies, plan, s.flows.flows);
+  // Fair share is now demand / (n-1); max should be near it, not near
+  // demand / n * 2.
+  double demand = 0;
+  for (const auto& p : s.gen.policies.all()) {
+    if (p.action_index(policy::kIntrusionDetection) >= 0) demand += s.traffic.total(p.id);
+  }
+  const double fair = demand / static_cast<double>(ids_boxes.size() - 1);
+  std::uint64_t max_load = 0;
+  for (const net::NodeId m : ids_boxes) max_load = std::max(max_load, report.load_of(m));
+  EXPECT_LT(static_cast<double>(max_load), 1.35 * fair);
+}
+
+// ---------------------------------------------------------------------------
+// Packet-level failure window and recovery
+// ---------------------------------------------------------------------------
+
+struct Harness {
+  explicit Harness(Scenario& s, const EnforcementPlan& plan)
+      : routing(net::RoutingTables::compute(s.network.topo)),
+        resolver(net::AddressResolver::build(s.network.topo)),
+        simnet(s.network.topo, routing, resolver),
+        agents(install_agents(simnet, s.network, s.deployment, s.gen.policies, plan,
+                              AgentOptions{})) {}
+
+  net::RoutingTables routing;
+  net::AddressResolver resolver;
+  sim::SimNetwork simnet;
+  InstalledAgents agents;
+};
+
+TEST(FailureWindow, PacketsToDeadBoxAreDroppedThenRecoveredAfterRecompute) {
+  ScenarioParams sp;
+  sp.seed = 31;
+  sp.target_packets = 2000;
+  Scenario s = make_scenario(sp);
+
+  // Pick a flow and the FW its chain uses under hot-potato.
+  const auto plan_before = s.controller->compile(StrategyKind::kHotPotato);
+  const workload::FlowRecord* flow = nullptr;
+  for (const auto& f : s.flows.flows) {
+    const auto* pol = s.gen.policies.first_match(f.id);
+    if (pol != nullptr && !pol->actions.empty() && pol->actions.front() == policy::kFirewall) {
+      flow = &f;
+      break;
+    }
+  }
+  ASSERT_NE(flow, nullptr);
+  const auto& pol = *s.gen.policies.first_match(flow->id);
+  const net::NodeId victim =
+      select_next_hop(plan_before, s.network.proxies[static_cast<std::size_t>(flow->src_subnet)],
+                      pol, policy::kFirewall, flow->id);
+
+  const auto send = [&](Harness& h, double at) {
+    packet::Packet p;
+    p.inner.src = flow->id.src;
+    p.inner.dst = flow->id.dst;
+    p.src_port = flow->id.src_port;
+    p.dst_port = flow->id.dst_port;
+    p.payload_bytes = 300;
+    h.simnet.inject(s.network.proxies[static_cast<std::size_t>(flow->src_subnet)], p, at);
+  };
+
+  // Phase 1: box dies, controller has not reacted -> packet is lost.
+  {
+    Harness h(s, plan_before);
+    h.simnet.set_node_up(victim, false);
+    send(h, 0.0);
+    h.simnet.run();
+    EXPECT_EQ(h.simnet.counters().delivered, 0u);
+    EXPECT_EQ(h.simnet.counters().dropped_node_down, 1u);
+  }
+
+  // Phase 2: controller marks it failed, recomputes, pushes a new plan ->
+  // the flow takes a surviving FW and is delivered.
+  s.deployment.set_failed(victim, true);
+  s.controller->recompute();
+  const auto plan_after = s.controller->compile(StrategyKind::kHotPotato);
+  {
+    Harness h(s, plan_after);
+    h.simnet.set_node_up(victim, false);
+    send(h, 0.0);
+    h.simnet.run();
+    EXPECT_EQ(h.simnet.counters().delivered, 1u);
+    EXPECT_EQ(h.simnet.counters().dropped_node_down, 0u);
+    const net::NodeId replacement =
+        select_next_hop(plan_after, s.network.proxies[static_cast<std::size_t>(flow->src_subnet)],
+                        pol, policy::kFirewall, flow->id);
+    EXPECT_NE(replacement, victim);
+  }
+}
+
+}  // namespace
+}  // namespace sdmbox::core

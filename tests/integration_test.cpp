@@ -1,0 +1,194 @@
+// Cross-module integration tests. The centerpiece is the analytic-vs-DES
+// equivalence: per-middlebox packet loads computed by the flow-level
+// evaluator must EXACTLY match what the packet simulator counts, for every
+// strategy — this is the property that lets the figure benches run at the
+// paper's 10M-packet scale without event simulation.
+#include <gtest/gtest.h>
+
+#include "analytic/load_evaluator.hpp"
+#include "core/agents.hpp"
+#include "scenario.hpp"
+#include "sim/network.hpp"
+
+namespace sdmbox {
+namespace {
+
+using core::AgentOptions;
+using core::EnforcementPlan;
+using core::StrategyKind;
+using sdmbox::testing::Scenario;
+using sdmbox::testing::ScenarioParams;
+using sdmbox::testing::make_scenario;
+
+packet::Packet make_packet(const packet::FlowId& flow, std::uint64_t seq) {
+  packet::Packet p;
+  p.inner.src = flow.src;
+  p.inner.dst = flow.dst;
+  p.inner.protocol = flow.protocol;
+  p.src_port = flow.src_port;
+  p.dst_port = flow.dst_port;
+  p.payload_bytes = 500;
+  p.flow_seq = seq;
+  return p;
+}
+
+struct DesResult {
+  std::unordered_map<std::uint32_t, std::uint64_t> mbox_load;
+  std::uint64_t delivered = 0;
+  std::uint64_t anomalies = 0;
+};
+
+DesResult run_des(Scenario& s, const EnforcementPlan& plan, const AgentOptions& options) {
+  const auto routing = net::RoutingTables::compute(s.network.topo);
+  const auto resolver = net::AddressResolver::build(s.network.topo);
+  sim::SimNetwork simnet(s.network.topo, routing, resolver);
+  const auto agents =
+      core::install_agents(simnet, s.network, s.deployment, s.gen.policies, plan, options);
+  double t = 0;
+  for (const auto& f : s.flows.flows) {
+    const net::NodeId proxy = s.network.proxies[static_cast<std::size_t>(f.src_subnet)];
+    for (std::uint64_t j = 0; j < f.packets; ++j) {
+      simnet.inject(proxy, make_packet(f.id, j), t);
+      t += 1e-7;
+    }
+  }
+  simnet.run();
+  DesResult out;
+  for (std::size_t i = 0; i < s.deployment.size(); ++i) {
+    const auto& m = s.deployment.middleboxes()[i];
+    out.mbox_load[m.node.v] = agents.middleboxes[i]->counters().processed_packets;
+    out.anomalies += agents.middleboxes[i]->counters().anomalies;
+  }
+  out.delivered = simnet.counters().delivered;
+  return out;
+}
+
+class AnalyticDesEquivalence : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(AnalyticDesEquivalence, PerMiddleboxLoadsMatchExactly) {
+  ScenarioParams sp;
+  sp.seed = 5;
+  sp.target_packets = 4000;  // ~120 flows; DES-sized but non-trivial
+  Scenario s = make_scenario(sp);
+
+  const StrategyKind strategy = GetParam();
+  const EnforcementPlan plan = s.controller->compile(
+      strategy, strategy == StrategyKind::kLoadBalanced ? &s.traffic : nullptr);
+
+  const auto analytic_report =
+      analytic::evaluate_loads(s.network, s.deployment, s.gen.policies, plan, s.flows.flows);
+  const DesResult des = run_des(s, plan, AgentOptions{});
+
+  EXPECT_EQ(des.anomalies, 0u);
+  for (const auto& m : s.deployment.middleboxes()) {
+    EXPECT_EQ(des.mbox_load.at(m.node.v), analytic_report.load_of(m.node))
+        << m.name << " under " << to_string(strategy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, AnalyticDesEquivalence,
+                         ::testing::Values(StrategyKind::kHotPotato, StrategyKind::kRandom,
+                                           StrategyKind::kLoadBalanced),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case StrategyKind::kHotPotato: return std::string("HotPotato");
+                             case StrategyKind::kRandom: return std::string("Random");
+                             case StrategyKind::kLoadBalanced: return std::string("LoadBalanced");
+                           }
+                           return std::string("Unknown");
+                         });
+
+TEST(AnalyticDesEquivalenceLabelSwitching, LoadsAlsoMatchWithLabelSwitchingOn) {
+  // Label switching changes the forwarding mechanics (rewrites vs tunnels)
+  // but must not change WHICH middleboxes process a flow.
+  ScenarioParams sp;
+  sp.seed = 6;
+  sp.target_packets = 2500;
+  Scenario s = make_scenario(sp);
+  const EnforcementPlan plan = s.controller->compile(StrategyKind::kRandom);
+  const auto analytic_report =
+      analytic::evaluate_loads(s.network, s.deployment, s.gen.policies, plan, s.flows.flows);
+  AgentOptions opt;
+  opt.enable_label_switching = true;
+  const DesResult des = run_des(s, plan, opt);
+  EXPECT_EQ(des.anomalies, 0u);
+  for (const auto& m : s.deployment.middleboxes()) {
+    EXPECT_EQ(des.mbox_load.at(m.node.v), analytic_report.load_of(m.node)) << m.name;
+  }
+}
+
+TEST(IntegrationDelivery, EveryDataPacketIsDelivered) {
+  ScenarioParams sp;
+  sp.seed = 7;
+  sp.target_packets = 3000;
+  Scenario s = make_scenario(sp);
+  const EnforcementPlan plan = s.controller->compile(StrategyKind::kLoadBalanced, &s.traffic);
+  const DesResult des = run_des(s, plan, AgentOptions{});
+  std::uint64_t expected = 0;
+  for (const auto& f : s.flows.flows) expected += f.packets;
+  EXPECT_EQ(des.delivered, expected);
+}
+
+TEST(IntegrationWaxman, EquivalenceHoldsOnWaxmanTopology) {
+  ScenarioParams sp;
+  sp.seed = 8;
+  sp.target_packets = 2000;
+  sp.waxman = true;
+  Scenario s = make_scenario(sp);
+  const EnforcementPlan plan = s.controller->compile(StrategyKind::kLoadBalanced, &s.traffic);
+  const auto analytic_report =
+      analytic::evaluate_loads(s.network, s.deployment, s.gen.policies, plan, s.flows.flows);
+  const DesResult des = run_des(s, plan, AgentOptions{});
+  EXPECT_EQ(des.anomalies, 0u);
+  for (const auto& m : s.deployment.middleboxes()) {
+    EXPECT_EQ(des.mbox_load.at(m.node.v), analytic_report.load_of(m.node)) << m.name;
+  }
+}
+
+TEST(IntegrationLoadConservation, ChainLoadsAreMultiplesOfMatchedTraffic) {
+  // Every matched packet visits exactly one middlebox per chain position, so
+  // the per-function total load equals the matched traffic that requires
+  // that function.
+  ScenarioParams sp;
+  sp.seed = 9;
+  sp.target_packets = 100000;
+  Scenario s = make_scenario(sp);
+  for (const StrategyKind strategy :
+       {StrategyKind::kHotPotato, StrategyKind::kRandom, StrategyKind::kLoadBalanced}) {
+    const EnforcementPlan plan = s.controller->compile(
+        strategy, strategy == StrategyKind::kLoadBalanced ? &s.traffic : nullptr);
+    const auto report =
+        analytic::evaluate_loads(s.network, s.deployment, s.gen.policies, plan, s.flows.flows);
+    const auto summaries = analytic::summarize_by_function(report, s.deployment, s.catalog);
+    for (const auto& summary : summaries) {
+      double expected = 0;
+      for (const auto& p : s.gen.policies.all()) {
+        if (p.action_index(summary.function) >= 0) expected += s.traffic.total(p.id);
+      }
+      EXPECT_DOUBLE_EQ(static_cast<double>(summary.total_load), expected)
+          << summary.function_name << " under " << to_string(strategy);
+    }
+  }
+}
+
+TEST(IntegrationLambda, LpLambdaPredictsAnalyticMaxLoad) {
+  // The LP's λ times capacity upper-bounds the realized max load up to
+  // per-flow hash granularity (flows are atomic; the LP splits fluidly).
+  ScenarioParams sp;
+  sp.seed = 10;
+  sp.target_packets = 500000;
+  Scenario s = make_scenario(sp);
+  const EnforcementPlan plan = s.controller->compile(StrategyKind::kLoadBalanced, &s.traffic);
+  const auto report =
+      analytic::evaluate_loads(s.network, s.deployment, s.gen.policies, plan, s.flows.flows);
+  std::uint64_t max_load = 0;
+  for (const auto& m : s.deployment.middleboxes()) {
+    max_load = std::max(max_load, report.load_of(m.node));
+  }
+  const double lp_bound = plan.lambda * s.deployment.middleboxes().front().capacity;
+  EXPECT_GT(static_cast<double>(max_load), 0.5 * lp_bound);
+  EXPECT_LT(static_cast<double>(max_load), 1.5 * lp_bound);
+}
+
+}  // namespace
+}  // namespace sdmbox

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace sdmbox::lp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LpModel
+// ---------------------------------------------------------------------------
+
+TEST(LpModel, VariablesAndConstraintsAreCounted) {
+  LpModel m;
+  const VarId x = m.add_variable("x", 1.0);
+  const VarId y = m.add_variable("y");
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::kLessEqual, 10.0, "c");
+  EXPECT_EQ(m.variable_count(), 2u);
+  EXPECT_EQ(m.constraint_count(), 1u);
+  EXPECT_EQ(m.nonzero_count(), 2u);
+  EXPECT_EQ(m.variable_name(x), "x");
+  EXPECT_DOUBLE_EQ(m.objective_coeff(x), 1.0);
+  EXPECT_DOUBLE_EQ(m.objective_coeff(y), 0.0);
+}
+
+TEST(LpModel, DuplicateTermsAreMerged) {
+  LpModel m;
+  const VarId x = m.add_variable("x");
+  m.add_constraint({{x, 1.0}, {x, 2.0}}, Relation::kEqual, 3.0);
+  ASSERT_EQ(m.constraints()[0].terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.constraints()[0].terms[0].coeff, 3.0);
+}
+
+TEST(LpModel, CancellingTermsAreDropped) {
+  LpModel m;
+  const VarId x = m.add_variable("x");
+  const VarId y = m.add_variable("y");
+  m.add_constraint({{x, 1.0}, {x, -1.0}, {y, 1.0}}, Relation::kEqual, 0.0);
+  EXPECT_EQ(m.constraints()[0].terms.size(), 1u);
+}
+
+TEST(LpModel, UnknownVariableRejected) {
+  LpModel m;
+  EXPECT_THROW(m.add_constraint({{VarId{5}, 1.0}}, Relation::kEqual, 0.0),
+               ContractViolation);
+}
+
+TEST(LpModel, NonFiniteRejected) {
+  LpModel m;
+  const VarId x = m.add_variable("x");
+  EXPECT_THROW(m.add_constraint({{x, std::nan("")}}, Relation::kEqual, 0.0), ContractViolation);
+  EXPECT_THROW(m.add_constraint({{x, 1.0}}, Relation::kEqual, INFINITY), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Simplex: textbook problems
+// ---------------------------------------------------------------------------
+
+TEST(Simplex, SimpleMaximizationAsMinimization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (classic Dantzig
+  // example; optimum x=2, y=6, objective 36).
+  LpModel m;
+  const VarId x = m.add_variable("x", -3.0);
+  const VarId y = m.add_variable("y", -5.0);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEqual, 4.0);
+  m.add_constraint({{y, 2.0}}, Relation::kLessEqual, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEqual, 18.0);
+  const Solution s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -36.0, 1e-9);
+  EXPECT_NEAR(s.value(x), 2.0, 1e-9);
+  EXPECT_NEAR(s.value(y), 6.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraintsUsePhaseOne) {
+  // min x + y s.t. x + 2y = 4, 3x + 2y = 8 -> x=2, y=1.
+  LpModel m;
+  const VarId x = m.add_variable("x", 1.0);
+  const VarId y = m.add_variable("y", 1.0);
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::kEqual, 4.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kEqual, 8.0);
+  const Solution s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.value(x), 2.0, 1e-8);
+  EXPECT_NEAR(s.value(y), 1.0, 1e-8);
+  EXPECT_NEAR(s.objective, 3.0, 1e-8);
+}
+
+TEST(Simplex, GreaterEqualConstraints) {
+  // min 2x + 3y s.t. x + y >= 10, x >= 2 -> x=10 is wrong; optimum x=10?
+  // cost favors x: 2 < 3, so all on x: x=10, y=0 (x >= 2 satisfied), obj 20.
+  LpModel m;
+  const VarId x = m.add_variable("x", 2.0);
+  const VarId y = m.add_variable("y", 3.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 10.0);
+  m.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 2.0);
+  const Solution s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 20.0, 1e-8);
+  EXPECT_NEAR(s.value(x), 10.0, 1e-8);
+}
+
+TEST(Simplex, NegativeRhsIsNormalized) {
+  // x - y <= -2  (i.e. y >= x + 2), min y -> x=0, y=2.
+  LpModel m;
+  const VarId x = m.add_variable("x", 0.0);
+  const VarId y = m.add_variable("y", 1.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kLessEqual, -2.0);
+  const Solution s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.value(y), 2.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LpModel m;
+  const VarId x = m.add_variable("x", 1.0);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEqual, 1.0);
+  m.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 2.0);
+  EXPECT_EQ(solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LpModel m;
+  const VarId x = m.add_variable("x", -1.0);  // min -x with x free upward
+  m.add_constraint({{x, -1.0}}, Relation::kLessEqual, 0.0);
+  EXPECT_EQ(solve(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, EmptyModelIsOptimal) {
+  LpModel m;
+  const Solution s = solve(m);
+  EXPECT_TRUE(s.optimal());
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+}
+
+TEST(Simplex, VacuousInfeasibleConstantConstraint) {
+  LpModel m;
+  m.add_constraint({}, Relation::kGreaterEqual, 1.0);  // 0 >= 1
+  EXPECT_EQ(solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // A classic cycling-prone instance (Beale); Bland fallback must terminate.
+  LpModel m;
+  const VarId x1 = m.add_variable("x1", -0.75);
+  const VarId x2 = m.add_variable("x2", 150.0);
+  const VarId x3 = m.add_variable("x3", -0.02);
+  const VarId x4 = m.add_variable("x4", 6.0);
+  m.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}}, Relation::kLessEqual, 0.0);
+  m.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}}, Relation::kLessEqual, 0.0);
+  m.add_constraint({{x3, 1.0}}, Relation::kLessEqual, 1.0);
+  const Solution s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -0.05, 1e-9);
+}
+
+TEST(Simplex, RedundantEqualitiesAreHarmless) {
+  LpModel m;
+  const VarId x = m.add_variable("x", 1.0);
+  const VarId y = m.add_variable("y", 2.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEqual, 5.0);
+  m.add_constraint({{x, 2.0}, {y, 2.0}}, Relation::kEqual, 10.0);  // same plane
+  const Solution s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.value(x), 5.0, 1e-8);
+  EXPECT_NEAR(s.objective, 5.0, 1e-8);
+}
+
+TEST(Simplex, MinMaxLoadToyProblem) {
+  // Two "middleboxes" with capacity 10 each, 12 units of traffic to split:
+  // min λ s.t. a + b = 12, a <= 10λ, b <= 10λ -> λ = 0.6, a = b = 6.
+  LpModel m;
+  const VarId lambda = m.add_variable("lambda", 1.0);
+  const VarId a = m.add_variable("a");
+  const VarId b = m.add_variable("b");
+  m.add_constraint({{a, 1.0}, {b, 1.0}}, Relation::kEqual, 12.0);
+  m.add_constraint({{a, 1.0}, {lambda, -10.0}}, Relation::kLessEqual, 0.0);
+  m.add_constraint({{b, 1.0}, {lambda, -10.0}}, Relation::kLessEqual, 0.0);
+  m.add_constraint({{lambda, 1.0}}, Relation::kLessEqual, 1.0);
+  const Solution s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.value(lambda), 0.6, 1e-8);
+  EXPECT_NEAR(s.value(a), 6.0, 1e-6);
+  EXPECT_NEAR(s.value(b), 6.0, 1e-6);
+}
+
+TEST(Simplex, CheckFeasibleAcceptsSolutionsAndFlagsViolations) {
+  LpModel m;
+  const VarId x = m.add_variable("x", 1.0);
+  m.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 2.0, "xmin");
+  const Solution s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_TRUE(check_feasible(m, s.values).empty());
+  EXPECT_FALSE(check_feasible(m, {1.0}).empty());   // violates x >= 2
+  EXPECT_FALSE(check_feasible(m, {-1.0}).empty());  // negative variable
+  EXPECT_FALSE(check_feasible(m, {}).empty());      // size mismatch
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property: solutions are feasible; objective is a lower bound
+// for feasible reference points.
+// ---------------------------------------------------------------------------
+
+class SimplexRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexRandom, RandomTransportProblemsSolveAndVerify) {
+  util::Rng rng(GetParam());
+  // Random balanced transportation problem: m sources, n sinks. Always
+  // feasible and bounded; the optimum must pass the feasibility audit.
+  const std::size_t n_src = 2 + rng.pick_index(4);
+  const std::size_t n_dst = 2 + rng.pick_index(4);
+  std::vector<double> supply(n_src), demand(n_dst);
+  double total = 0;
+  for (auto& s : supply) {
+    s = 1.0 + static_cast<double>(rng.next_below(50));
+    total += s;
+  }
+  double assigned = 0;
+  for (std::size_t j = 0; j + 1 < n_dst; ++j) {
+    demand[j] = total * (static_cast<double>(j + 1) / (n_dst + 1)) - assigned;
+    assigned += demand[j];
+  }
+  demand[n_dst - 1] = total - assigned;
+
+  LpModel m;
+  std::vector<std::vector<VarId>> x(n_src, std::vector<VarId>(n_dst));
+  for (std::size_t i = 0; i < n_src; ++i) {
+    for (std::size_t j = 0; j < n_dst; ++j) {
+      x[i][j] = m.add_variable({}, 1.0 + static_cast<double>(rng.next_below(9)));
+    }
+  }
+  for (std::size_t i = 0; i < n_src; ++i) {
+    std::vector<Term> row;
+    for (std::size_t j = 0; j < n_dst; ++j) row.push_back({x[i][j], 1.0});
+    m.add_constraint(std::move(row), Relation::kEqual, supply[i]);
+  }
+  for (std::size_t j = 0; j < n_dst; ++j) {
+    std::vector<Term> col;
+    for (std::size_t i = 0; i < n_src; ++i) col.push_back({x[i][j], 1.0});
+    m.add_constraint(std::move(col), Relation::kEqual, demand[j]);
+  }
+  const Solution s = solve(m);
+  ASSERT_TRUE(s.optimal()) << to_string(s.status);
+  EXPECT_TRUE(check_feasible(m, s.values).empty());
+
+  // Reference feasible point: proportional split. Its cost bounds the optimum.
+  double ref_cost = 0;
+  std::vector<double> ref(m.variable_count(), 0.0);
+  for (std::size_t i = 0; i < n_src; ++i) {
+    for (std::size_t j = 0; j < n_dst; ++j) {
+      ref[x[i][j].v] = supply[i] * demand[j] / total;
+      ref_cost += ref[x[i][j].v] * m.objective_coeff(x[i][j]);
+    }
+  }
+  EXPECT_TRUE(check_feasible(m, ref, 1e-5).empty());
+  EXPECT_LE(s.objective, ref_cost + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SimplexRandom, ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace sdmbox::lp

@@ -1,0 +1,494 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "net/ip.hpp"
+#include "net/routing.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topologies.hpp"
+#include "net/topology.hpp"
+
+namespace sdmbox::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// IpAddress / Prefix
+// ---------------------------------------------------------------------------
+
+TEST(IpAddress, OctetConstructionAndAccess) {
+  const IpAddress a(10, 1, 2, 3);
+  EXPECT_EQ(a.octet(0), 10);
+  EXPECT_EQ(a.octet(1), 1);
+  EXPECT_EQ(a.octet(2), 2);
+  EXPECT_EQ(a.octet(3), 3);
+  EXPECT_EQ(a.value(), 0x0a010203u);
+}
+
+TEST(IpAddress, ParseRoundTrip) {
+  const auto a = IpAddress::parse("192.168.4.250");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "192.168.4.250");
+}
+
+TEST(IpAddress, ParseRejectsMalformed) {
+  EXPECT_FALSE(IpAddress::parse("").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.256").has_value());
+  EXPECT_FALSE(IpAddress::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4x").has_value());
+}
+
+TEST(Prefix, MasksHostBits) {
+  const Prefix p(IpAddress(10, 1, 2, 3), 16);
+  EXPECT_EQ(p.base().to_string(), "10.1.0.0");
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p(IpAddress(10, 1, 0, 0), 16);
+  EXPECT_TRUE(p.contains(IpAddress(10, 1, 200, 9)));
+  EXPECT_FALSE(p.contains(IpAddress(10, 2, 0, 1)));
+}
+
+TEST(Prefix, WildcardContainsEverything) {
+  EXPECT_TRUE(Prefix::wildcard().contains(IpAddress(0, 0, 0, 0)));
+  EXPECT_TRUE(Prefix::wildcard().contains(IpAddress(255, 255, 255, 255)));
+  EXPECT_TRUE(Prefix::wildcard().is_wildcard());
+}
+
+TEST(Prefix, HostPrefixMatchesOnlyItself) {
+  const Prefix p = Prefix::host(IpAddress(1, 2, 3, 4));
+  EXPECT_TRUE(p.contains(IpAddress(1, 2, 3, 4)));
+  EXPECT_FALSE(p.contains(IpAddress(1, 2, 3, 5)));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  const Prefix wide(IpAddress(10, 0, 0, 0), 8);
+  const Prefix narrow(IpAddress(10, 1, 0, 0), 16);
+  EXPECT_TRUE(wide.contains(narrow));
+  EXPECT_FALSE(narrow.contains(wide));
+}
+
+TEST(Prefix, OverlapsIsSymmetricContainment) {
+  const Prefix a(IpAddress(10, 0, 0, 0), 8);
+  const Prefix b(IpAddress(10, 5, 0, 0), 16);
+  const Prefix c(IpAddress(11, 0, 0, 0), 8);
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Prefix, FirstAndLast) {
+  const Prefix p(IpAddress(10, 1, 16, 0), 20);
+  EXPECT_EQ(p.first().to_string(), "10.1.16.0");
+  EXPECT_EQ(p.last().to_string(), "10.1.31.255");
+}
+
+TEST(Prefix, ParseForms) {
+  const auto p = Prefix::parse("10.1.0.0/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 16);
+  const auto host = Prefix::parse("1.2.3.4");
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->length(), 32);
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/33").has_value());
+  EXPECT_FALSE(Prefix::parse("1.2.3/8").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+class TopologyTest : public ::testing::Test {
+protected:
+  Topology topo;
+  NodeId a = topo.add_node(NodeKind::kCoreRouter, "a", IpAddress(172, 16, 0, 1));
+  NodeId b = topo.add_node(NodeKind::kCoreRouter, "b", IpAddress(172, 16, 0, 2));
+  NodeId c = topo.add_node(NodeKind::kEdgeRouter, "c", IpAddress(172, 16, 0, 3));
+};
+
+TEST_F(TopologyTest, NodesAndLinksAreIndexed) {
+  const LinkId l = topo.add_link(a, b);
+  EXPECT_EQ(topo.node_count(), 3u);
+  EXPECT_EQ(topo.link_count(), 1u);
+  EXPECT_EQ(topo.link(l).a, a);
+  EXPECT_EQ(topo.link(l).other(a), b);
+}
+
+TEST_F(TopologyTest, AdjacencyIsBidirectional) {
+  topo.add_link(a, b);
+  ASSERT_EQ(topo.neighbors(a).size(), 1u);
+  ASSERT_EQ(topo.neighbors(b).size(), 1u);
+  EXPECT_EQ(topo.neighbors(a)[0].neighbor, b);
+  EXPECT_EQ(topo.neighbors(b)[0].neighbor, a);
+}
+
+TEST_F(TopologyTest, SelfLinkRejected) { EXPECT_THROW(topo.add_link(a, a), ContractViolation); }
+
+TEST_F(TopologyTest, NonPositiveCostRejected) {
+  EXPECT_THROW(topo.add_link(a, b, LinkParams{.cost = 0}), ContractViolation);
+}
+
+TEST_F(TopologyTest, SubnetOnlyOnEdgeRouters) {
+  topo.set_subnet(c, Prefix(IpAddress(10, 1, 0, 0), 20));
+  EXPECT_TRUE(topo.node(c).has_subnet);
+  EXPECT_THROW(topo.set_subnet(a, Prefix(IpAddress(10, 2, 0, 0), 20)), ContractViolation);
+}
+
+TEST_F(TopologyTest, NodesOfKind) {
+  const auto cores = topo.nodes_of_kind(NodeKind::kCoreRouter);
+  EXPECT_EQ(cores.size(), 2u);
+  EXPECT_EQ(topo.nodes_of_kind(NodeKind::kHost).size(), 0u);
+}
+
+TEST_F(TopologyTest, FindLink) {
+  const LinkId l = topo.add_link(a, b);
+  EXPECT_EQ(topo.find_link(a, b), l);
+  EXPECT_EQ(topo.find_link(b, a), l);
+  EXPECT_FALSE(topo.find_link(a, c).valid());
+}
+
+TEST_F(TopologyTest, Connectivity) {
+  EXPECT_FALSE(topo.is_connected());
+  topo.add_link(a, b);
+  topo.add_link(b, c);
+  EXPECT_TRUE(topo.is_connected());
+}
+
+// ---------------------------------------------------------------------------
+// Dijkstra
+// ---------------------------------------------------------------------------
+
+TEST(Dijkstra, LineGraphDistances) {
+  Topology t;
+  const NodeId n0 = t.add_node(NodeKind::kCoreRouter, "0", IpAddress(1));
+  const NodeId n1 = t.add_node(NodeKind::kCoreRouter, "1", IpAddress(2));
+  const NodeId n2 = t.add_node(NodeKind::kCoreRouter, "2", IpAddress(3));
+  t.add_link(n0, n1);
+  t.add_link(n1, n2);
+  const auto tree = dijkstra(t, n0);
+  EXPECT_EQ(tree.distance[n0.v], 0);
+  EXPECT_EQ(tree.distance[n1.v], 1);
+  EXPECT_EQ(tree.distance[n2.v], 2);
+  EXPECT_EQ(tree.path_to(n2), (std::vector<NodeId>{n0, n1, n2}));
+}
+
+TEST(Dijkstra, RespectsLinkCosts) {
+  Topology t;
+  const NodeId s = t.add_node(NodeKind::kCoreRouter, "s", IpAddress(1));
+  const NodeId m = t.add_node(NodeKind::kCoreRouter, "m", IpAddress(2));
+  const NodeId d = t.add_node(NodeKind::kCoreRouter, "d", IpAddress(3));
+  t.add_link(s, d, LinkParams{.cost = 10});
+  t.add_link(s, m, LinkParams{.cost = 3});
+  t.add_link(m, d, LinkParams{.cost = 3});
+  const auto tree = dijkstra(t, s);
+  EXPECT_EQ(tree.distance[d.v], 6);  // via m, not the direct cost-10 link
+  EXPECT_EQ(tree.path_to(d), (std::vector<NodeId>{s, m, d}));
+}
+
+TEST(Dijkstra, UnreachableNodeIsInfinite) {
+  Topology t;
+  const NodeId s = t.add_node(NodeKind::kCoreRouter, "s", IpAddress(1));
+  const NodeId iso = t.add_node(NodeKind::kCoreRouter, "iso", IpAddress(2));
+  const auto tree = dijkstra(t, s);
+  EXPECT_FALSE(tree.reachable(iso));
+  EXPECT_TRUE(tree.path_to(iso).empty());
+}
+
+TEST(Dijkstra, LeavesDoNotForwardTransit) {
+  // s -- host -- d : the only path passes a host, which must not forward.
+  Topology t;
+  const NodeId s = t.add_node(NodeKind::kCoreRouter, "s", IpAddress(1));
+  const NodeId h = t.add_node(NodeKind::kHost, "h", IpAddress(2));
+  const NodeId d = t.add_node(NodeKind::kCoreRouter, "d", IpAddress(3));
+  t.add_link(s, h);
+  t.add_link(h, d);
+  const auto tree = dijkstra(t, s);
+  EXPECT_TRUE(tree.reachable(h));
+  EXPECT_FALSE(tree.reachable(d));
+}
+
+TEST(Dijkstra, MiddleboxesAreLeavesButProxiesForward) {
+  Topology t;
+  const NodeId s = t.add_node(NodeKind::kCoreRouter, "s", IpAddress(1));
+  const NodeId mb = t.add_node(NodeKind::kMiddlebox, "mb", IpAddress(2));
+  const NodeId px = t.add_node(NodeKind::kPolicyProxy, "px", IpAddress(3));
+  const NodeId d1 = t.add_node(NodeKind::kCoreRouter, "d1", IpAddress(4));
+  const NodeId d2 = t.add_node(NodeKind::kCoreRouter, "d2", IpAddress(5));
+  t.add_link(s, mb);
+  t.add_link(mb, d1);  // only via middlebox: unreachable
+  t.add_link(s, px);
+  t.add_link(px, d2);  // via in-path proxy: reachable
+  const auto tree = dijkstra(t, s);
+  EXPECT_FALSE(tree.reachable(d1));
+  EXPECT_TRUE(tree.reachable(d2));
+}
+
+TEST(Dijkstra, LeafAsSourceStillExpands) {
+  Topology t;
+  const NodeId h = t.add_node(NodeKind::kHost, "h", IpAddress(1));
+  const NodeId r = t.add_node(NodeKind::kCoreRouter, "r", IpAddress(2));
+  t.add_link(h, r);
+  const auto tree = dijkstra(t, h);
+  EXPECT_TRUE(tree.reachable(r));
+}
+
+TEST(Dijkstra, EqualCostTieBreakIsDeterministic) {
+  // Two equal-cost paths s->a->d and s->b->d; predecessor of d must be the
+  // smaller NodeId (a) every time.
+  Topology t;
+  const NodeId s = t.add_node(NodeKind::kCoreRouter, "s", IpAddress(1));
+  const NodeId a = t.add_node(NodeKind::kCoreRouter, "a", IpAddress(2));
+  const NodeId b = t.add_node(NodeKind::kCoreRouter, "b", IpAddress(3));
+  const NodeId d = t.add_node(NodeKind::kCoreRouter, "d", IpAddress(4));
+  t.add_link(s, a);
+  t.add_link(s, b);
+  t.add_link(a, d);
+  t.add_link(b, d);
+  for (int i = 0; i < 5; ++i) {
+    const auto tree = dijkstra(t, s);
+    EXPECT_EQ(tree.predecessor[d.v], a);
+  }
+}
+
+TEST(KClosest, OrdersByDistanceThenId) {
+  Topology t;
+  const NodeId s = t.add_node(NodeKind::kCoreRouter, "s", IpAddress(1));
+  const NodeId n1 = t.add_node(NodeKind::kCoreRouter, "n1", IpAddress(2));
+  const NodeId n2 = t.add_node(NodeKind::kCoreRouter, "n2", IpAddress(3));
+  const NodeId n3 = t.add_node(NodeKind::kCoreRouter, "n3", IpAddress(4));
+  t.add_link(s, n1);
+  t.add_link(n1, n2);
+  t.add_link(n2, n3);
+  const auto tree = dijkstra(t, s);
+  const auto closest = k_closest(tree, {n3, n2, n1}, 2);
+  ASSERT_EQ(closest.size(), 2u);
+  EXPECT_EQ(closest[0], n1);
+  EXPECT_EQ(closest[1], n2);
+}
+
+TEST(KClosest, SkipsUnreachableAndClamps) {
+  Topology t;
+  const NodeId s = t.add_node(NodeKind::kCoreRouter, "s", IpAddress(1));
+  const NodeId n1 = t.add_node(NodeKind::kCoreRouter, "n1", IpAddress(2));
+  const NodeId iso = t.add_node(NodeKind::kCoreRouter, "iso", IpAddress(3));
+  t.add_link(s, n1);
+  const auto tree = dijkstra(t, s);
+  const auto closest = k_closest(tree, {n1, iso}, 5);
+  ASSERT_EQ(closest.size(), 1u);
+  EXPECT_EQ(closest[0], n1);
+}
+
+// ---------------------------------------------------------------------------
+// RoutingTables / AddressResolver
+// ---------------------------------------------------------------------------
+
+TEST(Routing, NextHopsComposeIntoShortestPaths) {
+  const auto net = make_campus_topology();
+  const auto rt = RoutingTables::compute(net.topo);
+  const NodeId from = net.edge_routers[0];
+  const NodeId to = net.edge_routers[7];
+  const auto path = rt.path(from, to);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), from);
+  EXPECT_EQ(path.back(), to);
+  // Path length matches the Dijkstra distance (unit costs).
+  EXPECT_DOUBLE_EQ(rt.distance(from, to), static_cast<double>(path.size() - 1));
+}
+
+TEST(Routing, DistanceIsSymmetricOnUndirectedGraph) {
+  const auto net = make_campus_topology();
+  const auto rt = RoutingTables::compute(net.topo);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const NodeId a = net.edge_routers[i];
+    const NodeId b = net.core_routers[i];
+    EXPECT_DOUBLE_EQ(rt.distance(a, b), rt.distance(b, a));
+  }
+}
+
+TEST(Routing, SelfNextHopInvalid) {
+  const auto net = make_campus_topology();
+  const auto rt = RoutingTables::compute(net.topo);
+  EXPECT_FALSE(rt.next_hop(net.gateways[0], net.gateways[0]).valid());
+}
+
+TEST(Resolver, ExactDeviceAddress) {
+  const auto net = make_campus_topology();
+  const auto res = AddressResolver::build(net.topo);
+  const NodeId gw = net.gateways[0];
+  const auto found = res.resolve(net.topo.node(gw).address);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, gw);
+}
+
+TEST(Resolver, SubnetAddressesResolveToProxy) {
+  const auto net = make_campus_topology();
+  const auto res = AddressResolver::build(net.topo);
+  // An arbitrary (non-device) host address in subnet 3 terminates at proxy 3
+  // because the proxy is deployed in-path.
+  const IpAddress addr(net.subnets[3].base().value() + 77);
+  const auto found = res.resolve(addr);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, net.proxies[3]);
+  const auto owner = res.owning_edge_router(addr);
+  ASSERT_TRUE(owner.has_value());
+  EXPECT_EQ(*owner, net.edge_routers[3]);
+}
+
+TEST(Resolver, UnknownAddressIsNullopt) {
+  const auto net = make_campus_topology();
+  const auto res = AddressResolver::build(net.topo);
+  EXPECT_FALSE(res.resolve(IpAddress(203, 0, 113, 7)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Topology generators
+// ---------------------------------------------------------------------------
+
+TEST(Campus, MatchesPaperInventory) {
+  const auto net = make_campus_topology();
+  EXPECT_EQ(net.gateways.size(), 2u);
+  EXPECT_EQ(net.core_routers.size(), 16u);
+  EXPECT_EQ(net.edge_routers.size(), 10u);
+  EXPECT_EQ(net.proxies.size(), 10u);
+  EXPECT_EQ(net.subnets.size(), 10u);
+  EXPECT_TRUE(net.topo.is_connected());
+}
+
+TEST(Campus, EveryCoreConnectsToBothGateways) {
+  const auto net = make_campus_topology();
+  for (const NodeId core : net.core_routers) {
+    for (const NodeId gw : net.gateways) {
+      EXPECT_TRUE(net.topo.find_link(core, gw).valid());
+    }
+  }
+}
+
+TEST(Campus, EdgeRoutersHaveRedundantUplinks) {
+  const auto net = make_campus_topology();
+  for (const NodeId edge : net.edge_routers) {
+    std::size_t core_links = 0;
+    for (const auto& adj : net.topo.neighbors(edge)) {
+      core_links += net.topo.node(adj.neighbor).kind == NodeKind::kCoreRouter;
+    }
+    EXPECT_EQ(core_links, 2u);
+  }
+}
+
+TEST(Campus, ProxiesAreInPath) {
+  const auto net = make_campus_topology();
+  for (std::size_t i = 0; i < net.proxies.size(); ++i) {
+    EXPECT_TRUE(net.topo.find_link(net.edge_routers[i], net.proxies[i]).valid());
+    EXPECT_EQ(net.topo.node(net.proxies[i]).kind, NodeKind::kPolicyProxy);
+    // Hosts hang off the proxy, not the edge router.
+    for (const NodeId host : net.hosts[i]) {
+      EXPECT_TRUE(net.topo.find_link(net.proxies[i], host).valid());
+    }
+  }
+}
+
+TEST(Campus, SubnetsAreDisjoint) {
+  const auto net = make_campus_topology();
+  for (std::size_t i = 0; i < net.subnets.size(); ++i) {
+    for (std::size_t j = i + 1; j < net.subnets.size(); ++j) {
+      EXPECT_FALSE(net.subnets[i].overlaps(net.subnets[j]));
+    }
+  }
+}
+
+TEST(Campus, ProxyAddressInsideItsSubnet) {
+  const auto net = make_campus_topology();
+  for (std::size_t i = 0; i < net.proxies.size(); ++i) {
+    EXPECT_TRUE(net.subnets[i].contains(net.topo.node(net.proxies[i]).address));
+  }
+}
+
+TEST(Campus, SubnetIndexOfProxy) {
+  const auto net = make_campus_topology();
+  EXPECT_EQ(net.subnet_index_of_proxy(net.proxies[4]), 4);
+  EXPECT_EQ(net.subnet_index_of_proxy(net.edge_routers[0]), -1);
+}
+
+TEST(Waxman, MatchesPaperInventory) {
+  WaxmanParams p;
+  const auto net = make_waxman_topology(p);
+  EXPECT_EQ(net.core_routers.size(), 25u);
+  EXPECT_EQ(net.edge_routers.size(), 400u);
+  EXPECT_EQ(net.proxies.size(), 400u);
+  EXPECT_TRUE(net.topo.is_connected());
+}
+
+TEST(Waxman, EdgeRoutersSpreadEvenly) {
+  const auto net = make_waxman_topology();
+  std::vector<std::size_t> per_core(net.core_routers.size(), 0);
+  for (const NodeId edge : net.edge_routers) {
+    for (const auto& adj : net.topo.neighbors(edge)) {
+      const auto it = std::find(net.core_routers.begin(), net.core_routers.end(), adj.neighbor);
+      if (it != net.core_routers.end()) {
+        ++per_core[static_cast<std::size_t>(it - net.core_routers.begin())];
+      }
+    }
+  }
+  for (const std::size_t n : per_core) EXPECT_EQ(n, 400u / 25u);
+}
+
+TEST(Waxman, CoreDegreeAtLeastTarget) {
+  const auto net = make_waxman_topology();
+  for (const NodeId core : net.core_routers) {
+    std::size_t core_links = 0;
+    for (const auto& adj : net.topo.neighbors(core)) {
+      core_links += net.topo.node(adj.neighbor).kind == NodeKind::kCoreRouter;
+    }
+    EXPECT_GE(core_links, 4u);
+  }
+}
+
+TEST(Waxman, DeterministicForFixedSeed) {
+  WaxmanParams p;
+  p.seed = 99;
+  const auto a = make_waxman_topology(p);
+  const auto b = make_waxman_topology(p);
+  EXPECT_EQ(a.topo.link_count(), b.topo.link_count());
+  for (std::uint32_t i = 0; i < a.topo.link_count(); ++i) {
+    EXPECT_EQ(a.topo.link(LinkId{i}).a, b.topo.link(LinkId{i}).a);
+    EXPECT_EQ(a.topo.link(LinkId{i}).b, b.topo.link(LinkId{i}).b);
+  }
+}
+
+TEST(Waxman, DifferentSeedsGiveDifferentWiring) {
+  WaxmanParams pa, pb;
+  pa.seed = 1;
+  pb.seed = 2;
+  const auto a = make_waxman_topology(pa);
+  const auto b = make_waxman_topology(pb);
+  bool any_diff = a.topo.link_count() != b.topo.link_count();
+  for (std::uint32_t i = 0; !any_diff && i < a.topo.link_count(); ++i) {
+    any_diff = a.topo.link(LinkId{i}).a != b.topo.link(LinkId{i}).a ||
+               a.topo.link(LinkId{i}).b != b.topo.link(LinkId{i}).b;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Waxman, SmallConfigurationsWork) {
+  WaxmanParams p;
+  p.core_count = 3;
+  p.edge_count = 6;
+  p.core_degree = 2;
+  const auto net = make_waxman_topology(p);
+  EXPECT_TRUE(net.topo.is_connected());
+  EXPECT_EQ(net.edge_routers.size(), 6u);
+}
+
+TEST(AddressPlanTest, SubnetsAndDevicesDisjoint) {
+  AddressPlan plan;
+  const IpAddress dev = plan.next_device();
+  const Prefix sub = plan.next_subnet();
+  EXPECT_FALSE(sub.contains(dev));
+  EXPECT_TRUE(sub.contains(plan.host_in(sub, 0)));
+  EXPECT_TRUE(sub.contains(plan.host_in(sub, 100)));
+}
+
+}  // namespace
+}  // namespace sdmbox::net

@@ -1,0 +1,229 @@
+// Off-path proxy deployment (§III.A, Figure 2's proxy y): the edge router
+// loops every received packet through the proxy and back, then performs
+// regular forwarding. Policy enforcement must behave identically to the
+// in-path deployment — same chains, same loads — with the loopback visible
+// only as extra stub-link traversals.
+#include <gtest/gtest.h>
+
+#include "analytic/load_evaluator.hpp"
+#include "core/agents.hpp"
+#include "scenario.hpp"
+#include "sim/network.hpp"
+
+namespace sdmbox::core {
+namespace {
+
+using sdmbox::testing::Scenario;
+using sdmbox::testing::ScenarioParams;
+using sdmbox::testing::make_scenario;
+
+ScenarioParams off_path_params(std::uint64_t seed = 21) {
+  ScenarioParams sp;
+  sp.seed = seed;
+  sp.target_packets = 3000;
+  sp.proxy_mode = net::ProxyMode::kOffPath;
+  return sp;
+}
+
+struct Harness {
+  explicit Harness(Scenario& s, const EnforcementPlan& plan, const AgentOptions& options = {})
+      : routing(net::RoutingTables::compute(s.network.topo)),
+        resolver(net::AddressResolver::build(s.network.topo)),
+        simnet(s.network.topo, routing, resolver),
+        agents(install_agents(simnet, s.network, s.deployment, s.gen.policies, plan, options)) {}
+
+  net::RoutingTables routing;
+  net::AddressResolver resolver;
+  sim::SimNetwork simnet;
+  InstalledAgents agents;
+};
+
+// ---------------------------------------------------------------------------
+// Topology shape
+// ---------------------------------------------------------------------------
+
+TEST(OffPathTopology, HostsAttachToEdgeRouterNotProxy) {
+  net::CampusParams cp;
+  cp.proxy_mode = net::ProxyMode::kOffPath;
+  const auto network = net::make_campus_topology(cp);
+  for (std::size_t i = 0; i < network.edge_routers.size(); ++i) {
+    for (const auto host : network.hosts[i]) {
+      EXPECT_TRUE(network.topo.find_link(network.edge_routers[i], host).valid());
+      EXPECT_FALSE(network.topo.find_link(network.proxies[i], host).valid());
+    }
+    // The proxy is a leaf off the edge router.
+    EXPECT_TRUE(network.topo.find_link(network.edge_routers[i], network.proxies[i]).valid());
+    EXPECT_EQ(network.topo.neighbors(network.proxies[i]).size(), 1u);
+  }
+}
+
+TEST(OffPathTopology, SubnetTerminalIsEdgeRouter) {
+  net::CampusParams cp;
+  cp.proxy_mode = net::ProxyMode::kOffPath;
+  const auto network = net::make_campus_topology(cp);
+  const auto resolver = net::AddressResolver::build(network.topo);
+  const net::IpAddress addr(network.subnets[2].base().value() + 200);
+  const auto terminal = resolver.resolve(addr);
+  ASSERT_TRUE(terminal.has_value());
+  EXPECT_EQ(*terminal, network.edge_routers[2]);
+}
+
+TEST(OffPathTopology, InPathTerminalStaysProxy) {
+  const auto network = net::make_campus_topology();  // default in-path
+  const auto resolver = net::AddressResolver::build(network.topo);
+  const net::IpAddress addr(network.subnets[2].base().value() + 200);
+  EXPECT_EQ(*resolver.resolve(addr), network.proxies[2]);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback data plane
+// ---------------------------------------------------------------------------
+
+TEST(OffPathLoopback, OutboundPacketsPassTheProxy) {
+  Scenario s = make_scenario(off_path_params());
+  const auto plan = s.controller->compile(StrategyKind::kHotPotato);
+  Harness h(s, plan);
+  const auto& f = s.flows.flows.front();
+  packet::Packet p;
+  p.inner.src = f.id.src;
+  p.inner.dst = f.id.dst;
+  p.src_port = f.id.src_port;
+  p.dst_port = f.id.dst_port;
+  p.payload_bytes = 400;
+  // Injected at the EDGE ROUTER (as traffic from a host would arrive).
+  h.simnet.inject(s.network.edge_routers[static_cast<std::size_t>(f.src_subnet)], p, 0.0);
+  h.simnet.run();
+  EXPECT_EQ(h.agents.proxies[static_cast<std::size_t>(f.src_subnet)]->counters().outbound_packets,
+            1u);
+  EXPECT_GE(h.agents.loopbacks[static_cast<std::size_t>(f.src_subnet)]->looped_packets(), 1u);
+}
+
+TEST(OffPathLoopback, InboundPacketsAlsoPassTheProxy) {
+  Scenario s = make_scenario(off_path_params());
+  const auto plan = s.controller->compile(StrategyKind::kHotPotato);
+  Harness h(s, plan);
+  packet::Packet p;  // non-matching traffic into subnet 0
+  p.inner.src = net::IpAddress(s.network.subnets[1].base().value() + 7);
+  p.inner.dst = net::IpAddress(s.network.subnets[0].base().value() + 7);
+  p.src_port = 50000;
+  p.dst_port = 47000;
+  h.simnet.inject(s.network.edge_routers[1], p, 0.0);
+  h.simnet.run();
+  // Both the source-side proxy (outbound, permit) and the destination-side
+  // proxy (inbound) intercepted the packet.
+  EXPECT_EQ(h.agents.proxies[1]->counters().outbound_packets, 1u);
+  EXPECT_EQ(h.agents.proxies[0]->counters().inbound_packets, 1u);
+  EXPECT_EQ(h.simnet.counters().delivered, 1u);
+}
+
+TEST(OffPathLoopback, NoForwardingLoops) {
+  Scenario s = make_scenario(off_path_params());
+  const auto plan = s.controller->compile(StrategyKind::kHotPotato);
+  Harness h(s, plan);
+  // A burst of mixed traffic; every data packet must terminate.
+  std::uint64_t injected = 0;
+  for (std::size_t i = 0; i < 50 && i < s.flows.flows.size(); ++i) {
+    const auto& f = s.flows.flows[i];
+    packet::Packet p;
+    p.inner.src = f.id.src;
+    p.inner.dst = f.id.dst;
+    p.src_port = f.id.src_port;
+    p.dst_port = f.id.dst_port;
+    p.payload_bytes = 300;
+    h.simnet.inject(s.network.edge_routers[static_cast<std::size_t>(f.src_subnet)], p,
+                    static_cast<double>(i) * 1e-4);
+    ++injected;
+  }
+  h.simnet.run();
+  EXPECT_EQ(h.simnet.counters().delivered, injected);
+  EXPECT_EQ(h.simnet.counters().dropped_ttl, 0u);
+  EXPECT_EQ(h.simnet.counters().dropped_no_route, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Enforcement equivalence with the in-path deployment
+// ---------------------------------------------------------------------------
+
+TEST(OffPathEquivalence, MiddleboxLoadsMatchInPathDeployment) {
+  // Same seed -> same topology skeleton, deployment, policies and flows in
+  // both modes (node ids line up because stub construction order is
+  // identical); only the proxy wiring differs. Per-middlebox loads must be
+  // identical.
+  ScenarioParams in_sp;
+  in_sp.seed = 22;
+  in_sp.target_packets = 3000;
+  Scenario in_path = make_scenario(in_sp);
+  ScenarioParams off_sp = in_sp;
+  off_sp.proxy_mode = net::ProxyMode::kOffPath;
+  Scenario off_path = make_scenario(off_sp);
+
+  const auto run = [](Scenario& s) {
+    const auto plan = s.controller->compile(StrategyKind::kLoadBalanced, &s.traffic);
+    Harness h(s, plan);
+    for (const auto& f : s.flows.flows) {
+      for (std::uint64_t j = 0; j < f.packets; ++j) {
+        packet::Packet p;
+        p.inner.src = f.id.src;
+        p.inner.dst = f.id.dst;
+        p.src_port = f.id.src_port;
+        p.dst_port = f.id.dst_port;
+        p.payload_bytes = 300;
+        p.flow_seq = j;
+        // Inject at the proxy in in-path mode (it is on the host path); at
+        // the edge router in off-path mode.
+        const net::NodeId entry = s.network.proxy_mode == net::ProxyMode::kInPath
+                                      ? s.network.proxies[static_cast<std::size_t>(f.src_subnet)]
+                                      : s.network.edge_routers[static_cast<std::size_t>(f.src_subnet)];
+        h.simnet.inject(entry, p, 0.0);
+      }
+    }
+    h.simnet.run();
+    std::vector<std::uint64_t> loads;
+    for (const auto* m : h.agents.middleboxes) loads.push_back(m->counters().processed_packets);
+    return loads;
+  };
+
+  const auto in_loads = run(in_path);
+  const auto off_loads = run(off_path);
+  ASSERT_EQ(in_loads.size(), off_loads.size());
+  for (std::size_t i = 0; i < in_loads.size(); ++i) {
+    EXPECT_EQ(in_loads[i], off_loads[i]) << "middlebox " << i;
+  }
+}
+
+TEST(OffPathLabelSwitching, WorksThroughTheLoopback) {
+  Scenario s = make_scenario(off_path_params(23));
+  const auto plan = s.controller->compile(StrategyKind::kHotPotato);
+  AgentOptions opt;
+  opt.enable_label_switching = true;
+  Harness h(s, plan, opt);
+
+  // A flow with several packets, spaced wider than the chain RTT.
+  const workload::FlowRecord* flow = nullptr;
+  for (const auto& f : s.flows.flows) {
+    if (f.packets >= 4) {
+      flow = &f;
+      break;
+    }
+  }
+  ASSERT_NE(flow, nullptr);
+  for (std::uint64_t j = 0; j < 4; ++j) {
+    packet::Packet p;
+    p.inner.src = flow->id.src;
+    p.inner.dst = flow->id.dst;
+    p.src_port = flow->id.src_port;
+    p.dst_port = flow->id.dst_port;
+    p.payload_bytes = 300;
+    p.flow_seq = j;
+    h.simnet.inject(s.network.edge_routers[static_cast<std::size_t>(flow->src_subnet)], p,
+                    static_cast<double>(j) * 0.1);
+  }
+  h.simnet.run();
+  const auto& proxy = *h.agents.proxies[static_cast<std::size_t>(flow->src_subnet)];
+  EXPECT_EQ(proxy.counters().confirmations, 1u);  // control packet found the proxy
+  EXPECT_EQ(proxy.counters().tunneled_packets, 1u);
+  EXPECT_EQ(proxy.counters().label_switched_packets, 3u);
+}
+
+}  // namespace
+}  // namespace sdmbox::core

@@ -1,0 +1,152 @@
+// Plan-level helpers: device slicing, ratio-table iteration, delivery
+// observer hooks, and strategy edge cases not covered elsewhere.
+#include <gtest/gtest.h>
+
+#include "core/strategy.hpp"
+#include "scenario.hpp"
+#include "sim/network.hpp"
+
+namespace sdmbox {
+namespace {
+
+using core::StrategyKind;
+using sdmbox::testing::Scenario;
+using sdmbox::testing::make_scenario;
+
+// ---------------------------------------------------------------------------
+// slice_for_device / for_each
+// ---------------------------------------------------------------------------
+
+TEST(PlanSlice, CarriesExactlyTheDevicesEntries) {
+  Scenario s = make_scenario();
+  const auto plan = s.controller->compile(StrategyKind::kLoadBalanced, &s.traffic);
+  const net::NodeId proxy = s.network.proxies[0];
+  const auto slice = core::slice_for_device(plan, proxy, 5);
+  EXPECT_EQ(slice.version, 5u);
+  EXPECT_EQ(slice.strategy, StrategyKind::kLoadBalanced);
+  EXPECT_EQ(slice.node.node, proxy);
+  // Every sliced entry belongs to the device; totals match the plan's view.
+  std::size_t plan_entries_for_device = 0;
+  plan.ratios.for_each([&](net::NodeId from, policy::FunctionId, policy::PolicyId,
+                           const auto&) { plan_entries_for_device += from == proxy; });
+  EXPECT_EQ(slice.ratios.size(), plan_entries_for_device);
+  slice.ratios.for_each([&](net::NodeId from, policy::FunctionId, policy::PolicyId,
+                            const auto&) { EXPECT_EQ(from, proxy); });
+}
+
+TEST(PlanSlice, HotPotatoSliceHasNoRatios) {
+  Scenario s = make_scenario();
+  const auto plan = s.controller->compile(StrategyKind::kHotPotato);
+  const auto slice = core::slice_for_device(plan, s.network.proxies[1]);
+  EXPECT_EQ(slice.ratios.size(), 0u);
+  EXPECT_EQ(slice.ratios.detailed_size(), 0u);
+}
+
+TEST(RatioTable, ForEachVisitsEverything) {
+  core::SplitRatioTable t;
+  t.set(net::NodeId{1}, policy::kFirewall, policy::PolicyId{0}, {{net::NodeId{9}, 1.0}});
+  t.set(net::NodeId{2}, policy::kWebProxy, policy::PolicyId{3}, {{net::NodeId{8}, 2.0}});
+  std::size_t visited = 0;
+  t.for_each([&](net::NodeId from, policy::FunctionId e, policy::PolicyId p,
+                 const std::vector<core::SplitRatioTable::Share>& shares) {
+    ++visited;
+    if (from == net::NodeId{1}) {
+      EXPECT_EQ(e, policy::kFirewall);
+      EXPECT_EQ(p.v, 0u);
+      EXPECT_DOUBLE_EQ(shares[0].weight, 1.0);
+    } else {
+      EXPECT_EQ(from, net::NodeId{2});
+      EXPECT_EQ(e, policy::kWebProxy);
+    }
+  });
+  EXPECT_EQ(visited, 2u);
+  EXPECT_EQ(t.total_shares(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Strategy edge cases
+// ---------------------------------------------------------------------------
+
+TEST(StrategyEdge, SingleCandidateAlwaysWins) {
+  core::NodeConfig cfg;
+  cfg.node = net::NodeId{1};
+  cfg.candidates[policy::kFirewall.v] = {net::NodeId{42}};
+  core::SplitRatioTable empty;
+  policy::Policy p;
+  p.id = policy::PolicyId{0};
+  p.actions = {policy::kFirewall};
+  packet::FlowId f;
+  for (const auto strategy :
+       {StrategyKind::kHotPotato, StrategyKind::kRandom, StrategyKind::kLoadBalanced}) {
+    EXPECT_EQ(core::select_next_hop(strategy, cfg, empty, p, policy::kFirewall, f),
+              net::NodeId{42});
+  }
+}
+
+TEST(StrategyEdge, NoCandidatesYieldsInvalid) {
+  core::NodeConfig cfg;
+  cfg.node = net::NodeId{1};
+  core::SplitRatioTable empty;
+  policy::Policy p;
+  p.id = policy::PolicyId{0};
+  packet::FlowId f;
+  EXPECT_FALSE(
+      core::select_next_hop(StrategyKind::kHotPotato, cfg, empty, p, policy::kFirewall, f)
+          .valid());
+}
+
+TEST(StrategyEdge, ExtremeWeightSkewStillPicksBoth) {
+  // A 1e6:1 weight skew: the heavy candidate dominates but the light one is
+  // still reachable for SOME flow (the bracket scheme never zeroes it).
+  core::NodeConfig cfg;
+  cfg.node = net::NodeId{1};
+  const net::NodeId heavy{10}, light{11};
+  cfg.candidates[policy::kFirewall.v] = {heavy, light};
+  core::SplitRatioTable t;
+  t.set(net::NodeId{1}, policy::kFirewall, policy::PolicyId{0},
+        {{heavy, 1e6}, {light, 1.0}});
+  policy::Policy p;
+  p.id = policy::PolicyId{0};
+  p.actions = {policy::kFirewall};
+  int heavy_count = 0;
+  util::Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    packet::FlowId f;
+    f.src = net::IpAddress(static_cast<std::uint32_t>(rng.next_u64()));
+    f.src_port = static_cast<std::uint16_t>(rng.next_below(65536));
+    heavy_count += core::select_next_hop(StrategyKind::kLoadBalanced, cfg, t, p,
+                                         policy::kFirewall, f) == heavy;
+  }
+  EXPECT_GT(heavy_count, 99800);
+  EXPECT_LT(heavy_count, 100000);  // the light candidate got something
+}
+
+// ---------------------------------------------------------------------------
+// Delivery observer
+// ---------------------------------------------------------------------------
+
+TEST(DeliveryObserver, SeesEveryDeliveredPacketWithPositiveLatency) {
+  const auto network = net::make_campus_topology();
+  const auto routing = net::RoutingTables::compute(network.topo);
+  const auto resolver = net::AddressResolver::build(network.topo);
+  sim::SimNetwork simnet(network.topo, routing, resolver);
+  std::size_t observed = 0;
+  simnet.on_delivered([&](const packet::Packet& pkt, sim::SimTime latency) {
+    ++observed;
+    EXPECT_GT(latency, 0.0);
+    EXPECT_EQ(pkt.kind, packet::PacketKind::kData);
+  });
+  for (int i = 0; i < 7; ++i) {
+    packet::Packet p;
+    p.inner.src = network.topo.node(network.hosts[0][0]).address;
+    p.inner.dst = network.topo.node(network.hosts[3][0]).address;
+    p.payload_bytes = 100;
+    simnet.inject(network.hosts[0][0], p, static_cast<double>(i) * 1e-3);
+  }
+  simnet.run();
+  EXPECT_EQ(observed, 7u);
+  EXPECT_EQ(simnet.counters().delivered, 7u);
+}
+
+}  // namespace
+}  // namespace sdmbox

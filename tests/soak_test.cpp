@@ -1,0 +1,150 @@
+// Longer-horizon robustness: soft state expiring under flow churn while the
+// system keeps enforcing, label recycling over many short flows, and LP
+// behavior under heterogeneous middlebox capacities.
+#include <gtest/gtest.h>
+
+#include "analytic/load_evaluator.hpp"
+#include "core/agents.hpp"
+#include "scenario.hpp"
+#include "sim/network.hpp"
+
+namespace sdmbox {
+namespace {
+
+using core::AgentOptions;
+using core::StrategyKind;
+using sdmbox::testing::Scenario;
+using sdmbox::testing::ScenarioParams;
+using sdmbox::testing::make_scenario;
+
+TEST(Soak, SoftStateChurnsWithoutBreakingEnforcement) {
+  ScenarioParams sp;
+  sp.seed = 71;
+  sp.target_packets = 1500;
+  Scenario s = make_scenario(sp);
+  const auto plan = s.controller->compile(StrategyKind::kRandom);
+
+  AgentOptions opt;
+  opt.enable_label_switching = true;
+  opt.flow_idle_timeout = 0.5;  // aggressive: flows die between waves
+
+  const auto routing = net::RoutingTables::compute(s.network.topo);
+  const auto resolver = net::AddressResolver::build(s.network.topo);
+  sim::SimNetwork simnet(s.network.topo, routing, resolver);
+  const auto agents =
+      core::install_agents(simnet, s.network, s.deployment, s.gen.policies, plan, opt);
+
+  // 8 waves of the same flows, 2 s apart: every wave re-establishes state
+  // from scratch (0.5 s idle timeout), exercising expiry + label recycling.
+  std::uint64_t expected_delivered = 0;
+  for (int wave = 0; wave < 8; ++wave) {
+    const double start = static_cast<double>(wave) * 2.0;
+    for (const auto& f : s.flows.flows) {
+      const auto packets = std::min<std::uint64_t>(f.packets, 3);
+      for (std::uint64_t j = 0; j < packets; ++j) {
+        packet::Packet p;
+        p.inner.src = f.id.src;
+        p.inner.dst = f.id.dst;
+        p.src_port = f.id.src_port;
+        p.dst_port = f.id.dst_port;
+        p.payload_bytes = 200;
+        p.flow_seq = j;
+        simnet.inject(s.network.proxies[static_cast<std::size_t>(f.src_subnet)], p,
+                      start + static_cast<double>(j) * 0.05);
+        ++expected_delivered;
+      }
+    }
+  }
+  simnet.run();
+
+  // Everything delivered or answered; no anomalies anywhere.
+  std::uint64_t anomalies = 0, expirations = 0, confirmations = 0;
+  for (const auto* m : agents.middleboxes) {
+    anomalies += m->counters().anomalies;
+    expirations += m->flow_table().stats().expirations + m->label_table().stats().expirations;
+  }
+  for (const auto* p : agents.proxies) {
+    expirations += p->flow_table().stats().expirations;
+    confirmations += p->counters().confirmations;
+  }
+  EXPECT_EQ(anomalies, 0u);
+  EXPECT_GT(expirations, 0u);  // churn actually happened
+  // Per-flow chains re-confirm on (almost) every wave.
+  EXPECT_GT(confirmations, s.flows.flows.size());
+  EXPECT_GE(simnet.counters().delivered, expected_delivered);  // + control packets
+  EXPECT_EQ(simnet.counters().dropped_no_route, 0u);
+  EXPECT_EQ(simnet.counters().dropped_ttl, 0u);
+}
+
+TEST(Soak, FlowTablesStayBoundedUnderChurn) {
+  ScenarioParams sp;
+  sp.seed = 72;
+  sp.target_packets = 12000;  // ~350 flows, ~35 per proxy
+  Scenario s = make_scenario(sp);
+  const auto plan = s.controller->compile(StrategyKind::kHotPotato);
+  AgentOptions opt;
+  opt.flow_table_capacity = 16;  // tiny: force LRU eviction
+  const auto routing = net::RoutingTables::compute(s.network.topo);
+  const auto resolver = net::AddressResolver::build(s.network.topo);
+  sim::SimNetwork simnet(s.network.topo, routing, resolver);
+  const auto agents =
+      core::install_agents(simnet, s.network, s.deployment, s.gen.policies, plan, opt);
+  for (const auto& f : s.flows.flows) {
+    packet::Packet p;
+    p.inner.src = f.id.src;
+    p.inner.dst = f.id.dst;
+    p.src_port = f.id.src_port;
+    p.dst_port = f.id.dst_port;
+    p.payload_bytes = 200;
+    simnet.inject(s.network.proxies[static_cast<std::size_t>(f.src_subnet)], p, 0.0);
+  }
+  simnet.run();
+  std::uint64_t evictions = 0;
+  for (const auto* p : agents.proxies) {
+    EXPECT_LE(p->flow_table().size(), 16u);
+    evictions += p->flow_table().stats().evictions;
+  }
+  EXPECT_GT(evictions, 0u);
+  // Eviction costs re-classification, never correctness.
+  EXPECT_EQ(simnet.counters().delivered, s.flows.flows.size());
+}
+
+TEST(Soak, HeterogeneousCapacitiesShiftTheOptimum) {
+  // Give one IDS twice everyone's capacity: min-max load FACTOR means it
+  // should absorb about twice the per-box load of its peers.
+  ScenarioParams sp;
+  sp.seed = 73;
+  sp.target_packets = 400000;
+  Scenario s = make_scenario(sp);
+
+  const auto ids = s.deployment.implementers(policy::kIntrusionDetection);
+  const double base = s.traffic.grand_total();
+  s.deployment.set_uniform_capacity(base);
+  // Double capacity for ids[0] requires mutating deployment internals: we
+  // rebuild the deployment info through set_failed-like access — simplest
+  // honest route: a fresh Deployment with per-box capacities.
+  core::Deployment hetero;
+  for (const auto& m : s.deployment.middleboxes()) {
+    core::MiddleboxInfo info = m;
+    info.capacity = m.node == ids[0] ? 2.0 * base : base;
+    hetero.add(info);
+  }
+  core::Controller controller(s.network, hetero, s.gen.policies);
+  const auto plan = controller.compile(StrategyKind::kLoadBalanced, &s.traffic);
+  const auto report =
+      analytic::evaluate_loads(s.network, hetero, s.gen.policies, plan, s.flows.flows);
+
+  const std::uint64_t big_load = report.load_of(ids[0]);
+  std::uint64_t peer_max = 0;
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    peer_max = std::max(peer_max, report.load_of(ids[i]));
+  }
+  // λ·C doubles for the big box: it must carry clearly more than any peer.
+  EXPECT_GT(static_cast<double>(big_load), 1.5 * static_cast<double>(peer_max));
+  // And the overall optimum improves vs uniform capacities.
+  const auto uniform_plan = s.controller->compile(StrategyKind::kLoadBalanced, &s.traffic);
+  EXPECT_LT(plan.lambda, uniform_plan.lambda);
+}
+
+}  // namespace
+}  // namespace sdmbox

@@ -1,0 +1,48 @@
+// Table rendering helpers (stats/table).
+#include <gtest/gtest.h>
+
+#include "stats/table.hpp"
+
+namespace sdmbox::stats {
+namespace {
+
+TEST(TextTable, AlignsColumnsAndDrawsSeparator) {
+  TextTable t("title");
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "12345"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("title\n"), std::string::npos);
+  EXPECT_NE(out.find("name    value\n"), std::string::npos);  // padded header
+  EXPECT_NE(out.find("-------------"), std::string::npos);    // separator
+  EXPECT_NE(out.find("a           1\n"), std::string::npos);  // right-aligned number
+  EXPECT_NE(out.find("longer  12345\n"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, CsvIsUnpadded) {
+  TextTable t;
+  t.set_header({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(TextTable, NoHeaderMeansNoSeparator) {
+  TextTable t;
+  t.add_row({"only", "row"});
+  const std::string out = t.to_string();
+  EXPECT_EQ(out.find('-'), std::string::npos);
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TextTable, RaggedRowsRender) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_FALSE(t.to_string().empty());
+  EXPECT_EQ(t.to_csv(), "a,b,c\n1\n1,2,3\n");
+}
+
+}  // namespace
+}  // namespace sdmbox::stats

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "tables/flow_table.hpp"
+#include "tables/label_table.hpp"
+
+namespace sdmbox::tables {
+namespace {
+
+using net::IpAddress;
+using packet::FlowId;
+using policy::ActionList;
+using policy::PolicyId;
+
+FlowId flow(std::uint32_t n) {
+  return FlowId{IpAddress(10, 1, 0, 1), IpAddress(10, 2, 0, 1), static_cast<std::uint16_t>(n),
+                80, packet::kProtoTcp};
+}
+
+// ---------------------------------------------------------------------------
+// FlowTable basics (§III.D)
+// ---------------------------------------------------------------------------
+
+TEST(FlowTable, MissThenHit) {
+  FlowTable t(30.0, 100);
+  EXPECT_EQ(t.lookup(flow(1), 0.0), nullptr);
+  t.insert(flow(1), PolicyId{3}, {policy::kFirewall}, 0.0);
+  FlowEntry* e = t.lookup(flow(1), 1.0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->policy.v, 3u);
+  EXPECT_EQ(e->actions, (ActionList{policy::kFirewall}));
+  EXPECT_EQ(t.stats().misses, 1u);
+  EXPECT_EQ(t.stats().hits, 1u);
+}
+
+TEST(FlowTable, NegativeEntryCachesNoMatch) {
+  FlowTable t;
+  t.insert(flow(1), PolicyId{}, {}, 0.0);
+  FlowEntry* e = t.lookup(flow(1), 1.0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->is_negative());
+  EXPECT_EQ(t.stats().negative_hits, 1u);
+}
+
+TEST(FlowTable, SoftStateExpiresLazily) {
+  FlowTable t(10.0, 100);
+  t.insert(flow(1), PolicyId{1}, {}, 0.0);
+  EXPECT_NE(t.lookup(flow(1), 9.0), nullptr);   // refreshed at 9
+  EXPECT_NE(t.lookup(flow(1), 18.0), nullptr);  // idle 9 < 10
+  EXPECT_EQ(t.lookup(flow(1), 40.0), nullptr);  // idle 22 > 10 -> expired
+  EXPECT_EQ(t.stats().expirations, 1u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(FlowTable, LookupRefreshesIdleClock) {
+  FlowTable t(10.0, 100);
+  t.insert(flow(1), PolicyId{1}, {}, 0.0);
+  for (double now = 5; now <= 50; now += 5) EXPECT_NE(t.lookup(flow(1), now), nullptr);
+}
+
+TEST(FlowTable, ExpireIdleSweeps) {
+  FlowTable t(10.0, 100);
+  t.insert(flow(1), PolicyId{1}, {}, 0.0);
+  t.insert(flow(2), PolicyId{1}, {}, 8.0);
+  t.expire_idle(15.0);
+  EXPECT_EQ(t.size(), 1u);  // flow 1 idle 15 > 10; flow 2 idle 7
+  EXPECT_EQ(t.stats().expirations, 1u);
+}
+
+TEST(FlowTable, CapacityEvictsLeastRecentlyUsed) {
+  FlowTable t(1000.0, 3);
+  t.insert(flow(1), PolicyId{1}, {}, 0.0);
+  t.insert(flow(2), PolicyId{1}, {}, 1.0);
+  t.insert(flow(3), PolicyId{1}, {}, 2.0);
+  t.lookup(flow(1), 3.0);  // 1 becomes MRU; LRU is now 2
+  t.insert(flow(4), PolicyId{1}, {}, 4.0);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.stats().evictions, 1u);
+  EXPECT_EQ(t.lookup(flow(2), 5.0), nullptr);   // evicted
+  EXPECT_NE(t.lookup(flow(1), 5.0), nullptr);
+  EXPECT_NE(t.lookup(flow(4), 5.0), nullptr);
+}
+
+TEST(FlowTable, ReinsertOverwrites) {
+  FlowTable t;
+  t.insert(flow(1), PolicyId{1}, {policy::kFirewall}, 0.0);
+  t.insert(flow(1), PolicyId{2}, {policy::kWebProxy}, 1.0);
+  EXPECT_EQ(t.size(), 1u);
+  FlowEntry* e = t.lookup(flow(1), 2.0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->policy.v, 2u);
+  EXPECT_EQ(e->actions, (ActionList{policy::kWebProxy}));
+}
+
+TEST(FlowTable, HitRateAccounting) {
+  FlowTable t;
+  t.lookup(flow(1), 0.0);  // miss
+  t.insert(flow(1), PolicyId{1}, {}, 0.0);
+  t.lookup(flow(1), 1.0);  // hit
+  t.lookup(flow(1), 2.0);  // hit
+  EXPECT_DOUBLE_EQ(t.stats().hit_rate(), 2.0 / 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// FlowTable labels (§III.E)
+// ---------------------------------------------------------------------------
+
+TEST(FlowTableLabels, AllocateIsNonZeroAndUnique) {
+  FlowTable t;
+  auto& e1 = t.insert(flow(1), PolicyId{1}, {}, 0.0);
+  auto& e2 = t.insert(flow(2), PolicyId{1}, {}, 0.0);
+  const auto l1 = t.allocate_label(e1);
+  const auto l2 = t.allocate_label(e2);
+  EXPECT_NE(l1, 0);
+  EXPECT_NE(l2, 0);
+  EXPECT_NE(l1, l2);
+}
+
+TEST(FlowTableLabels, DoubleAllocateRejected) {
+  FlowTable t;
+  auto& e = t.insert(flow(1), PolicyId{1}, {}, 0.0);
+  t.allocate_label(e);
+  EXPECT_THROW(t.allocate_label(e), ContractViolation);
+}
+
+TEST(FlowTableLabels, LabelsRecycleAfterEviction) {
+  FlowTable t(1000.0, 2);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    auto& e = t.insert(flow(i), PolicyId{1}, {}, static_cast<double>(i));
+    t.allocate_label(e);  // would exhaust a 2-entry table without recycling
+  }
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(FlowTableLabels, LabelsStayUniqueAmongLiveEntries) {
+  FlowTable t(1000.0, 1000);
+  std::vector<std::uint16_t> labels;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    auto& e = t.insert(flow(i), PolicyId{1}, {}, 0.0);
+    labels.push_back(t.allocate_label(e));
+  }
+  std::sort(labels.begin(), labels.end());
+  EXPECT_EQ(std::unique(labels.begin(), labels.end()), labels.end());
+}
+
+TEST(FlowTableLabels, ConfirmSetsFlag) {
+  FlowTable t;
+  auto& e = t.insert(flow(1), PolicyId{1}, {}, 0.0);
+  t.allocate_label(e);
+  EXPECT_FALSE(e.label_switched);
+  EXPECT_TRUE(t.confirm_label(flow(1), 1.0));
+  EXPECT_TRUE(t.lookup(flow(1), 2.0)->label_switched);
+}
+
+TEST(FlowTableLabels, ConfirmOnMissingOrExpiredEntryFails) {
+  FlowTable t(10.0, 100);
+  EXPECT_FALSE(t.confirm_label(flow(9), 0.0));
+  t.insert(flow(1), PolicyId{1}, {}, 0.0);
+  EXPECT_FALSE(t.confirm_label(flow(1), 100.0));  // expired
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(FlowTableLabels, ReinsertClearsLabelState) {
+  FlowTable t;
+  auto& e = t.insert(flow(1), PolicyId{1}, {}, 0.0);
+  const auto label = t.allocate_label(e);
+  t.confirm_label(flow(1), 0.5);
+  auto& e2 = t.insert(flow(1), PolicyId{2}, {}, 1.0);
+  EXPECT_EQ(e2.label, 0);
+  EXPECT_FALSE(e2.label_switched);
+  // The old label is free again.
+  auto& e3 = t.insert(flow(2), PolicyId{1}, {}, 1.0);
+  (void)label;
+  EXPECT_NE(t.allocate_label(e3), 0);
+}
+
+// ---------------------------------------------------------------------------
+// LabelTable (§III.E)
+// ---------------------------------------------------------------------------
+
+TEST(LabelTable, InsertAndLookup) {
+  LabelTable t(30.0);
+  const LabelKey key{IpAddress(10, 1, 0, 5), 42};
+  LabelEntry e;
+  e.actions = {policy::kFirewall, policy::kIntrusionDetection};
+  e.position = 0;
+  e.next_hop = IpAddress(172, 31, 0, 1);
+  t.insert(key, e, 0.0);
+  LabelEntry* found = t.lookup(key, 1.0);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->position, 0u);
+  EXPECT_FALSE(found->is_chain_tail());
+  EXPECT_EQ(*found->next_hop, IpAddress(172, 31, 0, 1));
+}
+
+TEST(LabelTable, KeyIncludesBothSrcAndLabel) {
+  LabelTable t;
+  t.insert(LabelKey{IpAddress(10, 1, 0, 5), 42}, LabelEntry{}, 0.0);
+  EXPECT_EQ(t.lookup(LabelKey{IpAddress(10, 1, 0, 6), 42}, 1.0), nullptr);
+  EXPECT_EQ(t.lookup(LabelKey{IpAddress(10, 1, 0, 5), 43}, 1.0), nullptr);
+  EXPECT_NE(t.lookup(LabelKey{IpAddress(10, 1, 0, 5), 42}, 1.0), nullptr);
+}
+
+TEST(LabelTable, TailEntryCarriesFinalDestination) {
+  LabelTable t;
+  LabelEntry e;
+  e.final_dst = IpAddress(10, 9, 0, 1);
+  t.insert(LabelKey{IpAddress(10, 1, 0, 5), 7}, e, 0.0);
+  LabelEntry* found = t.lookup(LabelKey{IpAddress(10, 1, 0, 5), 7}, 1.0);
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(found->is_chain_tail());
+  EXPECT_EQ(*found->final_dst, IpAddress(10, 9, 0, 1));
+}
+
+TEST(LabelTable, SoftStateExpiry) {
+  LabelTable t(10.0);
+  t.insert(LabelKey{IpAddress(10, 1, 0, 5), 7}, LabelEntry{}, 0.0);
+  EXPECT_NE(t.lookup(LabelKey{IpAddress(10, 1, 0, 5), 7}, 9.0), nullptr);
+  EXPECT_EQ(t.lookup(LabelKey{IpAddress(10, 1, 0, 5), 7}, 30.0), nullptr);
+  EXPECT_EQ(t.stats().expirations, 1u);
+}
+
+TEST(LabelTable, ExpireIdleSweep) {
+  LabelTable t(10.0);
+  t.insert(LabelKey{IpAddress(10, 1, 0, 5), 1}, LabelEntry{}, 0.0);
+  t.insert(LabelKey{IpAddress(10, 1, 0, 5), 2}, LabelEntry{}, 8.0);
+  t.expire_idle(15.0);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(LabelTable, InsertOverwrites) {
+  LabelTable t;
+  LabelEntry e1;
+  e1.position = 1;
+  t.insert(LabelKey{IpAddress(10, 1, 0, 5), 1}, e1, 0.0);
+  LabelEntry e2;
+  e2.position = 2;
+  t.insert(LabelKey{IpAddress(10, 1, 0, 5), 1}, e2, 1.0);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup(LabelKey{IpAddress(10, 1, 0, 5), 1}, 2.0)->position, 2u);
+}
+
+}  // namespace
+}  // namespace sdmbox::tables

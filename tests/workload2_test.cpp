@@ -1,0 +1,227 @@
+// Bidirectional web traffic (return companions, §IV.A) and bounded
+// drop-tail queues in the simulator.
+#include <gtest/gtest.h>
+
+#include "analytic/load_evaluator.hpp"
+#include "net/topologies.hpp"
+#include "sim/network.hpp"
+#include "workload/flow_gen.hpp"
+#include "workload/policy_gen.hpp"
+#include "workload/traffic_matrix.hpp"
+
+namespace sdmbox {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Return web traffic
+// ---------------------------------------------------------------------------
+
+struct WebScenario {
+  net::GeneratedNetwork network = net::make_campus_topology();
+  workload::GeneratedPolicies gen;
+  util::Rng rng{31};
+
+  explicit WebScenario(bool companions) {
+    workload::PolicyGenParams pp;
+    pp.web_return_companions = companions;
+    gen = workload::generate_policies(network, pp, rng);
+  }
+};
+
+TEST(WebReturn, ReturnFlowsMatchCompanionPolicies) {
+  WebScenario s(true);
+  workload::FlowGenParams fp;
+  fp.target_total_packets = 50000;
+  fp.web_return_traffic = true;
+  const auto flows = workload::generate_flows(s.network, s.gen, fp, s.rng);
+
+  std::size_t returns = 0;
+  for (const auto& f : flows.flows) {
+    const auto* pol = s.gen.policies.first_match(f.id);
+    ASSERT_NE(pol, nullptr);
+    EXPECT_EQ(pol->id, f.intended);
+    // Return flows carry source port 80 and the reversed IDS->FW chain.
+    if (f.id.src_port == 80) {
+      ++returns;
+      EXPECT_EQ(pol->actions,
+                (policy::ActionList{policy::kIntrusionDetection, policy::kFirewall}));
+    }
+  }
+  EXPECT_GT(returns, 0u);
+}
+
+TEST(WebReturn, ReturnScaleMultipliesResponseVolume) {
+  WebScenario s(true);
+  workload::FlowGenParams fp;
+  fp.target_total_packets = 50000;
+  fp.web_return_traffic = true;
+  fp.web_return_scale = 4.0;
+  const auto flows = workload::generate_flows(s.network, s.gen, fp, s.rng);
+  std::uint64_t fwd = 0, back = 0;
+  for (const auto& f : flows.flows) {
+    if (f.id.dst_port == 80) fwd += f.packets;
+    if (f.id.src_port == 80) back += f.packets;
+  }
+  ASSERT_GT(fwd, 0u);
+  // Scale 4 with per-flow rounding-up: ratio close to 4.
+  EXPECT_NEAR(static_cast<double>(back) / static_cast<double>(fwd), 4.0, 0.2);
+}
+
+TEST(WebReturn, WithoutCompanionsGenerationRefuses) {
+  WebScenario s(false);
+  workload::FlowGenParams fp;
+  fp.target_total_packets = 5000;
+  fp.web_return_traffic = true;
+  EXPECT_THROW(workload::generate_flows(s.network, s.gen, fp, s.rng), ContractViolation);
+}
+
+TEST(WebReturn, ReturnChainsLoadTheMiddleboxesSymmetrically) {
+  WebScenario s(true);
+  util::Rng rng(5);
+  const auto catalog = policy::FunctionCatalog::standard();
+  auto deployment =
+      core::deploy_middleboxes(s.network, catalog, core::DeploymentParams{}, rng);
+  workload::FlowGenParams fp;
+  fp.target_total_packets = 100000;
+  fp.web_return_traffic = true;
+  fp.class_weights[0] = 0;  // web only: isolate the forward/return symmetry
+  fp.class_weights[2] = 0;
+  const auto flows = workload::generate_flows(s.network, s.gen, fp, s.rng);
+  const auto traffic = workload::TrafficMatrix::measure(s.gen.policies, flows.flows);
+  deployment.set_uniform_capacity(traffic.grand_total());
+  core::Controller controller(s.network, deployment, s.gen.policies);
+  const auto plan = controller.compile(core::StrategyKind::kLoadBalanced, &traffic);
+  const auto report =
+      analytic::evaluate_loads(s.network, deployment, s.gen.policies, plan, flows.flows);
+  const auto summaries = analytic::summarize_by_function(report, deployment, catalog);
+  // Forward chains use FW->IDS, return chains IDS->FW: both types carry the
+  // full (fwd + return) volume; WP and TM see none.
+  for (const auto& su : summaries) {
+    if (su.function == policy::kFirewall || su.function == policy::kIntrusionDetection) {
+      EXPECT_EQ(su.total_load, report.matched_packets) << su.function_name;
+    } else {
+      EXPECT_EQ(su.total_load, 0u) << su.function_name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sampled measurement
+// ---------------------------------------------------------------------------
+
+TEST(SampledMeasurement, RateOneEqualsExactMeasurement) {
+  WebScenario s(false);
+  workload::FlowGenParams fp;
+  fp.target_total_packets = 50000;
+  const auto flows = workload::generate_flows(s.network, s.gen, fp, s.rng);
+  const auto exact = workload::TrafficMatrix::measure(s.gen.policies, flows.flows);
+  const auto sampled =
+      workload::TrafficMatrix::measure_sampled(s.gen.policies, flows.flows, 1.0);
+  EXPECT_DOUBLE_EQ(sampled.grand_total(), exact.grand_total());
+  for (const auto& p : s.gen.policies.all()) {
+    EXPECT_DOUBLE_EQ(sampled.total(p.id), exact.total(p.id));
+  }
+}
+
+TEST(SampledMeasurement, EstimatorIsApproximatelyUnbiased) {
+  WebScenario s(false);
+  workload::FlowGenParams fp;
+  fp.target_total_packets = 400000;
+  const auto flows = workload::generate_flows(s.network, s.gen, fp, s.rng);
+  const auto exact = workload::TrafficMatrix::measure(s.gen.policies, flows.flows);
+  // Average the estimate over several sampling seeds: should approach truth.
+  // Power-law flow sizes give the flow-sampling estimator a heavy-tailed
+  // variance, so the tolerance is generous.
+  double sum = 0;
+  const int runs = 16;
+  for (int i = 0; i < runs; ++i) {
+    sum += workload::TrafficMatrix::measure_sampled(s.gen.policies, flows.flows, 0.25,
+                                                    static_cast<std::uint64_t>(i))
+               .grand_total();
+  }
+  EXPECT_NEAR(sum / runs / exact.grand_total(), 1.0, 0.15);
+}
+
+TEST(SampledMeasurement, DeterministicPerSeedAndRejectsBadRates) {
+  WebScenario s(false);
+  workload::FlowGenParams fp;
+  fp.target_total_packets = 20000;
+  const auto flows = workload::generate_flows(s.network, s.gen, fp, s.rng);
+  const auto a = workload::TrafficMatrix::measure_sampled(s.gen.policies, flows.flows, 0.2, 7);
+  const auto b = workload::TrafficMatrix::measure_sampled(s.gen.policies, flows.flows, 0.2, 7);
+  EXPECT_DOUBLE_EQ(a.grand_total(), b.grand_total());
+  EXPECT_THROW(workload::TrafficMatrix::measure_sampled(s.gen.policies, flows.flows, 0.0),
+               ContractViolation);
+  EXPECT_THROW(workload::TrafficMatrix::measure_sampled(s.gen.policies, flows.flows, 1.5),
+               ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Drop-tail queues
+// ---------------------------------------------------------------------------
+
+TEST(DropTail, UnboundedQueuesNeverDrop) {
+  const auto network = net::make_campus_topology();
+  const auto routing = net::RoutingTables::compute(network.topo);
+  const auto resolver = net::AddressResolver::build(network.topo);
+  sim::SimNetwork simnet(network.topo, routing, resolver);
+  for (int i = 0; i < 200; ++i) {
+    packet::Packet p;
+    p.inner.src = network.topo.node(network.hosts[0][0]).address;
+    p.inner.dst = network.topo.node(network.hosts[5][0]).address;
+    p.payload_bytes = 1400;
+    simnet.inject(network.hosts[0][0], p, 0.0);  // all at once: deep backlog
+  }
+  simnet.run();
+  EXPECT_EQ(simnet.counters().dropped_queue, 0u);
+  EXPECT_EQ(simnet.counters().delivered, 200u);
+}
+
+TEST(DropTail, TinyBuffersShedBurstsButNotTrickles) {
+  net::CampusParams cp;
+  cp.stub_link.queue_limit_bytes = 3000;  // ~2 packets of headroom
+  const auto network = net::make_campus_topology(cp);
+  const auto routing = net::RoutingTables::compute(network.topo);
+  const auto resolver = net::AddressResolver::build(network.topo);
+
+  const auto run_burst = [&](double spacing) {
+    sim::SimNetwork simnet(network.topo, routing, resolver);
+    for (int i = 0; i < 100; ++i) {
+      packet::Packet p;
+      p.inner.src = network.topo.node(network.hosts[0][0]).address;
+      p.inner.dst = network.topo.node(network.hosts[5][0]).address;
+      p.payload_bytes = 1400;
+      simnet.inject(network.hosts[0][0], p, static_cast<double>(i) * spacing);
+    }
+    simnet.run();
+    return simnet.counters();
+  };
+
+  const auto burst = run_burst(0.0);      // all at once
+  const auto paced = run_burst(1e-3);     // 1 ms apart: queue always drains
+  EXPECT_GT(burst.dropped_queue, 0u);
+  EXPECT_LT(burst.delivered, 100u);
+  EXPECT_EQ(burst.delivered + burst.dropped_queue, 100u);
+  EXPECT_EQ(paced.dropped_queue, 0u);
+  EXPECT_EQ(paced.delivered, 100u);
+}
+
+TEST(DropTail, BacklogIsObservable) {
+  const auto network = net::make_campus_topology();
+  const auto routing = net::RoutingTables::compute(network.topo);
+  const auto resolver = net::AddressResolver::build(network.topo);
+  sim::SimNetwork simnet(network.topo, routing, resolver);
+  for (int i = 0; i < 50; ++i) {
+    packet::Packet p;
+    p.inner.src = network.topo.node(network.hosts[0][0]).address;
+    p.inner.dst = network.topo.node(network.hosts[5][0]).address;
+    p.payload_bytes = 1400;
+    simnet.inject(network.hosts[0][0], p, 0.0);
+  }
+  simnet.run();
+  const net::LinkId first = network.topo.find_link(network.hosts[0][0], network.proxies[0]);
+  EXPECT_GT(simnet.link_counters(first).max_backlog_s, 0.0);
+}
+
+}  // namespace
+}  // namespace sdmbox
