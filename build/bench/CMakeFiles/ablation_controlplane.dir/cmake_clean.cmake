@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_controlplane.dir/ablation_controlplane.cpp.o"
+  "CMakeFiles/ablation_controlplane.dir/ablation_controlplane.cpp.o.d"
+  "ablation_controlplane"
+  "ablation_controlplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_controlplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_label_switching.dir/ablation_label_switching.cpp.o"
+  "CMakeFiles/ablation_label_switching.dir/ablation_label_switching.cpp.o.d"
+  "ablation_label_switching"
+  "ablation_label_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_label_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

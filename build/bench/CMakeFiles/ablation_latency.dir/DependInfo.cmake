@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_latency.cpp" "bench/CMakeFiles/ablation_latency.dir/ablation_latency.cpp.o" "gcc" "bench/CMakeFiles/ablation_latency.dir/ablation_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sdmbox_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/sdmbox_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/sdmbox_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sdmbox_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdmbox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/sdmbox_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tables/CMakeFiles/sdmbox_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/sdmbox_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/sdmbox_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdmbox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sdmbox_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdmbox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

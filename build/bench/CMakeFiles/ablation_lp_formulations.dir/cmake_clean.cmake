@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lp_formulations.dir/ablation_lp_formulations.cpp.o"
+  "CMakeFiles/ablation_lp_formulations.dir/ablation_lp_formulations.cpp.o.d"
+  "ablation_lp_formulations"
+  "ablation_lp_formulations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lp_formulations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

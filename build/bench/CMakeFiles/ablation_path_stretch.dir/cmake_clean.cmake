@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_path_stretch.dir/ablation_path_stretch.cpp.o"
+  "CMakeFiles/ablation_path_stretch.dir/ablation_path_stretch.cpp.o.d"
+  "ablation_path_stretch"
+  "ablation_path_stretch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_path_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reoptimization.dir/ablation_reoptimization.cpp.o"
+  "CMakeFiles/ablation_reoptimization.dir/ablation_reoptimization.cpp.o.d"
+  "ablation_reoptimization"
+  "ablation_reoptimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reoptimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

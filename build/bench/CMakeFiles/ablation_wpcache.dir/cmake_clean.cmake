@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wpcache.dir/ablation_wpcache.cpp.o"
+  "CMakeFiles/ablation_wpcache.dir/ablation_wpcache.cpp.o.d"
+  "ablation_wpcache"
+  "ablation_wpcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wpcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

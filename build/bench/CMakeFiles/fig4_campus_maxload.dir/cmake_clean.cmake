@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_campus_maxload.dir/fig4_campus_maxload.cpp.o"
+  "CMakeFiles/fig4_campus_maxload.dir/fig4_campus_maxload.cpp.o.d"
+  "fig4_campus_maxload"
+  "fig4_campus_maxload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_campus_maxload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_waxman_maxload.dir/fig5_waxman_maxload.cpp.o"
+  "CMakeFiles/fig5_waxman_maxload.dir/fig5_waxman_maxload.cpp.o.d"
+  "fig5_waxman_maxload"
+  "fig5_waxman_maxload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_waxman_maxload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_simplex.dir/micro_simplex.cpp.o"
+  "CMakeFiles/micro_simplex.dir/micro_simplex.cpp.o.d"
+  "micro_simplex"
+  "micro_simplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_simplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

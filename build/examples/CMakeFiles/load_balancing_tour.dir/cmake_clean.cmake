@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balancing_tour.dir/load_balancing_tour.cpp.o"
+  "CMakeFiles/load_balancing_tour.dir/load_balancing_tour.cpp.o.d"
+  "load_balancing_tour"
+  "load_balancing_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balancing_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waxman_scale.dir/waxman_scale.cpp.o"
+  "CMakeFiles/waxman_scale.dir/waxman_scale.cpp.o.d"
+  "waxman_scale"
+  "waxman_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waxman_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("packet")
+subdirs("policy")
+subdirs("tables")
+subdirs("lp")
+subdirs("sim")
+subdirs("workload")
+subdirs("core")
+subdirs("control")
+subdirs("analytic")
+subdirs("stats")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdmbox_analytic.dir/epoch_driver.cpp.o"
+  "CMakeFiles/sdmbox_analytic.dir/epoch_driver.cpp.o.d"
+  "CMakeFiles/sdmbox_analytic.dir/load_evaluator.cpp.o"
+  "CMakeFiles/sdmbox_analytic.dir/load_evaluator.cpp.o.d"
+  "libsdmbox_analytic.a"
+  "libsdmbox_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdmbox_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdmbox_analytic.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdmbox_control.dir/codec.cpp.o"
+  "CMakeFiles/sdmbox_control.dir/codec.cpp.o.d"
+  "CMakeFiles/sdmbox_control.dir/endpoints.cpp.o"
+  "CMakeFiles/sdmbox_control.dir/endpoints.cpp.o.d"
+  "CMakeFiles/sdmbox_control.dir/wire.cpp.o"
+  "CMakeFiles/sdmbox_control.dir/wire.cpp.o.d"
+  "libsdmbox_control.a"
+  "libsdmbox_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdmbox_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdmbox_core.dir/agents.cpp.o"
+  "CMakeFiles/sdmbox_core.dir/agents.cpp.o.d"
+  "CMakeFiles/sdmbox_core.dir/controller.cpp.o"
+  "CMakeFiles/sdmbox_core.dir/controller.cpp.o.d"
+  "CMakeFiles/sdmbox_core.dir/deployment.cpp.o"
+  "CMakeFiles/sdmbox_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/sdmbox_core.dir/lp_formulations.cpp.o"
+  "CMakeFiles/sdmbox_core.dir/lp_formulations.cpp.o.d"
+  "CMakeFiles/sdmbox_core.dir/plan.cpp.o"
+  "CMakeFiles/sdmbox_core.dir/plan.cpp.o.d"
+  "CMakeFiles/sdmbox_core.dir/strategy.cpp.o"
+  "CMakeFiles/sdmbox_core.dir/strategy.cpp.o.d"
+  "CMakeFiles/sdmbox_core.dir/validate.cpp.o"
+  "CMakeFiles/sdmbox_core.dir/validate.cpp.o.d"
+  "libsdmbox_core.a"
+  "libsdmbox_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdmbox_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

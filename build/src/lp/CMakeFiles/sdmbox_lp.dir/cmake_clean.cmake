@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdmbox_lp.dir/model.cpp.o"
+  "CMakeFiles/sdmbox_lp.dir/model.cpp.o.d"
+  "CMakeFiles/sdmbox_lp.dir/simplex.cpp.o"
+  "CMakeFiles/sdmbox_lp.dir/simplex.cpp.o.d"
+  "libsdmbox_lp.a"
+  "libsdmbox_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdmbox_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

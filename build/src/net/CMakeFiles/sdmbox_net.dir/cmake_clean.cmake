@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdmbox_net.dir/ip.cpp.o"
+  "CMakeFiles/sdmbox_net.dir/ip.cpp.o.d"
+  "CMakeFiles/sdmbox_net.dir/routing.cpp.o"
+  "CMakeFiles/sdmbox_net.dir/routing.cpp.o.d"
+  "CMakeFiles/sdmbox_net.dir/shortest_path.cpp.o"
+  "CMakeFiles/sdmbox_net.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/sdmbox_net.dir/topologies.cpp.o"
+  "CMakeFiles/sdmbox_net.dir/topologies.cpp.o.d"
+  "CMakeFiles/sdmbox_net.dir/topology.cpp.o"
+  "CMakeFiles/sdmbox_net.dir/topology.cpp.o.d"
+  "libsdmbox_net.a"
+  "libsdmbox_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdmbox_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

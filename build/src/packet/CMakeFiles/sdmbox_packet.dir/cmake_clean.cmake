@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdmbox_packet.dir/packet.cpp.o"
+  "CMakeFiles/sdmbox_packet.dir/packet.cpp.o.d"
+  "libsdmbox_packet.a"
+  "libsdmbox_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdmbox_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/analysis.cpp" "src/policy/CMakeFiles/sdmbox_policy.dir/analysis.cpp.o" "gcc" "src/policy/CMakeFiles/sdmbox_policy.dir/analysis.cpp.o.d"
+  "/root/repo/src/policy/classifier.cpp" "src/policy/CMakeFiles/sdmbox_policy.dir/classifier.cpp.o" "gcc" "src/policy/CMakeFiles/sdmbox_policy.dir/classifier.cpp.o.d"
+  "/root/repo/src/policy/function.cpp" "src/policy/CMakeFiles/sdmbox_policy.dir/function.cpp.o" "gcc" "src/policy/CMakeFiles/sdmbox_policy.dir/function.cpp.o.d"
+  "/root/repo/src/policy/parser.cpp" "src/policy/CMakeFiles/sdmbox_policy.dir/parser.cpp.o" "gcc" "src/policy/CMakeFiles/sdmbox_policy.dir/parser.cpp.o.d"
+  "/root/repo/src/policy/policy.cpp" "src/policy/CMakeFiles/sdmbox_policy.dir/policy.cpp.o" "gcc" "src/policy/CMakeFiles/sdmbox_policy.dir/policy.cpp.o.d"
+  "/root/repo/src/policy/trie_classifier.cpp" "src/policy/CMakeFiles/sdmbox_policy.dir/trie_classifier.cpp.o" "gcc" "src/policy/CMakeFiles/sdmbox_policy.dir/trie_classifier.cpp.o.d"
+  "/root/repo/src/policy/tuple_classifier.cpp" "src/policy/CMakeFiles/sdmbox_policy.dir/tuple_classifier.cpp.o" "gcc" "src/policy/CMakeFiles/sdmbox_policy.dir/tuple_classifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/packet/CMakeFiles/sdmbox_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdmbox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdmbox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdmbox_policy.dir/analysis.cpp.o"
+  "CMakeFiles/sdmbox_policy.dir/analysis.cpp.o.d"
+  "CMakeFiles/sdmbox_policy.dir/classifier.cpp.o"
+  "CMakeFiles/sdmbox_policy.dir/classifier.cpp.o.d"
+  "CMakeFiles/sdmbox_policy.dir/function.cpp.o"
+  "CMakeFiles/sdmbox_policy.dir/function.cpp.o.d"
+  "CMakeFiles/sdmbox_policy.dir/parser.cpp.o"
+  "CMakeFiles/sdmbox_policy.dir/parser.cpp.o.d"
+  "CMakeFiles/sdmbox_policy.dir/policy.cpp.o"
+  "CMakeFiles/sdmbox_policy.dir/policy.cpp.o.d"
+  "CMakeFiles/sdmbox_policy.dir/trie_classifier.cpp.o"
+  "CMakeFiles/sdmbox_policy.dir/trie_classifier.cpp.o.d"
+  "CMakeFiles/sdmbox_policy.dir/tuple_classifier.cpp.o"
+  "CMakeFiles/sdmbox_policy.dir/tuple_classifier.cpp.o.d"
+  "libsdmbox_policy.a"
+  "libsdmbox_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdmbox_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdmbox_sim.dir/network.cpp.o"
+  "CMakeFiles/sdmbox_sim.dir/network.cpp.o.d"
+  "CMakeFiles/sdmbox_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sdmbox_sim.dir/simulator.cpp.o.d"
+  "libsdmbox_sim.a"
+  "libsdmbox_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdmbox_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdmbox_stats.dir/histogram.cpp.o"
+  "CMakeFiles/sdmbox_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/sdmbox_stats.dir/table.cpp.o"
+  "CMakeFiles/sdmbox_stats.dir/table.cpp.o.d"
+  "libsdmbox_stats.a"
+  "libsdmbox_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdmbox_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

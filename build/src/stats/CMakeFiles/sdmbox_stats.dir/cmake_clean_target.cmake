@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdmbox_stats.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tables/flow_table.cpp" "src/tables/CMakeFiles/sdmbox_tables.dir/flow_table.cpp.o" "gcc" "src/tables/CMakeFiles/sdmbox_tables.dir/flow_table.cpp.o.d"
+  "/root/repo/src/tables/label_table.cpp" "src/tables/CMakeFiles/sdmbox_tables.dir/label_table.cpp.o" "gcc" "src/tables/CMakeFiles/sdmbox_tables.dir/label_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policy/CMakeFiles/sdmbox_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/sdmbox_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdmbox_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdmbox_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

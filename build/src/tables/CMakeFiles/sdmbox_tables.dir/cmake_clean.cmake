@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdmbox_tables.dir/flow_table.cpp.o"
+  "CMakeFiles/sdmbox_tables.dir/flow_table.cpp.o.d"
+  "CMakeFiles/sdmbox_tables.dir/label_table.cpp.o"
+  "CMakeFiles/sdmbox_tables.dir/label_table.cpp.o.d"
+  "libsdmbox_tables.a"
+  "libsdmbox_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdmbox_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

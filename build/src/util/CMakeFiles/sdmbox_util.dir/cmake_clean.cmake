@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdmbox_util.dir/log.cpp.o"
+  "CMakeFiles/sdmbox_util.dir/log.cpp.o.d"
+  "CMakeFiles/sdmbox_util.dir/rng.cpp.o"
+  "CMakeFiles/sdmbox_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sdmbox_util.dir/strings.cpp.o"
+  "CMakeFiles/sdmbox_util.dir/strings.cpp.o.d"
+  "libsdmbox_util.a"
+  "libsdmbox_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdmbox_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

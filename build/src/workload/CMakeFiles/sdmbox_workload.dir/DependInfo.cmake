@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/flow_gen.cpp" "src/workload/CMakeFiles/sdmbox_workload.dir/flow_gen.cpp.o" "gcc" "src/workload/CMakeFiles/sdmbox_workload.dir/flow_gen.cpp.o.d"
+  "/root/repo/src/workload/policy_gen.cpp" "src/workload/CMakeFiles/sdmbox_workload.dir/policy_gen.cpp.o" "gcc" "src/workload/CMakeFiles/sdmbox_workload.dir/policy_gen.cpp.o.d"
+  "/root/repo/src/workload/traffic_matrix.cpp" "src/workload/CMakeFiles/sdmbox_workload.dir/traffic_matrix.cpp.o" "gcc" "src/workload/CMakeFiles/sdmbox_workload.dir/traffic_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policy/CMakeFiles/sdmbox_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdmbox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/sdmbox_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdmbox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdmbox_workload.dir/flow_gen.cpp.o"
+  "CMakeFiles/sdmbox_workload.dir/flow_gen.cpp.o.d"
+  "CMakeFiles/sdmbox_workload.dir/policy_gen.cpp.o"
+  "CMakeFiles/sdmbox_workload.dir/policy_gen.cpp.o.d"
+  "CMakeFiles/sdmbox_workload.dir/traffic_matrix.cpp.o"
+  "CMakeFiles/sdmbox_workload.dir/traffic_matrix.cpp.o.d"
+  "libsdmbox_workload.a"
+  "libsdmbox_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdmbox_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

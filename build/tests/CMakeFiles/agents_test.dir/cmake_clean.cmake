@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agents_test.dir/agents_test.cpp.o"
+  "CMakeFiles/agents_test.dir/agents_test.cpp.o.d"
+  "agents_test"
+  "agents_test.pdb"
+  "agents_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agents_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control2_test.dir/control2_test.cpp.o"
+  "CMakeFiles/control2_test.dir/control2_test.cpp.o.d"
+  "control2_test"
+  "control2_test.pdb"
+  "control2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

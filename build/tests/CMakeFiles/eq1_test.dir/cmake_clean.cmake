@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eq1_test.dir/eq1_test.cpp.o"
+  "CMakeFiles/eq1_test.dir/eq1_test.cpp.o.d"
+  "eq1_test"
+  "eq1_test.pdb"
+  "eq1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

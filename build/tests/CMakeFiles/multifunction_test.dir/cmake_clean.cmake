@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multifunction_test.dir/multifunction_test.cpp.o"
+  "CMakeFiles/multifunction_test.dir/multifunction_test.cpp.o.d"
+  "multifunction_test"
+  "multifunction_test.pdb"
+  "multifunction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multifunction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offpath_test.dir/offpath_test.cpp.o"
+  "CMakeFiles/offpath_test.dir/offpath_test.cpp.o.d"
+  "offpath_test"
+  "offpath_test.pdb"
+  "offpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

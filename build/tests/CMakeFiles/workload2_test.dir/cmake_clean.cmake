@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload2_test.dir/workload2_test.cpp.o"
+  "CMakeFiles/workload2_test.dir/workload2_test.cpp.o.d"
+  "workload2_test"
+  "workload2_test.pdb"
+  "workload2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
