@@ -1,0 +1,129 @@
+// Ablation A7: heartbeat detection latency vs packets lost in the crash
+// window. A middlebox carrying live traffic crash-stops mid-stream; the
+// controller's HealthMonitor has to notice over the in-band channel and
+// push a recovery plan. Sweeps probe period x miss threshold k: the
+// detection window is ~k x period, and every packet the stream pushes
+// through the dead box inside that window is lost — while probe overhead
+// scales with 1/period. This is the dependability trade-off knob.
+#include "common.hpp"
+#include "control/endpoints.hpp"
+#include "control/health.hpp"
+#include "core/validate.hpp"
+#include "sim/faults.hpp"
+
+using namespace sdmbox;
+using namespace sdmbox::bench;
+
+namespace {
+
+constexpr double kCrashAt = 2.0;
+constexpr double kStreamEnd = 7.5;
+
+// The hot-potato target of proxy 0's first chained policy — a box that is
+// guaranteed to carry stream traffic, so its crash actually loses packets.
+net::NodeId pick_victim(const EvalScenario& s, const core::EnforcementPlan& plan) {
+  const core::NodeConfig& cfg = plan.config(s.network.proxies[0]);
+  for (const policy::PolicyId pid : cfg.relevant_policies) {
+    const policy::Policy& pol = s.gen.policies.at(pid);
+    if (pol.deny || pol.actions.empty()) continue;
+    const net::NodeId m = cfg.closest(pol.actions.front());
+    if (m.valid()) return m;
+  }
+  return {};
+}
+
+struct RunResult {
+  double detect_latency = -1;  // declaration time - crash time
+  std::uint64_t lost = 0;      // dropped at the dead node (stream + a few probes)
+  std::uint64_t delivered = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t repushes = 0;
+};
+
+RunResult run_once(double period, int k) {
+  EvalScenario s = build_eval_scenario();
+  const Workload w = make_workload(s, 200'000, /*seed=*/77);
+  const auto initial = s.controller->compile(core::StrategyKind::kHotPotato);
+  const net::NodeId victim = pick_victim(s, initial);
+  SDM_CHECK(victim.valid());
+
+  const net::NodeId controller_node = control::add_controller_host(s.network);
+  net::RoutingTables routing = net::RoutingTables::compute(s.network.topo);
+  const auto resolver = net::AddressResolver::build(s.network.topo);
+  sim::SimNetwork simnet(s.network.topo, routing, resolver);
+  auto cp = control::install_control_plane(simnet, s.network, s.deployment, s.gen.policies,
+                                           *s.controller, controller_node, initial,
+                                           core::AgentOptions{});
+
+  sim::FaultInjector injector(simnet, &routing);
+  injector.arm(sim::FaultSchedule{}.crash_node(kCrashAt, victim));
+
+  control::HealthParams hp;
+  hp.probe_period = period;
+  hp.miss_threshold = k;
+  control::HealthMonitor monitor(*cp.controller, s.deployment, s.network, hp);
+
+  // Steady stream: each flow's packets spread evenly over the run, so the
+  // victim's share of the load is continuous across the crash window.
+  for (const auto& f : w.flows.flows) {
+    const std::uint64_t n = std::min<std::uint64_t>(f.packets, 10);
+    for (std::uint64_t j = 0; j < n; ++j) {
+      packet::Packet p;
+      p.inner.src = f.id.src;
+      p.inner.dst = f.id.dst;
+      p.src_port = f.id.src_port;
+      p.dst_port = f.id.dst_port;
+      p.payload_bytes = 200;
+      p.flow_seq = j;
+      simnet.inject(s.network.proxies[static_cast<std::size_t>(f.src_subnet)], p,
+                    0.5 + (kStreamEnd - 0.5) * (static_cast<double>(j) + 0.5) /
+                              static_cast<double>(n));
+    }
+  }
+
+  cp.controller->push_plan(simnet, initial);
+  monitor.start(simnet);
+  simnet.simulator().schedule_at(kStreamEnd + 2.0, [&] { monitor.stop(); });
+  simnet.run();
+
+  RunResult r;
+  for (const auto& e : monitor.log()) {
+    if (e.node == victim && e.failed) {
+      r.detect_latency = e.at - kCrashAt;
+      break;
+    }
+  }
+  r.lost = simnet.counters().dropped_node_down;
+  r.delivered = simnet.counters().delivered;
+  r.probes = monitor.counters().probes_sent;
+  r.repushes = monitor.counters().repushes;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A7: heartbeat detection latency vs crash-window loss ===\n\n");
+  std::printf("One middlebox (proxy 0's hot-potato target) crash-stops at t=%.1fs under a\n"
+              "steady stream; no oracle — the controller must detect in-band and repush.\n\n",
+              kCrashAt);
+
+  stats::TextTable table("detection window ~ k x period; loss ~ victim rate x window");
+  table.set_header({"period(s)", "k", "detected(s)", "lost pkts", "delivered", "probes",
+                    "repushes"});
+  for (const double period : {0.05, 0.1, 0.25, 0.5}) {
+    for (const int k : {2, 4, 8}) {
+      const RunResult r = run_once(period, k);
+      table.add_row({util::format_fixed(period, 2), std::to_string(k),
+                     r.detect_latency < 0 ? "-" : util::format_fixed(r.detect_latency, 3),
+                     std::to_string(r.lost), std::to_string(r.delivered),
+                     std::to_string(r.probes), std::to_string(r.repushes)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Expected shape: detected ~ k x period (plus one round of phase); lost\n"
+              "packets track the detection window, probe overhead tracks 1/period. The\n"
+              "operator picks the corner of that trade-off; packets lost after the\n"
+              "repush are zero because re-selection steers every new packet away.\n");
+  return 0;
+}

@@ -3,11 +3,132 @@
 // re-solves the LP over the survivors. Reports the realized IDS max load
 // and the LP's λ — enforcement keeps working (no blackholed policy traffic)
 // until the last implementer dies, at which point the controller refuses.
+//
+// Part 2 compares the recovery paths packet-by-packet: an omniscient oracle
+// (set_failed at the crash instant — the seed's idealized model), the
+// in-band heartbeat detector, heartbeat plus local peer-health failover at
+// the proxies, and no recovery at all.
 #include "analytic/load_evaluator.hpp"
 #include "common.hpp"
+#include "control/endpoints.hpp"
+#include "control/health.hpp"
+#include "sim/faults.hpp"
 
 using namespace sdmbox;
 using namespace sdmbox::bench;
+
+namespace {
+
+constexpr double kCrashAt = 2.0;
+constexpr double kStreamEnd = 7.5;
+
+enum class Recovery { kNone, kOracle, kHeartbeat, kHeartbeatPlusLocal };
+
+net::NodeId pick_victim(const EvalScenario& s, const core::EnforcementPlan& plan) {
+  const core::NodeConfig& cfg = plan.config(s.network.proxies[0]);
+  for (const policy::PolicyId pid : cfg.relevant_policies) {
+    const policy::Policy& pol = s.gen.policies.at(pid);
+    if (pol.deny || pol.actions.empty()) continue;
+    const net::NodeId m = cfg.closest(pol.actions.front());
+    if (m.valid()) return m;
+  }
+  return {};
+}
+
+struct RecoveryResult {
+  double detect_latency = -1;
+  std::uint64_t lost = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t reroutes = 0;  // packets steered away locally before the repush
+};
+
+RecoveryResult run_recovery(Recovery mode) {
+  EvalScenario s = build_eval_scenario();
+  const Workload w = make_workload(s, 200'000, /*seed=*/77);
+  const auto initial = s.controller->compile(core::StrategyKind::kHotPotato);
+  const net::NodeId victim = pick_victim(s, initial);
+  SDM_CHECK(victim.valid());
+
+  const net::NodeId controller_node = control::add_controller_host(s.network);
+  net::RoutingTables routing = net::RoutingTables::compute(s.network.topo);
+  const auto resolver = net::AddressResolver::build(s.network.topo);
+  sim::SimNetwork simnet(s.network.topo, routing, resolver);
+  core::AgentOptions opts;
+  if (mode == Recovery::kHeartbeatPlusLocal) {
+    opts.peer_health.enabled = true;
+    opts.peer_health.probe_timeout = 0.05;
+    opts.peer_health.miss_threshold = 2;
+  }
+  auto cp = control::install_control_plane(simnet, s.network, s.deployment, s.gen.policies,
+                                           *s.controller, controller_node, initial, opts);
+
+  sim::FaultInjector injector(simnet, &routing);
+  injector.arm(sim::FaultSchedule{}.crash_node(kCrashAt, victim));
+
+  control::HealthParams hp;
+  hp.probe_period = 0.25;
+  hp.miss_threshold = 3;
+  control::HealthMonitor monitor(*cp.controller, s.deployment, s.network, hp);
+
+  for (const auto& f : w.flows.flows) {
+    const std::uint64_t n = std::min<std::uint64_t>(f.packets, 10);
+    for (std::uint64_t j = 0; j < n; ++j) {
+      packet::Packet p;
+      p.inner.src = f.id.src;
+      p.inner.dst = f.id.dst;
+      p.src_port = f.id.src_port;
+      p.dst_port = f.id.dst_port;
+      p.payload_bytes = 200;
+      p.flow_seq = j;
+      simnet.inject(s.network.proxies[static_cast<std::size_t>(f.src_subnet)], p,
+                    0.5 + (kStreamEnd - 0.5) * (static_cast<double>(j) + 0.5) /
+                              static_cast<double>(n));
+    }
+  }
+
+  cp.controller->push_plan(simnet, initial);
+  double oracle_pushed_at = -1;
+  if (mode == Recovery::kOracle) {
+    // The idealized recovery the tier-1 tests use: zero detection latency.
+    simnet.simulator().schedule_at(kCrashAt, [&] {
+      s.deployment.set_failed(victim, true);
+      cp.controller->recompute_and_push(simnet);
+      oracle_pushed_at = kCrashAt;
+    });
+  } else if (mode != Recovery::kNone) {
+    monitor.start(simnet);
+    simnet.simulator().schedule_at(kStreamEnd + 2.0, [&] { monitor.stop(); });
+  }
+  simnet.run();
+
+  RecoveryResult r;
+  if (mode == Recovery::kOracle) {
+    r.detect_latency = oracle_pushed_at - kCrashAt;
+  } else {
+    for (const auto& e : monitor.log()) {
+      if (e.node == victim && e.failed) {
+        r.detect_latency = e.at - kCrashAt;
+        break;
+      }
+    }
+  }
+  r.lost = simnet.counters().dropped_node_down;
+  r.delivered = simnet.counters().delivered;
+  for (const auto* d : cp.proxies) r.reroutes += d->proxy()->counters().failover_reroutes;
+  return r;
+}
+
+const char* mode_name(Recovery mode) {
+  switch (mode) {
+    case Recovery::kNone: return "none";
+    case Recovery::kOracle: return "oracle set_failed";
+    case Recovery::kHeartbeat: return "heartbeat";
+    case Recovery::kHeartbeatPlusLocal: return "heartbeat + local";
+  }
+  return "?";
+}
+
+}  // namespace
 
 int main() {
   std::printf("=== Ablation A6: progressive IDS failures with controller recompute ===\n\n");
@@ -68,6 +189,26 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Expected shape: max load follows demand/live (the LP rebalances onto\n"
               "survivors); enforcement never silently drops a required function, and\n"
-              "the controller refuses outright when no implementer is left.\n");
+              "the controller refuses outright when no implementer is left.\n\n");
+
+  std::printf("=== Part 2: oracle vs in-band heartbeat recovery, packet level ===\n\n");
+  std::printf("One loaded middlebox crash-stops at t=%.1fs under a steady stream\n"
+              "(heartbeat: period 0.25s, k=3; local peer health: timeout 0.05s, k=2).\n\n",
+              kCrashAt);
+  stats::TextTable pkt_table("what detection latency costs in packets");
+  pkt_table.set_header({"recovery", "detected(s)", "lost pkts", "delivered", "local reroutes"});
+  for (const Recovery mode : {Recovery::kOracle, Recovery::kHeartbeat,
+                              Recovery::kHeartbeatPlusLocal, Recovery::kNone}) {
+    const RecoveryResult r = run_recovery(mode);
+    pkt_table.add_row({mode_name(mode),
+                       r.detect_latency < 0 ? "-" : util::format_fixed(r.detect_latency, 3),
+                       std::to_string(r.lost), std::to_string(r.delivered),
+                       std::to_string(r.reroutes)});
+  }
+  std::printf("%s\n", pkt_table.to_string().c_str());
+  std::printf("Expected shape: the oracle loses only in-flight packets; heartbeat adds\n"
+              "~k x period of window loss; local peer health claws most of that back by\n"
+              "steering around the dead box before the controller even notices; no\n"
+              "recovery keeps losing the victim's share until the stream ends.\n");
   return 0;
 }

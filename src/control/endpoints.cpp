@@ -1,6 +1,25 @@
 #include "control/endpoints.hpp"
 
+#include "control/health.hpp"
+
 namespace sdmbox::control {
+
+namespace {
+
+/// Device -> controller rollout confirmation, echoing the push's sequence.
+void send_config_ack(sim::SimNetwork& net, net::NodeId node, net::IpAddress device,
+                     net::IpAddress controller, std::uint64_t seq) {
+  packet::Packet ack;
+  ack.kind = packet::PacketKind::kConfigAck;
+  ack.inner.src = device;
+  ack.inner.dst = controller;
+  ack.inner.protocol = packet::kProtoUdp;
+  ack.payload_bytes = 12;
+  ack.control_seq = seq;
+  net.inject(node, std::move(ack), net.simulator().now());
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // ManagedDevice
@@ -16,6 +35,24 @@ ManagedDevice::ManagedDevice(net::NodeId node, net::IpAddress address,
 
 void ManagedDevice::on_packet(sim::SimNetwork& net, packet::Packet pkt, net::NodeId from) {
   if (pkt.kind == packet::PacketKind::kConfigPush && pkt.routing_header().dst == address_) {
+    const std::uint64_t seq = pkt.control_seq;
+    if (seq != 0 && seq == last_seq_) {
+      // Retransmission of the push we already applied (our ack was lost or
+      // late). Re-ack, don't re-apply.
+      ++counters_.configs_duplicate;
+      ++counters_.acks_sent;
+      send_config_ack(net, node_, address_, pkt.inner.src, seq);
+      net.deliver(node_, pkt);
+      return;
+    }
+    if (seq != 0 && seq < last_seq_) {
+      // Out of order: an older push overtaken by a newer one. Acking it
+      // would tell the controller the NEW config landed, so stay silent and
+      // let the stale push die of retransmission exhaustion.
+      ++counters_.configs_rejected;
+      net.deliver(node_, pkt);
+      return;
+    }
     bool applied = false;
     if (pkt.control_payload != nullptr) {
       if (auto config = decode_device_config(*pkt.control_payload)) {
@@ -25,14 +62,9 @@ void ManagedDevice::on_packet(sim::SimNetwork& net, packet::Packet pkt, net::Nod
     }
     ++(applied ? counters_.configs_applied : counters_.configs_rejected);
     if (applied) {
-      // Confirm the rollout to the controller.
-      packet::Packet ack;
-      ack.kind = packet::PacketKind::kConfigAck;
-      ack.inner.src = address_;
-      ack.inner.dst = pkt.inner.src;  // the controller
-      ack.inner.protocol = packet::kProtoUdp;
-      ack.payload_bytes = 12;
-      net.inject(node_, std::move(ack), net.simulator().now());
+      last_seq_ = seq;
+      ++counters_.acks_sent;
+      send_config_ack(net, node_, address_, pkt.inner.src, seq);
     }
     net.deliver(node_, pkt);
     return;
@@ -95,6 +127,22 @@ void ControllerAgent::on_packet(sim::SimNetwork& net, packet::Packet pkt, net::N
   }
   if (pkt.kind == packet::PacketKind::kConfigAck) {
     ++acks_;
+    const auto node_it = addr_to_node_.find(pkt.inner.src.value());
+    if (node_it != addr_to_node_.end()) {
+      const auto p = pending_.find(node_it->second);
+      if (p != pending_.end() && p->second.seq == pkt.control_seq) {
+        pending_.erase(p);  // rollout confirmed; retransmission timers go idle
+      } else if (pkt.control_seq != 0) {
+        // Ack for a push no longer outstanding (duplicate after a
+        // retransmission, or overtaken by a newer push).
+        ++stale_acks_;
+      }
+    }
+    net.deliver(node_, pkt);
+    return;
+  }
+  if (pkt.kind == packet::PacketKind::kHeartbeatAck) {
+    if (health_ != nullptr) health_->on_probe_reply(net, pkt.inner.src, pkt.control_seq);
     net.deliver(node_, pkt);
     return;
   }
@@ -113,8 +161,43 @@ void ControllerAgent::on_packet(sim::SimNetwork& net, packet::Packet pkt, net::N
   net.deliver(node_, pkt);
 }
 
+void ControllerAgent::send_push(sim::SimNetwork& net, const PendingPush& push) {
+  packet::Packet pkt;
+  pkt.kind = packet::PacketKind::kConfigPush;
+  pkt.inner.src = address_;
+  pkt.inner.dst = push.device_addr;
+  pkt.inner.protocol = packet::kProtoUdp;
+  pkt.control_seq = push.seq;
+  pkt.control_payload = push.payload;
+  pkt.payload_bytes = static_cast<std::uint32_t>(push.payload->size());
+  push_bytes_ += pkt.payload_bytes;
+  net.inject(node_, std::move(pkt), net.simulator().now());
+}
+
+void ControllerAgent::schedule_retransmit(sim::SimNetwork& net, std::uint32_t device_v,
+                                          std::uint64_t seq, double rto) {
+  net.simulator().schedule_in(rto, [this, &net, device_v, seq, rto] {
+    const auto it = pending_.find(device_v);
+    if (it == pending_.end() || it->second.seq != seq) return;  // acked or superseded
+    PendingPush& push = it->second;
+    if (push.attempts > retransmit_.max_retries) {
+      // Give up — and void the differential fingerprint, or the device (which
+      // may never have applied this slice) would be skipped forever.
+      ++pushes_abandoned_;
+      last_pushed_.erase(device_v);
+      pending_.erase(it);
+      return;
+    }
+    ++push.attempts;
+    ++retransmissions_;
+    send_push(net, push);
+    schedule_retransmit(net, device_v, seq, rto * retransmit_.backoff);
+  });
+}
+
 std::size_t ControllerAgent::push_plan(sim::SimNetwork& net, const core::EnforcementPlan& plan) {
   ++version_;
+  last_plan_ = plan;
   std::size_t pushed = 0;
   for (const auto& [node_v, cfg] : plan.configs) {
     const net::NodeId device{node_v};
@@ -129,20 +212,37 @@ std::size_t ControllerAgent::push_plan(sim::SimNetwork& net, const core::Enforce
     }
     last_pushed_[node_v] = fingerprint;
     slice.version = version_;
-    packet::Packet pkt;
-    pkt.kind = packet::PacketKind::kConfigPush;
-    pkt.inner.src = address_;
-    pkt.inner.dst = net.topology().node(device).address;
-    pkt.inner.protocol = packet::kProtoUdp;
-    pkt.control_payload =
+
+    PendingPush push;
+    push.seq = ++push_seq_;
+    push.device_addr = net.topology().node(device).address;
+    push.payload =
         std::make_shared<const std::vector<std::uint8_t>>(encode_device_config(slice));
-    pkt.payload_bytes = static_cast<std::uint32_t>(pkt.control_payload->size());
-    push_bytes_ += pkt.payload_bytes;
-    net.inject(node_, std::move(pkt), net.simulator().now());
+    addr_to_node_[push.device_addr.value()] = node_v;
+    send_push(net, push);
+    if (retransmit_.enabled) {
+      const std::uint64_t seq = push.seq;
+      pending_[node_v] = std::move(push);  // a newer push supersedes any older pending one
+      schedule_retransmit(net, node_v, seq, retransmit_.rto);
+    }
     ++pushed;
     ++pushes_sent_;
   }
   return pushed;
+}
+
+void ControllerAgent::forget_device(net::NodeId device) {
+  last_pushed_.erase(device.v);
+  pending_.erase(device.v);
+}
+
+core::EnforcementPlan ControllerAgent::recompute_and_push(sim::SimNetwork& net,
+                                                          core::StrategyKind strategy) {
+  controller_.recompute();
+  core::EnforcementPlan plan = controller_.compile(
+      strategy, strategy == core::StrategyKind::kLoadBalanced ? &collected_ : nullptr);
+  push_plan(net, plan);
+  return plan;
 }
 
 core::EnforcementPlan ControllerAgent::reoptimize_and_push(sim::SimNetwork& net) {

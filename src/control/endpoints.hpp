@@ -32,10 +32,25 @@
 
 namespace sdmbox::control {
 
+class HealthMonitor;
+
 struct ControlCounters {
   std::uint64_t configs_applied = 0;
-  std::uint64_t configs_rejected = 0;  // malformed or stale
+  std::uint64_t configs_rejected = 0;   // malformed or stale (version or sequence)
+  std::uint64_t configs_duplicate = 0;  // retransmitted pushes already applied (re-acked)
+  std::uint64_t acks_sent = 0;
   std::uint64_t reports_sent = 0;
+};
+
+/// Reliable config channel: every kConfigPush carries a sequence number and
+/// is retransmitted with exponential backoff until the device's kConfigAck
+/// echoes it back, up to `max_retries` retries. Disabled => the seed's
+/// fire-and-forget behavior.
+struct RetransmitParams {
+  bool enabled = true;
+  double rto = 0.1;       // initial retransmission timeout (s)
+  double backoff = 2.0;   // rto multiplier per retry
+  int max_retries = 6;    // retries after the initial send
 };
 
 /// Wraps a device agent; owns it.
@@ -66,6 +81,9 @@ private:
   net::IpAddress address_;
   std::unique_ptr<core::ProxyAgent> proxy_;
   std::unique_ptr<core::MiddleboxAgent> middlebox_;
+  /// Highest config sequence applied (0 = none yet). Duplicates are re-acked
+  /// without re-applying; lower sequences are rejected as stale.
+  std::uint64_t last_seq_ = 0;
   ControlCounters counters_;
 };
 
@@ -80,7 +98,11 @@ public:
   /// Serialize per-device slices of `plan` and inject one kConfigPush per
   /// device whose slice CHANGED since the last push (differential
   /// distribution — unchanged devices keep their current config and version).
-  /// Returns the number of pushes sent. Increments the config version.
+  /// Each push is sequenced and, when retransmission is enabled, resent with
+  /// exponential backoff until acked (or abandoned after max_retries, which
+  /// also voids the device's differential fingerprint so the next push_plan
+  /// sends its full slice again). Returns the number of pushes sent.
+  /// Increments the config version.
   std::size_t push_plan(sim::SimNetwork& net, const core::EnforcementPlan& plan);
 
   /// Devices acknowledge applied configs; lets the controller see rollout
@@ -89,6 +111,37 @@ public:
   std::uint64_t pushes_sent() const noexcept { return pushes_sent_; }
   std::uint64_t pushes_skipped_unchanged() const noexcept { return pushes_skipped_; }
   std::uint64_t push_bytes_sent() const noexcept { return push_bytes_; }
+
+  void set_retransmit(RetransmitParams params) { retransmit_ = params; }
+  const RetransmitParams& retransmit() const noexcept { return retransmit_; }
+  /// Pushes sent but not yet acked (0 after a completed rollout).
+  std::size_t outstanding_pushes() const noexcept { return pending_.size(); }
+  std::uint64_t retransmissions() const noexcept { return retransmissions_; }
+  std::uint64_t pushes_abandoned() const noexcept { return pushes_abandoned_; }
+  std::uint64_t stale_acks() const noexcept { return stale_acks_; }
+
+  /// Forget the differential-push state for `device` (and any pending
+  /// retransmission): the next push_plan sends its full slice. Called when a
+  /// device is declared failed or revived — its applied config can no longer
+  /// be assumed to match what was last sent.
+  void forget_device(net::NodeId device);
+
+  /// Failure recovery: recompute assignments against the deployment's
+  /// current operational state and push the fresh plan. Propagates the
+  /// controller's ContractViolation when a needed function has no live
+  /// implementer left (callers decide whether that is fatal).
+  core::EnforcementPlan recompute_and_push(
+      sim::SimNetwork& net, core::StrategyKind strategy = core::StrategyKind::kHotPotato);
+
+  /// The plan most recently passed to push_plan (empty before the first
+  /// push) — what the controller currently believes the network enforces.
+  const core::EnforcementPlan& last_plan() const noexcept { return last_plan_; }
+
+  /// Wire the heartbeat monitor in: kHeartbeatAck packets addressed to the
+  /// controller are handed to it (see control/health.hpp).
+  void set_health_monitor(HealthMonitor* monitor) { health_ = monitor; }
+
+  net::NodeId node() const noexcept { return node_; }
 
   /// The §III.C loop: build a TrafficMatrix from the reports received so
   /// far, compile a load-balanced plan, push it, and clear the report pool.
@@ -103,6 +156,17 @@ public:
   net::IpAddress address() const noexcept { return address_; }
 
 private:
+  struct PendingPush {
+    std::uint64_t seq = 0;
+    net::IpAddress device_addr;
+    std::shared_ptr<const std::vector<std::uint8_t>> payload;
+    int attempts = 1;  // sends so far (initial + retries)
+  };
+
+  void send_push(sim::SimNetwork& net, const PendingPush& push);
+  void schedule_retransmit(sim::SimNetwork& net, std::uint32_t device_v, std::uint64_t seq,
+                           double rto);
+
   net::NodeId node_;
   net::IpAddress address_;
   core::Controller& controller_;
@@ -118,6 +182,15 @@ private:
   /// Last pushed slice per device, version field zeroed for comparison —
   /// the differential-push baseline.
   std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> last_pushed_;
+  RetransmitParams retransmit_;
+  std::uint64_t push_seq_ = 0;  // global config-push sequence counter
+  std::unordered_map<std::uint32_t, PendingPush> pending_;  // device node -> in-flight push
+  std::unordered_map<std::uint32_t, std::uint32_t> addr_to_node_;  // device addr -> node
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t pushes_abandoned_ = 0;
+  std::uint64_t stale_acks_ = 0;
+  core::EnforcementPlan last_plan_;
+  HealthMonitor* health_ = nullptr;
 };
 
 struct ControlPlane {

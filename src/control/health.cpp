@@ -1,0 +1,112 @@
+#include "control/health.hpp"
+
+namespace sdmbox::control {
+
+HealthMonitor::HealthMonitor(ControllerAgent& agent, core::Deployment& deployment,
+                             const net::GeneratedNetwork& network, HealthParams params)
+    : agent_(agent), deployment_(deployment), params_(params) {
+  SDM_CHECK(params_.probe_period > 0);
+  SDM_CHECK(params_.miss_threshold >= 1);
+  for (const core::MiddleboxInfo& m : deployment.middleboxes()) {
+    devices_.push_back(Device{m.node, network.topo.node(m.node).address, false});
+  }
+  if (params_.monitor_proxies) {
+    for (const net::NodeId p : network.proxies) {
+      devices_.push_back(Device{p, network.topo.node(p).address, true});
+    }
+  }
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    by_addr_[devices_[i].address.value()] = i;
+  }
+  agent_.set_health_monitor(this);
+}
+
+void HealthMonitor::start(sim::SimNetwork& net) {
+  if (running_) return;
+  running_ = true;
+  round(net);
+}
+
+bool HealthMonitor::declared_failed(net::NodeId node) const {
+  for (const Device& d : devices_) {
+    if (d.node == node) return d.declared_failed;
+  }
+  return false;
+}
+
+void HealthMonitor::declare(sim::SimNetwork& net, Device& device, sim::SimTime now) {
+  device.declared_failed = true;
+  ++counters_.failures_declared;
+  if (net.node_up(device.node)) ++counters_.false_positives;
+  counters_.detection_latency_total += now - device.last_reply_at;
+  log_.push_back(Event{device.node, now, true});
+  // Deliberately keep the device's differential fingerprint: pushing its
+  // full slice now would only feed the retransmission machinery a guaranteed
+  // abandonment. The fingerprint is voided on revival (forcing a full
+  // resync) and by push abandonment itself.
+}
+
+void HealthMonitor::round(sim::SimNetwork& net) {
+  if (!running_) return;
+  const sim::SimTime now = net.simulator().now();
+  bool changed = false;
+  for (Device& d : devices_) {
+    if (d.seq_sent > d.seq_acked) {
+      ++d.misses;
+      if (!d.declared_failed && d.misses >= params_.miss_threshold) {
+        declare(net, d, now);
+        // Proxies can't be routed around (they ARE the subnet's enforcement
+        // point); only middlebox failures change the assignment problem.
+        if (!d.is_proxy && deployment_.set_failed(d.node, true)) changed = true;
+      }
+    } else {
+      d.misses = 0;
+    }
+    packet::Packet probe;
+    probe.kind = packet::PacketKind::kHeartbeat;
+    probe.inner.src = agent_.address();
+    probe.inner.dst = d.address;
+    probe.inner.protocol = packet::kProtoUdp;
+    probe.payload_bytes = 8;
+    probe.control_seq = ++d.seq_sent;
+    ++counters_.probes_sent;
+    net.inject(agent_.node(), std::move(probe), now);
+  }
+  if (changed && params_.auto_repair) repush(net);
+  net.simulator().schedule_in(params_.probe_period, [this, &net] { round(net); });
+}
+
+void HealthMonitor::on_probe_reply(sim::SimNetwork& net, net::IpAddress from,
+                                   std::uint64_t seq) {
+  const auto it = by_addr_.find(from.value());
+  if (it == by_addr_.end()) return;  // not one of ours (e.g. a peer-probe ack)
+  Device& d = devices_[it->second];
+  ++counters_.replies_received;
+  if (seq > d.seq_acked) d.seq_acked = seq;
+  d.misses = 0;
+  d.last_reply_at = net.simulator().now();
+  if (!d.declared_failed) return;
+
+  // A declared-dead device answered: revive it and (for middleboxes) fold it
+  // back into the assignment problem.
+  d.declared_failed = false;
+  ++counters_.revivals_declared;
+  log_.push_back(Event{d.node, d.last_reply_at, false});
+  agent_.forget_device(d.node);
+  if (!d.is_proxy && deployment_.set_failed(d.node, false) && params_.auto_repair) {
+    repush(net);
+  }
+}
+
+void HealthMonitor::repush(sim::SimNetwork& net) {
+  try {
+    agent_.recompute_and_push(net, params_.repush_strategy);
+    ++counters_.repushes;
+  } catch (const ContractViolation&) {
+    // Every live implementer of some needed function is gone — no valid plan
+    // exists. Keep the current config and retry on the next state change.
+    ++counters_.recompute_refused;
+  }
+}
+
+}  // namespace sdmbox::control

@@ -8,6 +8,96 @@ using packet::Packet;
 using policy::PolicyId;
 
 // ---------------------------------------------------------------------------
+// PeerHealth
+// ---------------------------------------------------------------------------
+
+void PeerHealth::on_use(sim::SimNetwork& net, net::NodeId self, net::IpAddress self_addr,
+                        net::NodeId peer, net::IpAddress peer_addr) {
+  if (!params_.enabled) return;
+  const sim::SimTime now = net.simulator().now();
+  Peer& p = peers_[peer.v];
+  if (p.probe_outstanding || now - p.last_probe_at < params_.min_probe_gap ||
+      now < p.blacklisted_until) {
+    return;
+  }
+  const std::uint64_t seq = ++p.seq;
+  p.probe_outstanding = true;
+  p.last_probe_at = now;
+  ++counters_.probes_sent;
+
+  Packet probe;
+  probe.kind = packet::PacketKind::kHeartbeat;
+  probe.inner.src = self_addr;
+  probe.inner.dst = peer_addr;
+  probe.inner.protocol = packet::kProtoUdp;
+  probe.payload_bytes = 8;
+  probe.control_seq = seq;
+  net.forward(self, std::move(probe));
+
+  net.simulator().schedule_in(params_.probe_timeout, [this, &net, peer, peer_addr, seq] {
+    Peer& q = peers_[peer.v];
+    if (q.acked >= seq) return;  // answered in time
+    q.probe_outstanding = false;
+    ++q.misses;
+    const sim::SimTime when = net.simulator().now();
+    if (q.misses >= params_.miss_threshold && when >= q.blacklisted_until) {
+      q.blacklisted_until = when + params_.blacklist_hold;
+      ++counters_.blacklists;
+      if (hook_) hook_(net, peer, peer_addr);
+    }
+  });
+}
+
+void PeerHealth::on_reply(net::NodeId peer, sim::SimTime now) {
+  if (!params_.enabled) return;
+  Peer& p = peers_[peer.v];
+  ++counters_.replies;
+  p.acked = p.seq;
+  p.probe_outstanding = false;
+  if (p.misses >= params_.miss_threshold) ++counters_.revivals;
+  p.misses = 0;
+  p.blacklisted_until = now;  // usable again immediately
+}
+
+bool PeerHealth::blacklisted(net::NodeId peer, sim::SimTime now) const {
+  if (!params_.enabled) return false;
+  const auto it = peers_.find(peer.v);
+  return it != peers_.end() && now < it->second.blacklisted_until;
+}
+
+namespace {
+
+/// Reply to a liveness probe: a kHeartbeatAck echoing the probe's sequence
+/// back to the prober.
+void answer_heartbeat(sim::SimNetwork& net, net::NodeId self, net::IpAddress self_addr,
+                      const Packet& probe) {
+  Packet ack;
+  ack.kind = packet::PacketKind::kHeartbeatAck;
+  ack.inner.src = self_addr;
+  ack.inner.dst = probe.inner.src;
+  ack.inner.protocol = packet::kProtoUdp;
+  ack.payload_bytes = 8;
+  ack.control_seq = probe.control_seq;
+  net.forward(self, std::move(ack));
+}
+
+/// The next candidate in M_x^e after `pick` (wrapping) that is not
+/// blacklisted; `pick` itself when there is none.
+net::NodeId failover_pick(const NodeConfig& cfg, policy::FunctionId e, net::NodeId pick,
+                          const PeerHealth& health, sim::SimTime now) {
+  const std::vector<net::NodeId>& cands = cfg.candidates_for(e);
+  std::size_t at = 0;
+  while (at < cands.size() && cands[at] != pick) ++at;
+  for (std::size_t step = 1; step <= cands.size(); ++step) {
+    const net::NodeId alt = cands[(at + step) % cands.size()];
+    if (!health.blacklisted(alt, now)) return alt;
+  }
+  return pick;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
 // ProxyAgent
 // ---------------------------------------------------------------------------
 
@@ -21,10 +111,26 @@ ProxyAgent::ProxyAgent(const net::GeneratedNetwork& network, std::size_t subnet_
       self_(network.proxies.at(subnet_index)),
       subnet_(network.subnets.at(subnet_index)),
       address_(network.topo.node(self_).address),
-      flow_table_(options.flow_idle_timeout, options.flow_table_capacity) {
+      flow_table_(options.flow_idle_timeout, options.flow_table_capacity),
+      peer_health_(options.peer_health) {
   SDM_CHECK_MSG(!options_.enable_label_switching || options_.enable_flow_cache,
                 "label switching requires the flow cache (labels live in flow entries)");
+  // Flows pinned (tunneled or label-switched) to a box declared locally dead
+  // must re-establish through a live candidate: drop their cache entries so
+  // the next packet reclassifies and reselects.
+  peer_health_.on_blacklist([this](sim::SimNetwork&, net::NodeId peer, net::IpAddress) {
+    flow_table_.invalidate_where(
+        [peer](const tables::FlowEntry& e) { return e.next_hop_node == peer.v; });
+  });
   apply_config(slice_for_device(plan, self_));
+}
+
+net::NodeId ProxyAgent::apply_failover(net::NodeId pick, policy::FunctionId e,
+                                       sim::SimTime now) {
+  if (!options_.peer_health.enabled || !peer_health_.blacklisted(pick, now)) return pick;
+  const net::NodeId alt = failover_pick(config_.node, e, pick, peer_health_, now);
+  if (alt != pick) ++counters_.failover_reroutes;
+  return alt;
 }
 
 bool ProxyAgent::apply_config(DeviceConfig config) {
@@ -64,6 +170,32 @@ void ProxyAgent::on_packet(sim::SimNetwork& net, Packet pkt, net::NodeId /*from*
     flow_table_.confirm_label(*pkt.control_flow, now);
     net.deliver(self_, pkt);
     return;
+  }
+
+  if (pkt.routing_header().dst == address_) {
+    if (pkt.kind == packet::PacketKind::kHeartbeat) {
+      ++counters_.heartbeats_answered;
+      answer_heartbeat(net, self_, address_, pkt);
+      net.deliver(self_, pkt);
+      return;
+    }
+    if (pkt.kind == packet::PacketKind::kHeartbeatAck) {
+      if (const auto peer = net.resolver().resolve(pkt.inner.src)) {
+        peer_health_.on_reply(*peer, now);
+      }
+      net.deliver(self_, pkt);
+      return;
+    }
+    if (pkt.kind == packet::PacketKind::kLabelTeardown) {
+      // A middlebox downstream lost the chain for this label: forget the
+      // flow so its next packet re-establishes through a live candidate.
+      ++counters_.teardowns_received;
+      const auto label = static_cast<std::uint16_t>(pkt.control_seq);
+      flow_table_.invalidate_where(
+          [label](const tables::FlowEntry& e) { return e.label != 0 && e.label == label; });
+      net.deliver(self_, pkt);
+      return;
+    }
   }
 
   const bool outbound =
@@ -132,10 +264,13 @@ void ProxyAgent::handle_outbound(sim::SimNetwork& net, Packet pkt) {
 
   const policy::Policy& pol = policies_.at(matched);
   const policy::FunctionId first_fn = actions->front();
-  const net::NodeId first =
+  net::NodeId first =
       select_next_hop(config_, pol, first_fn, flow, subnet_index(), dst_subnet);
   SDM_CHECK_MSG(first.valid(), "no candidate middlebox for first chain function");
+  first = apply_failover(first, first_fn, now);
   const net::IpAddress first_addr = net.topology().node(first).address;
+  if (entry != nullptr) entry->next_hop_node = first.v;
+  peer_health_.on_use(net, self_, address_, first, first_addr);
 
   if (options_.enable_label_switching) {
     SDM_CHECK(entry != nullptr);
@@ -194,9 +329,36 @@ MiddleboxAgent::MiddleboxAgent(const net::GeneratedNetwork& network, const Middl
       policies_(policies),
       options_(options),
       flow_table_(options.flow_idle_timeout, options.flow_table_capacity),
-      label_table_(options.flow_idle_timeout) {
+      label_table_(options.flow_idle_timeout),
+      peer_health_(options.peer_health) {
   SDM_CHECK_MSG(!info_.functions.empty(), "middlebox agent needs at least one function");
+  // A pinned next hop stopped answering: chains switched through it are
+  // broken mid-path, and only the owning proxy can re-establish them. Drop
+  // the label entries and tell each proxy which label died (§III.E soft
+  // state plus an explicit invalidation, so recovery need not wait for the
+  // idle timeout).
+  peer_health_.on_blacklist([this](sim::SimNetwork& net, net::NodeId, net::IpAddress peer_addr) {
+    for (const auto& [key, entry] : label_table_.invalidate_next_hop(peer_addr)) {
+      Packet teardown;
+      teardown.kind = packet::PacketKind::kLabelTeardown;
+      teardown.inner.src = net.topology().node(info_.node).address;
+      teardown.inner.dst = entry.proxy_addr;
+      teardown.inner.protocol = packet::kProtoUdp;
+      teardown.payload_bytes = 8;
+      teardown.control_seq = key.label;  // labels are locally unique per proxy
+      ++counters_.teardowns_sent;
+      net.forward(info_.node, std::move(teardown));
+    }
+  });
   apply_config(slice_for_device(plan, info_.node));
+}
+
+net::NodeId MiddleboxAgent::apply_failover(net::NodeId pick, policy::FunctionId e,
+                                           sim::SimTime now) {
+  if (!options_.peer_health.enabled || !peer_health_.blacklisted(pick, now)) return pick;
+  const net::NodeId alt = failover_pick(config_.node, e, pick, peer_health_, now);
+  if (alt != pick) ++counters_.failover_reroutes;
+  return alt;
 }
 
 bool MiddleboxAgent::apply_config(DeviceConfig config) {
@@ -244,6 +406,21 @@ void MiddleboxAgent::on_packet(sim::SimNetwork& net, Packet pkt, net::NodeId /*f
   if (!pkt.outer && pkt.inner.dst == my_addr && packet::has_label(pkt.inner)) {
     handle_switched(net, std::move(pkt));
     return;
+  }
+  if (!pkt.outer && pkt.inner.dst == my_addr) {
+    if (pkt.kind == packet::PacketKind::kHeartbeat) {
+      ++counters_.heartbeats_answered;
+      answer_heartbeat(net, info_.node, my_addr, pkt);
+      net.deliver(info_.node, pkt);
+      return;
+    }
+    if (pkt.kind == packet::PacketKind::kHeartbeatAck) {
+      if (const auto peer = net.resolver().resolve(pkt.inner.src)) {
+        peer_health_.on_reply(*peer, net.simulator().now());
+      }
+      net.deliver(info_.node, pkt);
+      return;
+    }
   }
   // Anything else is misdirected: a middlebox is a leaf and should only see
   // traffic addressed to it. Count and sink.
@@ -299,11 +476,13 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
   const policy::FunctionId next_fn = pol->next_after(position);
 
   if (next_fn.valid()) {
-    const net::NodeId y = select_next_hop(config_, *pol, next_fn, flow, resolved.src_subnet,
-                                          resolved.dst_subnet);
+    net::NodeId y = select_next_hop(config_, *pol, next_fn, flow, resolved.src_subnet,
+                                    resolved.dst_subnet);
     SDM_CHECK_MSG(y.valid(), "no candidate middlebox for mid-chain function");
     SDM_CHECK_MSG(y != info_.node, "local continuation must not re-tunnel to self");
+    y = apply_failover(y, next_fn, now);
     const net::IpAddress y_addr = net.topology().node(y).address;
+    peer_health_.on_use(net, info_.node, net.topology().node(info_.node).address, y, y_addr);
     if (label != 0) {
       const tables::LabelKey key{pkt.inner.src, label};
       if (label_table_.lookup(key, now) == nullptr) {
@@ -312,6 +491,7 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
         e.first_position = first_position;
         e.position = position;
         e.next_hop = y_addr;
+        e.proxy_addr = outer.src;
         label_table_.insert(key, std::move(e), now);
       }
     }
@@ -336,6 +516,7 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
       e.first_position = first_position;
       e.position = position;
       e.final_dst = pkt.inner.dst;
+      e.proxy_addr = outer.src;
       label_table_.insert(key, std::move(e), now);
 
       Packet confirm;
@@ -374,7 +555,14 @@ void MiddleboxAgent::handle_switched(sim::SimNetwork& net, Packet pkt) {
     ++counters_.chain_tails;
   } else {
     SDM_CHECK(entry->next_hop.has_value());
-    pkt.inner.dst = *entry->next_hop;
+    const net::IpAddress nh = *entry->next_hop;
+    // Switched packets never re-run selection, so the pinned next hop is the
+    // one peer whose death this box would otherwise never notice: probe it.
+    // (The blacklist hook then tears the pinned chains down via the proxy.)
+    if (const auto peer = net.resolver().resolve(nh)) {
+      peer_health_.on_use(net, info_.node, net.topology().node(info_.node).address, *peer, nh);
+    }
+    pkt.inner.dst = nh;
   }
   net.forward(info_.node, std::move(pkt));
 }

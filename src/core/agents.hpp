@@ -18,6 +18,7 @@
 // scalability argument.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +31,27 @@
 #include "tables/label_table.hpp"
 
 namespace sdmbox::core {
+
+/// Local graceful degradation: each agent probes the middleboxes it tunnels
+/// to (a kHeartbeat piggybacked on actual use) and, after `miss_threshold`
+/// consecutive unanswered probes, blacklists the peer for `blacklist_hold`
+/// seconds. While blacklisted, next-hop selection falls back to the next
+/// candidate in M_x^e — the device reroutes around the failure on its own,
+/// long before the controller's global recovery lands (§III.B's candidate
+/// sets double as local failover lists).
+struct PeerHealthParams {
+  bool enabled = false;
+  /// Seconds to wait for a kHeartbeatAck before counting a miss. Must cover
+  /// the round trip to the farthest candidate.
+  double probe_timeout = 0.2;
+  /// Consecutive unanswered probes before the peer is blacklisted.
+  int miss_threshold = 2;
+  /// Seconds a blacklisted peer is avoided before it is probed again.
+  double blacklist_hold = 5.0;
+  /// Minimum spacing between probes to the same peer (probes ride on data
+  /// packets, which can be far more frequent than useful probing).
+  double min_probe_gap = 0.05;
+};
 
 struct AgentOptions {
   /// §III.D flow cache in front of the classifier.
@@ -44,6 +66,56 @@ struct AgentOptions {
   /// which case it answers the source directly and the rest of the chain is
   /// skipped. 0 disables caching. Per-flow deterministic (see wp_cache_hit).
   double wp_cache_hit_rate = 0.0;
+  /// Local failure detection + candidate fallback (off by default: the
+  /// fault-free fast path must stay byte-identical to the seed behavior).
+  PeerHealthParams peer_health;
+};
+
+struct PeerHealthCounters {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t blacklists = 0;  // peers declared locally dead
+  std::uint64_t revivals = 0;    // blacklisted peers that answered again
+};
+
+/// Per-agent peer liveness tracker. Probes are piggybacked on use (on_use),
+/// replies arrive through the owning agent's packet handler (on_reply), and
+/// the blacklist hook runs the owner's invalidation (flow-cache / label-
+/// table cleanup) exactly once per declaration.
+class PeerHealth {
+public:
+  explicit PeerHealth(PeerHealthParams params) : params_(params) {}
+
+  using BlacklistHook =
+      std::function<void(sim::SimNetwork& net, net::NodeId peer, net::IpAddress peer_addr)>;
+  void on_blacklist(BlacklistHook hook) { hook_ = std::move(hook); }
+
+  /// The owner is about to send traffic from `self` to `peer`: probe it if
+  /// one is due (no probe outstanding, gap elapsed, not blacklisted).
+  void on_use(sim::SimNetwork& net, net::NodeId self, net::IpAddress self_addr,
+              net::NodeId peer, net::IpAddress peer_addr);
+
+  /// A kHeartbeatAck from `peer` arrived at the owner.
+  void on_reply(net::NodeId peer, sim::SimTime now);
+
+  bool blacklisted(net::NodeId peer, sim::SimTime now) const;
+
+  const PeerHealthCounters& counters() const noexcept { return counters_; }
+
+private:
+  struct Peer {
+    std::uint64_t seq = 0;    // last probe sequence sent
+    std::uint64_t acked = 0;  // highest probe sequence answered
+    int misses = 0;
+    bool probe_outstanding = false;
+    sim::SimTime last_probe_at = -1e18;
+    sim::SimTime blacklisted_until = -1e18;
+  };
+
+  PeerHealthParams params_;
+  BlacklistHook hook_;
+  std::unordered_map<std::uint32_t, Peer> peers_;
+  PeerHealthCounters counters_;
 };
 
 struct ProxyCounters {
@@ -55,6 +127,9 @@ struct ProxyCounters {
   std::uint64_t permit_packets = 0;       // matched a permit policy or nothing
   std::uint64_t denied_packets = 0;       // dropped by a deny policy
   std::uint64_t confirmations = 0;        // label confirmations received
+  std::uint64_t heartbeats_answered = 0;  // liveness probes replied to
+  std::uint64_t failover_reroutes = 0;    // packets steered past a blacklisted box
+  std::uint64_t teardowns_received = 0;   // kLabelTeardown notices from middleboxes
 };
 
 struct MiddleboxCounters {
@@ -66,6 +141,9 @@ struct MiddleboxCounters {
   std::uint64_t confirmations_sent = 0;
   std::uint64_t cache_responses = 0;      // WP only: packets answered from cache (§III.F)
   std::uint64_t anomalies = 0;            // packets this box could not interpret
+  std::uint64_t heartbeats_answered = 0;  // liveness probes replied to
+  std::uint64_t failover_reroutes = 0;    // packets steered past a blacklisted box
+  std::uint64_t teardowns_sent = 0;       // kLabelTeardown notices sent to proxies
 };
 
 class ProxyAgent final : public sim::NodeAgent {
@@ -88,6 +166,7 @@ public:
 
   const ProxyCounters& counters() const noexcept { return counters_; }
   const tables::FlowTable& flow_table() const noexcept { return flow_table_; }
+  const PeerHealth& peer_health() const noexcept { return peer_health_; }
 
   /// Measured outbound volumes since the last clear: (policy, dst_subnet)
   /// -> packets. What this proxy reports to the controller (§III.C).
@@ -103,6 +182,10 @@ public:
 private:
   void handle_outbound(sim::SimNetwork& net, packet::Packet pkt);
   int resolve_dst_subnet(net::IpAddress dst) const noexcept;
+  /// Replace `pick` with the next non-blacklisted candidate for `e` (wrapping
+  /// past the end of M_x^e); keeps `pick` if every alternative is also
+  /// blacklisted (fail open — a guess beats a guaranteed drop).
+  net::NodeId apply_failover(net::NodeId pick, policy::FunctionId e, sim::SimTime now);
 
   const net::GeneratedNetwork& network_;
   const policy::PolicyList& policies_;
@@ -115,6 +198,7 @@ private:
   std::vector<const policy::Policy*> p_x_;
   std::unique_ptr<policy::Classifier> classifier_;
   tables::FlowTable flow_table_;
+  PeerHealth peer_health_;
   ProxyCounters counters_;
   std::unordered_map<std::uint64_t, std::uint64_t> measure_;  // (policy<<32|subnet) -> packets
 };
@@ -134,6 +218,7 @@ public:
   const MiddleboxCounters& counters() const noexcept { return counters_; }
   const tables::FlowTable& flow_table() const noexcept { return flow_table_; }
   const tables::LabelTable& label_table() const noexcept { return label_table_; }
+  const PeerHealth& peer_health() const noexcept { return peer_health_; }
 
 private:
   void handle_tunneled(sim::SimNetwork& net, packet::Packet pkt);
@@ -147,6 +232,7 @@ private:
     int dst_subnet = -1;
   };
   Resolved resolve_policy(const packet::FlowId& flow, sim::SimTime now);
+  net::NodeId apply_failover(net::NodeId pick, policy::FunctionId e, sim::SimTime now);
 
   const net::GeneratedNetwork& network_;
   const MiddleboxInfo& info_;
@@ -157,6 +243,7 @@ private:
   std::unique_ptr<policy::Classifier> classifier_;
   tables::FlowTable flow_table_;
   tables::LabelTable label_table_;
+  PeerHealth peer_health_;
   MiddleboxCounters counters_;
 };
 

@@ -39,6 +39,15 @@ public:
   static RoutingTables compute(const Topology& topo,
                                const std::vector<bool>* down_links = nullptr);
 
+  /// Reconverge in place against the current link state — the "OSPF detects a
+  /// link event and floods new LSAs" hook. Consumers that hold a reference to
+  /// this object (e.g. a running SimNetwork) observe the new tables on their
+  /// next lookup, which models routers cutting over to the freshly converged
+  /// forwarding state.
+  void recompute(const Topology& topo, const std::vector<bool>* down_links = nullptr) {
+    *this = compute(topo, down_links);
+  }
+
   /// Next hop at `at` towards destination node `dest`; invalid if unreachable
   /// or at == dest.
   NextHop next_hop(NodeId at, NodeId dest) const {

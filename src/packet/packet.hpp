@@ -69,6 +69,9 @@ enum class PacketKind : std::uint8_t {
   kConfigPush,         // controller -> device: serialized DeviceConfig (§III.A)
   kConfigAck,          // device -> controller: applied version confirmation
   kMeasurementReport,  // proxy -> controller: serialized traffic volumes (§III.C)
+  kHeartbeat,          // liveness probe (controller -> device, or peer -> peer)
+  kHeartbeatAck,       // probe reply, echoing the probe's control_seq
+  kLabelTeardown,      // middlebox -> proxy: a label-switched chain broke; re-establish
 };
 
 struct Packet {
@@ -79,7 +82,11 @@ struct Packet {
   std::uint32_t payload_bytes = 0;   // transport payload
   std::uint64_t flow_seq = 0;        // packet index within its flow (diagnostics)
   PacketKind kind = PacketKind::kData;
-  std::optional<FlowId> control_flow;  // flow confirmed by a kLabelConfirm packet
+  /// Control-plane sequence number (kConfigPush/kConfigAck pair it for the
+  /// reliable config channel; kHeartbeat/kHeartbeatAck pair probe and reply).
+  /// 0 means unsequenced. Modeled as part of the control payload on the wire.
+  std::uint64_t control_seq = 0;
+  std::optional<FlowId> control_flow;  // flow confirmed/torn down by a control packet
   /// Serialized control-plane payload (kConfigPush / kMeasurementReport).
   /// Shared so forwarding copies stay cheap; its size counts as payload on
   /// the wire (set payload_bytes = control_payload->size()).

@@ -1,0 +1,84 @@
+#include "sim/faults.hpp"
+
+namespace sdmbox::sim {
+
+FaultSchedule& FaultSchedule::crash_node(SimTime at, net::NodeId node) {
+  events_.push_back(FaultEvent{at, FaultEvent::Kind::kNodeDown, node, {}, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::restart_node(SimTime at, net::NodeId node) {
+  events_.push_back(FaultEvent{at, FaultEvent::Kind::kNodeUp, node, {}, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::link_down(SimTime at, net::LinkId link) {
+  events_.push_back(FaultEvent{at, FaultEvent::Kind::kLinkDown, {}, link, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::link_up(SimTime at, net::LinkId link) {
+  events_.push_back(FaultEvent{at, FaultEvent::Kind::kLinkUp, {}, link, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::link_loss(SimTime at, net::LinkId link, double rate) {
+  SDM_CHECK_MSG(rate >= 0.0 && rate <= 1.0, "loss rate must be a probability");
+  events_.push_back(FaultEvent{at, FaultEvent::Kind::kLinkLoss, {}, link, rate});
+  return *this;
+}
+
+FaultInjector::FaultInjector(SimNetwork& net, net::RoutingTables* routing, std::uint64_t seed)
+    : net_(net), routing_(routing), down_links_(net.topology().link_count(), false) {
+  net_.seed_loss(seed);
+}
+
+void FaultInjector::arm(const FaultSchedule& schedule) {
+  for (const FaultEvent& event : schedule.events()) {
+    net_.simulator().schedule_at(event.at, [this, event] { apply(event); });
+  }
+}
+
+std::optional<SimTime> FaultInjector::crash_time(net::NodeId node) const {
+  const auto it = crash_times_.find(node.v);
+  if (it == crash_times_.end()) return std::nullopt;
+  return it->second;
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultEvent::Kind::kNodeDown:
+      net_.set_node_up(event.node, false);
+      crash_times_[event.node.v] = net_.simulator().now();
+      ++counters_.node_crashes;
+      break;
+    case FaultEvent::Kind::kNodeUp:
+      net_.set_node_up(event.node, true);
+      ++counters_.node_restarts;
+      break;
+    case FaultEvent::Kind::kLinkDown:
+      net_.set_link_up(event.link, false);
+      down_links_[event.link.v] = true;
+      ++counters_.link_downs;
+      reconverge();
+      break;
+    case FaultEvent::Kind::kLinkUp:
+      net_.set_link_up(event.link, true);
+      down_links_[event.link.v] = false;
+      ++counters_.link_ups;
+      reconverge();
+      break;
+    case FaultEvent::Kind::kLinkLoss:
+      net_.set_link_loss(event.link, event.loss_rate);
+      ++counters_.loss_changes;
+      break;
+  }
+}
+
+void FaultInjector::reconverge() {
+  if (routing_ == nullptr) return;
+  routing_->recompute(net_.topology(), &down_links_);
+  ++counters_.reconvergences;
+}
+
+}  // namespace sdmbox::sim

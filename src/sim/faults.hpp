@@ -1,0 +1,102 @@
+// Scripted fault injection — the "chaos" half of the dependability loop.
+//
+// A FaultSchedule is a declarative, seed-independent list of timed events:
+// node crash/restart (crash-stop semantics, SimNetwork::set_node_up), link
+// down/up (with OSPF-style route reconvergence through the
+// RoutingTables::recompute hook), and per-link probabilistic packet loss.
+// A FaultInjector arms the schedule on a SimNetwork's event calendar and
+// keeps the bookkeeping the detection/recovery machinery is measured
+// against: when each node crashed, which links are down, how many times
+// routing reconverged.
+//
+// Everything is deterministic: events fire at scripted times, and the loss
+// RNG is reseeded from the injector's seed, so the same schedule + seed
+// yields bit-identical runs — a hard requirement for reproducible
+// dependability experiments.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/routing.hpp"
+#include "sim/network.hpp"
+
+namespace sdmbox::sim {
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kNodeDown,  // crash-stop: the node silently drops everything
+    kNodeUp,    // restart: the node resumes with its pre-crash soft state
+    kLinkDown,  // link failure; routing reconverges around it
+    kLinkUp,    // link repair; routing reconverges back
+    kLinkLoss,  // set the link's probabilistic loss rate (0 clears it)
+  };
+
+  SimTime at = 0;
+  Kind kind = Kind::kNodeDown;
+  net::NodeId node;    // kNodeDown / kNodeUp
+  net::LinkId link;    // kLinkDown / kLinkUp / kLinkLoss
+  double loss_rate = 0;  // kLinkLoss only
+};
+
+/// Builder for a timed fault script. Events may be appended in any order;
+/// the simulator calendar orders them by time (ties in append order).
+class FaultSchedule {
+ public:
+  FaultSchedule& crash_node(SimTime at, net::NodeId node);
+  FaultSchedule& restart_node(SimTime at, net::NodeId node);
+  FaultSchedule& link_down(SimTime at, net::LinkId link);
+  FaultSchedule& link_up(SimTime at, net::LinkId link);
+  FaultSchedule& link_loss(SimTime at, net::LinkId link, double rate);
+
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+struct FaultCounters {
+  std::uint64_t node_crashes = 0;
+  std::uint64_t node_restarts = 0;
+  std::uint64_t link_downs = 0;
+  std::uint64_t link_ups = 0;
+  std::uint64_t loss_changes = 0;
+  std::uint64_t reconvergences = 0;  // routing recomputes triggered by link events
+};
+
+/// Applies FaultSchedules to a SimNetwork. If `routing` is given it must be
+/// the same RoutingTables instance the network forwards with; every link
+/// event then triggers an in-place reconvergence excluding the currently
+/// down links (the OSPF reaction the paper's routers perform on their own,
+/// with no controller involvement).
+class FaultInjector {
+ public:
+  FaultInjector(SimNetwork& net, net::RoutingTables* routing = nullptr,
+                std::uint64_t seed = 0x5dfa117ULL);
+
+  /// Schedule every event of `schedule` on the network's calendar. May be
+  /// called repeatedly (schedules compose). The injector must outlive the
+  /// simulation run.
+  void arm(const FaultSchedule& schedule);
+
+  const FaultCounters& counters() const noexcept { return counters_; }
+  const std::vector<bool>& down_links() const noexcept { return down_links_; }
+
+  /// Time of the most recent crash of `node`, if it ever crashed — ground
+  /// truth for detection-latency measurements.
+  std::optional<SimTime> crash_time(net::NodeId node) const;
+
+ private:
+  void apply(const FaultEvent& event);
+  void reconverge();
+
+  SimNetwork& net_;
+  net::RoutingTables* routing_;
+  std::vector<bool> down_links_;
+  std::unordered_map<std::uint32_t, SimTime> crash_times_;
+  FaultCounters counters_;
+};
+
+}  // namespace sdmbox::sim

@@ -7,6 +7,8 @@ SimNetwork::SimNetwork(const net::Topology& topo, const net::RoutingTables& rout
     : topo_(topo), routing_(routing), resolver_(resolver) {
   agents_.resize(topo.node_count());
   node_up_.assign(topo.node_count(), true);
+  link_up_.assign(topo.link_count(), true);
+  link_loss_.assign(topo.link_count(), 0.0);
   node_counters_.resize(topo.node_count());
   link_counters_.resize(topo.link_count());
   link_free_at_.resize(topo.link_count(), 0.0);
@@ -37,6 +39,27 @@ void SimNetwork::set_node_up(net::NodeId node, bool up) {
 bool SimNetwork::node_up(net::NodeId node) const {
   SDM_CHECK(node.v < node_up_.size());
   return node_up_[node.v];
+}
+
+void SimNetwork::set_link_up(net::LinkId link, bool up) {
+  SDM_CHECK(link.v < link_up_.size());
+  link_up_[link.v] = up;
+}
+
+bool SimNetwork::link_up(net::LinkId link) const {
+  SDM_CHECK(link.v < link_up_.size());
+  return link_up_[link.v];
+}
+
+void SimNetwork::set_link_loss(net::LinkId link, double rate) {
+  SDM_CHECK(link.v < link_loss_.size());
+  SDM_CHECK_MSG(rate >= 0.0 && rate <= 1.0, "loss rate must be a probability");
+  link_loss_[link.v] = rate;
+}
+
+double SimNetwork::link_loss(net::LinkId link) const {
+  SDM_CHECK(link.v < link_loss_.size());
+  return link_loss_[link.v];
 }
 
 void SimNetwork::handle_at_node(net::NodeId node, packet::Packet pkt, SimTime injected_at,
@@ -100,6 +123,16 @@ void SimNetwork::transmit(net::NodeId from, net::NodeId to, packet::Packet pkt) 
   SDM_CHECK_MSG(link.valid(), "transmit between non-adjacent nodes");
   const net::LinkParams& lp = topo_.link(link).params;
 
+  if (!link_up_[link.v]) {
+    // The link is dark: whatever is committed to it is lost. Routing only
+    // steers around the failure once RoutingTables::recompute ran — until
+    // then this is the crash window the dependability loop must cover.
+    ++link_counters_[link.v].fault_drops;
+    ++node_counters_[from.v].packets_dropped;
+    ++counters_.dropped_link_down;
+    return;
+  }
+
   // Fragmentation accounting: payload above the MTU costs one extra IP
   // header per additional fragment on the wire.
   const std::uint32_t wire = pkt.wire_bytes();
@@ -135,6 +168,15 @@ void SimNetwork::transmit(net::NodeId from, net::NodeId to, packet::Packet pkt) 
   if (frags > 1) ++lc.fragmentation_events;
   lc.max_backlog_s = std::max(lc.max_backlog_s, backlog_s);
   link_free_at_[link.v] = start + tx_time;
+  // Probabilistic wire loss: the packet occupied the link (bytes above are
+  // charged) but never arrives. Drawn only for lossy links, so fault-free
+  // runs consume no randomness and stay bit-identical to the seed behavior.
+  if (link_loss_[link.v] > 0 && loss_rng_.next_bool(link_loss_[link.v])) {
+    ++lc.fault_drops;
+    ++node_counters_[from.v].packets_dropped;
+    ++counters_.dropped_link_loss;
+    return;
+  }
   const SimTime arrival = start + tx_time + lp.delay_us * 1e-6;
   const SimTime injected_at = current_injected_at_;
   sim_.schedule_at(arrival, [this, from, to, pkt = std::move(pkt), injected_at]() mutable {

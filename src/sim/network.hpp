@@ -22,6 +22,7 @@
 #include "net/topology.hpp"
 #include "packet/packet.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace sdmbox::sim {
 
@@ -55,6 +56,7 @@ struct LinkCounters {
   std::uint64_t fragmentation_events = 0;
   std::uint64_t fragments = 0;         // total fragments emitted (>= packets)
   std::uint64_t queue_drops = 0;       // drop-tail losses (bounded queues only)
+  std::uint64_t fault_drops = 0;       // lost to a down link or injected loss
   double max_backlog_s = 0;            // worst serialization backlog observed
 };
 
@@ -65,6 +67,8 @@ struct NetworkCounters {
   std::uint64_t dropped_no_route = 0;
   std::uint64_t dropped_node_down = 0; // arrived at a failed node
   std::uint64_t dropped_queue = 0;     // drop-tail losses across all links
+  std::uint64_t dropped_link_down = 0; // transmitted onto a down link
+  std::uint64_t dropped_link_loss = 0; // injected probabilistic wire loss
   double total_latency = 0;            // sum of delivery latencies (s)
 };
 
@@ -82,6 +86,22 @@ public:
   /// middlebox failure before the controller reacts.
   void set_node_up(net::NodeId node, bool up);
   bool node_up(net::NodeId node) const;
+
+  /// Link failure injection: a down link loses everything transmitted onto
+  /// it. Routing does NOT react here — pair with
+  /// RoutingTables::recompute(topo, &down_links) to model OSPF reconvergence
+  /// (sim::FaultInjector wires both together).
+  void set_link_up(net::LinkId link, bool up);
+  bool link_up(net::LinkId link) const;
+
+  /// Per-link probabilistic packet loss in [0, 1]: each transmission onto the
+  /// link is independently lost with probability `rate` (drawn from the
+  /// seedable loss RNG, so runs stay deterministic). 0 disables loss.
+  void set_link_loss(net::LinkId link, double rate);
+  double link_loss(net::LinkId link) const;
+
+  /// Reseed the loss RNG (call before the run for reproducible loss traces).
+  void seed_loss(std::uint64_t seed) { loss_rng_ = util::Rng(seed); }
 
   /// Optional per-delivery observer: called with the delivered packet and
   /// its injection-to-delivery latency (latency studies, traces).
@@ -137,6 +157,9 @@ private:
   Simulator sim_;
   std::vector<std::unique_ptr<NodeAgent>> agents_;
   std::vector<bool> node_up_;
+  std::vector<bool> link_up_;
+  std::vector<double> link_loss_;
+  util::Rng loss_rng_{0x5dfa117ULL};  // "SD-fault"; reseed via seed_loss()
   std::vector<NodeCounters> node_counters_;
   std::vector<LinkCounters> link_counters_;
   std::vector<SimTime> link_free_at_;  // per-link serialization horizon

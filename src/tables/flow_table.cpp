@@ -103,6 +103,14 @@ bool FlowTable::confirm_label(const packet::FlowId& f, SimTime now) {
   return true;
 }
 
+bool FlowTable::erase(const packet::FlowId& f) {
+  auto it = entries_.find(f);
+  if (it == entries_.end()) return false;
+  erase_slot(it);
+  ++stats_.invalidations;
+  return true;
+}
+
 void FlowTable::expire_idle(SimTime now) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (now - it->second.entry.last_used > idle_timeout_) {

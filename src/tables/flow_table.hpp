@@ -42,6 +42,11 @@ struct FlowEntry {
   /// destination-subnet index here for measurement reporting). -1 = unset.
   std::int32_t user_tag = -1;
   SimTime last_used = 0;
+  /// Topology node the flow's packets are currently tunneled to (the first
+  /// middlebox of its chain), recorded by the proxy on each send so the
+  /// entry can be invalidated when that box is locally blacklisted.
+  /// net::NodeId::kInvalid when not tracked.
+  std::uint32_t next_hop_node = 0xffffffffu;
 
   bool is_negative() const noexcept { return !policy.valid(); }
 };
@@ -52,6 +57,7 @@ struct FlowTableStats {
   std::uint64_t misses = 0;
   std::uint64_t expirations = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;  // entries dropped by erase()/invalidate_where()
 
   double hit_rate() const noexcept {
     const double total = static_cast<double>(hits + misses);
@@ -87,6 +93,28 @@ public:
 
   /// Proactively drop all entries idle past the timeout.
   void expire_idle(SimTime now);
+
+  /// Drop the entry for `f` if present (failure invalidation / label
+  /// teardown). Returns true when something was erased.
+  bool erase(const packet::FlowId& f);
+
+  /// Drop every entry matching `pred` (e.g. all flows pinned to a failed
+  /// middlebox). Returns the number of entries erased.
+  template <typename Pred>
+  std::size_t invalidate_where(Pred&& pred) {
+    std::size_t erased = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (pred(it->second.entry)) {
+        auto victim = it++;
+        erase_slot(victim);
+        ++stats_.invalidations;
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  }
 
   std::size_t size() const noexcept { return entries_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }

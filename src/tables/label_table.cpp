@@ -31,6 +31,27 @@ LabelEntry* LabelTable::lookup(const LabelKey& key, SimTime now) {
   return &it->second;
 }
 
+bool LabelTable::erase(const LabelKey& key) {
+  if (entries_.erase(key) == 0) return false;
+  ++stats_.invalidations;
+  return true;
+}
+
+std::vector<std::pair<LabelKey, LabelEntry>> LabelTable::invalidate_next_hop(
+    net::IpAddress next_hop) {
+  std::vector<std::pair<LabelKey, LabelEntry>> removed;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.next_hop && *it->second.next_hop == next_hop) {
+      removed.emplace_back(it->first, std::move(it->second));
+      it = entries_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
 void LabelTable::expire_idle(SimTime now) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (now - it->second.last_used > idle_timeout_) {

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "net/ip.hpp"
 #include "policy/policy.hpp"
@@ -45,6 +47,10 @@ struct LabelEntry {
   /// Original destination; present only at the last middlebox of the chain.
   std::optional<net::IpAddress> final_dst;
   SimTime last_used = 0;
+  /// Address of the proxy that set the chain up (outer source during setup).
+  /// Lets a middlebox send kLabelTeardown back when the pinned next hop
+  /// stops answering, so the proxy re-establishes the flow elsewhere.
+  net::IpAddress proxy_addr;
 
   bool is_chain_tail() const noexcept { return final_dst.has_value(); }
 };
@@ -53,6 +59,7 @@ struct LabelTableStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t expirations = 0;
+  std::uint64_t invalidations = 0;  // entries dropped by invalidate_next_hop()/erase()
 };
 
 class LabelTable {
@@ -67,6 +74,14 @@ public:
   LabelEntry* lookup(const LabelKey& key, SimTime now);
 
   void expire_idle(SimTime now);
+
+  /// Drop the entry for `key` if present. Returns true when erased.
+  bool erase(const LabelKey& key);
+
+  /// Drop every entry whose pinned next hop is `next_hop` (that middlebox
+  /// stopped answering). Returns the removed entries so the caller can send
+  /// kLabelTeardown to each entry's proxy.
+  std::vector<std::pair<LabelKey, LabelEntry>> invalidate_next_hop(net::IpAddress next_hop);
 
   std::size_t size() const noexcept { return entries_.size(); }
   const LabelTableStats& stats() const noexcept { return stats_; }

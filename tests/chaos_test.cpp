@@ -1,0 +1,267 @@
+// End-to-end dependability loop under a scripted fault schedule — and with
+// NO oracle calls: nobody tells the controller `set_failed`. The heartbeat
+// monitor has to notice the crash over the (lossy) control channel, the
+// reliable push channel has to land the recovery plan on every surviving
+// device, the proxies' local peer health has to bridge the detection gap,
+// and the whole run has to be bit-reproducible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "control/endpoints.hpp"
+#include "control/health.hpp"
+#include "core/validate.hpp"
+#include "scenario.hpp"
+#include "sim/faults.hpp"
+
+namespace sdmbox {
+namespace {
+
+using sdmbox::testing::Scenario;
+using sdmbox::testing::ScenarioParams;
+using sdmbox::testing::make_scenario;
+
+// The hot-potato target of proxy 0's first chained policy: a middlebox that
+// is guaranteed to carry traffic, so crashing it actually matters.
+net::NodeId pick_victim(const Scenario& s, const core::EnforcementPlan& plan) {
+  const core::NodeConfig& cfg = plan.config(s.network.proxies[0]);
+  for (const policy::PolicyId pid : cfg.relevant_policies) {
+    const policy::Policy& pol = s.gen.policies.at(pid);
+    if (pol.deny || pol.actions.empty()) continue;
+    const net::NodeId m = cfg.closest(pol.actions.front());
+    if (m.valid()) return m;
+  }
+  return {};
+}
+
+// Inject a burst of policy traffic starting at `at`, each flow's packets
+// spread 30 ms apart so the burst overlaps the peer-health probe timeouts
+// (an instantaneous burst would finish before any blacklist could fire).
+void inject_wave(sim::SimNetwork& net, const Scenario& s, double at) {
+  for (const auto& f : s.flows.flows) {
+    const std::uint64_t n = std::min<std::uint64_t>(f.packets, 6);
+    for (std::uint64_t j = 0; j < n; ++j) {
+      packet::Packet p;
+      p.inner.src = f.id.src;
+      p.inner.dst = f.id.dst;
+      p.src_port = f.id.src_port;
+      p.dst_port = f.id.dst_port;
+      p.payload_bytes = 200;
+      p.flow_seq = j;
+      net.inject(s.network.proxies[static_cast<std::size_t>(f.src_subnet)], p,
+                 at + static_cast<double>(j) * 0.03);
+    }
+  }
+}
+
+struct ChaosOutcome {
+  sim::SimTime crash_at = -1;
+  sim::SimTime declared_at = -1;  // first heartbeat declaration of the victim
+  sim::SimTime revived_at = -1;   // heartbeat revival of the victim
+  std::uint64_t drops_total = 0;        // dropped_node_down over the whole run
+  std::uint64_t drops_before_wave3 = 0; // same counter sampled at t=11.9
+  std::uint64_t outstanding = 0;
+  std::uint64_t abandoned = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t revivals = 0;
+  std::uint64_t repushes = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t blacklists = 0;
+  std::uint64_t reroutes = 0;
+  std::size_t failed_boxes_at_end = 0;
+  std::string violations;   // validate_plan output on the final plan, joined
+  std::string fingerprint;  // every counter in the system, for determinism
+};
+
+// One full chaos run. Timeline (seconds):
+//   0.00  initial plan pushed over the wire; heartbeat rounds begin
+//   1.00  wave 1 — fault-free traffic establishes flow caches + label paths
+//   2.05  victim middlebox crashes (crash-stop)
+//   2.20  wave 2 — rides into the crash window; local failover must react
+//   2.50  control-channel loss 15% on the controller's access link
+//   2.90  (expected) heartbeat declaration + recovery plan rollout,
+//         retransmitted through the lossy channel
+//   4.00  core<->gateway link fails; routing reconverges
+//   4.30  wave 3 — over reconverged routes, victim still blacklisted
+//   4.60  link repaired; routing reconverges back
+//   6.00  control-channel loss cleared
+//   8.00  victim restarts; heartbeat revival folds it back in (full resync)
+//  12.00  wave 4 — post-recovery traffic, must see zero node-down drops
+//  14.00  monitor stopped; calendar drains
+ChaosOutcome run_chaos() {
+  ScenarioParams sp;
+  sp.seed = 85;
+  sp.target_packets = 4000;
+  Scenario s = make_scenario(sp);
+  const auto initial = s.controller->compile(core::StrategyKind::kHotPotato);
+  const net::NodeId victim = pick_victim(s, initial);
+  SDM_CHECK_MSG(victim.valid(), "scenario has no chained policy at proxy 0");
+
+  const net::NodeId controller_node = control::add_controller_host(s.network);
+  net::RoutingTables routing = net::RoutingTables::compute(s.network.topo);
+  const auto resolver = net::AddressResolver::build(s.network.topo);
+  sim::SimNetwork simnet(s.network.topo, routing, resolver);
+
+  core::AgentOptions opts;
+  opts.enable_label_switching = true;
+  opts.peer_health.enabled = true;
+  opts.peer_health.probe_timeout = 0.05;
+  opts.peer_health.miss_threshold = 2;
+  opts.peer_health.blacklist_hold = 5.0;
+  opts.peer_health.min_probe_gap = 0.05;
+  auto cp = control::install_control_plane(simnet, s.network, s.deployment, s.gen.policies,
+                                           *s.controller, controller_node, initial, opts);
+
+  sim::FaultInjector injector(simnet, &routing);
+  const net::LinkId flap =
+      s.network.topo.find_link(s.network.core_routers[0], s.network.gateways[0]);
+  const net::NodeId attach =
+      s.network.gateways.empty() ? s.network.core_routers.front() : s.network.gateways.front();
+  const net::LinkId ctrl_link = s.network.topo.find_link(attach, controller_node);
+  SDM_CHECK(flap.valid() && ctrl_link.valid());
+  sim::FaultSchedule schedule;
+  schedule.crash_node(2.05, victim)
+      .link_loss(2.5, ctrl_link, 0.15)
+      .link_down(4.0, flap)
+      .link_up(4.6, flap)
+      .link_loss(6.0, ctrl_link, 0.0)
+      .restart_node(8.0, victim);
+  injector.arm(schedule);
+
+  control::HealthParams hp;
+  hp.probe_period = 0.1;
+  hp.miss_threshold = 8;
+  control::HealthMonitor monitor(*cp.controller, s.deployment, s.network, hp);
+
+  // Push the initial plan over the wire (seeds the differential fingerprints
+  // and proves the acked rollout on a healthy network), then start probing.
+  cp.controller->push_plan(simnet, initial);
+  monitor.start(simnet);
+
+  inject_wave(simnet, s, 1.0);
+  inject_wave(simnet, s, 2.2);
+  inject_wave(simnet, s, 4.3);
+  inject_wave(simnet, s, 12.0);
+
+  std::uint64_t drops_at_11_9 = 0;
+  simnet.simulator().schedule_at(
+      11.9, [&] { drops_at_11_9 = simnet.counters().dropped_node_down; });
+  simnet.simulator().schedule_at(14.0, [&] { monitor.stop(); });
+  simnet.run();
+
+  ChaosOutcome out;
+  out.crash_at = injector.crash_time(victim).value_or(-1);
+  for (const auto& e : monitor.log()) {
+    if (e.node != victim) continue;
+    if (e.failed && out.declared_at < 0) out.declared_at = e.at;
+    if (!e.failed) out.revived_at = e.at;
+  }
+  const auto& nc = simnet.counters();
+  out.drops_total = nc.dropped_node_down;
+  out.drops_before_wave3 = drops_at_11_9;
+  out.outstanding = cp.controller->outstanding_pushes();
+  out.abandoned = cp.controller->pushes_abandoned();
+  out.acks = cp.controller->acks_received();
+  const auto& hc = monitor.counters();
+  out.failures = hc.failures_declared;
+  out.revivals = hc.revivals_declared;
+  out.repushes = hc.repushes;
+  out.refused = hc.recompute_refused;
+  for (const auto* d : cp.proxies) {
+    out.blacklists += d->proxy()->peer_health().counters().blacklists;
+    out.reroutes += d->proxy()->counters().failover_reroutes;
+  }
+  out.failed_boxes_at_end = s.deployment.failed_count();
+  std::ostringstream vio;
+  for (const auto& v : core::validate_plan(cp.controller->last_plan(), s.network, s.deployment,
+                                           s.gen.policies)) {
+    vio << v << '\n';
+  }
+  out.violations = vio.str();
+
+  std::ostringstream fp;
+  fp << nc.injected << ' ' << nc.delivered << ' ' << nc.dropped_ttl << ' '
+     << nc.dropped_no_route << ' ' << nc.dropped_node_down << ' ' << nc.dropped_queue << ' '
+     << nc.dropped_link_down << ' ' << nc.dropped_link_loss << ' ' << nc.total_latency << '\n';
+  fp << cp.controller->acks_received() << ' ' << cp.controller->pushes_sent() << ' '
+     << cp.controller->pushes_skipped_unchanged() << ' ' << cp.controller->push_bytes_sent()
+     << ' ' << cp.controller->retransmissions() << ' ' << cp.controller->pushes_abandoned()
+     << ' ' << cp.controller->stale_acks() << ' ' << cp.controller->outstanding_pushes()
+     << '\n';
+  fp << hc.probes_sent << ' ' << hc.replies_received << ' ' << hc.failures_declared << ' '
+     << hc.revivals_declared << ' ' << hc.false_positives << ' ' << hc.repushes << ' '
+     << hc.recompute_refused << ' ' << hc.detection_latency_total << '\n';
+  const auto& ic = injector.counters();
+  fp << ic.node_crashes << ' ' << ic.node_restarts << ' ' << ic.link_downs << ' '
+     << ic.link_ups << ' ' << ic.loss_changes << ' ' << ic.reconvergences << '\n';
+  for (const auto* d : cp.proxies) {
+    const auto& c = d->counters();
+    const auto& ph = d->proxy()->peer_health().counters();
+    const auto& pc = d->proxy()->counters();
+    fp << c.configs_applied << ',' << c.configs_rejected << ',' << c.configs_duplicate << ','
+       << ph.probes_sent << ',' << ph.blacklists << ',' << pc.outbound_packets << ','
+       << pc.failover_reroutes << ',' << pc.teardowns_received << ' ';
+  }
+  fp << '\n';
+  for (const auto* d : cp.middleboxes) {
+    const auto& c = d->counters();
+    const auto& mc = d->middlebox()->counters();
+    fp << c.configs_applied << ',' << c.configs_rejected << ',' << c.configs_duplicate << ','
+       << mc.processed_packets << ',' << mc.failover_reroutes << ',' << mc.teardowns_sent
+       << ' ';
+  }
+  fp << '\n';
+  out.fingerprint = fp.str();
+  return out;
+}
+
+TEST(Chaos, DependabilityLoopSurvivesScriptedFailures) {
+  const ChaosOutcome out = run_chaos();
+
+  // The crash happened and was detected by heartbeats alone, within the
+  // configured window: miss_threshold (8) rounds of probe_period (0.1 s)
+  // after the crash, plus one round of slack.
+  ASSERT_GE(out.crash_at, 0.0);
+  ASSERT_GE(out.declared_at, 0.0) << "heartbeat monitor never declared the crashed middlebox";
+  EXPECT_GE(out.declared_at, out.crash_at);
+  EXPECT_LE(out.declared_at, out.crash_at + 0.9 + 0.1);
+
+  // The victim's restart was detected too, and the deployment ends clean.
+  EXPECT_GE(out.revived_at, 8.0);
+  EXPECT_EQ(out.failures, out.revivals);
+  EXPECT_EQ(out.failed_boxes_at_end, 0u);
+
+  // Recovery plans went out on every declaration/revival and every push was
+  // acked by a surviving device despite 15% control-channel loss: nothing
+  // outstanding, nothing abandoned.
+  EXPECT_GE(out.repushes, 2u);
+  EXPECT_EQ(out.refused, 0u);
+  EXPECT_GT(out.acks, 0u);
+  EXPECT_EQ(out.outstanding, 0u);
+  EXPECT_EQ(out.abandoned, 0u);
+
+  // The crash window really dropped packets at the dead box, the proxies'
+  // local peer health blacklisted it and steered traffic past it, and the
+  // post-recovery wave (injected at t=12) saw no node-down drops at all.
+  EXPECT_GT(out.drops_total, 0u);
+  EXPECT_GE(out.blacklists, 1u);
+  EXPECT_GE(out.reroutes, 1u);
+  EXPECT_EQ(out.drops_total, out.drops_before_wave3);
+
+  // The final pushed plan is sound against the recovered deployment.
+  EXPECT_EQ(out.violations, "");
+}
+
+TEST(Chaos, SameScheduleSameSeedIsBitIdentical) {
+  const ChaosOutcome a = run_chaos();
+  const ChaosOutcome b = run_chaos();
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.declared_at, b.declared_at);
+  EXPECT_EQ(a.revived_at, b.revived_at);
+}
+
+}  // namespace
+}  // namespace sdmbox
