@@ -81,10 +81,17 @@ RunResult run_once(double period, int k) {
     }
   }
 
+  obs::MetricsRegistry registry;
+  simnet.register_metrics(registry);
+  injector.register_metrics(registry);
+  control::register_metrics(registry, cp);
+  monitor.register_metrics(registry);
+
   cp.controller->push_plan(simnet, initial);
   monitor.start(simnet);
   simnet.simulator().schedule_at(kStreamEnd + 2.0, [&] { monitor.stop(); });
   simnet.run();
+  dump_metrics(registry);
 
   RunResult r;
   for (const auto& e : monitor.log()) {

@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -14,6 +15,9 @@
 #include "core/agents.hpp"
 #include "core/controller.hpp"
 #include "net/topologies.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "stats/table.hpp"
 #include "util/strings.hpp"
 #include "workload/flow_gen.hpp"
@@ -108,6 +112,19 @@ inline const analytic::TypeLoadSummary& type_summary(const StrategyLoads& loads,
 
 inline double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Telemetry escape hatch shared by the benches: when SDMBOX_METRICS_OUT is
+/// set, render `registry` for the path's extension (.json / .csv / .prom)
+/// and write it there; a no-op otherwise, so the tables stay the benches'
+/// only default output. Repeated calls overwrite — in a sweep, the file
+/// holds the last configuration's values.
+inline void dump_metrics(const obs::MetricsRegistry& registry,
+                         const obs::EpochRecorder* series = nullptr) {
+  const char* path = std::getenv("SDMBOX_METRICS_OUT");
+  if (path == nullptr || *path == '\0') return;
+  obs::write_file(path, obs::render_for_path(registry, series, path));
+  std::fprintf(stderr, "metrics (%zu series) written to %s\n", registry.size(), path);
 }
 
 }  // namespace sdmbox::bench

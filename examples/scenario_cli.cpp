@@ -9,9 +9,17 @@
 //                [--off-path] [--fail-one FW|IDS|WP|TM]
 //                [--policy-file FILE]   # Table-I-style file; replaces the
 //                                       # generated policy list for analysis
+//                [--sim]                # packet-level run with a scripted
+//                                       # crash + link flap (chaos timeline)
+//                [--metrics-out FILE]   # telemetry dump (.json/.csv/.prom);
+//                                       # implies --sim
+//                [--trace-out FILE]     # per-flow path trace JSON; implies --sim
+//                [--epoch SECS]         # time-series sampling period (0.5)
+//                [--trace-sample RATE]  # flow sampling rate in [0,1] (1.0)
 //
 // Example:
 //   ./build/examples/scenario_cli --topology waxman --strategy lb --packets 5000000
+//   ./build/examples/scenario_cli --packets 4000 --metrics-out m.json --trace-out t.json
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -20,11 +28,18 @@
 #include <sstream>
 
 #include "analytic/load_evaluator.hpp"
+#include "control/endpoints.hpp"
+#include "control/health.hpp"
 #include "core/controller.hpp"
 #include "core/validate.hpp"
 #include "net/topologies.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 #include "policy/analysis.hpp"
 #include "policy/parser.hpp"
+#include "sim/faults.hpp"
 #include "stats/table.hpp"
 #include "util/strings.hpp"
 #include "workload/flow_gen.hpp"
@@ -44,13 +59,22 @@ struct CliOptions {
   bool off_path = false;
   std::string fail_one;     // function name, or empty
   std::string policy_file;  // optional Table-I-style policy file to audit
+  bool sim = false;         // packet-level run with the scripted fault timeline
+  std::string metrics_out;  // telemetry dump path (.json / .csv / .prom); implies sim
+  std::string trace_out;    // per-flow path trace JSON path; implies sim
+  double epoch = 0.5;       // time-series sampling period (simulated seconds)
+  double trace_sample = 1.0;  // flow sampling rate in [0, 1]; 0 disables tracing
+
+  bool wants_sim() const { return sim || !metrics_out.empty() || !trace_out.empty(); }
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--topology campus|waxman] [--strategy hp|rand|lb]\n"
                "          [--packets N] [--policies-per-class N] [--seed N]\n"
-               "          [--off-path] [--fail-one FW|IDS|WP|TM]\n",
+               "          [--off-path] [--fail-one FW|IDS|WP|TM]\n"
+               "          [--sim] [--metrics-out FILE] [--trace-out FILE]\n"
+               "          [--epoch SECS] [--trace-sample RATE]\n",
                argv0);
   return 2;
 }
@@ -103,11 +127,177 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.policy_file = v;
+    } else if (arg == "--sim") {
+      opt.sim = true;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.trace_out = v;
+    } else if (arg == "--epoch") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.epoch = std::strtod(v, nullptr);
+    } else if (arg == "--trace-sample") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.trace_sample = std::strtod(v, nullptr);
     } else {
       return false;
     }
   }
-  return opt.packets > 0 && opt.policies_per_class > 0;
+  return opt.packets > 0 && opt.policies_per_class > 0 && opt.epoch > 0 &&
+         opt.trace_sample >= 0 && opt.trace_sample <= 1;
+}
+
+// The hot-potato target of proxy 0's first chained policy: a middlebox that
+// is guaranteed to carry traffic, so crashing it actually matters. Invalid
+// when no proxy-0 policy has a chain (the fault script then skips the crash).
+net::NodeId pick_victim(const net::GeneratedNetwork& network, const policy::PolicyList& policies,
+                        const core::EnforcementPlan& plan) {
+  if (network.proxies.empty()) return {};
+  const core::NodeConfig& cfg = plan.config(network.proxies[0]);
+  for (const policy::PolicyId pid : cfg.relevant_policies) {
+    const policy::Policy& pol = policies.at(pid);
+    if (pol.deny || pol.actions.empty()) continue;
+    const net::NodeId m = cfg.closest(pol.actions.front());
+    if (m.valid()) return m;
+  }
+  return {};
+}
+
+// Inject a burst of policy traffic starting at `at`, each flow's packets
+// spread 30 ms apart so the burst overlaps the peer-health probe timeouts.
+void inject_wave(sim::SimNetwork& simnet, const net::GeneratedNetwork& network,
+                 const workload::GeneratedFlows& flows, double at) {
+  for (const auto& f : flows.flows) {
+    const std::uint64_t n = std::min<std::uint64_t>(f.packets, 6);
+    for (std::uint64_t j = 0; j < n; ++j) {
+      packet::Packet p;
+      p.inner.src = f.id.src;
+      p.inner.dst = f.id.dst;
+      p.src_port = f.id.src_port;
+      p.dst_port = f.id.dst_port;
+      p.payload_bytes = 200;
+      p.flow_seq = j;
+      simnet.inject(network.proxies[static_cast<std::size_t>(f.src_subnet)], p,
+                    at + static_cast<double>(j) * 0.03);
+    }
+  }
+}
+
+// Packet-level run with telemetry attached. Mirrors the chaos test's
+// timeline: traffic waves at t = 1.0 / 2.2 / 4.3 / 12.0, a victim-middlebox
+// crash at 2.05 (restart 8.0), control-channel loss at 2.5–6.0, and a
+// core<->gateway link flap at 4.0–4.6; the monitor stops at 14.0 and the
+// calendar drains. Everything observable goes through the MetricsRegistry:
+// the per-epoch series and the final values are exported, not printf'd.
+int run_sim(net::GeneratedNetwork& network, core::Deployment& deployment,
+            const workload::GeneratedPolicies& gen, const workload::GeneratedFlows& flows,
+            core::Controller& controller, const core::EnforcementPlan& initial,
+            const CliOptions& opt) {
+  const net::NodeId victim = pick_victim(network, gen.policies, initial);
+
+  const net::NodeId controller_node = control::add_controller_host(network);
+  net::RoutingTables routing = net::RoutingTables::compute(network.topo);
+  const auto resolver = net::AddressResolver::build(network.topo);
+  sim::SimNetwork simnet(network.topo, routing, resolver);
+  simnet.simulator().attach_log_clock();  // SDMBOX_LOG lines carry sim time
+
+  obs::MetricsRegistry registry;
+  obs::PathTracer tracer(opt.trace_sample);
+  simnet.set_tracer(&tracer);
+
+  core::AgentOptions opts;
+  opts.enable_label_switching = true;
+  opts.peer_health.enabled = true;
+  opts.peer_health.probe_timeout = 0.05;
+  opts.peer_health.miss_threshold = 2;
+  opts.peer_health.blacklist_hold = 5.0;
+  opts.peer_health.min_probe_gap = 0.05;
+  auto cp = control::install_control_plane(simnet, network, deployment, gen.policies, controller,
+                                           controller_node, initial, opts);
+
+  sim::FaultInjector injector(simnet, &routing);
+  sim::FaultSchedule schedule;
+  if (victim.valid()) {
+    schedule.crash_node(2.05, victim).restart_node(8.0, victim);
+    std::printf("sim: victim middlebox %s (crash 2.05s, restart 8.0s)\n",
+                deployment.find(victim)->name.c_str());
+  } else {
+    std::printf("sim: no chained policy at proxy 0 — crash step skipped\n");
+  }
+  if (!network.gateways.empty() && !network.core_routers.empty()) {
+    const net::LinkId flap =
+        network.topo.find_link(network.core_routers[0], network.gateways[0]);
+    if (flap.valid()) schedule.link_down(4.0, flap).link_up(4.6, flap);
+  }
+  const net::NodeId attach =
+      network.gateways.empty() ? network.core_routers.front() : network.gateways.front();
+  const net::LinkId ctrl_link = network.topo.find_link(attach, controller_node);
+  if (ctrl_link.valid()) schedule.link_loss(2.5, ctrl_link, 0.15).link_loss(6.0, ctrl_link, 0.0);
+  injector.arm(schedule);
+
+  control::HealthParams hp;
+  hp.probe_period = 0.1;
+  hp.miss_threshold = 8;
+  control::HealthMonitor monitor(*cp.controller, deployment, network, hp);
+
+  // One registry over every layer: the packet plane, the fault script, the
+  // control plane (controller + every managed device), and the detector.
+  simnet.register_metrics(registry);
+  injector.register_metrics(registry);
+  control::register_metrics(registry, cp);
+  monitor.register_metrics(registry);
+
+  obs::EpochRecorder recorder(registry, opt.epoch);
+  recorder.start(
+      [&](double d, std::function<void()> fn) { simnet.simulator().schedule_in(d, std::move(fn)); },
+      [&] { return simnet.simulator().now(); });
+
+  cp.controller->push_plan(simnet, initial);
+  monitor.start(simnet);
+
+  inject_wave(simnet, network, flows, 1.0);
+  inject_wave(simnet, network, flows, 2.2);
+  inject_wave(simnet, network, flows, 4.3);
+  inject_wave(simnet, network, flows, 12.0);
+
+  simnet.simulator().schedule_at(14.0, [&] {
+    monitor.stop();
+    recorder.stop();
+  });
+  simnet.run();
+  sim::Simulator::detach_log_clock();
+
+  const auto& nc = simnet.counters();
+  std::printf("\nsim run: %llu injected, %llu delivered, %llu node-down drops, %zu epochs\n",
+              static_cast<unsigned long long>(nc.injected),
+              static_cast<unsigned long long>(nc.delivered),
+              static_cast<unsigned long long>(nc.dropped_node_down), recorder.epoch_count());
+  std::printf("health: %.0f failures declared, %.0f revivals, mean detection latency %.3fs\n",
+              registry.total("health_failures_declared"),
+              registry.total("health_revivals_declared"), monitor.mean_detection_latency());
+  std::printf("failover: %.0f peer blacklists, %.0f reroutes\n",
+              registry.total("peer_blacklists"),
+              registry.total("proxy_failover_reroutes") +
+                  registry.total("mbx_failover_reroutes"));
+
+  if (!opt.metrics_out.empty()) {
+    obs::write_file(opt.metrics_out, obs::render_for_path(registry, &recorder, opt.metrics_out));
+    std::printf("metrics (%zu series) written to %s\n", registry.size(),
+                opt.metrics_out.c_str());
+  }
+  if (!opt.trace_out.empty()) {
+    obs::write_file(opt.trace_out, obs::trace_to_json(tracer, &network.topo));
+    std::printf("trace (%llu hop records, rate %.3f) written to %s\n",
+                static_cast<unsigned long long>(tracer.sink().recorded()),
+                tracer.sampler().rate(), opt.trace_out.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -225,5 +415,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(fp_dist.candidate_entries),
               static_cast<unsigned long long>(fp_dist.policy_entries),
               static_cast<unsigned long long>(fp_dist.ratio_entries));
+
+  if (opt.wants_sim()) {
+    std::printf("\n");
+    return run_sim(network, deployment, gen, flows, controller, plan, opt);
+  }
   return 0;
 }

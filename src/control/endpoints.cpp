@@ -1,6 +1,7 @@
 #include "control/endpoints.hpp"
 
 #include "control/health.hpp"
+#include "obs/metrics.hpp"
 
 namespace sdmbox::control {
 
@@ -306,6 +307,41 @@ ControlPlane install_control_plane(sim::SimNetwork& simnet, net::GeneratedNetwor
     simnet.attach(m.node, std::move(managed));
   }
   return cp;
+}
+
+void ManagedDevice::register_metrics(obs::MetricsRegistry& registry) const {
+  const std::string& device = proxy_ ? proxy_->name() : middlebox_->name();
+  const obs::Labels base{{"device", device}, {"subsystem", "control"}};
+  registry.expose_counter("control_configs_applied", base, &counters_.configs_applied);
+  registry.expose_counter("control_configs_rejected", base, &counters_.configs_rejected);
+  registry.expose_counter("control_configs_duplicate", base, &counters_.configs_duplicate);
+  registry.expose_counter("control_acks_sent", base, &counters_.acks_sent);
+  registry.expose_counter("control_reports_sent", base, &counters_.reports_sent);
+  if (proxy_) proxy_->register_metrics(registry);
+  if (middlebox_) middlebox_->register_metrics(registry);
+}
+
+void ControllerAgent::register_metrics(obs::MetricsRegistry& registry) const {
+  const obs::Labels labels{{"subsystem", "controller"}};
+  registry.expose_counter("ctrl_reports_received", labels, &reports_received_);
+  registry.expose_counter("ctrl_malformed_messages", labels, &malformed_);
+  registry.expose_counter("ctrl_acks_received", labels, &acks_);
+  registry.expose_counter("ctrl_pushes_sent", labels, &pushes_sent_);
+  registry.expose_counter("ctrl_pushes_skipped_unchanged", labels, &pushes_skipped_);
+  registry.expose_counter("ctrl_push_bytes_sent", labels, &push_bytes_);
+  registry.expose_counter("ctrl_retransmissions", labels, &retransmissions_);
+  registry.expose_counter("ctrl_pushes_abandoned", labels, &pushes_abandoned_);
+  registry.expose_counter("ctrl_stale_acks", labels, &stale_acks_);
+  registry.expose_gauge("ctrl_outstanding_pushes", labels,
+                        [this] { return static_cast<double>(pending_.size()); });
+  registry.expose_gauge("ctrl_config_version", labels,
+                        [this] { return static_cast<double>(version_); });
+}
+
+void register_metrics(obs::MetricsRegistry& registry, const ControlPlane& plane) {
+  if (plane.controller != nullptr) plane.controller->register_metrics(registry);
+  for (const ManagedDevice* d : plane.proxies) d->register_metrics(registry);
+  for (const ManagedDevice* d : plane.middleboxes) d->register_metrics(registry);
 }
 
 }  // namespace sdmbox::control

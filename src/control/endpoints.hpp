@@ -72,6 +72,9 @@ public:
   core::ProxyAgent* proxy() const noexcept { return proxy_.get(); }
   core::MiddleboxAgent* middlebox() const noexcept { return middlebox_.get(); }
   const ControlCounters& counters() const noexcept { return counters_; }
+
+  /// Expose this device's control_* series plus the wrapped agent's series.
+  void register_metrics(obs::MetricsRegistry& registry) const;
   std::uint64_t config_version() const noexcept {
     return proxy_ ? proxy_->config_version() : middlebox_->config_version();
   }
@@ -155,6 +158,9 @@ public:
   std::uint64_t current_version() const noexcept { return version_; }
   net::IpAddress address() const noexcept { return address_; }
 
+  /// Expose the push/ack/report bookkeeping as ctrl_* registry views.
+  void register_metrics(obs::MetricsRegistry& registry) const;
+
 private:
   struct PendingPush {
     std::uint64_t seq = 0;
@@ -212,5 +218,8 @@ ControlPlane install_control_plane(sim::SimNetwork& simnet, net::GeneratedNetwor
                                    core::Controller& controller, net::NodeId controller_node,
                                    const core::EnforcementPlan& initial_plan,
                                    const core::AgentOptions& options);
+
+/// Register the controller's and every managed device's series.
+void register_metrics(obs::MetricsRegistry& registry, const ControlPlane& plane);
 
 }  // namespace sdmbox::control

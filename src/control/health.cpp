@@ -1,5 +1,8 @@
 #include "control/health.hpp"
 
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
 namespace sdmbox::control {
 
 HealthMonitor::HealthMonitor(ControllerAgent& agent, core::Deployment& deployment,
@@ -40,6 +43,8 @@ void HealthMonitor::declare(sim::SimNetwork& net, Device& device, sim::SimTime n
   if (net.node_up(device.node)) ++counters_.false_positives;
   counters_.detection_latency_total += now - device.last_reply_at;
   log_.push_back(Event{device.node, now, true});
+  SDM_LOG_INFO("health", "declared " << net.topology().node(device.node).name
+                                     << " failed after " << device.misses << " silent rounds");
   // Deliberately keep the device's differential fingerprint: pushing its
   // full slice now would only feed the retransmission machinery a guaranteed
   // abandonment. The fingerprint is voided on revival (forcing a full
@@ -92,6 +97,7 @@ void HealthMonitor::on_probe_reply(sim::SimNetwork& net, net::IpAddress from,
   d.declared_failed = false;
   ++counters_.revivals_declared;
   log_.push_back(Event{d.node, d.last_reply_at, false});
+  SDM_LOG_INFO("health", "revived " << net.topology().node(d.node).name);
   agent_.forget_device(d.node);
   if (!d.is_proxy && deployment_.set_failed(d.node, false) && params_.auto_repair) {
     repush(net);
@@ -107,6 +113,21 @@ void HealthMonitor::repush(sim::SimNetwork& net) {
     // exists. Keep the current config and retry on the next state change.
     ++counters_.recompute_refused;
   }
+}
+
+void HealthMonitor::register_metrics(obs::MetricsRegistry& registry) const {
+  const obs::Labels labels{{"subsystem", "health"}};
+  registry.expose_counter("health_probes_sent", labels, &counters_.probes_sent);
+  registry.expose_counter("health_replies_received", labels, &counters_.replies_received);
+  registry.expose_counter("health_failures_declared", labels, &counters_.failures_declared);
+  registry.expose_counter("health_revivals_declared", labels, &counters_.revivals_declared);
+  registry.expose_counter("health_false_positives", labels, &counters_.false_positives);
+  registry.expose_counter("health_repushes", labels, &counters_.repushes);
+  registry.expose_counter("health_recompute_refused", labels, &counters_.recompute_refused);
+  registry.expose_gauge("health_detection_latency_total_s", labels,
+                        [this] { return counters_.detection_latency_total; });
+  registry.expose_gauge("health_mean_detection_latency_s", labels,
+                        [this] { return mean_detection_latency(); });
 }
 
 }  // namespace sdmbox::control

@@ -88,6 +88,10 @@ public:
   const HealthCounters& counters() const noexcept { return counters_; }
   const HealthParams& params() const noexcept { return params_; }
 
+  /// Expose the detection bookkeeping as health_* registry views (probes,
+  /// declarations, false positives, detection-latency total and mean).
+  void register_metrics(obs::MetricsRegistry& registry) const;
+
   double mean_detection_latency() const noexcept {
     return counters_.failures_declared == 0
                ? 0.0

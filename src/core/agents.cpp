@@ -2,10 +2,21 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sdmbox::core {
 
 using packet::Packet;
 using policy::PolicyId;
+
+namespace {
+// Trace hook: one pointer test when tracing is off.
+inline void trace(sim::SimNetwork& net, obs::Hop hop, const packet::FlowId& flow, double at,
+                  net::NodeId node, std::uint64_t detail = 0) {
+  if (obs::PathTracer* t = net.tracer()) t->record(hop, flow, at, node, detail);
+}
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // PeerHealth
@@ -63,6 +74,14 @@ bool PeerHealth::blacklisted(net::NodeId peer, sim::SimTime now) const {
   if (!params_.enabled) return false;
   const auto it = peers_.find(peer.v);
   return it != peers_.end() && now < it->second.blacklisted_until;
+}
+
+void PeerHealth::register_metrics(obs::MetricsRegistry& registry,
+                                  const obs::Labels& base) const {
+  registry.expose_counter("peer_probes_sent", base, &counters_.probes_sent);
+  registry.expose_counter("peer_replies", base, &counters_.replies);
+  registry.expose_counter("peer_blacklists", base, &counters_.blacklists);
+  registry.expose_counter("peer_revivals", base, &counters_.revivals);
 }
 
 namespace {
@@ -125,12 +144,37 @@ ProxyAgent::ProxyAgent(const net::GeneratedNetwork& network, std::size_t subnet_
   apply_config(slice_for_device(plan, self_));
 }
 
-net::NodeId ProxyAgent::apply_failover(net::NodeId pick, policy::FunctionId e,
+net::NodeId ProxyAgent::apply_failover(sim::SimNetwork& net, net::NodeId pick,
+                                       policy::FunctionId e, const packet::FlowId& flow,
                                        sim::SimTime now) {
   if (!options_.peer_health.enabled || !peer_health_.blacklisted(pick, now)) return pick;
   const net::NodeId alt = failover_pick(config_.node, e, pick, peer_health_, now);
-  if (alt != pick) ++counters_.failover_reroutes;
+  if (alt != pick) {
+    ++counters_.failover_reroutes;
+    trace(net, obs::Hop::kFailoverReroute, flow, now, self_, alt.v);
+  }
   return alt;
+}
+
+const std::string& ProxyAgent::name() const { return network_.topo.node(self_).name; }
+
+void ProxyAgent::register_metrics(obs::MetricsRegistry& registry) const {
+  const obs::Labels base{{"device", name()}, {"subsystem", "proxy"}};
+  registry.expose_counter("proxy_outbound_packets", base, &counters_.outbound_packets);
+  registry.expose_counter("proxy_inbound_packets", base, &counters_.inbound_packets);
+  registry.expose_counter("proxy_classifier_lookups", base, &counters_.classifier_lookups);
+  registry.expose_counter("proxy_tunneled_packets", base, &counters_.tunneled_packets);
+  registry.expose_counter("proxy_label_switched_packets", base,
+                          &counters_.label_switched_packets);
+  registry.expose_counter("proxy_permit_packets", base, &counters_.permit_packets);
+  registry.expose_counter("proxy_denied_packets", base, &counters_.denied_packets);
+  registry.expose_counter("proxy_confirmations", base, &counters_.confirmations);
+  registry.expose_counter("proxy_heartbeats_answered", base, &counters_.heartbeats_answered);
+  registry.expose_counter("proxy_failover_reroutes", base, &counters_.failover_reroutes);
+  registry.expose_counter("proxy_teardowns_received", base, &counters_.teardowns_received);
+  flow_table_.register_metrics(registry,
+                               obs::Labels{{"device", name()}, {"subsystem", "flow_cache"}});
+  peer_health_.register_metrics(registry, base);
 }
 
 bool ProxyAgent::apply_config(DeviceConfig config) {
@@ -224,12 +268,16 @@ void ProxyAgent::handle_outbound(sim::SimNetwork& net, Packet pkt) {
   if (options_.enable_flow_cache) {
     entry = flow_table_.lookup(flow, now);
     if (entry == nullptr) {
+      trace(net, obs::Hop::kCacheMiss, flow, now, self_);
       ++counters_.classifier_lookups;
       const policy::Policy* pol = classifier_->first_match(flow);
+      trace(net, obs::Hop::kClassified, flow, now, self_, pol ? pol->id.v : 0);
       entry = &flow_table_.insert(flow, pol ? pol->id : PolicyId{},
                                   pol ? pol->actions : policy::ActionList{}, now);
       // Cache the destination-subnet index for measurement reporting.
       entry->user_tag = resolve_dst_subnet(flow.dst);
+    } else {
+      trace(net, obs::Hop::kCacheHit, flow, now, self_);
     }
     matched = entry->policy;
     actions = &entry->actions;
@@ -237,6 +285,7 @@ void ProxyAgent::handle_outbound(sim::SimNetwork& net, Packet pkt) {
   } else {
     ++counters_.classifier_lookups;
     const policy::Policy* pol = classifier_->first_match(flow);
+    trace(net, obs::Hop::kClassified, flow, now, self_, pol ? pol->id.v : 0);
     static const policy::ActionList kEmpty;
     matched = pol ? pol->id : PolicyId{};
     actions = pol ? &pol->actions : &kEmpty;
@@ -254,10 +303,12 @@ void ProxyAgent::handle_outbound(sim::SimNetwork& net, Packet pkt) {
     if (matched.valid() && policies_.at(matched).deny) {
       // Deny rule: the proxy drops the packet inline.
       ++counters_.denied_packets;
+      trace(net, obs::Hop::kDenied, flow, now, self_, matched.v);
       return;
     }
     // No policy, or an explicit permit: plain routing.
     ++counters_.permit_packets;
+    trace(net, obs::Hop::kPermitted, flow, now, self_);
     net.forward(self_, std::move(pkt));
     return;
   }
@@ -267,7 +318,7 @@ void ProxyAgent::handle_outbound(sim::SimNetwork& net, Packet pkt) {
   net::NodeId first =
       select_next_hop(config_, pol, first_fn, flow, subnet_index(), dst_subnet);
   SDM_CHECK_MSG(first.valid(), "no candidate middlebox for first chain function");
-  first = apply_failover(first, first_fn, now);
+  first = apply_failover(net, first, first_fn, flow, now);
   const net::IpAddress first_addr = net.topology().node(first).address;
   if (entry != nullptr) entry->next_hop_node = first.v;
   peer_health_.on_use(net, self_, address_, first, first_addr);
@@ -281,6 +332,7 @@ void ProxyAgent::handle_outbound(sim::SimNetwork& net, Packet pkt) {
       packet::set_label(pkt.inner, entry->label);
       pkt.inner.dst = first_addr;
       ++counters_.label_switched_packets;
+      trace(net, obs::Hop::kLabelSwitchTx, flow, now, self_, entry->label);
       net.forward(self_, std::move(pkt));
       return;
     }
@@ -292,6 +344,7 @@ void ProxyAgent::handle_outbound(sim::SimNetwork& net, Packet pkt) {
   pkt.chain_pos = 0;  // service index: the first middlebox serves action 0
   pkt.encapsulate(address_, first_addr);
   ++counters_.tunneled_packets;
+  trace(net, obs::Hop::kTunnelEncap, flow, now, self_, first.v);
   net.forward(self_, std::move(pkt));
 }
 
@@ -353,12 +406,38 @@ MiddleboxAgent::MiddleboxAgent(const net::GeneratedNetwork& network, const Middl
   apply_config(slice_for_device(plan, info_.node));
 }
 
-net::NodeId MiddleboxAgent::apply_failover(net::NodeId pick, policy::FunctionId e,
+net::NodeId MiddleboxAgent::apply_failover(sim::SimNetwork& net, net::NodeId pick,
+                                           policy::FunctionId e, const packet::FlowId& flow,
                                            sim::SimTime now) {
   if (!options_.peer_health.enabled || !peer_health_.blacklisted(pick, now)) return pick;
   const net::NodeId alt = failover_pick(config_.node, e, pick, peer_health_, now);
-  if (alt != pick) ++counters_.failover_reroutes;
+  if (alt != pick) {
+    ++counters_.failover_reroutes;
+    trace(net, obs::Hop::kFailoverReroute, flow, now, info_.node, alt.v);
+  }
   return alt;
+}
+
+const std::string& MiddleboxAgent::name() const { return info_.name; }
+
+void MiddleboxAgent::register_metrics(obs::MetricsRegistry& registry) const {
+  const obs::Labels base{{"device", name()}, {"subsystem", "middlebox"}};
+  registry.expose_counter("mbx_processed_packets", base, &counters_.processed_packets);
+  registry.expose_counter("mbx_classifier_lookups", base, &counters_.classifier_lookups);
+  registry.expose_counter("mbx_tunneled_out", base, &counters_.tunneled_out);
+  registry.expose_counter("mbx_label_switched_in", base, &counters_.label_switched_in);
+  registry.expose_counter("mbx_chain_tails", base, &counters_.chain_tails);
+  registry.expose_counter("mbx_confirmations_sent", base, &counters_.confirmations_sent);
+  registry.expose_counter("mbx_cache_responses", base, &counters_.cache_responses);
+  registry.expose_counter("mbx_anomalies", base, &counters_.anomalies);
+  registry.expose_counter("mbx_heartbeats_answered", base, &counters_.heartbeats_answered);
+  registry.expose_counter("mbx_failover_reroutes", base, &counters_.failover_reroutes);
+  registry.expose_counter("mbx_teardowns_sent", base, &counters_.teardowns_sent);
+  flow_table_.register_metrics(registry,
+                               obs::Labels{{"device", name()}, {"subsystem", "flow_cache"}});
+  label_table_.register_metrics(registry,
+                                obs::Labels{{"device", name()}, {"subsystem", "label_table"}});
+  peer_health_.register_metrics(registry, base);
 }
 
 bool MiddleboxAgent::apply_config(DeviceConfig config) {
@@ -371,17 +450,21 @@ bool MiddleboxAgent::apply_config(DeviceConfig config) {
   return true;
 }
 
-MiddleboxAgent::Resolved MiddleboxAgent::resolve_policy(const packet::FlowId& flow,
+MiddleboxAgent::Resolved MiddleboxAgent::resolve_policy(sim::SimNetwork& net,
+                                                        const packet::FlowId& flow,
                                                         sim::SimTime now) {
   Resolved out;
   if (options_.enable_flow_cache) {
     if (tables::FlowEntry* entry = flow_table_.lookup(flow, now)) {
+      trace(net, obs::Hop::kCacheHit, flow, now, info_.node);
       out.pol = entry->is_negative() ? nullptr : &policies_.at(entry->policy);
       std::tie(out.src_subnet, out.dst_subnet) = unpack_subnets(entry->user_tag);
       return out;
     }
+    trace(net, obs::Hop::kCacheMiss, flow, now, info_.node);
     ++counters_.classifier_lookups;
     out.pol = classifier_->first_match(flow);
+    trace(net, obs::Hop::kClassified, flow, now, info_.node, out.pol ? out.pol->id.v : 0);
     out.src_subnet = subnet_index_of(network_, flow.src);
     out.dst_subnet = subnet_index_of(network_, flow.dst);
     tables::FlowEntry& entry =
@@ -392,6 +475,7 @@ MiddleboxAgent::Resolved MiddleboxAgent::resolve_policy(const packet::FlowId& fl
   }
   ++counters_.classifier_lookups;
   out.pol = classifier_->first_match(flow);
+  trace(net, obs::Hop::kClassified, flow, now, info_.node, out.pol ? out.pol->id.v : 0);
   out.src_subnet = subnet_index_of(network_, flow.src);
   out.dst_subnet = subnet_index_of(network_, flow.dst);
   return out;
@@ -425,6 +509,7 @@ void MiddleboxAgent::on_packet(sim::SimNetwork& net, Packet pkt, net::NodeId /*f
   // Anything else is misdirected: a middlebox is a leaf and should only see
   // traffic addressed to it. Count and sink.
   ++counters_.anomalies;
+  trace(net, obs::Hop::kAnomaly, pkt.flow_id(), net.simulator().now(), info_.node);
   net.deliver(info_.node, pkt);
 }
 
@@ -433,7 +518,8 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
   const packet::Ipv4Header outer = pkt.decapsulate();  // outer.src = originating proxy
 
   const packet::FlowId flow = pkt.flow_id();
-  const Resolved resolved = resolve_policy(flow, now);
+  trace(net, obs::Hop::kTunnelDecap, flow, now, info_.node);
+  const Resolved resolved = resolve_policy(net, flow, now);
   const policy::Policy* pol = resolved.pol;
   const std::size_t first_position = pkt.chain_pos;
   std::size_t position = pkt.chain_pos;
@@ -444,6 +530,7 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
     // destination — still counting one processing pass.
     ++counters_.processed_packets;
     ++counters_.anomalies;
+    trace(net, obs::Hop::kAnomaly, flow, now, info_.node);
     net.forward(info_.node, std::move(pkt));
     return;
   }
@@ -453,11 +540,13 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
   // middlebox never forwards to itself (Π_x excludes own functions).
   for (;;) {
     ++counters_.processed_packets;
+    trace(net, obs::Hop::kFunctionApplied, flow, now, info_.node, pol->actions[position].v);
     // §III.F: a web proxy with the page cached answers the source directly;
     // the rest of the chain never sees the flow.
     if (pol->actions[position] == policy::kWebProxy &&
         wp_cache_hit(flow, options_.wp_cache_hit_rate)) {
       ++counters_.cache_responses;
+      trace(net, obs::Hop::kWpCacheResponse, flow, now, info_.node);
       std::swap(pkt.inner.src, pkt.inner.dst);
       std::swap(pkt.src_port, pkt.dst_port);
       packet::clear_label(pkt.inner);
@@ -480,7 +569,7 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
                                     resolved.dst_subnet);
     SDM_CHECK_MSG(y.valid(), "no candidate middlebox for mid-chain function");
     SDM_CHECK_MSG(y != info_.node, "local continuation must not re-tunnel to self");
-    y = apply_failover(y, next_fn, now);
+    y = apply_failover(net, y, next_fn, flow, now);
     const net::IpAddress y_addr = net.topology().node(y).address;
     peer_health_.on_use(net, info_.node, net.topology().node(info_.node).address, y, y_addr);
     if (label != 0) {
@@ -501,6 +590,7 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
     pkt.chain_pos = static_cast<std::uint8_t>(position + 1);
     pkt.encapsulate(outer.src, y_addr);
     ++counters_.tunneled_out;
+    trace(net, obs::Hop::kTunnelEncap, flow, now, info_.node, y.v);
     net.forward(info_.node, std::move(pkt));
     return;
   }
@@ -508,6 +598,7 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
   // Chain tail: record ⟨src|l, a, dst⟩, notify the proxy, release the packet
   // toward its true destination on plain routing (§III.B/E).
   ++counters_.chain_tails;
+  trace(net, obs::Hop::kChainTail, flow, now, info_.node);
   if (label != 0) {
     const tables::LabelKey key{pkt.inner.src, label};
     if (label_table_.lookup(key, now) == nullptr) {
@@ -541,18 +632,27 @@ void MiddleboxAgent::handle_switched(sim::SimNetwork& net, Packet pkt) {
   const std::uint16_t label = packet::get_label(pkt.inner);
   const tables::LabelKey key{pkt.inner.src, label};
   tables::LabelEntry* entry = label_table_.lookup(key, now);
+  // Switched packets carry a rewritten destination, so the 5-tuple on the
+  // wire is not the flow the sampler keyed on. The chain tail can restore
+  // the original destination from its entry; mid-chain records fall under
+  // the rewritten tuple (best effort).
+  packet::FlowId tflow = pkt.flow_id();
+  if (entry != nullptr && entry->is_chain_tail()) tflow.dst = *entry->final_dst;
+  trace(net, obs::Hop::kLabelSwitchRx, tflow, now, info_.node, label);
   counters_.processed_packets += entry != nullptr ? entry->functions_applied() : 1;
   if (entry == nullptr) {
     // Soft state expired under us; without the original destination the
     // packet cannot be repaired here. Count and drop — the transport layer
     // retransmits and the proxy's next first-packet re-establishes state.
     ++counters_.anomalies;
+    trace(net, obs::Hop::kAnomaly, tflow, now, info_.node, label);
     return;
   }
   if (entry->is_chain_tail()) {
     pkt.inner.dst = *entry->final_dst;
     packet::clear_label(pkt.inner);
     ++counters_.chain_tails;
+    trace(net, obs::Hop::kChainTail, tflow, now, info_.node);
   } else {
     SDM_CHECK(entry->next_hop.has_value());
     const net::IpAddress nh = *entry->next_hop;
@@ -613,6 +713,11 @@ InstalledAgents install_agents(sim::SimNetwork& net, const net::GeneratedNetwork
     net.attach(m.node, std::move(agent));
   }
   return out;
+}
+
+void register_metrics(obs::MetricsRegistry& registry, const InstalledAgents& agents) {
+  for (const ProxyAgent* proxy : agents.proxies) proxy->register_metrics(registry);
+  for (const MiddleboxAgent* mbx : agents.middleboxes) mbx->register_metrics(registry);
 }
 
 }  // namespace sdmbox::core

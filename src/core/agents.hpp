@@ -30,6 +30,10 @@
 #include "tables/flow_table.hpp"
 #include "tables/label_table.hpp"
 
+namespace sdmbox::obs {
+class Labels;
+}  // namespace sdmbox::obs
+
 namespace sdmbox::core {
 
 /// Local graceful degradation: each agent probes the middleboxes it tunnels
@@ -102,6 +106,9 @@ public:
 
   const PeerHealthCounters& counters() const noexcept { return counters_; }
 
+  /// Expose the probe bookkeeping as peer_* registry views under `base`.
+  void register_metrics(obs::MetricsRegistry& registry, const obs::Labels& base) const;
+
 private:
   struct Peer {
     std::uint64_t seq = 0;    // last probe sequence sent
@@ -168,6 +175,12 @@ public:
   const tables::FlowTable& flow_table() const noexcept { return flow_table_; }
   const PeerHealth& peer_health() const noexcept { return peer_health_; }
 
+  /// This proxy's device name in the topology.
+  const std::string& name() const;
+
+  /// Expose proxy_*, flow_cache_* and peer_* series labeled with this device.
+  void register_metrics(obs::MetricsRegistry& registry) const;
+
   /// Measured outbound volumes since the last clear: (policy, dst_subnet)
   /// -> packets. What this proxy reports to the controller (§III.C).
   struct Measurement {
@@ -185,7 +198,8 @@ private:
   /// Replace `pick` with the next non-blacklisted candidate for `e` (wrapping
   /// past the end of M_x^e); keeps `pick` if every alternative is also
   /// blacklisted (fail open — a guess beats a guaranteed drop).
-  net::NodeId apply_failover(net::NodeId pick, policy::FunctionId e, sim::SimTime now);
+  net::NodeId apply_failover(sim::SimNetwork& net, net::NodeId pick, policy::FunctionId e,
+                             const packet::FlowId& flow, sim::SimTime now);
 
   const net::GeneratedNetwork& network_;
   const policy::PolicyList& policies_;
@@ -220,6 +234,13 @@ public:
   const tables::LabelTable& label_table() const noexcept { return label_table_; }
   const PeerHealth& peer_health() const noexcept { return peer_health_; }
 
+  /// This middlebox's deployment name.
+  const std::string& name() const;
+
+  /// Expose mbx_*, flow_cache_*, label_table_* and peer_* series labeled
+  /// with this device.
+  void register_metrics(obs::MetricsRegistry& registry) const;
+
 private:
   void handle_tunneled(sim::SimNetwork& net, packet::Packet pkt);
   void handle_switched(sim::SimNetwork& net, packet::Packet pkt);
@@ -231,8 +252,9 @@ private:
     int src_subnet = -1;
     int dst_subnet = -1;
   };
-  Resolved resolve_policy(const packet::FlowId& flow, sim::SimTime now);
-  net::NodeId apply_failover(net::NodeId pick, policy::FunctionId e, sim::SimTime now);
+  Resolved resolve_policy(sim::SimNetwork& net, const packet::FlowId& flow, sim::SimTime now);
+  net::NodeId apply_failover(sim::SimNetwork& net, net::NodeId pick, policy::FunctionId e,
+                             const packet::FlowId& flow, sim::SimTime now);
 
   const net::GeneratedNetwork& network_;
   const MiddleboxInfo& info_;
@@ -279,5 +301,9 @@ struct InstalledAgents {
 InstalledAgents install_agents(sim::SimNetwork& net, const net::GeneratedNetwork& network,
                                const Deployment& deployment, const policy::PolicyList& policies,
                                const EnforcementPlan& plan, const AgentOptions& options);
+
+/// Register every installed agent's series into `registry` (one call per
+/// proxy / middlebox; loopback agents carry no counters worth a series).
+void register_metrics(obs::MetricsRegistry& registry, const InstalledAgents& agents);
 
 }  // namespace sdmbox::core

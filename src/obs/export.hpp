@@ -1,0 +1,44 @@
+// Exporters: the registry / recorder / tracer rendered as JSON, CSV, or
+// Prometheus-style text. All outputs iterate the deterministic collection
+// order and format numbers with a fixed printf recipe, so two runs with the
+// same seed produce byte-identical dumps — the property the reproducibility
+// tests pin.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+
+namespace sdmbox::net {
+class Topology;
+}
+
+namespace sdmbox::obs {
+
+/// Full JSON document: {"metrics": [...]} plus, when `series` is given,
+/// {"series": {"period", "epochs", "metrics"}}.
+std::string to_json(const MetricsRegistry& registry, const EpochRecorder* series = nullptr);
+
+/// Prometheus text exposition: `# TYPE` headers plus one sample line per
+/// (name, labels); histograms render as summaries (count / sum / quantiles).
+std::string to_prometheus(const MetricsRegistry& registry);
+
+/// Wide CSV of the epoch series: header `epoch,<name{labels}>...`, one row
+/// per recorded epoch.
+std::string to_csv(const EpochRecorder& recorder);
+
+/// Trace dump: records grouped per flow in first-traced order, each hop with
+/// simulated time, node id, node name (when `topo` is given) and hop kind.
+std::string trace_to_json(const PathTracer& tracer, const net::Topology* topo = nullptr);
+
+/// Render `registry` (+ optional series) in the format implied by `path`'s
+/// extension: .csv -> CSV, .prom/.txt -> Prometheus, anything else -> JSON.
+std::string render_for_path(const MetricsRegistry& registry, const EpochRecorder* series,
+                            const std::string& path);
+
+/// Write `content` to `path`; false (with a warning log) on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace sdmbox::obs

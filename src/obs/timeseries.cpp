@@ -1,0 +1,59 @@
+#include "obs/timeseries.hpp"
+
+#include "util/check.hpp"
+
+namespace sdmbox::obs {
+
+EpochRecorder::EpochRecorder(const MetricsRegistry& registry, double period)
+    : registry_(registry), period_(period) {
+  SDM_CHECK_MSG(period > 0, "epoch period must be positive");
+}
+
+void EpochRecorder::sample(double now) {
+  SDM_CHECK_MSG(epochs_.empty() || now >= epochs_.back(),
+                "epoch snapshots must move forward in time");
+  epochs_.push_back(now);
+  for (MetricSample& s : registry_.collect()) {
+    std::string key = s.name;
+    key += '\0';
+    key += s.labels.render();
+    auto [it, inserted] = series_.try_emplace(std::move(key));
+    Series& series = it->second;
+    if (inserted) {
+      series.name = std::move(s.name);
+      series.labels = std::move(s.labels);
+      series.kind = s.kind;
+    }
+    // Metrics registered after earlier epochs: left-pad with zeros so the
+    // series stays aligned with epochs().
+    series.values.resize(epochs_.size() - 1, 0.0);
+    series.values.push_back(s.value);
+  }
+}
+
+void EpochRecorder::start(ScheduleIn schedule, Clock clock) {
+  if (running_) return;
+  SDM_CHECK(schedule != nullptr && clock != nullptr);
+  running_ = true;
+  schedule_ = std::move(schedule);
+  clock_ = std::move(clock);
+  tick();
+}
+
+void EpochRecorder::tick() {
+  if (!running_) return;
+  sample(clock_());
+  schedule_(period_, [this] { tick(); });
+}
+
+std::vector<EpochRecorder::Series> EpochRecorder::series() const {
+  std::vector<Series> out;
+  out.reserve(series_.size());
+  for (const auto& [key, s] : series_) {
+    out.push_back(s);
+    out.back().values.resize(epochs_.size(), 0.0);
+  }
+  return out;
+}
+
+}  // namespace sdmbox::obs

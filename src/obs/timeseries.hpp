@@ -1,0 +1,73 @@
+// Epoch time-series recorder: periodic snapshots of every registry value in
+// simulated time, so a run's evolution ("what did detection latency look
+// like over the link flap?") is a first-class export, not a one-off printf.
+//
+// The recorder is deliberately decoupled from the event engine: sample(now)
+// takes one snapshot, and start() self-schedules through caller-provided
+// closures — with a sim::Simulator that is simply
+//
+//   recorder.start([&](double d, auto fn) { sim.schedule_in(d, std::move(fn)); },
+//                  [&] { return sim.now(); });
+//
+// which drives one snapshot per epoch on the simulator's own calendar (the
+// first at the current time). Metrics registered after the first epoch are
+// zero-padded on the left so every series stays aligned with epochs().
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sdmbox::obs {
+
+class EpochRecorder {
+public:
+  /// Snapshots `registry` every `period` (simulated seconds). The registry
+  /// must outlive the recorder.
+  EpochRecorder(const MetricsRegistry& registry, double period);
+
+  /// Take one snapshot stamped `now`. Timestamps must be non-decreasing.
+  void sample(double now);
+
+  using ScheduleIn = std::function<void(double delay, std::function<void()> fn)>;
+  using Clock = std::function<double()>;
+
+  /// Sample immediately, then keep rescheduling every period() until stop().
+  /// Idempotent while running.
+  void start(ScheduleIn schedule, Clock clock);
+  void stop() noexcept { running_ = false; }
+  bool running() const noexcept { return running_; }
+
+  double period() const noexcept { return period_; }
+  const std::vector<double>& epochs() const noexcept { return epochs_; }
+  std::size_t epoch_count() const noexcept { return epochs_.size(); }
+
+  struct Series {
+    std::string name;
+    Labels labels;
+    MetricKind kind = MetricKind::kCounter;
+    std::vector<double> values;  // parallel to epochs()
+  };
+
+  /// Every recorded series, sorted by (name, labels), each padded to
+  /// epochs().size() values.
+  std::vector<Series> series() const;
+
+private:
+  void tick();
+
+  const MetricsRegistry& registry_;
+  double period_;
+  std::vector<double> epochs_;
+  // Keyed like the registry (name + '\0' + labels) so iteration stays in the
+  // same deterministic order.
+  std::map<std::string, Series> series_;
+  bool running_ = false;
+  ScheduleIn schedule_;
+  Clock clock_;
+};
+
+}  // namespace sdmbox::obs

@@ -1,0 +1,130 @@
+// Per-flow path tracing: which hops did a flow's packets actually take
+// through their enforcement chain, in simulated time?
+//
+// A deterministic sampler picks flows by hashing the 5-tuple against the
+// sample rate (no RNG state, so the same flows are traced in every run with
+// the same seed — a prerequisite for byte-identical trace dumps). Traced
+// packets leave one TraceRecord per enforcement event (proxy classify,
+// flow-cache hit/miss, tunnel encap/decap, label switch, failover reroute,
+// chain tail, delivery, drops) in a bounded ring sink, so tracing at rate 1
+// on a long run costs memory proportional to the ring, not the run.
+//
+// Disabled tracing is free on the hot path: SimNetwork carries a nullable
+// PathTracer*, and with sample rate 0 record() rejects in one compare.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "packet/packet.hpp"
+
+namespace sdmbox::obs {
+
+/// Enforcement-plane event a traced packet passed through.
+enum class Hop : std::uint8_t {
+  kInjected,        // entered the network at its origin node
+  kClassified,      // multi-field classifier consulted (cache miss path)
+  kCacheHit,        // flow cache answered
+  kCacheMiss,       // flow cache had no entry
+  kDenied,          // dropped inline by a deny policy
+  kPermitted,       // no chain: released to plain routing
+  kTunnelEncap,     // IP-over-IP encapsulated toward a middlebox (detail = node)
+  kTunnelDecap,     // outer header stripped at a middlebox
+  kFunctionApplied, // middlebox applied one chain function (detail = function id)
+  kLabelSwitchTx,   // sent on the switched path (detail = label)
+  kLabelSwitchRx,   // label-switched packet consumed a label entry (detail = label)
+  kChainTail,       // last middlebox of the chain released the packet
+  kWpCacheResponse, // WP served the flow from cache; chain skipped (§III.F)
+  kFailoverReroute, // steered past a blacklisted candidate (detail = new node)
+  kAnomaly,         // a box could not interpret the packet
+  kDelivered,       // consumed at its final destination
+  kDropNodeDown,    // reached a crashed node
+  kDropNoRoute,     // no route to destination
+  kDropTtl,         // TTL expired
+  kDropQueue,       // drop-tail queue overflow
+  kDropLinkDown,    // transmitted onto a failed link
+  kDropLinkLoss,    // injected probabilistic wire loss
+};
+
+const char* to_string(Hop hop) noexcept;
+
+struct TraceRecord {
+  double at = 0;            // simulated time of the event
+  packet::FlowId flow;      // 5-tuple of the traced packet
+  net::NodeId node;         // where the event happened
+  Hop hop = Hop::kInjected;
+  std::uint64_t detail = 0; // hop-specific (label, function id, node id); 0 = none
+};
+
+/// Deterministic flow sampler: a flow is traced iff the low 32 bits of its
+/// seeded 5-tuple hash fall under rate * 2^32. Stateless, so every packet of
+/// a flow agrees, and runs with equal seeds trace equal flow sets.
+class TraceSampler {
+public:
+  explicit TraceSampler(double rate = 0.0, std::uint64_t seed = kDefaultSeed);
+
+  bool sampled(const packet::FlowId& flow) const noexcept {
+    if (threshold_ == 0) return false;
+    return (flow.hash(seed_) & 0xffffffffULL) < threshold_;
+  }
+
+  double rate() const noexcept { return rate_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  static constexpr std::uint64_t kDefaultSeed = 0x7aceULL;  // "trace"
+
+private:
+  double rate_;
+  std::uint64_t seed_;
+  std::uint64_t threshold_;  // rate scaled to 2^32; 2^32 traces everything
+};
+
+/// Bounded ring of trace records: the newest `capacity` records survive, and
+/// the overwritten count says how much history was shed.
+class TraceSink {
+public:
+  explicit TraceSink(std::size_t capacity = 1 << 16);
+
+  void record(TraceRecord r);
+
+  /// Surviving records, oldest first.
+  std::vector<TraceRecord> records() const;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t recorded() const noexcept { return recorded_; }
+  std::uint64_t overwritten() const noexcept {
+    return recorded_ <= capacity_ ? 0 : recorded_ - capacity_;
+  }
+
+private:
+  std::size_t capacity_;
+  std::uint64_t recorded_ = 0;
+  std::vector<TraceRecord> ring_;
+};
+
+/// Sampler + sink, wired into SimNetwork via set_tracer(). Agents call
+/// record() unconditionally for traced events; the sampler gate is inside.
+class PathTracer {
+public:
+  explicit PathTracer(double sample_rate, std::size_t capacity = 1 << 16,
+                      std::uint64_t seed = TraceSampler::kDefaultSeed)
+      : sampler_(sample_rate, seed), sink_(capacity) {}
+
+  void record(Hop hop, const packet::FlowId& flow, double at, net::NodeId node,
+              std::uint64_t detail = 0) {
+    if (!sampler_.sampled(flow)) return;
+    sink_.record(TraceRecord{at, flow, node, hop, detail});
+  }
+
+  bool sampled(const packet::FlowId& flow) const noexcept { return sampler_.sampled(flow); }
+
+  const TraceSampler& sampler() const noexcept { return sampler_; }
+  const TraceSink& sink() const noexcept { return sink_; }
+
+private:
+  TraceSampler sampler_;
+  TraceSink sink_;
+};
+
+}  // namespace sdmbox::obs

@@ -1,5 +1,8 @@
 #include "sim/faults.hpp"
 
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
 namespace sdmbox::sim {
 
 FaultSchedule& FaultSchedule::crash_node(SimTime at, net::NodeId node) {
@@ -51,28 +54,43 @@ void FaultInjector::apply(const FaultEvent& event) {
       net_.set_node_up(event.node, false);
       crash_times_[event.node.v] = net_.simulator().now();
       ++counters_.node_crashes;
+      SDM_LOG_INFO("fault", "node " << net_.topology().node(event.node).name << " crashed");
       break;
     case FaultEvent::Kind::kNodeUp:
       net_.set_node_up(event.node, true);
       ++counters_.node_restarts;
+      SDM_LOG_INFO("fault", "node " << net_.topology().node(event.node).name << " restarted");
       break;
     case FaultEvent::Kind::kLinkDown:
       net_.set_link_up(event.link, false);
       down_links_[event.link.v] = true;
       ++counters_.link_downs;
+      SDM_LOG_INFO("fault", "link " << event.link.v << " down, reconverging");
       reconverge();
       break;
     case FaultEvent::Kind::kLinkUp:
       net_.set_link_up(event.link, true);
       down_links_[event.link.v] = false;
       ++counters_.link_ups;
+      SDM_LOG_INFO("fault", "link " << event.link.v << " up, reconverging");
       reconverge();
       break;
     case FaultEvent::Kind::kLinkLoss:
       net_.set_link_loss(event.link, event.loss_rate);
       ++counters_.loss_changes;
+      SDM_LOG_INFO("fault", "link " << event.link.v << " loss rate -> " << event.loss_rate);
       break;
   }
+}
+
+void FaultInjector::register_metrics(obs::MetricsRegistry& registry) const {
+  const obs::Labels labels{{"subsystem", "faults"}};
+  registry.expose_counter("fault_node_crashes", labels, &counters_.node_crashes);
+  registry.expose_counter("fault_node_restarts", labels, &counters_.node_restarts);
+  registry.expose_counter("fault_link_downs", labels, &counters_.link_downs);
+  registry.expose_counter("fault_link_ups", labels, &counters_.link_ups);
+  registry.expose_counter("fault_loss_changes", labels, &counters_.loss_changes);
+  registry.expose_counter("fault_reconvergences", labels, &counters_.reconvergences);
 }
 
 void FaultInjector::reconverge() {

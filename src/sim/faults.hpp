@@ -84,6 +84,9 @@ class FaultInjector {
   const FaultCounters& counters() const noexcept { return counters_; }
   const std::vector<bool>& down_links() const noexcept { return down_links_; }
 
+  /// Expose the fault bookkeeping as fault_* registry views.
+  void register_metrics(obs::MetricsRegistry& registry) const;
+
   /// Time of the most recent crash of `node`, if it ever crashed — ground
   /// truth for detection-latency measurements.
   std::optional<SimTime> crash_time(net::NodeId node) const;

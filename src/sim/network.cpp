@@ -1,6 +1,18 @@
 #include "sim/network.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sdmbox::sim {
+
+namespace {
+// Trace hook: one pointer test when tracing is off; the sampler gate is
+// inside record().
+inline void trace(obs::PathTracer* t, obs::Hop hop, const packet::Packet& pkt, double at,
+                  net::NodeId node, std::uint64_t detail = 0) {
+  if (t != nullptr) t->record(hop, pkt.flow_id(), at, node, detail);
+}
+}  // namespace
 
 SimNetwork::SimNetwork(const net::Topology& topo, const net::RoutingTables& routing,
                        const net::AddressResolver& resolver)
@@ -21,6 +33,7 @@ void SimNetwork::attach(net::NodeId node, std::unique_ptr<NodeAgent> agent) {
 
 void SimNetwork::inject(net::NodeId node, packet::Packet pkt, SimTime at) {
   ++counters_.injected;
+  trace(tracer_, obs::Hop::kInjected, pkt, at, node);
   sim_.schedule_at(at, [this, node, pkt = std::move(pkt), at]() mutable {
     handle_at_node(node, std::move(pkt), at, /*origin=*/true, net::NodeId{});
   });
@@ -68,6 +81,7 @@ void SimNetwork::handle_at_node(net::NodeId node, packet::Packet pkt, SimTime in
     // Crash-stop: the node is dark; whatever reaches it is lost.
     ++node_counters_[node.v].packets_dropped;
     ++counters_.dropped_node_down;
+    trace(tracer_, obs::Hop::kDropNodeDown, pkt, sim_.now(), node);
     return;
   }
   ++node_counters_[node.v].packets_seen;
@@ -95,6 +109,7 @@ void SimNetwork::forward(net::NodeId at_node, packet::Packet pkt) {
   if (!dest) {
     ++node_counters_[at_node.v].packets_dropped;
     ++counters_.dropped_no_route;
+    trace(tracer_, obs::Hop::kDropNoRoute, pkt, sim_.now(), at_node);
     return;
   }
   if (*dest == at_node) {
@@ -106,6 +121,7 @@ void SimNetwork::forward(net::NodeId at_node, packet::Packet pkt) {
   if (h.ttl == 0) {
     ++node_counters_[at_node.v].packets_dropped;
     ++counters_.dropped_ttl;
+    trace(tracer_, obs::Hop::kDropTtl, pkt, sim_.now(), at_node);
     return;
   }
   --h.ttl;
@@ -113,6 +129,7 @@ void SimNetwork::forward(net::NodeId at_node, packet::Packet pkt) {
   if (!hop.valid()) {
     ++node_counters_[at_node.v].packets_dropped;
     ++counters_.dropped_no_route;
+    trace(tracer_, obs::Hop::kDropNoRoute, pkt, sim_.now(), at_node);
     return;
   }
   transmit(at_node, hop.node, std::move(pkt));
@@ -130,6 +147,7 @@ void SimNetwork::transmit(net::NodeId from, net::NodeId to, packet::Packet pkt) 
     ++link_counters_[link.v].fault_drops;
     ++node_counters_[from.v].packets_dropped;
     ++counters_.dropped_link_down;
+    trace(tracer_, obs::Hop::kDropLinkDown, pkt, sim_.now(), from, to.v);
     return;
   }
 
@@ -157,6 +175,7 @@ void SimNetwork::transmit(net::NodeId from, net::NodeId to, packet::Packet pkt) 
       ++lc.queue_drops;
       ++node_counters_[from.v].packets_dropped;
       ++counters_.dropped_queue;
+      trace(tracer_, obs::Hop::kDropQueue, pkt, sim_.now(), from, to.v);
       return;
     }
   }
@@ -175,6 +194,7 @@ void SimNetwork::transmit(net::NodeId from, net::NodeId to, packet::Packet pkt) 
     ++lc.fault_drops;
     ++node_counters_[from.v].packets_dropped;
     ++counters_.dropped_link_loss;
+    trace(tracer_, obs::Hop::kDropLinkLoss, pkt, sim_.now(), from, to.v);
     return;
   }
   const SimTime arrival = start + tx_time + lp.delay_us * 1e-6;
@@ -189,7 +209,62 @@ void SimNetwork::deliver(net::NodeId at_node, const packet::Packet& pkt) {
   ++counters_.delivered;
   const SimTime latency = sim_.now() - current_injected_at_;
   counters_.total_latency += latency;
+  trace(tracer_, obs::Hop::kDelivered, pkt, sim_.now(), at_node);
   if (delivery_observer_) delivery_observer_(pkt, latency);
+}
+
+void SimNetwork::register_metrics(obs::MetricsRegistry& registry) const {
+  const obs::Labels net_labels{{"subsystem", "net"}};
+  registry.expose_counter("net_injected", net_labels, &counters_.injected);
+  registry.expose_counter("net_delivered", net_labels, &counters_.delivered);
+  registry.expose_counter("net_dropped_ttl", net_labels, &counters_.dropped_ttl);
+  registry.expose_counter("net_dropped_no_route", net_labels, &counters_.dropped_no_route);
+  registry.expose_counter("net_dropped_node_down", net_labels, &counters_.dropped_node_down);
+  registry.expose_counter("net_dropped_queue", net_labels, &counters_.dropped_queue);
+  registry.expose_counter("net_dropped_link_down", net_labels, &counters_.dropped_link_down);
+  registry.expose_counter("net_dropped_link_loss", net_labels, &counters_.dropped_link_loss);
+  registry.expose_gauge("net_latency_total_s", net_labels,
+                        [this] { return counters_.total_latency; });
+  registry.expose_gauge("net_mean_latency_s", net_labels, [this] {
+    return counters_.delivered == 0
+               ? 0.0
+               : counters_.total_latency / static_cast<double>(counters_.delivered);
+  });
+
+  // Per-device load for every forwarding node; host leaves stay out so a
+  // campus topology doesn't register hundreds of near-identical series.
+  for (std::size_t i = 0; i < topo_.node_count(); ++i) {
+    const net::Node& node = topo_.node(net::NodeId{i});
+    if (node.kind == net::NodeKind::kHost) continue;
+    obs::Labels dev{{"device", node.name}, {"subsystem", "net"}};
+    registry.expose_counter("node_packets_seen", dev, &node_counters_[i].packets_seen);
+    registry.expose_counter("node_packets_delivered", dev,
+                            &node_counters_[i].packets_delivered);
+    registry.expose_counter("node_packets_dropped", dev, &node_counters_[i].packets_dropped);
+  }
+
+  // Link totals as aggregate gauges: per-link series would dwarf everything
+  // else, and the eval questions ("how much wire overhead?") are aggregate.
+  registry.expose_gauge("link_bytes_total", net_labels, [this] {
+    std::uint64_t total = 0;
+    for (const LinkCounters& lc : link_counters_) total += lc.bytes;
+    return static_cast<double>(total);
+  });
+  registry.expose_gauge("link_fragmentation_events_total", net_labels, [this] {
+    std::uint64_t total = 0;
+    for (const LinkCounters& lc : link_counters_) total += lc.fragmentation_events;
+    return static_cast<double>(total);
+  });
+  registry.expose_gauge("link_queue_drops_total", net_labels, [this] {
+    std::uint64_t total = 0;
+    for (const LinkCounters& lc : link_counters_) total += lc.queue_drops;
+    return static_cast<double>(total);
+  });
+  registry.expose_gauge("link_fault_drops_total", net_labels, [this] {
+    std::uint64_t total = 0;
+    for (const LinkCounters& lc : link_counters_) total += lc.fault_drops;
+    return static_cast<double>(total);
+  });
 }
 
 }  // namespace sdmbox::sim

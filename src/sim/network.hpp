@@ -24,6 +24,11 @@
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
+namespace sdmbox::obs {
+class MetricsRegistry;
+class PathTracer;
+}  // namespace sdmbox::obs
+
 namespace sdmbox::sim {
 
 class SimNetwork;
@@ -134,6 +139,17 @@ public:
   const LinkCounters& link_counters(net::LinkId l) const { return link_counters_[l.v]; }
   const NetworkCounters& counters() const noexcept { return counters_; }
 
+  /// Attach a path tracer (nullable; null disables tracing — the default, and
+  /// free on the hot path: every hook is one pointer test). The tracer must
+  /// outlive the network.
+  void set_tracer(obs::PathTracer* tracer) noexcept { tracer_ = tracer; }
+  obs::PathTracer* tracer() const noexcept { return tracer_; }
+
+  /// Expose the network/node counters as registry views: net_* totals plus
+  /// per-device node_packets_* for every forwarding node (hosts stay out —
+  /// hundreds of leaf series would drown the dump).
+  void register_metrics(obs::MetricsRegistry& registry) const;
+
   /// Run the event loop to completion (or until `until`).
   void run(SimTime until = Simulator::kForever) { sim_.run(until); }
 
@@ -165,6 +181,7 @@ private:
   std::vector<SimTime> link_free_at_;  // per-link serialization horizon
   NetworkCounters counters_;
   DeliveryObserver delivery_observer_;
+  obs::PathTracer* tracer_ = nullptr;
   // Injection time of the packet currently being handled (for latency).
   SimTime current_injected_at_ = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/log.hpp"
+
 namespace sdmbox::sim {
 
 void Simulator::schedule_at(SimTime at, Handler fn) {
@@ -30,5 +32,11 @@ void Simulator::reset() {
   seq_ = 0;
   processed_ = 0;
 }
+
+void Simulator::attach_log_clock() {
+  util::set_log_time_source([this] { return now_; });
+}
+
+void Simulator::detach_log_clock() { util::set_log_time_source(nullptr); }
 
 }  // namespace sdmbox::sim

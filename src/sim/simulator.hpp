@@ -38,6 +38,12 @@ public:
   /// Drop all pending events (used between benchmark repetitions).
   void reset();
 
+  /// Stamp every log line with this simulator's clock (t=<now>). The
+  /// simulator must outlive the attachment; detach_log_clock() (or attaching
+  /// another simulator) releases it.
+  void attach_log_clock();
+  static void detach_log_clock();
+
   static constexpr SimTime kForever = 1e100;
 
 private:

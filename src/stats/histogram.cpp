@@ -11,6 +11,7 @@ void Histogram::add(double value) {
   SDM_CHECK_MSG(std::isfinite(value), "histogram samples must be finite");
   if (!samples_.empty() && value < samples_.back()) sorted_ = false;
   samples_.push_back(value);
+  sum_ += value;
 }
 
 void Histogram::ensure_sorted() const {
@@ -35,18 +36,30 @@ double Histogram::max() const {
 
 double Histogram::mean() const {
   SDM_CHECK(!samples_.empty());
-  double sum = 0;
-  for (const double v : samples_) sum += v;
-  return sum / static_cast<double>(samples_.size());
+  return sum_ / static_cast<double>(samples_.size());
 }
 
 double Histogram::quantile(double q) const {
-  SDM_CHECK(!samples_.empty());
+  SDM_CHECK_MSG(!samples_.empty(),
+                "quantile() on an empty histogram — add samples first, or use snapshot()");
   SDM_CHECK(q >= 0.0 && q <= 1.0);
   ensure_sorted();
   const auto rank = static_cast<std::size_t>(
       std::ceil(q * static_cast<double>(samples_.size())));
   return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+HistogramSnapshot Histogram::snapshot(double qa, double qb, double qc) const {
+  HistogramSnapshot s;
+  s.quantiles = {qa, qb, qc};
+  if (samples_.empty()) return s;
+  s.count = samples_.size();
+  s.sum = sum_;
+  s.min = min();
+  s.max = max();
+  s.mean = mean();
+  for (std::size_t i = 0; i < s.quantiles.size(); ++i) s.values[i] = quantile(s.quantiles[i]);
+  return s;
 }
 
 }  // namespace sdmbox::stats

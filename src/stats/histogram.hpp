@@ -3,10 +3,23 @@
 // quantiles. Bench-scale means up to a few million doubles — fine to hold.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 namespace sdmbox::stats {
+
+/// Flat summary of a histogram at one instant — everything an exporter
+/// needs, without a copy of the sample vector. All zeros when count == 0.
+struct HistogramSnapshot {
+  std::size_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  std::array<double, 3> quantiles{};  // the q arguments echoed back
+  std::array<double, 3> values{};     // sample values at those quantiles
+};
 
 class Histogram {
 public:
@@ -18,14 +31,20 @@ public:
   double min() const;
   double max() const;
   double mean() const;
+  /// Running sum of all samples (0 when empty).
+  double sum() const noexcept { return sum_; }
   /// Quantile in [0, 1] by nearest-rank on the sorted samples; q=0.5 is the
-  /// median. Requires at least one sample.
+  /// median. Requires at least one sample (snapshot() is the empty-safe way).
   double quantile(double q) const;
+
+  /// Empty-safe summary at the three given quantiles.
+  HistogramSnapshot snapshot(double qa = 0.5, double qb = 0.9, double qc = 0.99) const;
 
 private:
   void ensure_sorted() const;
 
   std::vector<double> samples_;
+  double sum_ = 0;
   mutable bool sorted_ = true;
 };
 

@@ -1,5 +1,6 @@
 #include "tables/flow_table.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace sdmbox::tables {
@@ -121,6 +122,19 @@ void FlowTable::expire_idle(SimTime now) {
       ++it;
     }
   }
+}
+
+void FlowTable::register_metrics(obs::MetricsRegistry& registry,
+                                 const obs::Labels& base) const {
+  registry.expose_counter("flow_cache_hits", base, &stats_.hits);
+  registry.expose_counter("flow_cache_negative_hits", base, &stats_.negative_hits);
+  registry.expose_counter("flow_cache_misses", base, &stats_.misses);
+  registry.expose_counter("flow_cache_expirations", base, &stats_.expirations);
+  registry.expose_counter("flow_cache_evictions", base, &stats_.evictions);
+  registry.expose_counter("flow_cache_invalidations", base, &stats_.invalidations);
+  registry.expose_gauge("flow_cache_size", base,
+                        [this] { return static_cast<double>(entries_.size()); });
+  registry.expose_gauge("flow_cache_hit_rate", base, [this] { return stats_.hit_rate(); });
 }
 
 }  // namespace sdmbox::tables

@@ -23,6 +23,11 @@
 #include "packet/packet.hpp"
 #include "policy/policy.hpp"
 
+namespace sdmbox::obs {
+class MetricsRegistry;
+class Labels;
+}  // namespace sdmbox::obs
+
 namespace sdmbox::tables {
 
 /// Simulation time in seconds.
@@ -120,6 +125,10 @@ public:
   std::size_t capacity() const noexcept { return capacity_; }
   SimTime idle_timeout() const noexcept { return idle_timeout_; }
   const FlowTableStats& stats() const noexcept { return stats_; }
+
+  /// Expose this table's counters as flow_cache_* registry views under
+  /// `base` labels (the stats struct stays the hot-path storage).
+  void register_metrics(obs::MetricsRegistry& registry, const obs::Labels& base) const;
 
 private:
   struct KeyHash {

@@ -1,5 +1,6 @@
 #include "tables/label_table.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace sdmbox::tables {
@@ -61,6 +62,16 @@ void LabelTable::expire_idle(SimTime now) {
       ++it;
     }
   }
+}
+
+void LabelTable::register_metrics(obs::MetricsRegistry& registry,
+                                  const obs::Labels& base) const {
+  registry.expose_counter("label_table_hits", base, &stats_.hits);
+  registry.expose_counter("label_table_misses", base, &stats_.misses);
+  registry.expose_counter("label_table_expirations", base, &stats_.expirations);
+  registry.expose_counter("label_table_invalidations", base, &stats_.invalidations);
+  registry.expose_gauge("label_table_size", base,
+                        [this] { return static_cast<double>(entries_.size()); });
 }
 
 }  // namespace sdmbox::tables

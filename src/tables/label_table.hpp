@@ -86,6 +86,10 @@ public:
   std::size_t size() const noexcept { return entries_.size(); }
   const LabelTableStats& stats() const noexcept { return stats_; }
 
+  /// Expose this table's counters as label_table_* registry views under
+  /// `base` labels.
+  void register_metrics(obs::MetricsRegistry& registry, const obs::Labels& base) const;
+
 private:
   struct KeyHash {
     std::size_t operator()(const LabelKey& k) const noexcept {

@@ -1,11 +1,31 @@
 #include "util/log.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 namespace sdmbox::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+
+LogLevel env_default_level() noexcept {
+  const char* env = std::getenv("SDMBOX_LOG");
+  if (env != nullptr) {
+    if (auto parsed = parse_log_level(env)) return *parsed;
+    std::fprintf(stderr, "[WARN]  log    SDMBOX_LOG=%s is not a level, using warn\n", env);
+  }
+  return LogLevel::kWarn;
+}
+
+LogLevel& level_ref() noexcept {
+  static LogLevel level = env_default_level();
+  return level;
+}
+
+std::function<double()>& clock_ref() {
+  static std::function<double()> clock;
+  return clock;
+}
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -18,14 +38,44 @@ const char* level_name(LogLevel level) noexcept {
   }
   return "?";
 }
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i], cb = b[i];
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
-LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept { level_ref() = level; }
+LogLevel log_level() noexcept { return level_ref(); }
+
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  if (iequals(name, "trace")) return LogLevel::kTrace;
+  if (iequals(name, "debug")) return LogLevel::kDebug;
+  if (iequals(name, "info")) return LogLevel::kInfo;
+  if (iequals(name, "warn") || iequals(name, "warning")) return LogLevel::kWarn;
+  if (iequals(name, "error")) return LogLevel::kError;
+  if (iequals(name, "off") || iequals(name, "none")) return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void set_log_time_source(std::function<double()> clock) { clock_ref() = std::move(clock); }
 
 void log_line(LogLevel level, const char* tag, const std::string& message) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%s] %-6s %s\n", level_name(level), tag, message.c_str());
+  if (level < level_ref()) return;
+  const auto& clock = clock_ref();
+  if (clock) {
+    std::fprintf(stderr, "[%s] t=%.6f %-6s %s\n", level_name(level), clock(), tag,
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %-6s %s\n", level_name(level), tag, message.c_str());
+  }
 }
 
 }  // namespace sdmbox::util

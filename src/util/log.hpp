@@ -4,10 +4,19 @@
 // Info to narrate enforcement decisions. Not thread-safe by design — the
 // simulator is single-threaded (discrete-event), and benches log only from
 // the main thread.
+//
+// The default threshold comes from the SDMBOX_LOG environment variable
+// (trace | debug | info | warn | error | off), read once on first use;
+// set_log_level() overrides it. When a simulation registers a time source
+// (set_log_time_source), every line carries the simulated time, so logs line
+// up with trace and epoch exports.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace sdmbox::util {
 
@@ -16,6 +25,14 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, 
 /// Global log threshold; messages below it are discarded.
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
+
+/// Parse a level name ("trace" ... "off", case-insensitive); nullopt when
+/// the name is not a level.
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept;
+
+/// Clock stamped onto every log line (simulated seconds). Pass nullptr to
+/// detach and return to unstamped lines.
+void set_log_time_source(std::function<double()> clock);
 
 /// Emit one line at `level` with a subsystem tag, e.g. log_line(kInfo, "ctrl", "...").
 void log_line(LogLevel level, const char* tag, const std::string& message);

@@ -13,6 +13,8 @@
 #include "control/endpoints.hpp"
 #include "control/health.hpp"
 #include "core/validate.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "scenario.hpp"
 #include "sim/faults.hpp"
 
@@ -69,11 +71,17 @@ struct ChaosOutcome {
   std::uint64_t revivals = 0;
   std::uint64_t repushes = 0;
   std::uint64_t refused = 0;
-  std::uint64_t blacklists = 0;
-  std::uint64_t reroutes = 0;
+  // Sourced from the telemetry registry, not the component counter structs —
+  // asserting on these proves the exported metrics carry the dependability
+  // story end to end.
+  double blacklists = 0;
+  double reroutes = 0;
+  double metric_failures = 0;
+  double mean_detection_latency = -1;
   std::size_t failed_boxes_at_end = 0;
   std::string violations;   // validate_plan output on the final plan, joined
   std::string fingerprint;  // every counter in the system, for determinism
+  std::string metrics_json;  // full registry export, for byte-identity
 };
 
 // One full chaos run. Timeline (seconds):
@@ -136,6 +144,14 @@ ChaosOutcome run_chaos() {
   hp.miss_threshold = 8;
   control::HealthMonitor monitor(*cp.controller, s.deployment, s.network, hp);
 
+  // Everything observable goes through one registry, exactly as the CLI's
+  // sim mode wires it; the assertions below read the exported values.
+  obs::MetricsRegistry registry;
+  simnet.register_metrics(registry);
+  injector.register_metrics(registry);
+  control::register_metrics(registry, cp);
+  monitor.register_metrics(registry);
+
   // Push the initial plan over the wire (seeds the differential fingerprints
   // and proves the acked rollout on a healthy network), then start probing.
   cp.controller->push_plan(simnet, initial);
@@ -170,10 +186,14 @@ ChaosOutcome run_chaos() {
   out.revivals = hc.revivals_declared;
   out.repushes = hc.repushes;
   out.refused = hc.recompute_refused;
-  for (const auto* d : cp.proxies) {
-    out.blacklists += d->proxy()->peer_health().counters().blacklists;
-    out.reroutes += d->proxy()->counters().failover_reroutes;
-  }
+  out.blacklists = registry.total("peer_blacklists");
+  out.reroutes =
+      registry.total("proxy_failover_reroutes") + registry.total("mbx_failover_reroutes");
+  out.metric_failures = registry.total("health_failures_declared");
+  out.mean_detection_latency =
+      registry.value("health_mean_detection_latency_s", obs::Labels{{"subsystem", "health"}})
+          .value_or(-1);
+  out.metrics_json = obs::to_json(registry);
   out.failed_boxes_at_end = s.deployment.failed_count();
   std::ostringstream vio;
   for (const auto& v : core::validate_plan(cp.controller->last_plan(), s.network, s.deployment,
@@ -229,6 +249,13 @@ TEST(Chaos, DependabilityLoopSurvivesScriptedFailures) {
   EXPECT_GE(out.declared_at, out.crash_at);
   EXPECT_LE(out.declared_at, out.crash_at + 0.9 + 0.1);
 
+  // The exported telemetry tells the same story: the registry's detection
+  // latency sits inside the configured window and its failure count matches
+  // the monitor's own bookkeeping.
+  EXPECT_EQ(out.metric_failures, static_cast<double>(out.failures));
+  EXPECT_GT(out.mean_detection_latency, 0.0);
+  EXPECT_LE(out.mean_detection_latency, 0.9 + 0.1);
+
   // The victim's restart was detected too, and the deployment ends clean.
   EXPECT_GE(out.revived_at, 8.0);
   EXPECT_EQ(out.failures, out.revivals);
@@ -247,8 +274,8 @@ TEST(Chaos, DependabilityLoopSurvivesScriptedFailures) {
   // local peer health blacklisted it and steered traffic past it, and the
   // post-recovery wave (injected at t=12) saw no node-down drops at all.
   EXPECT_GT(out.drops_total, 0u);
-  EXPECT_GE(out.blacklists, 1u);
-  EXPECT_GE(out.reroutes, 1u);
+  EXPECT_GE(out.blacklists, 1.0);
+  EXPECT_GE(out.reroutes, 1.0);
   EXPECT_EQ(out.drops_total, out.drops_before_wave3);
 
   // The final pushed plan is sound against the recovered deployment.
@@ -261,6 +288,9 @@ TEST(Chaos, SameScheduleSameSeedIsBitIdentical) {
   EXPECT_EQ(a.fingerprint, b.fingerprint);
   EXPECT_EQ(a.declared_at, b.declared_at);
   EXPECT_EQ(a.revived_at, b.revived_at);
+  // The full telemetry export is byte-identical too — the property the
+  // scenario CLI's --metrics-out dumps inherit.
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
 }
 
 }  // namespace

@@ -1,10 +1,36 @@
-// Table rendering helpers (stats/table).
+// Table rendering helpers (stats/table) and the histogram summary API.
 #include <gtest/gtest.h>
 
+#include "stats/histogram.hpp"
 #include "stats/table.hpp"
+#include "util/check.hpp"
 
 namespace sdmbox::stats {
 namespace {
+
+TEST(Histogram, SumAndSnapshot) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_EQ(h.sum(), 5050.0);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 5050.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.quantiles, (std::array<double, 3>{0.5, 0.9, 0.99}));
+  EXPECT_EQ(s.values[0], h.quantile(0.5));
+  EXPECT_EQ(s.values[2], h.quantile(0.99));
+}
+
+TEST(Histogram, EmptySnapshotIsAllZerosButQuantileThrows) {
+  const Histogram h;
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0.0);
+  EXPECT_EQ(s.values, (std::array<double, 3>{}));
+  EXPECT_THROW(h.quantile(0.5), ContractViolation);
+}
 
 TEST(TextTable, AlignsColumnsAndDrawsSeparator) {
   TextTable t("title");

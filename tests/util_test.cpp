@@ -6,6 +6,7 @@
 
 #include "util/check.hpp"
 #include "util/hash.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -228,6 +229,23 @@ TEST(Strings, Padding) {
   EXPECT_EQ(pad_left("ab", 4), "  ab");
   EXPECT_EQ(pad_right("ab", 4), "ab  ");
   EXPECT_EQ(pad_left("abcde", 3), "abcde");  // no truncation
+}
+
+// ---------------------------------------------------------------------------
+// log.hpp
+// ---------------------------------------------------------------------------
+
+TEST(Log, ParseLogLevelNamesAreCaseInsensitiveWithAliases) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
 }
 
 }  // namespace
