@@ -1,0 +1,36 @@
+#include "alloc_count.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace sdmbox::bench {
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+std::uint64_t alloc_count() noexcept { return g_allocs.load(std::memory_order_relaxed); }
+
+void g_allocs_add() noexcept { g_allocs.fetch_add(1, std::memory_order_relaxed); }
+
+namespace detail {
+inline void* counted_alloc(std::size_t size) {
+  g_allocs_add();
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace detail
+
+}  // namespace sdmbox::bench
+
+void* operator new(std::size_t size) { return sdmbox::bench::detail::counted_alloc(size); }
+void* operator new[](std::size_t size) { return sdmbox::bench::detail::counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  sdmbox::bench::g_allocs_add();
+  return std::malloc(size != 0 ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }

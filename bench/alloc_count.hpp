@@ -1,0 +1,28 @@
+// Optional allocation-counting hook for the micro benches.
+//
+// Linking sdmbox_bench_alloc replaces the global operator new/delete of the
+// bench binary with counting wrappers around malloc/free, so a bench can
+// assert (and record in its BENCH_*.json) that a hot path performs no heap
+// allocation at steady state. Only the plain (unaligned) forms are counted —
+// nothing on the measured paths is over-aligned. Never link this into the
+// library or tests: it is a measurement instrument, not production code.
+#pragma once
+
+#include <cstdint>
+
+namespace sdmbox::bench {
+
+/// Total operator-new calls (new + new[]) since process start.
+std::uint64_t alloc_count() noexcept;
+
+/// Delta-counting scope: allocations observed since construction.
+class AllocScope {
+public:
+  AllocScope() noexcept : start_(alloc_count()) {}
+  std::uint64_t so_far() const noexcept { return alloc_count() - start_; }
+
+private:
+  std::uint64_t start_;
+};
+
+}  // namespace sdmbox::bench

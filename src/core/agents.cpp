@@ -266,13 +266,15 @@ void ProxyAgent::handle_outbound(sim::SimNetwork& net, Packet pkt) {
   const policy::ActionList* actions = nullptr;
   tables::FlowEntry* entry = nullptr;
   if (options_.enable_flow_cache) {
-    entry = flow_table_.lookup(flow, now);
+    // One 5-tuple hash per packet: the miss path reuses it for the insert.
+    const std::uint64_t flow_hash = tables::FlowTable::hash_of(flow);
+    entry = flow_table_.lookup(flow, flow_hash, now);
     if (entry == nullptr) {
       trace(net, obs::Hop::kCacheMiss, flow, now, self_);
       ++counters_.classifier_lookups;
       const policy::Policy* pol = classifier_->first_match(flow);
       trace(net, obs::Hop::kClassified, flow, now, self_, pol ? pol->id.v : 0);
-      entry = &flow_table_.insert(flow, pol ? pol->id : PolicyId{},
+      entry = &flow_table_.insert(flow, flow_hash, pol ? pol->id : PolicyId{},
                                   pol ? pol->actions : policy::ActionList{}, now);
       // Cache the destination-subnet index for measurement reporting.
       entry->user_tag = resolve_dst_subnet(flow.dst);
@@ -455,7 +457,9 @@ MiddleboxAgent::Resolved MiddleboxAgent::resolve_policy(sim::SimNetwork& net,
                                                         sim::SimTime now) {
   Resolved out;
   if (options_.enable_flow_cache) {
-    if (tables::FlowEntry* entry = flow_table_.lookup(flow, now)) {
+    // One 5-tuple hash per packet: the miss path reuses it for the insert.
+    const std::uint64_t flow_hash = tables::FlowTable::hash_of(flow);
+    if (tables::FlowEntry* entry = flow_table_.lookup(flow, flow_hash, now)) {
       trace(net, obs::Hop::kCacheHit, flow, now, info_.node);
       out.pol = entry->is_negative() ? nullptr : &policies_.at(entry->policy);
       std::tie(out.src_subnet, out.dst_subnet) = unpack_subnets(entry->user_tag);
@@ -468,7 +472,7 @@ MiddleboxAgent::Resolved MiddleboxAgent::resolve_policy(sim::SimNetwork& net,
     out.src_subnet = subnet_index_of(network_, flow.src);
     out.dst_subnet = subnet_index_of(network_, flow.dst);
     tables::FlowEntry& entry =
-        flow_table_.insert(flow, out.pol ? out.pol->id : PolicyId{},
+        flow_table_.insert(flow, flow_hash, out.pol ? out.pol->id : PolicyId{},
                            out.pol ? out.pol->actions : policy::ActionList{}, now);
     entry.user_tag = pack_subnets(out.src_subnet, out.dst_subnet);
     return out;
@@ -574,14 +578,15 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
     peer_health_.on_use(net, info_.node, net.topology().node(info_.node).address, y, y_addr);
     if (label != 0) {
       const tables::LabelKey key{pkt.inner.src, label};
-      if (label_table_.lookup(key, now) == nullptr) {
+      const std::uint64_t key_hash = tables::LabelTable::hash_of(key);
+      if (label_table_.lookup(key, key_hash, now) == nullptr) {
         tables::LabelEntry e;
         e.actions = pol->actions;
         e.first_position = first_position;
         e.position = position;
         e.next_hop = y_addr;
         e.proxy_addr = outer.src;
-        label_table_.insert(key, std::move(e), now);
+        label_table_.insert(key, key_hash, std::move(e), now);
       }
     }
     // Re-tunnel, preserving the proxy as the outer source (§III.E: the tail
@@ -601,14 +606,15 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
   trace(net, obs::Hop::kChainTail, flow, now, info_.node);
   if (label != 0) {
     const tables::LabelKey key{pkt.inner.src, label};
-    if (label_table_.lookup(key, now) == nullptr) {
+    const std::uint64_t key_hash = tables::LabelTable::hash_of(key);
+    if (label_table_.lookup(key, key_hash, now) == nullptr) {
       tables::LabelEntry e;
       e.actions = pol->actions;
       e.first_position = first_position;
       e.position = position;
       e.final_dst = pkt.inner.dst;
       e.proxy_addr = outer.src;
-      label_table_.insert(key, std::move(e), now);
+      label_table_.insert(key, key_hash, std::move(e), now);
 
       Packet confirm;
       confirm.kind = packet::PacketKind::kLabelConfirm;

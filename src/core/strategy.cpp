@@ -5,13 +5,13 @@ namespace sdmbox::core {
 namespace {
 
 /// The paper's probabilistic selection: r = hash(flow) in [0, N);
-/// y_i is chosen when cum_{i-1}/W <= r/N < cum_i/W.
-net::NodeId pick_by_weights(const std::vector<SplitRatioTable::Share>& shares,
-                            const packet::FlowId& flow) {
+/// y_i is chosen when cum_{i-1}/W <= r/N < cum_i/W. `r` is the flow's
+/// normalized hash, computed once per selection (the detailed-ratio path
+/// falls back to the aggregate table with the same draw).
+net::NodeId pick_by_weights(const std::vector<SplitRatioTable::Share>& shares, double r) {
   double total = 0;
   for (const auto& s : shares) total += s.weight;
   if (total <= 0) return net::NodeId{};
-  const double r = static_cast<double>(flow.hash(kLbStrategySeed) >> 11) * 0x1.0p-53;  // [0,1)
   double cum = 0;
   for (const auto& s : shares) {
     cum += s.weight / total;
@@ -40,13 +40,14 @@ net::NodeId select_next_hop(StrategyKind strategy, const NodeConfig& cfg,
       return candidates[flow.hash(kRandStrategySeed) % candidates.size()];
 
     case StrategyKind::kLoadBalanced: {
+      const double r = static_cast<double>(flow.hash(kLbStrategySeed) >> 11) * 0x1.0p-53;  // [0,1)
       // Eq. (1) per-(s,d,p) ratios take precedence when distributed.
       if (const auto* shares = ratios.find_detailed(cfg.node, e, p.id, src_subnet, dst_subnet)) {
-        const net::NodeId pick = pick_by_weights(*shares, flow);
+        const net::NodeId pick = pick_by_weights(*shares, r);
         if (pick.valid()) return pick;
       }
       if (const auto* shares = ratios.find(cfg.node, e, p.id)) {
-        const net::NodeId pick = pick_by_weights(*shares, flow);
+        const net::NodeId pick = pick_by_weights(*shares, r);
         if (pick.valid()) return pick;
       }
       // No ratios for this (x, e, p): the measurement period saw no such

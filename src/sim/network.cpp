@@ -1,5 +1,7 @@
 #include "sim/network.hpp"
 
+#include <optional>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -17,6 +19,7 @@ inline void trace(obs::PathTracer* t, obs::Hop hop, const packet::Packet& pkt, d
 SimNetwork::SimNetwork(const net::Topology& topo, const net::RoutingTables& routing,
                        const net::AddressResolver& resolver)
     : topo_(topo), routing_(routing), resolver_(resolver) {
+  sim_.set_packet_sink(this);
   agents_.resize(topo.node_count());
   node_up_.assign(topo.node_count(), true);
   link_up_.assign(topo.link_count(), true);
@@ -34,14 +37,12 @@ void SimNetwork::attach(net::NodeId node, std::unique_ptr<NodeAgent> agent) {
 void SimNetwork::inject(net::NodeId node, packet::Packet pkt, SimTime at) {
   ++counters_.injected;
   trace(tracer_, obs::Hop::kInjected, pkt, at, node);
-  sim_.schedule_at(at, [this, node, pkt = std::move(pkt), at]() mutable {
-    handle_at_node(node, std::move(pkt), at, /*origin=*/true, net::NodeId{});
-  });
+  sim_.schedule_packet_at(at, std::move(pkt), node, net::NodeId{}, net::NodeId{},
+                          /*injected_at=*/at, /*origin=*/true);
 }
 
-void SimNetwork::arrive(net::NodeId node, packet::Packet pkt, SimTime injected_at,
-                        net::NodeId from) {
-  handle_at_node(node, std::move(pkt), injected_at, /*origin=*/false, from);
+void SimNetwork::on_packet_event(PacketEvent ev) {
+  handle_at_node(ev.node, std::move(ev.pkt), ev.injected_at, ev.origin, ev.from, ev.dest_hint);
 }
 
 void SimNetwork::set_node_up(net::NodeId node, bool up) {
@@ -75,8 +76,8 @@ double SimNetwork::link_loss(net::LinkId link) const {
   return link_loss_[link.v];
 }
 
-void SimNetwork::handle_at_node(net::NodeId node, packet::Packet pkt, SimTime injected_at,
-                                bool origin, net::NodeId from) {
+void SimNetwork::handle_at_node(net::NodeId node, packet::Packet&& pkt, SimTime injected_at,
+                                bool origin, net::NodeId from, net::NodeId dest_hint) {
   if (!node_up_[node.v]) {
     // Crash-stop: the node is dark; whatever reaches it is lost.
     ++node_counters_[node.v].packets_dropped;
@@ -91,14 +92,25 @@ void SimNetwork::handle_at_node(net::NodeId node, packet::Packet pkt, SimTime in
     return;
   }
   // No agent: routers forward; the packet's addressed terminal consumes it;
-  // leaves emit their own traffic but sink transit that reaches them.
-  const auto dest = resolver_.resolve(pkt.routing_header().dst);
+  // leaves emit their own traffic but sink transit that reaches them. The
+  // hint carried through the wire is the same value the resolver would
+  // return (headers are immutable in flight), so reuse it when present.
+  const auto dest = dest_hint.valid() ? std::optional<net::NodeId>(dest_hint)
+                                      : resolver_.resolve(pkt.routing_header().dst);
   if (dest && *dest == node) {
     deliver(node, pkt);
     return;
   }
   if (origin || net::is_forwarding(topo_.node(node).kind)) {
-    forward(node, std::move(pkt));
+    // The destination is already resolved above — reuse it instead of paying
+    // a second resolver probe per hop (forward() is the agent entry point).
+    if (!dest) {
+      ++node_counters_[node.v].packets_dropped;
+      ++counters_.dropped_no_route;
+      trace(tracer_, obs::Hop::kDropNoRoute, pkt, sim_.now(), node);
+      return;
+    }
+    forward_resolved(node, std::move(pkt), *dest);
     return;
   }
   deliver(node, pkt);
@@ -112,7 +124,11 @@ void SimNetwork::forward(net::NodeId at_node, packet::Packet pkt) {
     trace(tracer_, obs::Hop::kDropNoRoute, pkt, sim_.now(), at_node);
     return;
   }
-  if (*dest == at_node) {
+  forward_resolved(at_node, std::move(pkt), *dest);
+}
+
+void SimNetwork::forward_resolved(net::NodeId at_node, packet::Packet&& pkt, net::NodeId dest) {
+  if (dest == at_node) {
     deliver(at_node, pkt);
     return;
   }
@@ -125,19 +141,27 @@ void SimNetwork::forward(net::NodeId at_node, packet::Packet pkt) {
     return;
   }
   --h.ttl;
-  const net::NextHop hop = routing_.next_hop(at_node, *dest);
+  const net::NextHop hop = routing_.next_hop(at_node, dest);
   if (!hop.valid()) {
     ++node_counters_[at_node.v].packets_dropped;
     ++counters_.dropped_no_route;
     trace(tracer_, obs::Hop::kDropNoRoute, pkt, sim_.now(), at_node);
     return;
   }
-  transmit(at_node, hop.node, std::move(pkt));
+  // The routing tables store the egress link next to the next-hop node, so
+  // the forwarding path skips transmit()'s adjacency scan, and the resolved
+  // destination rides along to spare the next hop its resolver probe.
+  transmit_on(hop.link, at_node, hop.node, std::move(pkt), dest);
 }
 
 void SimNetwork::transmit(net::NodeId from, net::NodeId to, packet::Packet pkt) {
   const net::LinkId link = topo_.find_link(from, to);
   SDM_CHECK_MSG(link.valid(), "transmit between non-adjacent nodes");
+  transmit_on(link, from, to, std::move(pkt), net::NodeId{});
+}
+
+void SimNetwork::transmit_on(net::LinkId link, net::NodeId from, net::NodeId to,
+                             packet::Packet&& pkt, net::NodeId dest_hint) {
   const net::LinkParams& lp = topo_.link(link).params;
 
   if (!link_up_[link.v]) {
@@ -198,10 +222,12 @@ void SimNetwork::transmit(net::NodeId from, net::NodeId to, packet::Packet pkt) 
     return;
   }
   const SimTime arrival = start + tx_time + lp.delay_us * 1e-6;
-  const SimTime injected_at = current_injected_at_;
-  sim_.schedule_at(arrival, [this, from, to, pkt = std::move(pkt), injected_at]() mutable {
-    arrive(to, std::move(pkt), injected_at, from);
-  });
+  // One calendar lane per link (0 is the general lane): successive arrivals
+  // over a link are monotone because the serialization horizon includes
+  // every earlier transmission, so link traffic appends in O(1) instead of
+  // churning the overflow heap.
+  sim_.schedule_packet_at(arrival, std::move(pkt), to, from, dest_hint, current_injected_at_,
+                          /*origin=*/false, /*lane=*/link.v + 1);
 }
 
 void SimNetwork::deliver(net::NodeId at_node, const packet::Packet& pkt) {

@@ -77,7 +77,7 @@ struct NetworkCounters {
   double total_latency = 0;            // sum of delivery latencies (s)
 };
 
-class SimNetwork {
+class SimNetwork : private PacketSink {
 public:
   /// The topology, routing tables and resolver must outlive the network.
   SimNetwork(const net::Topology& topo, const net::RoutingTables& routing,
@@ -160,12 +160,31 @@ public:
   };
 
 private:
-  void arrive(net::NodeId node, packet::Packet pkt, SimTime injected_at, net::NodeId from);
+  /// Calendar dispatch for per-hop packet events (PacketSink). Resumes
+  /// handle_at_node with the context carried in the pooled event — the
+  /// allocation-free replacement for the per-hop closures.
+  void on_packet_event(PacketEvent ev) override;
   /// `origin` marks locally-generated packets: a leaf node may emit its own
   /// traffic even though it never forwards transit traffic. `from` is the
-  /// ingress neighbor (invalid for injected packets).
-  void handle_at_node(net::NodeId node, packet::Packet pkt, SimTime injected_at, bool origin,
-                      net::NodeId from);
+  /// ingress neighbor (invalid for injected packets). `dest_hint`, when
+  /// valid, is the already-resolved node for the packet's routing
+  /// destination — exact, because nothing rewrites headers in flight — so
+  /// intermediate hops skip the resolver probe entirely.
+  /// The internal chain passes the packet by rvalue reference: it stays in
+  /// the dispatched event's storage until the single move into the next
+  /// calendar slot (or into the consuming agent), instead of being moved at
+  /// every call boundary.
+  void handle_at_node(net::NodeId node, packet::Packet&& pkt, SimTime injected_at, bool origin,
+                      net::NodeId from, net::NodeId dest_hint);
+  /// forward() with the destination already resolved — handle_at_node has it
+  /// in hand, so the pure-forwarding path resolves once per hop, not twice.
+  void forward_resolved(net::NodeId at_node, packet::Packet&& pkt, net::NodeId dest);
+  /// transmit() with the link already known (the routing tables carry the
+  /// egress LinkId next to the next-hop node, so the forwarding path skips
+  /// the adjacency scan) and the resolved destination to carry to the far
+  /// end of the wire.
+  void transmit_on(net::LinkId link, net::NodeId from, net::NodeId to, packet::Packet&& pkt,
+                   net::NodeId dest_hint);
 
   const net::Topology& topo_;
   const net::RoutingTables& routing_;

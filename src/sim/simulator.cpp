@@ -1,33 +1,244 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/log.hpp"
 
 namespace sdmbox::sim {
 
+// 4-ary heap: shallower than binary (fewer compare levels per sift) and the
+// four children of a node are four adjacent 16-byte entries — exactly one
+// cache line per level, the usual d-ary win for pop-heavy workloads like an
+// event calendar.
+namespace {
+constexpr std::size_t kArity = 4;
+}  // namespace
+
+std::uint64_t Simulator::next_key(std::uint32_t slot) {
+  SDM_CHECK_MSG(seq_ <= kMaxSeq, "event sequence space exhausted");
+  return (seq_++ << kSlotBits) | slot;
+}
+
+std::uint32_t Simulator::acquire_callback_slot() {
+  if (cb_free_ != kNil) {
+    const std::uint32_t idx = cb_free_;
+    cb_free_ = cb_pool_[idx].next_free;
+    return idx;
+  }
+  SDM_CHECK_MSG(cb_pool_.size() < kIndexMask, "callback event pool exhausted");
+  cb_pool_.emplace_back();
+  return static_cast<std::uint32_t>(cb_pool_.size() - 1);
+}
+
+std::uint32_t Simulator::acquire_packet_slot() {
+  if (pkt_free_ != kNil) {
+    const std::uint32_t idx = pkt_free_;
+    pkt_free_ = pkt_pool_[idx].next_free;
+    return idx;
+  }
+  SDM_CHECK_MSG(pkt_pool_.size() < kIndexMask, "packet event pool exhausted");
+  pkt_pool_.emplace_back();
+  return static_cast<std::uint32_t>(pkt_pool_.size() - 1);
+}
+
+void Simulator::calendar_push(HeapItem item, std::uint32_t lane) {
+  // Monotone streams (bulk injection sweeps, per-link FIFO arrivals) ride
+  // their lane; anything out of order goes to the overflow heap. Appending
+  // at an equal time is still lane-eligible: seq is monotone, so FIFO order
+  // IS (at, seq) order.
+  if (lane >= lanes_.size()) lanes_.resize(lane + 1);
+  Lane& l = lanes_[lane];
+  if (l.head == l.items.size()) {
+    l.items.clear();
+    l.head = 0;
+    l.items.push_back(item);
+    ++lane_pending_;
+    laneheap_push(lane);  // the lane just became non-empty
+    return;
+  }
+  if (item.at >= l.items.back().at) {
+    l.items.push_back(item);
+    ++lane_pending_;
+    return;
+  }
+  heap_push(item);
+}
+
+void Simulator::laneheap_push(std::uint32_t lane) {
+  // Hole-based sift-up over lane ids, ordered by each lane's front item.
+  std::size_t i = lane_heap_.size();
+  lane_heap_.push_back(lane);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!lane_before(lane, lane_heap_[parent])) break;
+    lane_heap_[i] = lane_heap_[parent];
+    i = parent;
+  }
+  lane_heap_[i] = lane;
+}
+
+void Simulator::laneheap_sift_down(std::size_t i) noexcept {
+  const std::size_t n = lane_heap_.size();
+  const std::uint32_t moving = lane_heap_[i];
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (lane_before(lane_heap_[c], lane_heap_[best])) best = c;
+    }
+    if (!lane_before(lane_heap_[best], moving)) break;
+    lane_heap_[i] = lane_heap_[best];
+    i = best;
+  }
+  lane_heap_[i] = moving;
+}
+
+void Simulator::lane_pop_min() noexcept {
+  // Advance the minimum lane (the root) past its front; its new front (or
+  // its removal, when drained) re-sifts only the root — appends elsewhere
+  // never disturb the small heap because they cannot change a lane's front.
+  const std::uint32_t lid = lane_heap_[0];
+  Lane& l = lanes_[lid];
+  ++l.head;
+  --lane_pending_;
+  if (l.head == l.items.size()) {
+    l.items.clear();
+    l.head = 0;
+    lane_heap_[0] = lane_heap_.back();
+    lane_heap_.pop_back();
+    if (!lane_heap_.empty()) laneheap_sift_down(0);
+  } else {
+    laneheap_sift_down(0);
+  }
+}
+
+void Simulator::heap_push(HeapItem item) {
+  // Hole-based sift-up: slide parents down until `item`'s position opens.
+  std::size_t i = heap_.size();
+  heap_.push_back(item);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(item, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = item;
+}
+
+void Simulator::heap_pop_min() noexcept {
+  // Bottom-up deletion: the root hole walks down the min-child chain to a
+  // leaf on child-only comparisons, then the detached tail element sifts up
+  // from there. The tail is almost always leaf-worthy (recently scheduled,
+  // far-future time), so the sift-up exits immediately — cheaper than the
+  // classic sift-down, which compares the tail against the best child at
+  // every level of a deep heap.
+  const HeapItem item = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(item, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = item;
+}
+
 void Simulator::schedule_at(SimTime at, Handler fn) {
   SDM_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
   SDM_CHECK(fn != nullptr);
-  queue_.push(Event{at, seq_++, std::move(fn)});
+  const std::uint32_t idx = acquire_callback_slot();
+  cb_pool_[idx].fn = std::move(fn);
+  calendar_push(HeapItem{at, next_key(idx)}, /*lane=*/0);
+}
+
+void Simulator::schedule_packet_at(SimTime at, packet::Packet&& pkt, net::NodeId node,
+                                   net::NodeId from, net::NodeId dest_hint, SimTime injected_at,
+                                   bool origin, std::uint32_t lane) {
+  SDM_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
+  SDM_CHECK_MSG(sink_ != nullptr, "packet event scheduled without a sink");
+  const std::uint32_t idx = acquire_packet_slot();
+  PacketEvent& ev = pkt_pool_[idx].ev;
+  ev.pkt = std::move(pkt);
+  ev.node = node;
+  ev.from = from;
+  ev.dest_hint = dest_hint;
+  ev.injected_at = injected_at;
+  ev.origin = origin;
+  calendar_push(HeapItem{at, next_key(idx | kPacketFlag)}, lane);
 }
 
 void Simulator::run(SimTime until) {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; the event is copied cheaply except the
-    // handler, which we move out after the pop-order is fixed.
-    const Event& top = queue_.top();
+  for (;;) {
+    const bool have_heap = !heap_.empty();
+    const bool have_lane = !lane_heap_.empty();
+    if (!have_heap && !have_lane) break;
+    // Each lane is sorted by construction and the lane heap tracks the
+    // minimum lane front, so the next event overall is the smaller of the
+    // overflow-heap top and the best lane front by (at, seq).
+    const bool from_lane =
+        have_lane && (!have_heap || before(lane_front(lane_heap_[0]), heap_.front()));
+    const HeapItem top = from_lane ? lane_front(lane_heap_[0]) : heap_.front();
     if (top.at > until) break;
-    Event ev{top.at, top.seq, std::move(const_cast<Event&>(top).fn)};
-    queue_.pop();
-    now_ = ev.at;
+    if (from_lane) {
+      lane_pop_min();
+    } else {
+      heap_pop_min();
+    }
+    now_ = top.at;
     ++processed_;
-    ev.fn();
+    const std::uint32_t slot = static_cast<std::uint32_t>(top.key) & kSlotMask;
+    // Move the payload out before dispatch: the handler may schedule more
+    // events, growing the pool and invalidating slot references. For packet
+    // events the by-value parameter IS that move — it completes before the
+    // sink body runs — so the slot is recycled right after the call, by
+    // index (a reference would dangle once the pool grows).
+    if (slot & kPacketFlag) {
+      const std::uint32_t idx = slot & kIndexMask;
+      sink_->on_packet_event(std::move(pkt_pool_[idx].ev));
+      pkt_pool_[idx].next_free = pkt_free_;
+      pkt_free_ = idx;
+    } else {
+      Handler fn = std::move(cb_pool_[slot].fn);
+      cb_pool_[slot].next_free = cb_free_;
+      cb_free_ = slot;
+      fn();
+    }
   }
 }
 
 void Simulator::reset() {
-  while (!queue_.empty()) queue_.pop();
+  // Drop contents but keep capacity: pools, lanes, and heap storage stay
+  // warm so a post-reset run does not re-pay their growth (the perf harness
+  // measures steady-state allocations across resets). Clearing the pools
+  // still destroys the payloads, so no packet or closure outlives a reset.
+  heap_.clear();
+  for (Lane& l : lanes_) {
+    l.items.clear();
+    l.head = 0;
+  }
+  lane_heap_.clear();
+  lane_pending_ = 0;
+  cb_pool_.clear();
+  pkt_pool_.clear();
+  cb_free_ = kNil;
+  pkt_free_ = kNil;
   now_ = 0;
   seq_ = 0;
   processed_ = 0;

@@ -1,16 +1,34 @@
 // Discrete-event simulation engine.
 //
-// A single-threaded event calendar: schedule closures at absolute times and
-// run. Events at equal times fire in scheduling order (a monotone sequence
-// number breaks ties), which keeps runs bit-for-bit deterministic — a
-// requirement for reproducing the paper's figures from fixed seeds.
+// A single-threaded event calendar with two typed event kinds:
+//
+//  * callback events — arbitrary closures (timers, control-plane work,
+//    fault/repair schedules). These still allocate when the closure outgrows
+//    std::function's inline buffer, which is fine off the hot path.
+//  * packet events — the per-hop datapath. A PacketEvent carries the Packet
+//    by value through a pooled event slot and is dispatched to the network's
+//    PacketSink, so a forwarded packet costs zero heap allocations per hop.
+//
+// Both kinds share one calendar ordered by (time, sequence number) over
+// 16-byte entries — the key is packed so comparing keys compares sequence
+// numbers and sifts never touch the payload pools — with the payloads in
+// free-listed per-kind slot pools (callback slots are small; packet slots
+// carry the Packet by value). Entries live in monotone lanes (sorted runs
+// for naturally FIFO streams: bulk injection sweeps, per-link arrivals)
+// merged through a small heap of lane fronts, with a 4-ary overflow heap
+// for anything scheduled out of order. Events at equal times fire in
+// scheduling order: the monotone sequence number breaks ties, which keeps
+// runs bit-for-bit deterministic, a requirement for reproducing the paper's
+// figures from fixed seeds. The pop order is exactly what the previous
+// std::priority_queue<Event> produced; only the storage changed.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "net/topology.hpp"
+#include "packet/packet.hpp"
 #include "util/check.hpp"
 
 namespace sdmbox::sim {
@@ -18,13 +36,35 @@ namespace sdmbox::sim {
 /// Simulation time in seconds.
 using SimTime = double;
 
+/// Typed payload of a per-hop packet event: the packet plus the arrival
+/// context SimNetwork needs to resume handling without a closure.
+struct PacketEvent {
+  packet::Packet pkt;
+  net::NodeId node;                // node the packet arrives at
+  net::NodeId from;                // ingress neighbor (invalid for injections)
+  net::NodeId dest_hint;           // pre-resolved routing destination, if known
+  SimTime injected_at = 0;         // original injection time (latency)
+  bool origin = false;             // locally generated (injected) packet
+};
+
+/// Dispatch target for packet events. SimNetwork implements this; the
+/// indirection keeps the Simulator free of network knowledge while the
+/// calendar stores packets by value.
+class PacketSink {
+public:
+  virtual void on_packet_event(PacketEvent ev) = 0;
+
+protected:
+  ~PacketSink() = default;
+};
+
 class Simulator {
 public:
   using Handler = std::function<void()>;
 
   SimTime now() const noexcept { return now_; }
   std::uint64_t events_processed() const noexcept { return processed_; }
-  std::size_t pending() const noexcept { return queue_.size(); }
+  std::size_t pending() const noexcept { return heap_.size() + lane_pending_; }
 
   /// Schedule `fn` at absolute time `at` (>= now).
   void schedule_at(SimTime at, Handler fn);
@@ -32,10 +72,35 @@ public:
   /// Schedule `fn` after a non-negative delay from now.
   void schedule_in(SimTime delay, Handler fn) { schedule_at(now_ + delay, std::move(fn)); }
 
+  /// Schedule a packet event at absolute time `at` (>= now), dispatched to
+  /// the sink registered via set_packet_sink(). The event body is written
+  /// directly into a pooled slot — no allocation once the pool has warmed
+  /// up, and the packet moves exactly once on the way in.
+  ///
+  /// `lane` is an ordering hint: events scheduled on one lane in
+  /// nondecreasing time order bypass the heap entirely (see the lane comment
+  /// below). Callers with naturally FIFO event streams — SimNetwork uses one
+  /// lane per link, since a link's serialization horizon makes arrivals
+  /// monotone — pick distinct lane ids; anything else is correct on lane 0.
+  void schedule_packet_at(SimTime at, PacketEvent ev) {
+    schedule_packet_at(at, std::move(ev.pkt), ev.node, ev.from, ev.dest_hint, ev.injected_at,
+                       ev.origin);
+  }
+  void schedule_packet_at(SimTime at, packet::Packet&& pkt, net::NodeId node, net::NodeId from,
+                          net::NodeId dest_hint, SimTime injected_at, bool origin,
+                          std::uint32_t lane = 0);
+
+  /// Register the packet-event dispatch target (required before the first
+  /// schedule_packet_at). The sink must outlive all pending packet events.
+  void set_packet_sink(PacketSink* sink) noexcept { sink_ = sink; }
+
   /// Run until the calendar empties or time exceeds `until`.
   void run(SimTime until = kForever);
 
-  /// Drop all pending events (used between benchmark repetitions).
+  /// Drop all pending events and restore the just-constructed clock state
+  /// (used between benchmark repetitions). Pending payloads are destroyed
+  /// but pool/heap capacity is retained, so repeated runs stay
+  /// allocation-free once warmed.
   void reset();
 
   /// Stamp every log line with this simulator's clock (t=<now>). The
@@ -47,22 +112,87 @@ public:
   static constexpr SimTime kForever = 1e100;
 
 private:
-  struct Event {
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+  // HeapItem::key packs (seq << 24) | slot. The slot field's top bit selects
+  // the payload pool (packet vs callback); the low 23 bits index into it.
+  // seq gets the remaining 40 bits — checked at schedule time; at ten
+  // million events per second that is over a day of continuous simulation.
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::uint32_t kPacketFlag = 1u << 23;
+  static constexpr std::uint32_t kIndexMask = kPacketFlag - 1;
+  static constexpr std::uint64_t kMaxSeq = (std::uint64_t{1} << 40) - 1;
+
+  /// Heap entry: the timestamp plus seq and payload-slot id packed into one
+  /// word. seq sits above the slot bits, so comparing keys compares seq —
+  /// and seq is unique, so the slot bits never influence the order.
+  struct HeapItem {
     SimTime at;
-    std::uint64_t seq;
+    std::uint64_t key;
+  };
+
+  /// Payload slots, one pool per event kind so the calendar-heavy callback
+  /// workloads are not dragged through packet-sized slots. `next_free`
+  /// chains the pool's LIFO free list.
+  struct CallbackSlot {
     Handler fn;
+    std::uint32_t next_free = kNil;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  struct PacketSlot {
+    PacketEvent ev;
+    std::uint32_t next_free = kNil;
   };
+
+  static bool before(const HeapItem& a, const HeapItem& b) noexcept {
+    if (a.at != b.at) return a.at < b.at;
+    return a.key < b.key;
+  }
+
+  /// Monotone lane: a sorted run of events consumed front to back. Events
+  /// scheduled on a lane in nondecreasing time order append in O(1); an
+  /// out-of-order event falls back to the overflow heap. This matches the
+  /// two dominant calendar shapes — bulk workload injection (thousands of
+  /// packets staggered across the run, lane 0) and per-link FIFO arrivals
+  /// (a link's serialization horizon makes each link's arrival times
+  /// monotone, lane 1+link) — so the common case never churns a deep cold
+  /// heap. Every lane is sorted by (at, seq) by construction and equal-time
+  /// appends are FIFO = seq order, so the exact global minimum is
+  /// min(overflow-heap top, lane fronts), tracked by a small 4-ary heap of
+  /// lane ids ordered by their front items.
+  struct Lane {
+    std::vector<HeapItem> items;
+    std::size_t head = 0;
+  };
+
+  std::uint64_t next_key(std::uint32_t slot);
+  std::uint32_t acquire_callback_slot();
+  std::uint32_t acquire_packet_slot();
+  void calendar_push(HeapItem item, std::uint32_t lane);
+  void heap_push(HeapItem item);
+  void heap_pop_min() noexcept;
+  const HeapItem& lane_front(std::uint32_t lane) const noexcept {
+    const Lane& l = lanes_[lane];
+    return l.items[l.head];
+  }
+  bool lane_before(std::uint32_t a, std::uint32_t b) const noexcept {
+    return before(lane_front(a), lane_front(b));
+  }
+  void laneheap_push(std::uint32_t lane);
+  void laneheap_sift_down(std::size_t i) noexcept;
+  void lane_pop_min() noexcept;
 
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<CallbackSlot> cb_pool_;
+  std::vector<PacketSlot> pkt_pool_;
+  std::uint32_t cb_free_ = kNil;
+  std::uint32_t pkt_free_ = kNil;
+  std::vector<HeapItem> heap_;  // overflow 4-ary min-heap keyed by (at, seq)
+  std::vector<Lane> lanes_;     // grown on demand by lane id
+  std::vector<std::uint32_t> lane_heap_;  // non-empty lane ids, min-heap by front
+  std::size_t lane_pending_ = 0;          // events currently queued across lanes
+  PacketSink* sink_ = nullptr;
 };
 
 }  // namespace sdmbox::sim

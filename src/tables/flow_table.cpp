@@ -11,64 +11,108 @@ FlowTable::FlowTable(SimTime idle_timeout, std::size_t capacity)
   SDM_CHECK(capacity >= 1);
 }
 
-void FlowTable::touch(Slot& slot, SimTime now) {
-  slot.entry.last_used = now;
-  lru_.splice(lru_.begin(), lru_, slot.lru_pos);
+std::uint32_t FlowTable::find_slot(const packet::FlowId& f, std::uint64_t hash) const noexcept {
+  return index_.find(hash, [&](std::uint32_t slot) { return slots_[slot].entry.flow == f; });
 }
 
-void FlowTable::erase_slot(std::unordered_map<packet::FlowId, Slot, KeyHash>::iterator it) {
-  if (const std::uint16_t label = it->second.entry.label; label != 0) {
+void FlowTable::lru_unlink(std::uint32_t idx) noexcept {
+  Slot& s = slots_[idx];
+  if (s.lru_prev != kNil) {
+    slots_[s.lru_prev].lru_next = s.lru_next;
+  } else {
+    lru_head_ = s.lru_next;
+  }
+  if (s.lru_next != kNil) {
+    slots_[s.lru_next].lru_prev = s.lru_prev;
+  } else {
+    lru_tail_ = s.lru_prev;
+  }
+}
+
+void FlowTable::lru_push_front(std::uint32_t idx) noexcept {
+  Slot& s = slots_[idx];
+  s.lru_prev = kNil;
+  s.lru_next = lru_head_;
+  if (lru_head_ != kNil) slots_[lru_head_].lru_prev = idx;
+  lru_head_ = idx;
+  if (lru_tail_ == kNil) lru_tail_ = idx;
+}
+
+void FlowTable::touch(std::uint32_t idx, SimTime now) noexcept {
+  slots_[idx].entry.last_used = now;
+  if (lru_head_ == idx) return;
+  lru_unlink(idx);
+  lru_push_front(idx);
+}
+
+void FlowTable::erase_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  if (const std::uint16_t label = s.entry.label; label != 0) {
     --live_labels_;
     label_in_use_[label] = false;
   }
-  lru_.erase(it->second.lru_pos);
-  entries_.erase(it);
+  lru_unlink(idx);
+  index_.erase(s.hash, idx);
+  s.entry = FlowEntry{};  // release the action list now, not at slot reuse
+  s.live = false;
+  s.lru_next = free_head_;
+  free_head_ = idx;
+  --size_;
 }
 
-FlowEntry* FlowTable::lookup(const packet::FlowId& f, SimTime now) {
-  auto it = entries_.find(f);
-  if (it == entries_.end()) {
+FlowEntry* FlowTable::lookup(const packet::FlowId& f, std::uint64_t hash, SimTime now) {
+  const std::uint32_t idx = find_slot(f, hash);
+  if (idx == kNil) {
     ++stats_.misses;
     return nullptr;
   }
-  if (now - it->second.entry.last_used > idle_timeout_) {
+  if (now - slots_[idx].entry.last_used > idle_timeout_) {
     // Lazy soft-state expiry: the entry died of idleness before this packet.
-    erase_slot(it);
+    erase_slot(idx);
     ++stats_.expirations;
     ++stats_.misses;
     return nullptr;
   }
-  touch(it->second, now);
+  touch(idx, now);
   ++stats_.hits;
-  if (it->second.entry.is_negative()) ++stats_.negative_hits;
-  return &it->second.entry;
+  if (slots_[idx].entry.is_negative()) ++stats_.negative_hits;
+  return &slots_[idx].entry;
 }
 
-FlowEntry& FlowTable::insert(const packet::FlowId& f, policy::PolicyId policy,
+FlowEntry& FlowTable::insert(const packet::FlowId& f, std::uint64_t hash, policy::PolicyId policy,
                              policy::ActionList actions, SimTime now) {
-  auto it = entries_.find(f);
-  if (it != entries_.end()) {
-    if (const std::uint16_t label = it->second.entry.label; label != 0) {
+  SDM_DCHECK(hash == hash_of(f));
+  std::uint32_t idx = find_slot(f, hash);
+  if (idx != kNil) {
+    Slot& s = slots_[idx];
+    if (const std::uint16_t label = s.entry.label; label != 0) {
       --live_labels_;
       label_in_use_[label] = false;
     }
-    it->second.entry = FlowEntry{f, policy, std::move(actions), 0, false, -1, now};
-    touch(it->second, now);
-    return it->second.entry;
+    s.entry = FlowEntry{f, policy, std::move(actions), 0, false, -1, now};
+    touch(idx, now);
+    return s.entry;
   }
-  if (entries_.size() >= capacity_) evict_for_space();
-  lru_.push_front(f);
-  auto [pos, inserted] =
-      entries_.emplace(f, Slot{FlowEntry{f, policy, std::move(actions), 0, false, -1, now}, lru_.begin()});
-  SDM_CHECK(inserted);
-  return pos->second.entry;
+  if (size_ >= capacity_) evict_for_space();
+  if (free_head_ != kNil) {
+    idx = free_head_;
+    free_head_ = slots_[idx].lru_next;
+  } else {
+    idx = slots_.push();
+  }
+  Slot& s = slots_[idx];
+  s.entry = FlowEntry{f, policy, std::move(actions), 0, false, -1, now};
+  s.hash = hash;
+  s.live = true;
+  lru_push_front(idx);
+  index_.insert(hash, idx);
+  ++size_;
+  return s.entry;
 }
 
 void FlowTable::evict_for_space() {
-  SDM_CHECK(!lru_.empty());
-  auto it = entries_.find(lru_.back());
-  SDM_CHECK(it != entries_.end());
-  erase_slot(it);
+  SDM_CHECK(lru_tail_ != kNil);
+  erase_slot(lru_tail_);
   ++stats_.evictions;
 }
 
@@ -92,34 +136,31 @@ std::uint16_t FlowTable::allocate_label(FlowEntry& entry) {
 }
 
 bool FlowTable::confirm_label(const packet::FlowId& f, SimTime now) {
-  auto it = entries_.find(f);
-  if (it == entries_.end()) return false;
-  if (now - it->second.entry.last_used > idle_timeout_) {
-    erase_slot(it);
+  const std::uint32_t idx = find_slot(f, hash_of(f));
+  if (idx == kNil) return false;
+  if (now - slots_[idx].entry.last_used > idle_timeout_) {
+    erase_slot(idx);
     ++stats_.expirations;
     return false;
   }
-  touch(it->second, now);
-  it->second.entry.label_switched = true;
+  touch(idx, now);
+  slots_[idx].entry.label_switched = true;
   return true;
 }
 
 bool FlowTable::erase(const packet::FlowId& f) {
-  auto it = entries_.find(f);
-  if (it == entries_.end()) return false;
-  erase_slot(it);
+  const std::uint32_t idx = find_slot(f, hash_of(f));
+  if (idx == kNil) return false;
+  erase_slot(idx);
   ++stats_.invalidations;
   return true;
 }
 
 void FlowTable::expire_idle(SimTime now) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (now - it->second.entry.last_used > idle_timeout_) {
-      auto victim = it++;
-      erase_slot(victim);
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live && now - slots_[i].entry.last_used > idle_timeout_) {
+      erase_slot(i);
       ++stats_.expirations;
-    } else {
-      ++it;
     }
   }
 }
@@ -132,8 +173,7 @@ void FlowTable::register_metrics(obs::MetricsRegistry& registry,
   registry.expose_counter("flow_cache_expirations", base, &stats_.expirations);
   registry.expose_counter("flow_cache_evictions", base, &stats_.evictions);
   registry.expose_counter("flow_cache_invalidations", base, &stats_.invalidations);
-  registry.expose_gauge("flow_cache_size", base,
-                        [this] { return static_cast<double>(entries_.size()); });
+  registry.expose_gauge("flow_cache_size", base, [this] { return static_cast<double>(size_); });
   registry.expose_gauge("flow_cache_hit_rate", base, [this] { return stats_.hit_rate(); });
 }
 

@@ -12,16 +12,25 @@
 // Bounded capacity with least-recently-used eviction protects the middlebox
 // from state exhaustion under flow churn (the paper leaves sizing open; a
 // production table must bound memory).
+//
+// Storage is a chunked slab of entry slots (stable addresses — see
+// StableSlab) plus a FlatIndex mapping the cached
+// 64-bit FlowId hash to slot ids. The LRU list is intrusive — slot-index
+// prev/next fields inside the slab — so a hit is one probe run and two index
+// rewires with no node allocation anywhere: at steady state (slab warmed,
+// index below its load limit) the table performs zero heap operations per
+// packet. Callers that already hold the flow's hash (agents compute it once
+// per packet) use the hash-taking overloads to skip rehashing.
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "packet/packet.hpp"
 #include "policy/policy.hpp"
+#include "tables/flat_index.hpp"
+#include "tables/slab.hpp"
 
 namespace sdmbox::obs {
 class MetricsRegistry;
@@ -76,16 +85,27 @@ public:
   /// capacity: maximum live entries; LRU eviction beyond that.
   explicit FlowTable(SimTime idle_timeout = 30.0, std::size_t capacity = 1 << 20);
 
+  /// The table's bucketing hash for `f`. Callers touching the table more
+  /// than once per packet (lookup-then-insert on miss) compute it once and
+  /// pass it to the hash-taking overloads below.
+  static std::uint64_t hash_of(const packet::FlowId& f) noexcept { return f.hash(kHashSeed); }
+
   /// Look up `f` at time `now`. Refreshes last_used on hit; lazily expires
   /// and miss-counts entries idle past the timeout. The returned pointer is
   /// invalidated by the next non-const call.
-  FlowEntry* lookup(const packet::FlowId& f, SimTime now);
+  FlowEntry* lookup(const packet::FlowId& f, SimTime now) { return lookup(f, hash_of(f), now); }
+  FlowEntry* lookup(const packet::FlowId& f, std::uint64_t hash, SimTime now);
 
   /// Insert (or overwrite) an entry; returns it. `policy` invalid + empty
   /// actions makes a negative entry. Allocates no label — see
-  /// allocate_label().
+  /// allocate_label(). `hash` must equal hash_of(f). Slots never move, so
+  /// the reference stays valid until the entry is erased or evicted.
   FlowEntry& insert(const packet::FlowId& f, policy::PolicyId policy, policy::ActionList actions,
-                    SimTime now);
+                    SimTime now) {
+    return insert(f, hash_of(f), policy, std::move(actions), now);
+  }
+  FlowEntry& insert(const packet::FlowId& f, std::uint64_t hash, policy::PolicyId policy,
+                    policy::ActionList actions, SimTime now);
 
   /// Assign a locally unique non-zero label to an existing entry (proxy-side,
   /// first packet of a flow under label switching). Returns the label.
@@ -104,24 +124,22 @@ public:
   bool erase(const packet::FlowId& f);
 
   /// Drop every entry matching `pred` (e.g. all flows pinned to a failed
-  /// middlebox). Returns the number of entries erased.
+  /// middlebox). Returns the number of entries erased. Erasing never moves
+  /// live slots, so the slab walk is safe against the erasures it performs.
   template <typename Pred>
   std::size_t invalidate_where(Pred&& pred) {
     std::size_t erased = 0;
-    for (auto it = entries_.begin(); it != entries_.end();) {
-      if (pred(it->second.entry)) {
-        auto victim = it++;
-        erase_slot(victim);
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].live && pred(slots_[i].entry)) {
+        erase_slot(i);
         ++stats_.invalidations;
         ++erased;
-      } else {
-        ++it;
       }
     }
     return erased;
   }
 
-  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t size() const noexcept { return size_; }
   std::size_t capacity() const noexcept { return capacity_; }
   SimTime idle_timeout() const noexcept { return idle_timeout_; }
   const FlowTableStats& stats() const noexcept { return stats_; }
@@ -131,25 +149,34 @@ public:
   void register_metrics(obs::MetricsRegistry& registry, const obs::Labels& base) const;
 
 private:
-  struct KeyHash {
-    std::size_t operator()(const packet::FlowId& f) const noexcept {
-      return static_cast<std::size_t>(f.hash(0x7ab1e5));
-    }
-  };
+  static constexpr std::uint64_t kHashSeed = 0x7ab1e5;  // "table(s)"
+  static constexpr std::uint32_t kNil = FlatIndex::kNil;
 
+  /// Slab slot: the entry, its cached bucketing hash, and the intrusive LRU
+  /// links. A dead slot reuses `lru_next` as its free-list link.
   struct Slot {
     FlowEntry entry;
-    std::list<packet::FlowId>::iterator lru_pos;
+    std::uint64_t hash = 0;
+    std::uint32_t lru_prev = kNil;
+    std::uint32_t lru_next = kNil;
+    bool live = false;
   };
 
-  void touch(Slot& slot, SimTime now);
-  void erase_slot(std::unordered_map<packet::FlowId, Slot, KeyHash>::iterator it);
+  std::uint32_t find_slot(const packet::FlowId& f, std::uint64_t hash) const noexcept;
+  void lru_unlink(std::uint32_t idx) noexcept;
+  void lru_push_front(std::uint32_t idx) noexcept;
+  void touch(std::uint32_t idx, SimTime now) noexcept;
+  void erase_slot(std::uint32_t idx);
   void evict_for_space();
 
   SimTime idle_timeout_;
   std::size_t capacity_;
-  std::unordered_map<packet::FlowId, Slot, KeyHash> entries_;
-  std::list<packet::FlowId> lru_;  // front = most recently used
+  FlatIndex index_;
+  StableSlab<Slot> slots_;  // chunked: entry references survive later inserts
+  std::uint32_t free_head_ = kNil;   // LIFO free list through lru_next
+  std::uint32_t lru_head_ = kNil;    // most recently used
+  std::uint32_t lru_tail_ = kNil;    // least recently used (eviction victim)
+  std::size_t size_ = 0;
   std::uint16_t next_label_ = 1;
   std::uint64_t live_labels_ = 0;
   std::vector<bool> label_in_use_ = std::vector<bool>(1 << 16, false);

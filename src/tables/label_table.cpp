@@ -9,31 +9,66 @@ LabelTable::LabelTable(SimTime idle_timeout) : idle_timeout_(idle_timeout) {
   SDM_CHECK(idle_timeout > 0);
 }
 
-LabelEntry& LabelTable::insert(const LabelKey& key, LabelEntry entry, SimTime now) {
-  entry.last_used = now;
-  auto [it, unused_inserted] = entries_.insert_or_assign(key, std::move(entry));
-  return it->second;
+std::uint32_t LabelTable::find_slot(const LabelKey& key, std::uint64_t hash) const noexcept {
+  return index_.find(hash, [&](std::uint32_t slot) { return slots_[slot].key == key; });
 }
 
-LabelEntry* LabelTable::lookup(const LabelKey& key, SimTime now) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+void LabelTable::erase_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  index_.erase(s.hash, idx);
+  s.entry = LabelEntry{};  // release the action list now, not at slot reuse
+  s.live = false;
+  s.free_next = free_head_;
+  free_head_ = idx;
+  --size_;
+}
+
+LabelEntry& LabelTable::insert(const LabelKey& key, std::uint64_t hash, LabelEntry entry,
+                               SimTime now) {
+  SDM_DCHECK(hash == hash_of(key));
+  entry.last_used = now;
+  std::uint32_t idx = find_slot(key, hash);
+  if (idx != kNil) {
+    slots_[idx].entry = std::move(entry);
+    return slots_[idx].entry;
+  }
+  if (free_head_ != kNil) {
+    idx = free_head_;
+    free_head_ = slots_[idx].free_next;
+  } else {
+    idx = slots_.push();
+  }
+  Slot& s = slots_[idx];
+  s.key = key;
+  s.entry = std::move(entry);
+  s.hash = hash;
+  s.live = true;
+  index_.insert(hash, idx);
+  ++size_;
+  return s.entry;
+}
+
+LabelEntry* LabelTable::lookup(const LabelKey& key, std::uint64_t hash, SimTime now) {
+  const std::uint32_t idx = find_slot(key, hash);
+  if (idx == kNil) {
     ++stats_.misses;
     return nullptr;
   }
-  if (now - it->second.last_used > idle_timeout_) {
-    entries_.erase(it);
+  if (now - slots_[idx].entry.last_used > idle_timeout_) {
+    erase_slot(idx);
     ++stats_.expirations;
     ++stats_.misses;
     return nullptr;
   }
-  it->second.last_used = now;
+  slots_[idx].entry.last_used = now;
   ++stats_.hits;
-  return &it->second;
+  return &slots_[idx].entry;
 }
 
 bool LabelTable::erase(const LabelKey& key) {
-  if (entries_.erase(key) == 0) return false;
+  const std::uint32_t idx = find_slot(key, hash_of(key));
+  if (idx == kNil) return false;
+  erase_slot(idx);
   ++stats_.invalidations;
   return true;
 }
@@ -41,25 +76,22 @@ bool LabelTable::erase(const LabelKey& key) {
 std::vector<std::pair<LabelKey, LabelEntry>> LabelTable::invalidate_next_hop(
     net::IpAddress next_hop) {
   std::vector<std::pair<LabelKey, LabelEntry>> removed;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.next_hop && *it->second.next_hop == next_hop) {
-      removed.emplace_back(it->first, std::move(it->second));
-      it = entries_.erase(it);
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (s.live && s.entry.next_hop && *s.entry.next_hop == next_hop) {
+      removed.emplace_back(s.key, std::move(s.entry));
+      erase_slot(i);
       ++stats_.invalidations;
-    } else {
-      ++it;
     }
   }
   return removed;
 }
 
 void LabelTable::expire_idle(SimTime now) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (now - it->second.last_used > idle_timeout_) {
-      it = entries_.erase(it);
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live && now - slots_[i].entry.last_used > idle_timeout_) {
+      erase_slot(i);
       ++stats_.expirations;
-    } else {
-      ++it;
     }
   }
 }
@@ -70,8 +102,7 @@ void LabelTable::register_metrics(obs::MetricsRegistry& registry,
   registry.expose_counter("label_table_misses", base, &stats_.misses);
   registry.expose_counter("label_table_expirations", base, &stats_.expirations);
   registry.expose_counter("label_table_invalidations", base, &stats_.invalidations);
-  registry.expose_gauge("label_table_size", base,
-                        [this] { return static_cast<double>(entries_.size()); });
+  registry.expose_gauge("label_table_size", base, [this] { return static_cast<double>(size_); });
 }
 
 }  // namespace sdmbox::tables

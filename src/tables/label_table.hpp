@@ -7,17 +7,23 @@
 // list a (and, at the last middlebox of the chain, the original destination
 // address dst) so subsequent packets can be label-switched by rewriting the
 // destination address instead of being tunneled IP-over-IP.
+//
+// Storage mirrors FlowTable: a chunked slot slab plus a FlatIndex over the
+// cached key hash, so steady-state lookups touch one probe run and allocate
+// nothing.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "net/ip.hpp"
 #include "policy/policy.hpp"
+#include "tables/flat_index.hpp"
 #include "tables/flow_table.hpp"
+#include "tables/slab.hpp"
+#include "util/hash.hpp"
 
 namespace sdmbox::tables {
 
@@ -66,12 +72,21 @@ class LabelTable {
 public:
   explicit LabelTable(SimTime idle_timeout = 30.0);
 
-  /// Insert or overwrite the entry for `key`.
-  LabelEntry& insert(const LabelKey& key, LabelEntry entry, SimTime now);
+  /// The table's bucketing hash for `key`; see FlowTable::hash_of.
+  static std::uint64_t hash_of(const LabelKey& key) noexcept {
+    return util::hash_combine(util::mix64(key.src.value()), key.label);
+  }
+
+  /// Insert or overwrite the entry for `key`. `hash` must equal hash_of(key).
+  LabelEntry& insert(const LabelKey& key, LabelEntry entry, SimTime now) {
+    return insert(key, hash_of(key), std::move(entry), now);
+  }
+  LabelEntry& insert(const LabelKey& key, std::uint64_t hash, LabelEntry entry, SimTime now);
 
   /// Lookup with soft-state expiry; nullptr on miss. The returned pointer is
   /// invalidated by the next non-const call.
-  LabelEntry* lookup(const LabelKey& key, SimTime now);
+  LabelEntry* lookup(const LabelKey& key, SimTime now) { return lookup(key, hash_of(key), now); }
+  LabelEntry* lookup(const LabelKey& key, std::uint64_t hash, SimTime now);
 
   void expire_idle(SimTime now);
 
@@ -83,7 +98,7 @@ public:
   /// kLabelTeardown to each entry's proxy.
   std::vector<std::pair<LabelKey, LabelEntry>> invalidate_next_hop(net::IpAddress next_hop);
 
-  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t size() const noexcept { return size_; }
   const LabelTableStats& stats() const noexcept { return stats_; }
 
   /// Expose this table's counters as label_table_* registry views under
@@ -91,15 +106,26 @@ public:
   void register_metrics(obs::MetricsRegistry& registry, const obs::Labels& base) const;
 
 private:
-  struct KeyHash {
-    std::size_t operator()(const LabelKey& k) const noexcept {
-      return static_cast<std::size_t>(
-          util::hash_combine(util::mix64(k.src.value()), k.label));
-    }
+  static constexpr std::uint32_t kNil = FlatIndex::kNil;
+
+  /// Slab slot: key + entry + cached hash. A dead slot's `free_next` chains
+  /// the LIFO free list.
+  struct Slot {
+    LabelKey key{};
+    LabelEntry entry;
+    std::uint64_t hash = 0;
+    std::uint32_t free_next = kNil;
+    bool live = false;
   };
 
+  std::uint32_t find_slot(const LabelKey& key, std::uint64_t hash) const noexcept;
+  void erase_slot(std::uint32_t idx);
+
   SimTime idle_timeout_;
-  std::unordered_map<LabelKey, LabelEntry, KeyHash> entries_;
+  FlatIndex index_;
+  StableSlab<Slot> slots_;  // chunked: entry references survive later inserts
+  std::uint32_t free_head_ = kNil;
+  std::size_t size_ = 0;
   LabelTableStats stats_;
 };
 

@@ -81,6 +81,95 @@ TEST(Simulator, ResetClearsState) {
 }
 
 // ---------------------------------------------------------------------------
+// Typed calendar: packet events
+// ---------------------------------------------------------------------------
+
+// Records each dispatched packet event as (sim time, arrival node).
+struct RecordingSink final : PacketSink {
+  explicit RecordingSink(Simulator& s) : sim(&s) { s.set_packet_sink(this); }
+  void on_packet_event(PacketEvent ev) override {
+    seen.emplace_back(sim->now(), ev.node.v);
+    last = std::move(ev);
+  }
+  Simulator* sim;
+  std::vector<std::pair<double, std::uint32_t>> seen;
+  PacketEvent last;
+};
+
+TEST(Simulator, PacketEventsCarryTheirContext) {
+  Simulator s;
+  RecordingSink sink(s);
+  packet::Packet p;
+  p.payload_bytes = 777;
+  s.schedule_packet_at(2.0, std::move(p), NodeId{4}, NodeId{9}, NodeId{6}, 0.25, true);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  ASSERT_EQ(sink.seen.size(), 1u);
+  EXPECT_DOUBLE_EQ(sink.seen[0].first, 2.0);
+  EXPECT_EQ(sink.last.pkt.payload_bytes, 777u);
+  EXPECT_EQ(sink.last.node, NodeId{4});
+  EXPECT_EQ(sink.last.from, NodeId{9});
+  EXPECT_EQ(sink.last.dest_hint, NodeId{6});
+  EXPECT_DOUBLE_EQ(sink.last.injected_at, 0.25);
+  EXPECT_TRUE(sink.last.origin);
+}
+
+TEST(Simulator, PacketEventWithoutSinkRejected) {
+  Simulator s;
+  EXPECT_THROW(s.schedule_packet_at(1.0, packet::Packet{}, NodeId{1}, NodeId{}, NodeId{}, 0, true),
+               ContractViolation);
+}
+
+TEST(Simulator, MixedKindsAtEqualTimeFireInScheduleOrder) {
+  Simulator s;
+  RecordingSink sink(s);
+  std::vector<int> order;
+  s.set_packet_sink(&sink);
+  // Interleave callbacks and packet events at one timestamp; the sequence
+  // tie-break must hold across kinds, not just within one.
+  s.schedule_at(1.0, [&] { order.push_back(0); });
+  s.schedule_packet_at(1.0, packet::Packet{}, NodeId{1}, NodeId{}, NodeId{}, 0, true);
+  s.schedule_at(1.0, [&] { order.push_back(2); });
+  s.schedule_packet_at(1.0, packet::Packet{}, NodeId{3}, NodeId{}, NodeId{}, 0, true);
+  s.run();
+  ASSERT_EQ(sink.seen.size(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+  EXPECT_EQ(sink.seen[0].second, 1u);
+  EXPECT_EQ(sink.seen[1].second, 3u);
+  EXPECT_EQ(s.events_processed(), 4u);
+}
+
+TEST(Simulator, OutOfOrderSchedulesMergeIntoGlobalTimeOrder) {
+  // A monotone burst (the fast-path shape) with out-of-order stragglers mixed
+  // in: pops must still come out globally sorted by time.
+  Simulator s;
+  std::vector<double> fired;
+  for (int i = 1; i <= 8; ++i) {
+    s.schedule_at(static_cast<double>(i), [&fired, i] { fired.push_back(static_cast<double>(i)); });
+  }
+  s.schedule_at(2.5, [&] { fired.push_back(2.5); });
+  s.schedule_at(0.5, [&] { fired.push_back(0.5); });
+  s.schedule_at(6.5, [&] { fired.push_back(6.5); });
+  s.run();
+  EXPECT_EQ(fired, (std::vector<double>{0.5, 1, 2, 2.5, 3, 4, 5, 6, 6.5, 7, 8}));
+}
+
+TEST(Simulator, ResetDropsPendingPacketEvents) {
+  Simulator s;
+  RecordingSink sink(s);
+  s.schedule_packet_at(1.0, packet::Packet{}, NodeId{1}, NodeId{}, NodeId{}, 0, true);
+  s.schedule_at(2.0, [] {});
+  s.reset();
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.events_processed(), 0u);
+  // The clock is clean: scheduling before the old horizon works again.
+  s.schedule_packet_at(0.5, packet::Packet{}, NodeId{2}, NodeId{}, NodeId{}, 0, true);
+  s.run();
+  ASSERT_EQ(sink.seen.size(), 1u);
+  EXPECT_EQ(sink.seen[0].second, 2u);
+}
+
+// ---------------------------------------------------------------------------
 // SimNetwork forwarding
 // ---------------------------------------------------------------------------
 

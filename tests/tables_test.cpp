@@ -230,6 +230,131 @@ TEST(LabelTable, ExpireIdleSweep) {
   EXPECT_EQ(t.size(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Flat-storage behaviors: LRU discipline, cached-hash overloads, label-space
+// exhaustion, and erase-during-sweep safety
+// ---------------------------------------------------------------------------
+
+TEST(FlowTable, EvictionOrderTracksInterleavedHits) {
+  FlowTable t(1000.0, 3);
+  t.insert(flow(1), PolicyId{1}, {}, 0.0);
+  t.insert(flow(2), PolicyId{1}, {}, 1.0);
+  t.insert(flow(3), PolicyId{1}, {}, 2.0);
+  // Recency after the hits below: 2 (MRU), 1, 3 (LRU).
+  ASSERT_NE(t.lookup(flow(1), 3.0), nullptr);
+  ASSERT_NE(t.lookup(flow(2), 4.0), nullptr);
+  t.insert(flow(4), PolicyId{1}, {}, 5.0);  // evicts 3
+  EXPECT_EQ(t.lookup(flow(3), 6.0), nullptr);
+  // Recency: 4, 2, 1 — another hit on 1 saves it from the next eviction.
+  ASSERT_NE(t.lookup(flow(1), 7.0), nullptr);
+  t.insert(flow(5), PolicyId{1}, {}, 8.0);  // evicts 2
+  EXPECT_EQ(t.lookup(flow(2), 9.0), nullptr);
+  EXPECT_NE(t.lookup(flow(1), 9.0), nullptr);
+  EXPECT_NE(t.lookup(flow(4), 9.0), nullptr);
+  EXPECT_NE(t.lookup(flow(5), 9.0), nullptr);
+  EXPECT_EQ(t.stats().evictions, 2u);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(FlowTable, NegativeEntryExpiryCountsAsExpirationNotNegativeHit) {
+  FlowTable t(10.0, 100);
+  t.insert(flow(1), PolicyId{}, {}, 0.0);
+  ASSERT_NE(t.lookup(flow(1), 5.0), nullptr);   // live negative hit
+  EXPECT_EQ(t.stats().negative_hits, 1u);
+  EXPECT_EQ(t.lookup(flow(1), 50.0), nullptr);  // idle 45 > 10 -> expired
+  EXPECT_EQ(t.stats().expirations, 1u);
+  EXPECT_EQ(t.stats().misses, 1u);
+  EXPECT_EQ(t.stats().negative_hits, 1u);  // expiry is not a negative hit
+  EXPECT_EQ(t.size(), 0u);
+  // The sweeping path counts the same way.
+  t.insert(flow(2), PolicyId{}, {}, 60.0);
+  t.expire_idle(100.0);
+  EXPECT_EQ(t.stats().expirations, 2u);
+  EXPECT_EQ(t.stats().negative_hits, 1u);
+}
+
+TEST(FlowTable, HashOverloadsMatchTheConvenienceForms) {
+  FlowTable t(30.0, 100);
+  const std::uint64_t h = FlowTable::hash_of(flow(1));
+  t.insert(flow(1), h, PolicyId{5}, {policy::kFirewall}, 0.0);
+  FlowEntry* via_hash = t.lookup(flow(1), h, 1.0);
+  ASSERT_NE(via_hash, nullptr);
+  EXPECT_EQ(via_hash->policy.v, 5u);
+  EXPECT_EQ(t.lookup(flow(1), 2.0), via_hash);  // same slot either way
+}
+
+TEST(FlowTableLabels, WraparoundReusesFreedLabelAfterFullCycle) {
+  // Distinct 5-tuples beyond the 16-bit port space of flow().
+  const auto wide_flow = [](std::uint32_t n) {
+    return FlowId{IpAddress(10, 1, 0, 1), IpAddress(10, 2, 0, 1),
+                  static_cast<std::uint16_t>(n), static_cast<std::uint16_t>(443 + (n >> 16)),
+                  packet::kProtoTcp};
+  };
+  FlowTable t(1e9, 1 << 17);
+  for (std::uint32_t i = 0; i < 0xffff; ++i) {
+    auto& e = t.insert(wide_flow(i), PolicyId{1}, {}, 0.0);
+    t.allocate_label(e);
+  }
+  // Every label 1..65535 is live: one more allocation must refuse.
+  auto& overflow = t.insert(wide_flow(0x20000), PolicyId{1}, {}, 0.0);
+  EXPECT_THROW(t.allocate_label(overflow), ContractViolation);
+  // Free the entry holding label 1234 (labels were handed out in insertion
+  // order starting at 1). The allocator's rolling counter has wrapped past
+  // 0xffff back to 1, so the next allocation must skip every live label and
+  // land exactly on the freed one.
+  EXPECT_TRUE(t.erase(wide_flow(1233)));
+  auto& fresh = t.insert(wide_flow(0x20001), PolicyId{1}, {}, 0.0);
+  EXPECT_EQ(t.allocate_label(fresh), 1234);
+}
+
+TEST(FlowTable, InvalidateWhereErasesDuringIterationSafely) {
+  FlowTable t(1000.0, 100);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    t.insert(flow(i), PolicyId{i}, {}, 0.0);
+  }
+  // The predicate runs mid-sweep while earlier matches have already been
+  // erased; live entries must each be visited exactly once.
+  std::size_t visited = 0;
+  const std::size_t erased = t.invalidate_where([&](const FlowEntry& e) {
+    ++visited;
+    return e.policy.v % 2 == 0;
+  });
+  EXPECT_EQ(visited, 10u);
+  EXPECT_EQ(erased, 5u);
+  EXPECT_EQ(t.stats().invalidations, 5u);
+  EXPECT_EQ(t.size(), 5u);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(t.lookup(flow(i), 1.0), nullptr) << i;
+    } else {
+      EXPECT_NE(t.lookup(flow(i), 1.0), nullptr) << i;
+    }
+  }
+  // Freed slots are reusable and a full wipe leaves a working table.
+  EXPECT_EQ(t.invalidate_where([](const FlowEntry&) { return true; }), 5u);
+  EXPECT_EQ(t.size(), 0u);
+  t.insert(flow(99), PolicyId{1}, {}, 2.0);
+  EXPECT_NE(t.lookup(flow(99), 3.0), nullptr);
+}
+
+TEST(LabelTable, InvalidateNextHopReturnsRemovedEntries) {
+  LabelTable t;
+  const IpAddress failed(172, 31, 0, 9);
+  LabelEntry pinned;
+  pinned.next_hop = failed;
+  t.insert(LabelKey{IpAddress(10, 1, 0, 1), 1}, pinned, 0.0);
+  t.insert(LabelKey{IpAddress(10, 1, 0, 2), 2}, pinned, 0.0);
+  LabelEntry other;
+  other.next_hop = IpAddress(172, 31, 0, 8);
+  t.insert(LabelKey{IpAddress(10, 1, 0, 3), 3}, other, 0.0);
+  const auto removed = t.invalidate_next_hop(failed);
+  EXPECT_EQ(removed.size(), 2u);
+  for (const auto& [key, entry] : removed) EXPECT_EQ(*entry.next_hop, failed);
+  EXPECT_EQ(t.stats().invalidations, 2u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_NE(t.lookup(LabelKey{IpAddress(10, 1, 0, 3), 3}, 1.0), nullptr);
+}
+
 TEST(LabelTable, InsertOverwrites) {
   LabelTable t;
   LabelEntry e1;
