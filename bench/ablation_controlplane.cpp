@@ -69,7 +69,7 @@ int main() {
       report_bytes += proxy->send_report(simnet, cp.controller->address());
     }
     simnet.run();
-    cp.controller->reoptimize_and_push(simnet);
+    cp.controller->replan(simnet, control::ReplanRequest{});
     simnet.run();
 
     // Control bytes this epoch (deltas of cumulative counters).

@@ -87,7 +87,9 @@ RunResult run_once(double period, int k) {
   control::register_metrics(registry, cp);
   monitor.register_metrics(registry);
 
-  cp.controller->push_plan(simnet, initial);
+  cp.controller->replan(simnet, control::ReplanRequest{
+                                    .trigger = control::ReplanTrigger::kInitial,
+                                    .plan = &initial});
   monitor.start(simnet);
   simnet.simulator().schedule_at(kStreamEnd + 2.0, [&] { monitor.stop(); });
   simnet.run();

@@ -86,13 +86,18 @@ RecoveryResult run_recovery(Recovery mode) {
     }
   }
 
-  cp.controller->push_plan(simnet, initial);
+  cp.controller->replan(simnet, control::ReplanRequest{
+                                    .trigger = control::ReplanTrigger::kInitial,
+                                    .plan = &initial});
   double oracle_pushed_at = -1;
   if (mode == Recovery::kOracle) {
     // The idealized recovery the tier-1 tests use: zero detection latency.
     simnet.simulator().schedule_at(kCrashAt, [&] {
       s.deployment.set_failed(victim, true);
-      cp.controller->recompute_and_push(simnet);
+      cp.controller->replan(simnet, control::ReplanRequest{
+                                        .trigger = control::ReplanTrigger::kFailure,
+                                        .strategy = core::StrategyKind::kHotPotato,
+                                        .recompute_assignments = true});
       oracle_pushed_at = kCrashAt;
     });
   } else if (mode != Recovery::kNone) {

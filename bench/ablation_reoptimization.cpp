@@ -2,13 +2,46 @@
 // periodically; the controller re-solves Eq. (2)). A drifting workload is
 // replayed over measurement epochs; we compare the realized max middlebox
 // load when the split ratios are (a) recomputed from the previous epoch's
-// reports, (b) frozen at epoch 0, and (c) solved on each epoch's own
-// traffic (oracle).
+// reports, (b) frozen at epoch 0, (c) solved on each epoch's own traffic
+// (oracle), and (d) re-solved only when the drift-triggered closed loop
+// (control::DriftDetector — the exact trigger core the online
+// ReoptimizePolicy runs) decides the observed load distribution drifted
+// away from what the current plan was solved for. The point of (d): load
+// within a few percent of every-epoch re-solving at a fraction of the LP
+// solves and config pushes.
 #include "analytic/epoch_driver.hpp"
 #include "common.hpp"
+#include "control/reoptimize.hpp"
 
 using namespace sdmbox;
 using namespace sdmbox::bench;
+
+namespace {
+
+// Tuned against the 8-epoch drift below: low enough to catch the class-mix
+// drift within an epoch or two, high enough that the cooldown window and
+// plan-induced share shifts don't retrigger every epoch.
+constexpr double kDriftThreshold = 0.02;
+constexpr int kCooldownEpochs = 2;
+
+/// Register one arm's loop totals as reopt_* counters so the numbers quoted
+/// below come out of the registry, exactly like the online loop's export.
+void register_arm(obs::MetricsRegistry& registry, const std::string& arm,
+                  const analytic::PolicyStudy& study) {
+  const obs::Labels labels{{"arm", arm}, {"subsystem", "reoptimize"}};
+  registry.counter("reopt_solves", labels).inc(study.solves);
+  registry.counter("reopt_pushes", labels).inc(study.pushes);
+  registry.counter("reopt_push_bytes", labels).inc(study.push_bytes);
+  registry.counter("reopt_solve_pivots", labels).inc(study.lp_pivots);
+}
+
+double mean_max_load(const analytic::PolicyStudy& study) {
+  double sum = 0;
+  for (const auto& e : study.epochs) sum += static_cast<double>(e.outcome.max_load);
+  return sum / static_cast<double>(study.epochs.size());
+}
+
+}  // namespace
 
 int main() {
   std::printf("=== Ablation A5: measurement epochs & re-optimization under traffic drift ===\n");
@@ -43,8 +76,75 @@ int main() {
                    "+" + util::format_fixed(100.0 * (stale / reopt - 1.0), 1) + "%"});
   }
   std::printf("%s\n", table.to_string().c_str());
+
+  // --- Closed-loop arms: every-epoch re-solve vs drift-triggered re-solve.
+  const auto every_epoch = analytic::run_policy_study(
+      s.network, s.deployment, s.gen.policies, *s.controller, epochs,
+      [](std::size_t, const std::vector<double>&, const workload::TrafficMatrix&) {
+        return true;
+      });
+
+  control::DriftDetector detector(kDriftThreshold, kCooldownEpochs, /*min_reports=*/1);
+  const auto drift = analytic::run_policy_study(
+      s.network, s.deployment, s.gen.policies, *s.controller, epochs,
+      [&](std::size_t, const std::vector<double>& loads, const workload::TrafficMatrix&) {
+        // One synthetic report per epoch: the analytic replay always has a
+        // full measurement, so the report gate never suppresses here.
+        if (detector.evaluate(loads, /*pending_reports=*/1) !=
+            control::DriftDetector::Decision::kTrigger) {
+          return false;
+        }
+        detector.mark_solved(loads);
+        return true;
+      });
+
+  obs::MetricsRegistry registry;
+  register_arm(registry, "every_epoch", every_epoch);
+  register_arm(registry, "drift", drift);
+
+  stats::TextTable loop("Closed loop: every-epoch vs drift-triggered re-solve");
+  loop.set_header({"epoch", "every-epoch(M)", "drift(M)", "drift solved?"});
+  for (int i = 0; i < kEpochs; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    loop.add_row(
+        {std::to_string(i),
+         util::format_millions(static_cast<double>(every_epoch.epochs[idx].outcome.max_load)),
+         util::format_millions(static_cast<double>(drift.epochs[idx].outcome.max_load)),
+         drift.epochs[idx].solved ? "solve" : "-"});
+  }
+  std::printf("%s\n", loop.to_string().c_str());
+
+  const auto arm_count = [&](const char* name, const char* arm) {
+    return registry.value(name, obs::Labels{{"arm", arm}, {"subsystem", "reoptimize"}})
+        .value_or(0.0);
+  };
+  const double every_mean = mean_max_load(every_epoch);
+  const double drift_mean = mean_max_load(drift);
+  const double load_ratio = drift_mean / every_mean;
+  std::printf("registry counts   every-epoch: solves=%.0f pushes=%.0f push_bytes=%.0f\n",
+              arm_count("reopt_solves", "every_epoch"), arm_count("reopt_pushes", "every_epoch"),
+              arm_count("reopt_push_bytes", "every_epoch"));
+  std::printf("                  drift:       solves=%.0f pushes=%.0f push_bytes=%.0f "
+              "(threshold %.3g, cooldown %d)\n",
+              arm_count("reopt_solves", "drift"), arm_count("reopt_pushes", "drift"),
+              arm_count("reopt_push_bytes", "drift"), kDriftThreshold, kCooldownEpochs);
+  std::printf("mean realized max load: drift/every-epoch = %.4f (drift %.3fM, every %.3fM)\n\n",
+              load_ratio, drift_mean / 1e6, every_mean / 1e6);
   std::printf("Expected shape: reoptimized tracks the oracle within hash-granularity\n"
-              "noise (one epoch of measurement lag), while the stale plan degrades as\n"
-              "the traffic drifts away from what it was optimized for.\n");
+              "noise (one epoch of measurement lag), the stale plan degrades as traffic\n"
+              "drifts, and the drift-triggered loop stays within ~5%% of every-epoch\n"
+              "re-solving with strictly fewer LP solves and config pushes.\n");
+
+  emit_bench_json("ablation_reoptimization",
+                  {{"every_epoch_mean_max_load", every_mean},
+                   {"drift_mean_max_load", drift_mean},
+                   {"drift_over_every_epoch_load_ratio", load_ratio},
+                   {"every_epoch_solves", static_cast<double>(every_epoch.solves)},
+                   {"drift_solves", static_cast<double>(drift.solves)},
+                   {"every_epoch_pushes", static_cast<double>(every_epoch.pushes)},
+                   {"drift_pushes", static_cast<double>(drift.pushes)},
+                   {"every_epoch_push_bytes", static_cast<double>(every_epoch.push_bytes)},
+                   {"drift_push_bytes", static_cast<double>(drift.push_bytes)}});
+  dump_metrics(registry);
   return 0;
 }

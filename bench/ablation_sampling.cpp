@@ -34,8 +34,8 @@ int main() {
                     "vs hot-potato"});
   std::uint64_t full_lb_max = 0;
   for (const double rate : {1.0, 0.5, 0.1, 0.01, 0.001}) {
-    const auto sampled =
-        workload::TrafficMatrix::measure_sampled(s.gen.policies, w.flows.flows, rate, 99);
+    const auto sampled = workload::TrafficMatrix::measure(
+        s.gen.policies, w.flows.flows, {.sample_rate = rate, .seed = 99});
     const auto plan = s.controller->compile(core::StrategyKind::kLoadBalanced, &sampled);
     const std::uint64_t lb_max = realized_max(plan);
     if (rate == 1.0) full_lb_max = lb_max;

@@ -98,14 +98,19 @@ int main() {
                   .c_str());
 
   std::printf("push: controller solves Eq.(2) and pushes serialized configs...\n");
-  const auto lb_plan = cp.controller->reoptimize_and_push(simnet);
+  const control::ReplanOutcome outcome =
+      cp.controller->replan(simnet, control::ReplanRequest{});
   simnet.run();
   std::uint64_t applied = 0;
   for (auto* d : cp.proxies) applied += d->counters().configs_applied;
   for (auto* d : cp.middleboxes) applied += d->counters().configs_applied;
-  std::printf("  %llu devices applied config v%llu (LP lambda = %.3f)\n",
+  std::printf("  %llu devices applied config v%llu (trigger=%s, %llu reports, "
+              "LP lambda = %.3f, %zu pushes)\n",
               static_cast<unsigned long long>(applied),
-              static_cast<unsigned long long>(cp.controller->current_version()), lb_plan.lambda);
+              static_cast<unsigned long long>(cp.controller->current_version()),
+              control::to_string(outcome.trigger),
+              static_cast<unsigned long long>(outcome.reports_used), outcome.lambda,
+              outcome.pushes_sent);
 
   std::printf("epoch 2: same traffic under the pushed load-balanced plan...\n");
   inject_epoch(simnet.simulator().now() + 1.0);

@@ -16,12 +16,21 @@
 //                [--trace-out FILE]     # per-flow path trace JSON; implies --sim
 //                [--epoch SECS]         # time-series sampling period (0.5)
 //                [--trace-sample RATE]  # flow sampling rate in [0,1] (1.0)
+//                [--reopt-period SECS]  # drift-triggered re-optimisation
+//                                       # loop epoch (0 = off); implies --sim
+//                [--reopt-threshold X]  # total-variation drift trigger (0.1)
+//                [--reopt-cooldown N]   # epochs between solves (2)
+//                [--reopt-min-reports N] # reports required per solve (1)
 //
 // Example:
 //   ./build/examples/scenario_cli --topology waxman --strategy lb --packets 5000000
 //   ./build/examples/scenario_cli --packets 4000 --metrics-out m.json --trace-out t.json
+//   ./build/examples/scenario_cli --packets 4000 --reopt-period 0.5 --metrics-out m.json
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include <fstream>
@@ -30,6 +39,7 @@
 #include "analytic/load_evaluator.hpp"
 #include "control/endpoints.hpp"
 #include "control/health.hpp"
+#include "control/reoptimize.hpp"
 #include "core/controller.hpp"
 #include "core/validate.hpp"
 #include "net/topologies.hpp"
@@ -64,8 +74,14 @@ struct CliOptions {
   std::string trace_out;    // per-flow path trace JSON path; implies sim
   double epoch = 0.5;       // time-series sampling period (simulated seconds)
   double trace_sample = 1.0;  // flow sampling rate in [0, 1]; 0 disables tracing
+  double reopt_period = 0;       // drift loop epoch (simulated seconds); 0 = off
+  double reopt_threshold = 0.1;  // total-variation drift trigger
+  int reopt_cooldown = 2;        // evaluations between solves (hysteresis)
+  std::uint64_t reopt_min_reports = 1;  // reports required before a solve
 
-  bool wants_sim() const { return sim || !metrics_out.empty() || !trace_out.empty(); }
+  bool wants_sim() const {
+    return sim || !metrics_out.empty() || !trace_out.empty() || reopt_period > 0;
+  }
 };
 
 int usage(const char* argv0) {
@@ -74,7 +90,9 @@ int usage(const char* argv0) {
                "          [--packets N] [--policies-per-class N] [--seed N]\n"
                "          [--off-path] [--fail-one FW|IDS|WP|TM]\n"
                "          [--sim] [--metrics-out FILE] [--trace-out FILE]\n"
-               "          [--epoch SECS] [--trace-sample RATE]\n",
+               "          [--epoch SECS] [--trace-sample RATE]\n"
+               "          [--reopt-period SECS] [--reopt-threshold X]\n"
+               "          [--reopt-cooldown N] [--reopt-min-reports N]\n",
                argv0);
   return 2;
 }
@@ -145,12 +163,29 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.trace_sample = std::strtod(v, nullptr);
+    } else if (arg == "--reopt-period") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.reopt_period = std::strtod(v, nullptr);
+    } else if (arg == "--reopt-threshold") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.reopt_threshold = std::strtod(v, nullptr);
+    } else if (arg == "--reopt-cooldown") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.reopt_cooldown = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--reopt-min-reports") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.reopt_min_reports = std::strtoull(v, nullptr, 10);
     } else {
       return false;
     }
   }
   return opt.packets > 0 && opt.policies_per_class > 0 && opt.epoch > 0 &&
-         opt.trace_sample >= 0 && opt.trace_sample <= 1;
+         opt.trace_sample >= 0 && opt.trace_sample <= 1 && opt.reopt_period >= 0 &&
+         opt.reopt_threshold >= 0 && opt.reopt_threshold <= 1 && opt.reopt_cooldown >= 1;
 }
 
 // The hot-potato target of proxy 0's first chained policy: a middlebox that
@@ -254,12 +289,30 @@ int run_sim(net::GeneratedNetwork& network, core::Deployment& deployment,
   monitor.register_metrics(registry);
 
   obs::EpochRecorder recorder(registry, opt.epoch);
+
+  // Drift-triggered re-optimisation rides on the recorder's load series; its
+  // counters register before the recorder's first snapshot so every export
+  // series spans the full run.
+  std::optional<control::ReoptimizePolicy> reopt;
+  if (opt.reopt_period > 0) {
+    control::ReoptimizeParams rp;
+    rp.epoch_period = opt.reopt_period;
+    rp.drift_threshold = opt.reopt_threshold;
+    rp.cooldown_epochs = opt.reopt_cooldown;
+    rp.min_reports = opt.reopt_min_reports;
+    reopt.emplace(*cp.controller, cp, recorder, rp);
+    reopt->register_metrics(registry);
+  }
+
   recorder.start(
       [&](double d, std::function<void()> fn) { simnet.simulator().schedule_in(d, std::move(fn)); },
       [&] { return simnet.simulator().now(); });
 
-  cp.controller->push_plan(simnet, initial);
+  cp.controller->replan(simnet, control::ReplanRequest{
+                                    .trigger = control::ReplanTrigger::kInitial,
+                                    .plan = &initial});
   monitor.start(simnet);
+  if (reopt) reopt->start(simnet);
 
   inject_wave(simnet, network, flows, 1.0);
   inject_wave(simnet, network, flows, 2.2);
@@ -268,6 +321,7 @@ int run_sim(net::GeneratedNetwork& network, core::Deployment& deployment,
 
   simnet.simulator().schedule_at(14.0, [&] {
     monitor.stop();
+    if (reopt) reopt->stop();
     recorder.stop();
   });
   simnet.run();
@@ -285,6 +339,25 @@ int run_sim(net::GeneratedNetwork& network, core::Deployment& deployment,
               registry.total("peer_blacklists"),
               registry.total("proxy_failover_reroutes") +
                   registry.total("mbx_failover_reroutes"));
+  if (reopt) {
+    const auto& rc = reopt->counters();
+    std::printf("reopt: %llu epochs, %llu triggered / %llu suppressed "
+                "(drift %llu, cooldown %llu, reports %llu), %llu solves "
+                "(%llu pivots, %.2fms modeled), %llu pushes (%llu bytes), "
+                "last drift %.4f\n",
+                static_cast<unsigned long long>(rc.epochs),
+                static_cast<unsigned long long>(rc.triggered),
+                static_cast<unsigned long long>(rc.suppressed),
+                static_cast<unsigned long long>(rc.suppressed_drift),
+                static_cast<unsigned long long>(rc.suppressed_cooldown),
+                static_cast<unsigned long long>(rc.suppressed_reports),
+                static_cast<unsigned long long>(rc.solves),
+                static_cast<unsigned long long>(rc.solve_pivots),
+                reopt->solve_ms_modeled(),
+                static_cast<unsigned long long>(rc.pushes),
+                static_cast<unsigned long long>(rc.push_bytes),
+                reopt->detector().last_drift());
+  }
 
   if (!opt.metrics_out.empty()) {
     obs::write_file(opt.metrics_out, obs::render_for_path(registry, &recorder, opt.metrics_out));

@@ -1,6 +1,9 @@
 #include "analytic/epoch_driver.hpp"
 
 #include <algorithm>
+#include <unordered_map>
+
+#include "control/codec.hpp"
 
 namespace sdmbox::analytic {
 
@@ -61,6 +64,80 @@ EpochStudy run_epoch_study(const net::GeneratedNetwork& network, core::Deploymen
     study.oracle.push_back(outcome(oracle_plan));
     study.reoptimized.push_back(outcome(reopt_plan));
     study.stale.push_back(outcome(stale_plan));
+  }
+  return study;
+}
+
+PolicyStudy run_policy_study(const net::GeneratedNetwork& network, core::Deployment& deployment,
+                             const policy::PolicyList& policies, core::Controller& controller,
+                             const std::vector<workload::GeneratedFlows>& epochs,
+                             const ReplanDecision& should_replan) {
+  SDM_CHECK_MSG(!epochs.empty(), "policy study needs at least one epoch");
+  SDM_CHECK_MSG(should_replan != nullptr, "policy study needs a replan decision");
+  PolicyStudy study;
+
+  std::vector<workload::TrafficMatrix> measured;
+  measured.reserve(epochs.size());
+  double peak_traffic = 1.0;
+  for (const auto& flows : epochs) {
+    measured.push_back(workload::TrafficMatrix::measure(policies, flows.flows));
+    peak_traffic = std::max(peak_traffic, measured.back().grand_total());
+  }
+  // Same normalization as run_epoch_study so arms compare.
+  deployment.set_uniform_capacity(peak_traffic);
+
+  // Differential-push baseline, mirroring ControllerAgent::replan: a device
+  // is "pushed" when its version-zeroed serialized slice changed.
+  std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> last_pushed;
+  core::EnforcementPlan plan;
+
+  const auto solve_and_push = [&](const workload::TrafficMatrix& traffic, PolicyEpoch& e) {
+    core::Controller::SolveInfo info;
+    plan = controller.compile(core::StrategyKind::kLoadBalanced, &traffic, &info);
+    e.solved = true;
+    e.lp_pivots = info.pivots;
+    ++study.solves;
+    study.lp_pivots += info.pivots;
+    for (const auto& [node_v, cfg] : plan.configs) {
+      const core::DeviceConfig slice = core::slice_for_device(plan, net::NodeId{node_v}, 0);
+      std::vector<std::uint8_t> fingerprint = control::encode_device_config(slice);
+      const auto it = last_pushed.find(node_v);
+      if (it != last_pushed.end() && it->second == fingerprint) continue;
+      ++e.pushes;
+      e.push_bytes += fingerprint.size();
+      last_pushed[node_v] = std::move(fingerprint);
+    }
+    study.pushes += e.pushes;
+    study.push_bytes += e.push_bytes;
+  };
+
+  bool solve_next = false;
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    PolicyEpoch e;
+    // The controller never sees the future: a re-solve for epoch i uses
+    // epoch i-1's measurement (epoch 0 bootstraps on its own, like
+    // run_epoch_study's reoptimized arm).
+    if (i == 0) {
+      solve_and_push(measured.front(), e);
+    } else if (solve_next) {
+      solve_and_push(measured[i - 1], e);
+    }
+
+    const LoadReport report = evaluate_loads(network, deployment, policies, plan, epochs[i].flows);
+    const auto& middleboxes = deployment.middleboxes();
+    e.loads.reserve(middleboxes.size());
+    std::uint64_t max_load = 0;
+    for (const auto& m : middleboxes) {
+      const std::uint64_t load = report.load_of(m.node);
+      e.loads.push_back(static_cast<double>(load));
+      max_load = std::max(max_load, load);
+    }
+    e.outcome.max_load = max_load;
+    e.outcome.total_packets = epochs[i].total_packets;
+    e.outcome.lambda = plan.lambda;
+
+    solve_next = should_replan(i, e.loads, measured[i]);
+    study.epochs.push_back(std::move(e));
   }
   return study;
 }

@@ -13,6 +13,8 @@
 // The gap stale-vs-reoptimized quantifies why periodic measurement matters.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "analytic/load_evaluator.hpp"
@@ -39,5 +41,46 @@ struct EpochStudy {
 EpochStudy run_epoch_study(const net::GeneratedNetwork& network, core::Deployment& deployment,
                            const policy::PolicyList& policies, core::Controller& controller,
                            const std::vector<workload::GeneratedFlows>& epochs);
+
+/// One epoch of a policy-driven (closed-loop) replay.
+struct PolicyEpoch {
+  EpochOutcome outcome;
+  bool solved = false;           // the plan serving this epoch came from a fresh solve
+  std::size_t pushes = 0;        // devices whose serialized slice changed on that solve
+  std::uint64_t push_bytes = 0;  // bytes of those changed slices (plan churn)
+  std::size_t lp_pivots = 0;     // simplex pivots of that solve
+  /// Per-middlebox realized loads (deployment order) — what a drift
+  /// detector watches.
+  std::vector<double> loads;
+};
+
+struct PolicyStudy {
+  std::vector<PolicyEpoch> epochs;
+  std::size_t solves = 0;  // LP solves across the run (>= 1: the bootstrap)
+  std::size_t pushes = 0;
+  std::uint64_t push_bytes = 0;
+  std::uint64_t lp_pivots = 0;
+};
+
+/// Decides, AFTER epoch `epoch` realized `loads` under the current plan and
+/// measured `measured`, whether the next epoch should run on a plan freshly
+/// solved from that measurement (true) or keep the current plan (false).
+/// This is where control::DriftDetector plugs in.
+using ReplanDecision = std::function<bool(
+    std::size_t epoch, const std::vector<double>& loads, const workload::TrafficMatrix& measured)>;
+
+/// Replay `epochs` under a caller-provided replan policy — the analytic twin
+/// of the online control::ReoptimizePolicy loop. Epoch 0 always solves on
+/// its own measurement (bootstrap, like run_epoch_study's reoptimized arm);
+/// from then on `should_replan` gates every re-solve. Pushes are counted by
+/// fingerprint comparison of per-device serialized slices — the same
+/// differential-distribution rule ControllerAgent::replan applies, so the
+/// bench's push counts are directly comparable to the online loop's.
+/// Capacity is normalized exactly as in run_epoch_study so λ values and
+/// realized loads compare across arms.
+PolicyStudy run_policy_study(const net::GeneratedNetwork& network, core::Deployment& deployment,
+                             const policy::PolicyList& policies, core::Controller& controller,
+                             const std::vector<workload::GeneratedFlows>& epochs,
+                             const ReplanDecision& should_replan);
 
 }  // namespace sdmbox::analytic

@@ -1,9 +1,21 @@
 #include "control/endpoints.hpp"
 
+#include <chrono>
+
 #include "control/health.hpp"
 #include "obs/metrics.hpp"
 
 namespace sdmbox::control {
+
+const char* to_string(ReplanTrigger t) noexcept {
+  switch (t) {
+    case ReplanTrigger::kInitial: return "initial";
+    case ReplanTrigger::kFailure: return "failure";
+    case ReplanTrigger::kMeasurement: return "measurement";
+    case ReplanTrigger::kDrift: return "drift";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -154,6 +166,7 @@ void ControllerAgent::on_packet(sim::SimNetwork& net, packet::Packet pkt, net::N
                               line.dst_subnet, static_cast<double>(line.packets));
       }
       ++reports_received_;
+      ++pending_reports_;
     } else {
       ++malformed_;
     }
@@ -196,7 +209,8 @@ void ControllerAgent::schedule_retransmit(sim::SimNetwork& net, std::uint32_t de
   });
 }
 
-std::size_t ControllerAgent::push_plan(sim::SimNetwork& net, const core::EnforcementPlan& plan) {
+std::size_t ControllerAgent::distribute(sim::SimNetwork& net,
+                                        const core::EnforcementPlan& plan) {
   ++version_;
   last_plan_ = plan;
   std::size_t pushed = 0;
@@ -237,21 +251,74 @@ void ControllerAgent::forget_device(net::NodeId device) {
   pending_.erase(device.v);
 }
 
+ReplanOutcome ControllerAgent::replan(sim::SimNetwork& net, const ReplanRequest& request) {
+  ReplanOutcome out;
+  out.trigger = request.trigger;
+  ++replans_;
+  const std::uint64_t skipped_before = pushes_skipped_;
+  const std::uint64_t bytes_before = push_bytes_;
+
+  const auto started = std::chrono::steady_clock::now();
+  if (request.recompute_assignments) controller_.recompute();
+
+  if (request.plan != nullptr) {
+    out.plan = *request.plan;
+  } else if (request.strategy == core::StrategyKind::kLoadBalanced) {
+    if (pending_reports_ == 0) {
+      if (request.trigger == ReplanTrigger::kFailure) {
+        // Recovery must leave a live plan behind. With no reports an Eq. (2)
+        // solve would assign no ratios anyway — the agents would fall back to
+        // hot-potato wherever ratios are absent — so compile that directly.
+        out.plan = controller_.compile(core::StrategyKind::kHotPotato);
+      } else {
+        // Zero reports since the last solve: the matrix is empty, a solve
+        // would push a meaningless plan networkwide. No-op.
+        ++replans_suppressed_;
+        out.suppressed = true;
+        out.plan = last_plan_;
+        return out;
+      }
+    } else {
+      core::Controller::SolveInfo info;
+      out.plan = controller_.compile(core::StrategyKind::kLoadBalanced, &collected_, &info);
+      out.solved = true;
+      out.lambda = info.lambda;
+      out.lp_pivots = info.pivots;
+      out.reports_used = pending_reports_;
+      collected_ = workload::TrafficMatrix{};
+      pending_reports_ = 0;
+    }
+  } else {
+    out.plan = controller_.compile(request.strategy);
+  }
+  out.solve_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                           started)
+                     .count();
+
+  out.pushes_sent = distribute(net, out.plan);
+  out.pushes_skipped = static_cast<std::size_t>(pushes_skipped_ - skipped_before);
+  out.push_bytes = push_bytes_ - bytes_before;
+  return out;
+}
+
+std::size_t ControllerAgent::push_plan(sim::SimNetwork& net, const core::EnforcementPlan& plan) {
+  ReplanRequest request;
+  request.trigger = ReplanTrigger::kInitial;
+  request.plan = &plan;
+  return replan(net, request).pushes_sent;
+}
+
 core::EnforcementPlan ControllerAgent::recompute_and_push(sim::SimNetwork& net,
                                                           core::StrategyKind strategy) {
-  controller_.recompute();
-  core::EnforcementPlan plan = controller_.compile(
-      strategy, strategy == core::StrategyKind::kLoadBalanced ? &collected_ : nullptr);
-  push_plan(net, plan);
-  return plan;
+  ReplanRequest request;
+  request.trigger = ReplanTrigger::kFailure;
+  request.strategy = strategy;
+  request.recompute_assignments = true;
+  return replan(net, request).plan;
 }
 
 core::EnforcementPlan ControllerAgent::reoptimize_and_push(sim::SimNetwork& net) {
-  core::EnforcementPlan plan =
-      controller_.compile(core::StrategyKind::kLoadBalanced, &collected_);
-  push_plan(net, plan);
-  collected_ = workload::TrafficMatrix{};
-  return plan;
+  return replan(net, ReplanRequest{}).plan;
 }
 
 // ---------------------------------------------------------------------------
@@ -332,6 +399,10 @@ void ControllerAgent::register_metrics(obs::MetricsRegistry& registry) const {
   registry.expose_counter("ctrl_retransmissions", labels, &retransmissions_);
   registry.expose_counter("ctrl_pushes_abandoned", labels, &pushes_abandoned_);
   registry.expose_counter("ctrl_stale_acks", labels, &stale_acks_);
+  registry.expose_counter("ctrl_replans", labels, &replans_);
+  registry.expose_counter("ctrl_replans_suppressed", labels, &replans_suppressed_);
+  registry.expose_gauge("ctrl_pending_reports", labels,
+                        [this] { return static_cast<double>(pending_reports_); });
   registry.expose_gauge("ctrl_outstanding_pushes", labels,
                         [this] { return static_cast<double>(pending_.size()); });
   registry.expose_gauge("ctrl_config_version", labels,

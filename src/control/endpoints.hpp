@@ -14,9 +14,11 @@
 //    proxies) emits measurement reports on demand; everything else is
 //    delegated to the wrapped agent untouched.
 //  * ControllerAgent — collects measurement reports into a TrafficMatrix;
-//    push_plan() serializes per-device slices and injects them;
-//    reoptimize_and_push() runs the §III.C loop: assemble reports, solve
-//    the LP, distribute new split ratios.
+//    replan() is the single re-plan entry point (initial rollout, failure
+//    recovery, §III.C measurement re-solve, drift-triggered re-solve): it
+//    obtains a plan, serializes per-device slices and injects the changed
+//    ones. The legacy push_plan/recompute_and_push/reoptimize_and_push
+//    names survive as deprecated wrappers.
 //  * install_control_plane — attaches a controller host node plus managed
 //    devices over a whole GeneratedNetwork.
 #pragma once
@@ -90,6 +92,54 @@ private:
   ControlCounters counters_;
 };
 
+/// Why the controller is re-planning. Carried through ReplanRequest into
+/// ReplanOutcome so callers (and metrics) can attribute every rollout.
+enum class ReplanTrigger : std::uint8_t {
+  kInitial,      // bootstrap: distribute a precompiled plan
+  kFailure,      // heartbeat-driven recovery: recompute assignments first
+  kMeasurement,  // periodic §III.C re-solve from collected proxy reports
+  kDrift,        // ReoptimizePolicy decided observed load drifted enough
+};
+
+const char* to_string(ReplanTrigger t) noexcept;
+
+/// One request to the unified ControllerAgent::replan() entry point.
+///
+/// The three legacy entry points map onto it as:
+///   push_plan(net, plan)          -> {kInitial, plan = &plan}
+///   recompute_and_push(net, s)    -> {kFailure, strategy = s,
+///                                     recompute_assignments = true}
+///   reoptimize_and_push(net)      -> {kMeasurement} (defaults)
+struct ReplanRequest {
+  ReplanTrigger trigger = ReplanTrigger::kMeasurement;
+  /// Strategy to compile when `plan` is null. kLoadBalanced solves Eq. (2)
+  /// on the reports collected since the last solve.
+  core::StrategyKind strategy = core::StrategyKind::kLoadBalanced;
+  /// Recompute assignments against the deployment's current operational
+  /// state before compiling (failure recovery). Propagates the controller's
+  /// ContractViolation when a needed function has no live implementer.
+  bool recompute_assignments = false;
+  /// Distribute this precompiled plan instead of compiling one. Must outlive
+  /// the call.
+  const core::EnforcementPlan* plan = nullptr;
+};
+
+/// What one replan() actually did.
+struct ReplanOutcome {
+  core::EnforcementPlan plan;  // the plan now considered current
+  ReplanTrigger trigger = ReplanTrigger::kMeasurement;
+  bool solved = false;      // an LP solve ran
+  bool suppressed = false;  // zero-report measurement replan: no-op, plan == last_plan()
+  std::size_t pushes_sent = 0;
+  std::size_t pushes_skipped = 0;   // devices whose slice was unchanged
+  std::uint64_t push_bytes = 0;     // rollout churn of this replan
+  std::uint64_t reports_used = 0;   // proxy reports consumed by the solve
+  double lambda = 0;                // LP objective (0 when no solve ran)
+  std::size_t lp_pivots = 0;        // simplex pivots (0 when no solve ran)
+  double solve_ms = 0;              // measured wall-clock compile time — NOT
+                                    // deterministic; never feed into exports
+};
+
 /// The controller host's agent.
 class ControllerAgent final : public sim::NodeAgent {
 public:
@@ -98,14 +148,26 @@ public:
 
   void on_packet(sim::SimNetwork& net, packet::Packet pkt, net::NodeId from) override;
 
-  /// Serialize per-device slices of `plan` and inject one kConfigPush per
-  /// device whose slice CHANGED since the last push (differential
-  /// distribution — unchanged devices keep their current config and version).
-  /// Each push is sequenced and, when retransmission is enabled, resent with
-  /// exponential backoff until acked (or abandoned after max_retries, which
-  /// also voids the device's differential fingerprint so the next push_plan
-  /// sends its full slice again). Returns the number of pushes sent.
-  /// Increments the config version.
+  /// The one re-plan entry point: optionally recompute assignments, obtain a
+  /// plan (precompiled, or compiled per `request.strategy`), and distribute
+  /// it differentially — one sequenced kConfigPush per device whose slice
+  /// CHANGED since the last push, retransmitted with exponential backoff
+  /// until acked when retransmission is enabled (abandonment voids the
+  /// device's differential fingerprint so the next replan resends its full
+  /// slice).
+  ///
+  /// A kLoadBalanced compile with zero reports collected since the last
+  /// solve is suppressed: solving Eq. (2) on an empty matrix would push a
+  /// meaningless plan networkwide, so the call is a no-op returning
+  /// last_plan() with outcome.suppressed set — except under kFailure, where
+  /// a live plan is mandatory and the compile falls back to kHotPotato
+  /// (equivalent to what an empty LB solve degenerates to at the agents,
+  /// which fall back to hot-potato wherever ratios are absent).
+  ReplanOutcome replan(sim::SimNetwork& net, const ReplanRequest& request);
+
+  /// Deprecated shim for replan({kInitial, .plan = &plan}); returns
+  /// outcome.pushes_sent.
+  [[deprecated("use replan(net, {.trigger = ReplanTrigger::kInitial, .plan = &plan})")]]
   std::size_t push_plan(sim::SimNetwork& net, const core::EnforcementPlan& plan);
 
   /// Devices acknowledge applied configs; lets the controller see rollout
@@ -129,10 +191,11 @@ public:
   /// be assumed to match what was last sent.
   void forget_device(net::NodeId device);
 
-  /// Failure recovery: recompute assignments against the deployment's
-  /// current operational state and push the fresh plan. Propagates the
-  /// controller's ContractViolation when a needed function has no live
-  /// implementer left (callers decide whether that is fatal).
+  /// Deprecated shim for replan({kFailure, strategy,
+  /// .recompute_assignments = true}); returns outcome.plan.
+  [[deprecated(
+      "use replan(net, {.trigger = ReplanTrigger::kFailure, .strategy = strategy, "
+      ".recompute_assignments = true})")]]
   core::EnforcementPlan recompute_and_push(
       sim::SimNetwork& net, core::StrategyKind strategy = core::StrategyKind::kHotPotato);
 
@@ -146,14 +209,20 @@ public:
 
   net::NodeId node() const noexcept { return node_; }
 
-  /// The §III.C loop: build a TrafficMatrix from the reports received so
-  /// far, compile a load-balanced plan, push it, and clear the report pool.
-  /// Returns the compiled plan (for offline comparison in tests/benches).
+  /// Deprecated shim for replan({kMeasurement}); returns outcome.plan.
+  [[deprecated("use replan(net, {.trigger = ReplanTrigger::kMeasurement})")]]
   core::EnforcementPlan reoptimize_and_push(sim::SimNetwork& net);
 
   /// Matrix assembled from reports received so far.
   const workload::TrafficMatrix& collected() const noexcept { return collected_; }
   std::uint64_t reports_received() const noexcept { return reports_received_; }
+  /// Reports received since the last measurement/drift solve consumed the
+  /// pool (the ReoptimizePolicy's min-reports gate reads this).
+  std::uint64_t pending_reports() const noexcept { return pending_reports_; }
+  std::uint64_t replans() const noexcept { return replans_; }
+  /// Measurement replans turned into no-ops because zero reports had
+  /// arrived since the last solve (the pool would have been empty).
+  std::uint64_t replans_suppressed() const noexcept { return replans_suppressed_; }
   std::uint64_t malformed_messages() const noexcept { return malformed_; }
   std::uint64_t current_version() const noexcept { return version_; }
   net::IpAddress address() const noexcept { return address_; }
@@ -172,6 +241,9 @@ private:
   void send_push(sim::SimNetwork& net, const PendingPush& push);
   void schedule_retransmit(sim::SimNetwork& net, std::uint32_t device_v, std::uint64_t seq,
                            double rto);
+  /// Differential distribution of `plan` (the body behind replan/push_plan).
+  /// Returns the number of pushes sent; increments the config version.
+  std::size_t distribute(sim::SimNetwork& net, const core::EnforcementPlan& plan);
 
   net::NodeId node_;
   net::IpAddress address_;
@@ -179,6 +251,9 @@ private:
   const net::GeneratedNetwork& network_;
   workload::TrafficMatrix collected_;
   std::uint64_t reports_received_ = 0;
+  std::uint64_t pending_reports_ = 0;  // reports since the last consumed solve
+  std::uint64_t replans_ = 0;
+  std::uint64_t replans_suppressed_ = 0;
   std::uint64_t malformed_ = 0;
   std::uint64_t version_ = 0;
   std::uint64_t acks_ = 0;

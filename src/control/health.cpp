@@ -106,7 +106,11 @@ void HealthMonitor::on_probe_reply(sim::SimNetwork& net, net::IpAddress from,
 
 void HealthMonitor::repush(sim::SimNetwork& net) {
   try {
-    agent_.recompute_and_push(net, params_.repush_strategy);
+    ReplanRequest request;
+    request.trigger = ReplanTrigger::kFailure;
+    request.strategy = params_.repush_strategy;
+    request.recompute_assignments = true;
+    agent_.replan(net, request);
     ++counters_.repushes;
   } catch (const ContractViolation&) {
     // Every live implementer of some needed function is gone — no valid plan

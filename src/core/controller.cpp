@@ -108,10 +108,12 @@ void Controller::compute_assignments() {
 }
 
 EnforcementPlan Controller::compile(StrategyKind strategy,
-                                    const workload::TrafficMatrix* traffic) const {
+                                    const workload::TrafficMatrix* traffic,
+                                    SolveInfo* solve_out) const {
   EnforcementPlan plan;
   plan.strategy = strategy;
   plan.configs = configs_;
+  if (solve_out != nullptr) *solve_out = SolveInfo{};
   if (strategy == StrategyKind::kLoadBalanced) {
     SDM_CHECK_MSG(traffic != nullptr, "load-balanced compilation needs traffic measurements");
     RatioResult lp = solve_load_balancing(*traffic);
@@ -119,6 +121,11 @@ EnforcementPlan Controller::compile(StrategyKind strategy,
                   std::string("load-balancing LP not optimal: ") + lp::to_string(lp.status));
     plan.ratios = std::move(lp.ratios);
     plan.lambda = lp.lambda;
+    if (solve_out != nullptr) {
+      solve_out->lambda = lp.lambda;
+      solve_out->stats = lp.stats;
+      solve_out->pivots = lp.pivots;
+    }
   }
   return plan;
 }

@@ -58,10 +58,20 @@ public:
   /// implementer left.
   void recompute();
 
+  /// Solver-side facts about one compile(), for callers that report them
+  /// (ReplanOutcome, benches). All zero when the strategy needed no LP.
+  struct SolveInfo {
+    double lambda = 0;
+    LpBuildStats stats;
+    std::size_t pivots = 0;
+  };
+
   /// Compile a full enforcement plan. `traffic` is required for
   /// kLoadBalanced (the proxies' measurement reports) and ignored otherwise.
+  /// When `solve_out` is non-null it receives the LP solver stats.
   EnforcementPlan compile(StrategyKind strategy,
-                          const workload::TrafficMatrix* traffic = nullptr) const;
+                          const workload::TrafficMatrix* traffic = nullptr,
+                          SolveInfo* solve_out = nullptr) const;
 
   /// Solve the load-balancing LP and return ratios + solver metrics.
   RatioResult solve_load_balancing(const workload::TrafficMatrix& traffic) const;

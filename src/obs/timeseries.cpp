@@ -46,6 +46,32 @@ void EpochRecorder::tick() {
   schedule_(period_, [this] { tick(); });
 }
 
+const EpochRecorder::Series* EpochRecorder::find(std::string_view name,
+                                                 const Labels& labels) const {
+  std::string key{name};
+  key += '\0';
+  key += labels.render();
+  const auto it = series_.find(key);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<const EpochRecorder::Series*> EpochRecorder::find_all(std::string_view name) const {
+  std::vector<const Series*> out;
+  std::string prefix{name};
+  prefix += '\0';
+  for (auto it = series_.lower_bound(prefix); it != series_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(&it->second);
+  }
+  return out;
+}
+
+std::optional<double> EpochRecorder::latest(std::string_view name, const Labels& labels) const {
+  const Series* s = find(name, labels);
+  if (s == nullptr || s->values.empty()) return std::nullopt;
+  return s->values.back();
+}
+
 std::vector<EpochRecorder::Series> EpochRecorder::series() const {
   std::vector<Series> out;
   out.reserve(series_.size());

@@ -16,7 +16,9 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -55,6 +57,21 @@ public:
   /// Every recorded series, sorted by (name, labels), each padded to
   /// epochs().size() values.
   std::vector<Series> series() const;
+
+  /// Direct series lookup for consumers that subscribe to recorded samples
+  /// (e.g. the drift-triggered re-optimisation loop). The pointer stays
+  /// valid across sample() calls but its values vector grows with them; a
+  /// just-registered series may be shorter than epoch_count() until the
+  /// next sample (see the left-padding note above).
+  const Series* find(std::string_view name, const Labels& labels) const;
+
+  /// All recorded series named `name` (one per label set), in deterministic
+  /// label order.
+  std::vector<const Series*> find_all(std::string_view name) const;
+
+  /// Most recently sampled value of (name, labels); nullopt when the series
+  /// is unknown or has no samples yet.
+  std::optional<double> latest(std::string_view name, const Labels& labels) const;
 
 private:
   void tick();

@@ -168,6 +168,29 @@ void Simulator::schedule_at(SimTime at, Handler fn) {
   calendar_push(HeapItem{at, next_key(idx)}, /*lane=*/0);
 }
 
+std::shared_ptr<Simulator::Periodic> Simulator::schedule_every(SimTime period, Handler fn) {
+  SDM_CHECK_MSG(period > 0, "periodic events need a positive period");
+  SDM_CHECK(fn != nullptr);
+  auto handle = std::make_shared<Periodic>();
+  // Each firing owns the chain state and re-enqueues a copy of itself, so a
+  // cancelled chain simply stops being rescheduled and frees with the last
+  // pending event — no shared self-reference to leak. The caller may drop
+  // the handle without stopping the chain.
+  struct Chain {
+    Simulator* sim;
+    SimTime period;
+    std::shared_ptr<Periodic> handle;
+    Handler fn;
+    void operator()() {
+      if (!handle->active) return;
+      fn();
+      if (handle->active) sim->schedule_in(period, Chain{*this});
+    }
+  };
+  schedule_in(period, Chain{this, period, handle, std::move(fn)});
+  return handle;
+}
+
 void Simulator::schedule_packet_at(SimTime at, packet::Packet&& pkt, net::NodeId node,
                                    net::NodeId from, net::NodeId dest_hint, SimTime injected_at,
                                    bool origin, std::uint32_t lane) {

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -71,6 +72,20 @@ public:
 
   /// Schedule `fn` after a non-negative delay from now.
   void schedule_in(SimTime delay, Handler fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Cancellation handle for schedule_every(). cancel() takes effect before
+  /// the next firing; the periodic chain then drops out of the calendar.
+  struct Periodic {
+    void cancel() noexcept { active = false; }
+    bool active = true;
+  };
+
+  /// Run `fn` every `period` (> 0), first at now + period, until the
+  /// returned handle is cancelled or the simulation ends. The epoch-style
+  /// self-rescheduling loop (EpochRecorder, HealthMonitor, ReoptimizePolicy)
+  /// as a calendar primitive: each firing is an ordinary callback event, so
+  /// periodic work interleaves deterministically with packet events.
+  std::shared_ptr<Periodic> schedule_every(SimTime period, Handler fn);
 
   /// Schedule a packet event at absolute time `at` (>= now), dispatched to
   /// the sink registered via set_packet_sink(). The event body is written

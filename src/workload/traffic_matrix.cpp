@@ -15,12 +15,19 @@ void TrafficMatrix::add_sample(policy::PolicyId p, int src_subnet, int dst_subne
 }
 
 TrafficMatrix TrafficMatrix::measure(const policy::PolicyList& policies,
-                                     std::span<const FlowRecord> flows) {
+                                     std::span<const FlowRecord> flows,
+                                     const MeasureOptions& options) {
+  const double rate = options.sample_rate;
+  SDM_CHECK_MSG(rate > 0 && rate <= 1.0, "sampling rate must be in (0, 1]");
+  const bool sampled = rate < 1.0;
+  const auto threshold =
+      static_cast<std::uint64_t>(rate * static_cast<double>(~std::uint64_t{0}));
   TrafficMatrix tm;
   for (const FlowRecord& f : flows) {
+    if (sampled && f.id.hash(0x5a3f1e ^ options.seed) > threshold) continue;  // not sampled
     const policy::Policy* p = policies.first_match(f.id);
     if (p == nullptr) continue;
-    tm.add_sample(p->id, f.src_subnet, f.dst_subnet, static_cast<double>(f.packets));
+    tm.add_sample(p->id, f.src_subnet, f.dst_subnet, static_cast<double>(f.packets) / rate);
   }
   return tm;
 }
@@ -28,18 +35,7 @@ TrafficMatrix TrafficMatrix::measure(const policy::PolicyList& policies,
 TrafficMatrix TrafficMatrix::measure_sampled(const policy::PolicyList& policies,
                                              std::span<const FlowRecord> flows, double rate,
                                              std::uint64_t seed) {
-  SDM_CHECK_MSG(rate > 0 && rate <= 1.0, "sampling rate must be in (0, 1]");
-  if (rate >= 1.0) return measure(policies, flows);
-  TrafficMatrix tm;
-  const auto threshold =
-      static_cast<std::uint64_t>(rate * static_cast<double>(~std::uint64_t{0}));
-  for (const FlowRecord& f : flows) {
-    if (f.id.hash(0x5a3f1e ^ seed) > threshold) continue;  // flow not sampled
-    const policy::Policy* p = policies.first_match(f.id);
-    if (p == nullptr) continue;
-    tm.add_sample(p->id, f.src_subnet, f.dst_subnet, static_cast<double>(f.packets) / rate);
-  }
-  return tm;
+  return measure(policies, flows, MeasureOptions{rate, seed});
 }
 
 std::vector<int> TrafficMatrix::active_sources(policy::PolicyId p) const {

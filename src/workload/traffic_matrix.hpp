@@ -18,23 +18,32 @@
 
 namespace sdmbox::workload {
 
+/// How measure() samples a flow set. Defaults count every flow; a
+/// sample_rate below 1 turns on the classic NetFlow-style estimator: keep
+/// each flow with probability sample_rate (deterministic per 5-tuple hash
+/// and seed) and scale kept volumes by 1/sample_rate — what a proxy does
+/// when it cannot afford to count every flow.
+struct MeasureOptions {
+  double sample_rate = 1.0;  // in (0, 1]
+  std::uint64_t seed = 0;    // sampler hash seed
+};
+
 class TrafficMatrix {
 public:
   /// Measure a flow set against a policy list (first-match). Flows matching
   /// no policy contribute nothing. This is what the proxies would report in
   /// aggregate over a measurement period.
   static TrafficMatrix measure(const policy::PolicyList& policies,
-                               std::span<const FlowRecord> flows);
+                               std::span<const FlowRecord> flows,
+                               const MeasureOptions& options = {});
 
   /// Accumulate one measured sample — the control plane assembles the
   /// matrix from proxy reports via this (each report line is "policy p,
   /// from my subnet s, toward subnet d, v packets").
   void add_sample(policy::PolicyId p, int src_subnet, int dst_subnet, double volume);
 
-  /// Flow-sampled measurement: keep each flow with probability `rate`
-  /// (deterministic per 5-tuple hash) and scale kept volumes by 1/rate —
-  /// the classic NetFlow-style estimator a proxy would use when it cannot
-  /// afford to count every flow. rate = 1 reduces to measure().
+  /// Deprecated shim for measure(policies, flows, {rate, seed}).
+  [[deprecated("pass MeasureOptions{.sample_rate = rate, .seed = seed} to measure()")]]
   static TrafficMatrix measure_sampled(const policy::PolicyList& policies,
                                        std::span<const FlowRecord> flows, double rate,
                                        std::uint64_t seed = 0);

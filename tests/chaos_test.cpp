@@ -154,7 +154,9 @@ ChaosOutcome run_chaos() {
 
   // Push the initial plan over the wire (seeds the differential fingerprints
   // and proves the acked rollout on a healthy network), then start probing.
-  cp.controller->push_plan(simnet, initial);
+  cp.controller->replan(simnet, control::ReplanRequest{
+                                    .trigger = control::ReplanTrigger::kInitial,
+                                    .plan = &initial});
   monitor.start(simnet);
 
   inject_wave(simnet, s, 1.0);

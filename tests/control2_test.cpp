@@ -46,13 +46,23 @@ TEST(DifferentialPush, UnchangedPlanSendsNothingTheSecondTime) {
   Loop loop(s, initial);
   const auto plan = s.controller->compile(StrategyKind::kRandom);
 
-  const std::size_t first = loop.cp.controller->push_plan(loop.simnet, plan);
+  const std::size_t first =
+      loop.cp.controller
+          ->replan(loop.simnet, control::ReplanRequest{
+                                    .trigger = control::ReplanTrigger::kInitial,
+                                    .plan = &plan})
+          .pushes_sent;
   loop.simnet.run();
   EXPECT_EQ(first, s.network.proxies.size() + s.deployment.size());
   // Every applied push is acknowledged in-band.
   EXPECT_EQ(loop.cp.controller->acks_received(), first);
 
-  const std::size_t second = loop.cp.controller->push_plan(loop.simnet, plan);
+  const std::size_t second =
+      loop.cp.controller
+          ->replan(loop.simnet, control::ReplanRequest{
+                                    .trigger = control::ReplanTrigger::kInitial,
+                                    .plan = &plan})
+          .pushes_sent;
   loop.simnet.run();
   EXPECT_EQ(second, 0u);
   EXPECT_EQ(loop.cp.controller->pushes_skipped_unchanged(), first);
@@ -71,10 +81,16 @@ TEST(DifferentialPush, OnlyChangedSlicesTravel) {
   // candidate sets (most of each slice) are identical, so some devices —
   // at minimum those whose ratios didn't change — are skipped.
   const auto lb1 = s.controller->compile(StrategyKind::kLoadBalanced, &s.traffic);
-  loop.cp.controller->push_plan(loop.simnet, lb1);
+  loop.cp.controller->replan(loop.simnet,
+                             control::ReplanRequest{
+                                 .trigger = control::ReplanTrigger::kInitial,
+                                 .plan = &lb1});
   loop.simnet.run();
-  const auto again = loop.cp.controller->push_plan(loop.simnet, lb1);
-  EXPECT_EQ(again, 0u);
+  const control::ReplanOutcome again = loop.cp.controller->replan(
+      loop.simnet, control::ReplanRequest{
+                       .trigger = control::ReplanTrigger::kInitial, .plan = &lb1});
+  EXPECT_EQ(again.pushes_sent, 0u);
+  EXPECT_GT(again.pushes_skipped, 0u);
 
   // Same strategy, same candidates, different ratios: pushes happen again,
   // but only for devices with LP shares.
@@ -85,7 +101,12 @@ TEST(DifferentialPush, OnlyChangedSlicesTravel) {
   const auto flows2 = workload::generate_flows(s.network, s.gen, fp, rng);
   const auto traffic2 = workload::TrafficMatrix::measure(s.gen.policies, flows2.flows);
   const auto lb2 = s.controller->compile(StrategyKind::kLoadBalanced, &traffic2);
-  const std::size_t changed = loop.cp.controller->push_plan(loop.simnet, lb2);
+  const std::size_t changed =
+      loop.cp.controller
+          ->replan(loop.simnet, control::ReplanRequest{
+                                    .trigger = control::ReplanTrigger::kInitial,
+                                    .plan = &lb2})
+          .pushes_sent;
   EXPECT_GT(changed, 0u);
   EXPECT_LT(changed, s.network.proxies.size() + s.deployment.size() + 1);
   EXPECT_GT(loop.cp.controller->push_bytes_sent(), 0u);
@@ -162,7 +183,12 @@ TEST(ReliableChannel, LostAcksAreRetransmittedUntilConfirmed) {
   loop.simnet.simulator().schedule_at(2.0, [&] { loop.simnet.set_link_loss(ctrl_link, 0.0); });
 
   const auto plan = s.controller->compile(StrategyKind::kRandom);
-  const std::size_t pushed = loop.cp.controller->push_plan(loop.simnet, plan);
+  const std::size_t pushed =
+      loop.cp.controller
+          ->replan(loop.simnet, control::ReplanRequest{
+                                    .trigger = control::ReplanTrigger::kInitial,
+                                    .plan = &plan})
+          .pushes_sent;
   loop.simnet.run();
 
   EXPECT_EQ(pushed, s.network.proxies.size() + s.deployment.size());

@@ -232,7 +232,12 @@ TEST(ControlLoop, ConfigPushSwitchesStrategyMidRun) {
     proxy->send_report(loop.simnet, loop.cp.controller->address());
   }
   loop.simnet.run();
-  const core::EnforcementPlan lb_plan = loop.cp.controller->reoptimize_and_push(loop.simnet);
+  const control::ReplanOutcome reopt = loop.cp.controller->replan(loop.simnet, ReplanRequest{});
+  EXPECT_TRUE(reopt.solved);
+  EXPECT_FALSE(reopt.suppressed);
+  EXPECT_EQ(reopt.trigger, ReplanTrigger::kMeasurement);
+  EXPECT_GT(reopt.reports_used, 0u);
+  const core::EnforcementPlan& lb_plan = reopt.plan;
   loop.simnet.run();  // configs propagate
 
   // Every device applied version 1.
@@ -271,7 +276,9 @@ TEST(ControlLoop, StaleConfigVersionsAreRejected) {
   Loop loop(s, initial);
 
   const auto plan = s.controller->compile(StrategyKind::kRandom);
-  loop.cp.controller->push_plan(loop.simnet, plan);  // version 1
+  loop.cp.controller->replan(loop.simnet,
+                             ReplanRequest{.trigger = ReplanTrigger::kInitial,
+                                           .plan = &plan});  // version 1
   loop.simnet.run();
   // Hand-deliver a stale (version 0) config to proxy 0: must be rejected.
   auto* device = loop.cp.proxies[0];

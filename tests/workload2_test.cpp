@@ -115,11 +115,29 @@ TEST(SampledMeasurement, RateOneEqualsExactMeasurement) {
   fp.target_total_packets = 50000;
   const auto flows = workload::generate_flows(s.network, s.gen, fp, s.rng);
   const auto exact = workload::TrafficMatrix::measure(s.gen.policies, flows.flows);
-  const auto sampled =
-      workload::TrafficMatrix::measure_sampled(s.gen.policies, flows.flows, 1.0);
+  const auto sampled = workload::TrafficMatrix::measure(s.gen.policies, flows.flows,
+                                                        {.sample_rate = 1.0});
   EXPECT_DOUBLE_EQ(sampled.grand_total(), exact.grand_total());
   for (const auto& p : s.gen.policies.all()) {
     EXPECT_DOUBLE_EQ(sampled.total(p.id), exact.total(p.id));
+  }
+}
+
+TEST(SampledMeasurement, DeprecatedWrapperMatchesMergedApi) {
+  WebScenario s(false);
+  workload::FlowGenParams fp;
+  fp.target_total_packets = 20000;
+  const auto flows = workload::generate_flows(s.network, s.gen, fp, s.rng);
+  const auto merged = workload::TrafficMatrix::measure(s.gen.policies, flows.flows,
+                                                       {.sample_rate = 0.2, .seed = 7});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto legacy =
+      workload::TrafficMatrix::measure_sampled(s.gen.policies, flows.flows, 0.2, 7);
+#pragma GCC diagnostic pop
+  EXPECT_DOUBLE_EQ(legacy.grand_total(), merged.grand_total());
+  for (const auto& p : s.gen.policies.all()) {
+    EXPECT_DOUBLE_EQ(legacy.total(p.id), merged.total(p.id));
   }
 }
 
@@ -135,8 +153,9 @@ TEST(SampledMeasurement, EstimatorIsApproximatelyUnbiased) {
   double sum = 0;
   const int runs = 16;
   for (int i = 0; i < runs; ++i) {
-    sum += workload::TrafficMatrix::measure_sampled(s.gen.policies, flows.flows, 0.25,
-                                                    static_cast<std::uint64_t>(i))
+    sum += workload::TrafficMatrix::measure(
+               s.gen.policies, flows.flows,
+               {.sample_rate = 0.25, .seed = static_cast<std::uint64_t>(i)})
                .grand_total();
   }
   EXPECT_NEAR(sum / runs / exact.grand_total(), 1.0, 0.15);
@@ -147,12 +166,16 @@ TEST(SampledMeasurement, DeterministicPerSeedAndRejectsBadRates) {
   workload::FlowGenParams fp;
   fp.target_total_packets = 20000;
   const auto flows = workload::generate_flows(s.network, s.gen, fp, s.rng);
-  const auto a = workload::TrafficMatrix::measure_sampled(s.gen.policies, flows.flows, 0.2, 7);
-  const auto b = workload::TrafficMatrix::measure_sampled(s.gen.policies, flows.flows, 0.2, 7);
+  const auto a = workload::TrafficMatrix::measure(s.gen.policies, flows.flows,
+                                                  {.sample_rate = 0.2, .seed = 7});
+  const auto b = workload::TrafficMatrix::measure(s.gen.policies, flows.flows,
+                                                  {.sample_rate = 0.2, .seed = 7});
   EXPECT_DOUBLE_EQ(a.grand_total(), b.grand_total());
-  EXPECT_THROW(workload::TrafficMatrix::measure_sampled(s.gen.policies, flows.flows, 0.0),
+  EXPECT_THROW(workload::TrafficMatrix::measure(s.gen.policies, flows.flows,
+                                                {.sample_rate = 0.0}),
                ContractViolation);
-  EXPECT_THROW(workload::TrafficMatrix::measure_sampled(s.gen.policies, flows.flows, 1.5),
+  EXPECT_THROW(workload::TrafficMatrix::measure(s.gen.policies, flows.flows,
+                                                {.sample_rate = 1.5}),
                ContractViolation);
 }
 
