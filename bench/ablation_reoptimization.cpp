@@ -12,6 +12,7 @@
 #include "analytic/epoch_driver.hpp"
 #include "common.hpp"
 #include "control/reoptimize.hpp"
+#include "exp/runner.hpp"
 
 using namespace sdmbox;
 using namespace sdmbox::bench;
@@ -41,15 +42,12 @@ double mean_max_load(const analytic::PolicyStudy& study) {
   return sum / static_cast<double>(study.epochs.size());
 }
 
-}  // namespace
+constexpr int kEpochs = 8;
 
-int main() {
-  std::printf("=== Ablation A5: measurement epochs & re-optimization under traffic drift ===\n");
-  std::printf("Campus topology; class mix drifts from many-to-one-heavy to one-to-one-heavy.\n\n");
-
-  EvalScenario s = build_eval_scenario();
-
-  constexpr int kEpochs = 8;
+/// The 8-epoch drifting workload: class mix slides from many-to-one-heavy to
+/// one-to-one-heavy. Deterministic (fixed seed 404), so every arm that
+/// rebuilds it sees byte-identical flows.
+std::vector<workload::GeneratedFlows> build_drift_epochs(const EvalScenario& s) {
   std::vector<workload::GeneratedFlows> epochs;
   util::Rng rng(404);
   for (int i = 0; i < kEpochs; ++i) {
@@ -60,6 +58,48 @@ int main() {
     fp.class_weights[2] = static_cast<double>(1 + i);
     epochs.push_back(workload::generate_flows(s.network, s.gen, fp, rng));
   }
+  return epochs;
+}
+
+enum class LoopArm { kEveryEpoch, kDrift };
+
+/// One closed-loop arm, self-contained: rebuilds its own scenario and drift
+/// epochs (both deterministic) so arms can run concurrently on the sweep
+/// runner without sharing any mutable state. run_policy_study normalizes
+/// capacity itself, so the numbers match the old shared-scenario loop.
+analytic::PolicyStudy run_loop_arm(LoopArm arm) {
+  EvalScenario s = build_eval_scenario();
+  const auto epochs = build_drift_epochs(s);
+  if (arm == LoopArm::kEveryEpoch) {
+    return analytic::run_policy_study(
+        s.network, s.deployment, s.gen.policies, *s.controller, epochs,
+        [](std::size_t, const std::vector<double>&, const workload::TrafficMatrix&) {
+          return true;
+        });
+  }
+  control::DriftDetector detector(kDriftThreshold, kCooldownEpochs, /*min_reports=*/1);
+  return analytic::run_policy_study(
+      s.network, s.deployment, s.gen.policies, *s.controller, epochs,
+      [&](std::size_t, const std::vector<double>& loads, const workload::TrafficMatrix&) {
+        // One synthetic report per epoch: the analytic replay always has a
+        // full measurement, so the report gate never suppresses here.
+        if (detector.evaluate(loads, /*pending_reports=*/1) !=
+            control::DriftDetector::Decision::kTrigger) {
+          return false;
+        }
+        detector.mark_solved(loads);
+        return true;
+      });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A5: measurement epochs & re-optimization under traffic drift ===\n");
+  std::printf("Campus topology; class mix drifts from many-to-one-heavy to one-to-one-heavy.\n\n");
+
+  EvalScenario s = build_eval_scenario();
+  const auto epochs = build_drift_epochs(s);
 
   const auto study = analytic::run_epoch_study(s.network, s.deployment, s.gen.policies,
                                                *s.controller, epochs);
@@ -77,26 +117,14 @@ int main() {
   }
   std::printf("%s\n", table.to_string().c_str());
 
-  // --- Closed-loop arms: every-epoch re-solve vs drift-triggered re-solve.
-  const auto every_epoch = analytic::run_policy_study(
-      s.network, s.deployment, s.gen.policies, *s.controller, epochs,
-      [](std::size_t, const std::vector<double>&, const workload::TrafficMatrix&) {
-        return true;
-      });
-
-  control::DriftDetector detector(kDriftThreshold, kCooldownEpochs, /*min_reports=*/1);
-  const auto drift = analytic::run_policy_study(
-      s.network, s.deployment, s.gen.policies, *s.controller, epochs,
-      [&](std::size_t, const std::vector<double>& loads, const workload::TrafficMatrix&) {
-        // One synthetic report per epoch: the analytic replay always has a
-        // full measurement, so the report gate never suppresses here.
-        if (detector.evaluate(loads, /*pending_reports=*/1) !=
-            control::DriftDetector::Decision::kTrigger) {
-          return false;
-        }
-        detector.mark_solved(loads);
-        return true;
-      });
+  // --- Closed-loop arms: every-epoch re-solve vs drift-triggered re-solve,
+  // fanned out on the sweep runner (each arm rebuilds its own state).
+  const exp::SweepRunner pool(2);
+  const std::vector<LoopArm> arms = {LoopArm::kEveryEpoch, LoopArm::kDrift};
+  const auto studies = pool.run<analytic::PolicyStudy>(
+      arms.size(), [&](std::size_t i) { return run_loop_arm(arms[i]); });
+  const analytic::PolicyStudy& every_epoch = studies[0];
+  const analytic::PolicyStudy& drift = studies[1];
 
   obs::MetricsRegistry registry;
   register_arm(registry, "every_epoch", every_epoch);

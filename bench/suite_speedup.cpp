@@ -1,0 +1,70 @@
+// Suite parallelism: wall-clock scaling of the exp::SweepRunner on the
+// chaos-timeline scenario, serial vs all-cores, plus a determinism assert —
+// the parallel run's per-task metric snapshots must equal the serial run's
+// exactly (same seeds, same results, only the wall clock may differ).
+//
+// Record-only: BENCH_suite_speedup.json carries the task count and measured
+// wall seconds; the speedup ratio is hardware-dependent and is NOT asserted.
+#include <utility>
+
+#include "common.hpp"
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
+#include "exp/world.hpp"
+
+using namespace sdmbox;
+using namespace sdmbox::bench;
+
+namespace {
+
+constexpr std::size_t kTasks = 8;
+constexpr std::uint64_t kBaseSeed = 2019;
+
+std::pair<double, std::vector<exp::MetricsSnapshot>> run_with(unsigned jobs) {
+  const exp::SweepRunner pool(jobs);
+  const auto start = std::chrono::steady_clock::now();
+  auto snaps = pool.run<exp::MetricsSnapshot>(kTasks, [](std::size_t i) {
+    exp::ScenarioSpec spec;
+    spec.packets = 2000;
+    spec.seed = exp::derive_seed(kBaseSeed, i);
+    return exp::run_scenario(spec);
+  });
+  return {seconds_since(start), std::move(snaps)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Suite speedup: SweepRunner wall clock, serial vs parallel ===\n\n");
+  const unsigned hw = exp::SweepRunner::hardware_jobs();
+  std::printf("%zu isolated chaos-timeline runs (seeds derived from base %llu), "
+              "%u hardware thread(s)\n\n",
+              kTasks, static_cast<unsigned long long>(kBaseSeed), hw);
+
+  const auto [serial_s, serial_snaps] = run_with(1);
+  const auto [parallel_s, parallel_snaps] = run_with(hw);
+
+  // The determinism contract, checked at the data level: thread count must
+  // not change a single metric of a single task.
+  SDM_CHECK_MSG(serial_snaps == parallel_snaps,
+                "parallel sweep diverged from the serial reference");
+
+  const double speedup = parallel_s > 0 ? serial_s / parallel_s : 0;
+  stats::TextTable table("wall clock (identical results, verified)");
+  table.set_header({"jobs", "tasks", "seconds", "speedup"});
+  table.add_row({"1", std::to_string(kTasks), util::format_fixed(serial_s, 3), "1.00"});
+  table.add_row({std::to_string(hw), std::to_string(kTasks), util::format_fixed(parallel_s, 3),
+                 util::format_fixed(speedup, 2)});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Expected shape: near-linear until the pool exhausts physical cores; the\n"
+              "snapshot equality check above is the load-bearing result — parallelism\n"
+              "buys wall clock only, never different numbers.\n");
+
+  emit_bench_json("suite_speedup",
+                  {{"tasks", static_cast<double>(kTasks)},
+                   {"jobs_parallel", static_cast<double>(hw)},
+                   {"serial_seconds", serial_s},
+                   {"parallel_seconds", parallel_s},
+                   {"speedup", speedup}});
+  return 0;
+}

@@ -1,10 +1,13 @@
-// Command-line scenario runner: the library as a tool. Builds a topology,
-// deploys middleboxes, generates the §IV.A workload, validates the policy
-// list, compiles a plan for the chosen strategy, and prints per-type loads,
-// path stretch and the controller's distribution footprint.
+// Command-line scenario runner: the library as a tool. A thin printf shell
+// over exp::ScenarioSpec + exp::build_world — flags (and optionally a
+// --spec file) assemble a spec, build_world wires the run, and this file
+// only narrates: topology summary, policy audit, per-type loads, path
+// stretch, distribution footprint, and the packet-level run's summary.
 //
 // Usage:
-//   scenario_cli [--topology campus|waxman] [--strategy hp|rand|lb]
+//   scenario_cli [--spec FILE]           # key=value ScenarioSpec file; flags
+//                                        # given after it override its fields
+//                [--topology campus|waxman] [--strategy hp|rand|lb]
 //                [--packets N] [--policies-per-class N] [--seed N]
 //                [--off-path] [--fail-one FW|IDS|WP|TM]
 //                [--policy-file FILE]   # Table-I-style file; replaces the
@@ -30,63 +33,43 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <optional>
+#include <memory>
 #include <string>
 
 #include <fstream>
 #include <sstream>
 
 #include "analytic/load_evaluator.hpp"
-#include "control/endpoints.hpp"
-#include "control/health.hpp"
-#include "control/reoptimize.hpp"
-#include "core/controller.hpp"
 #include "core/validate.hpp"
-#include "net/topologies.hpp"
+#include "exp/spec.hpp"
+#include "exp/world.hpp"
 #include "obs/export.hpp"
-#include "obs/metrics.hpp"
-#include "obs/timeseries.hpp"
-#include "obs/trace.hpp"
 #include "policy/analysis.hpp"
 #include "policy/parser.hpp"
-#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
 #include "stats/table.hpp"
 #include "util/strings.hpp"
-#include "workload/flow_gen.hpp"
-#include "workload/policy_gen.hpp"
-#include "workload/traffic_matrix.hpp"
 
 using namespace sdmbox;
 
 namespace {
 
 struct CliOptions {
-  bool waxman = false;
-  core::StrategyKind strategy = core::StrategyKind::kLoadBalanced;
-  std::uint64_t packets = 1'000'000;
-  std::size_t policies_per_class = 4;
-  std::uint64_t seed = 2019;
-  bool off_path = false;
-  std::string fail_one;     // function name, or empty
+  exp::ScenarioSpec spec;
   std::string policy_file;  // optional Table-I-style policy file to audit
   bool sim = false;         // packet-level run with the scripted fault timeline
   std::string metrics_out;  // telemetry dump path (.json / .csv / .prom); implies sim
   std::string trace_out;    // per-flow path trace JSON path; implies sim
-  double epoch = 0.5;       // time-series sampling period (simulated seconds)
-  double trace_sample = 1.0;  // flow sampling rate in [0, 1]; 0 disables tracing
-  double reopt_period = 0;       // drift loop epoch (simulated seconds); 0 = off
-  double reopt_threshold = 0.1;  // total-variation drift trigger
-  int reopt_cooldown = 2;        // evaluations between solves (hysteresis)
-  std::uint64_t reopt_min_reports = 1;  // reports required before a solve
 
   bool wants_sim() const {
-    return sim || !metrics_out.empty() || !trace_out.empty() || reopt_period > 0;
+    return sim || !metrics_out.empty() || !trace_out.empty() || spec.reopt_period > 0;
   }
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--topology campus|waxman] [--strategy hp|rand|lb]\n"
+               "usage: %s [--spec FILE]\n"
+               "          [--topology campus|waxman] [--strategy hp|rand|lb]\n"
                "          [--packets N] [--policies-per-class N] [--seed N]\n"
                "          [--off-path] [--fail-one FW|IDS|WP|TM]\n"
                "          [--sim] [--metrics-out FILE] [--trace-out FILE]\n"
@@ -101,13 +84,31 @@ bool parse(int argc, char** argv, CliOptions& opt) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
-    if (arg == "--topology") {
+    if (arg == "--spec") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      std::ifstream in(v);
+      if (!in) {
+        std::fprintf(stderr, "cannot open spec file %s\n", v);
+        return false;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      // Parse over the spec assembled so far: flags BEFORE --spec act as
+      // defaults, flags AFTER it override the file.
+      const auto parsed = exp::parse_text(text.str(), opt.spec);
+      for (const auto& err : parsed.errors) {
+        std::fprintf(stderr, "%s: %s\n", v, err.c_str());
+      }
+      if (!parsed.ok()) return false;
+      opt.spec = parsed.spec;
+    } else if (arg == "--topology") {
       const char* v = next();
       if (v == nullptr) return false;
       if (std::strcmp(v, "campus") == 0) {
-        opt.waxman = false;
+        opt.spec.topology = exp::TopologyKind::kCampus;
       } else if (std::strcmp(v, "waxman") == 0) {
-        opt.waxman = true;
+        opt.spec.topology = exp::TopologyKind::kWaxman;
       } else {
         return false;
       }
@@ -115,32 +116,32 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       if (std::strcmp(v, "hp") == 0) {
-        opt.strategy = core::StrategyKind::kHotPotato;
+        opt.spec.strategy = core::StrategyKind::kHotPotato;
       } else if (std::strcmp(v, "rand") == 0) {
-        opt.strategy = core::StrategyKind::kRandom;
+        opt.spec.strategy = core::StrategyKind::kRandom;
       } else if (std::strcmp(v, "lb") == 0) {
-        opt.strategy = core::StrategyKind::kLoadBalanced;
+        opt.spec.strategy = core::StrategyKind::kLoadBalanced;
       } else {
         return false;
       }
     } else if (arg == "--packets") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt.packets = std::strtoull(v, nullptr, 10);
+      opt.spec.packets = std::strtoull(v, nullptr, 10);
     } else if (arg == "--policies-per-class") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt.policies_per_class = std::strtoull(v, nullptr, 10);
+      opt.spec.policies_per_class = std::strtoull(v, nullptr, 10);
     } else if (arg == "--seed") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt.seed = std::strtoull(v, nullptr, 10);
+      opt.spec.seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--off-path") {
-      opt.off_path = true;
+      opt.spec.off_path = true;
     } else if (arg == "--fail-one") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt.fail_one = v;
+      opt.spec.fail_one = v;
     } else if (arg == "--policy-file") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -158,189 +159,74 @@ bool parse(int argc, char** argv, CliOptions& opt) {
     } else if (arg == "--epoch") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt.epoch = std::strtod(v, nullptr);
+      opt.spec.epoch = std::strtod(v, nullptr);
     } else if (arg == "--trace-sample") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt.trace_sample = std::strtod(v, nullptr);
+      opt.spec.trace_sample = std::strtod(v, nullptr);
     } else if (arg == "--reopt-period") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt.reopt_period = std::strtod(v, nullptr);
+      opt.spec.reopt_period = std::strtod(v, nullptr);
     } else if (arg == "--reopt-threshold") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt.reopt_threshold = std::strtod(v, nullptr);
+      opt.spec.reopt_threshold = std::strtod(v, nullptr);
     } else if (arg == "--reopt-cooldown") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt.reopt_cooldown = static_cast<int>(std::strtol(v, nullptr, 10));
+      opt.spec.reopt_cooldown = static_cast<int>(std::strtol(v, nullptr, 10));
     } else if (arg == "--reopt-min-reports") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt.reopt_min_reports = std::strtoull(v, nullptr, 10);
+      opt.spec.reopt_min_reports = std::strtoull(v, nullptr, 10);
     } else {
       return false;
     }
   }
-  return opt.packets > 0 && opt.policies_per_class > 0 && opt.epoch > 0 &&
-         opt.trace_sample >= 0 && opt.trace_sample <= 1 && opt.reopt_period >= 0 &&
-         opt.reopt_threshold >= 0 && opt.reopt_threshold <= 1 && opt.reopt_cooldown >= 1;
-}
-
-// The hot-potato target of proxy 0's first chained policy: a middlebox that
-// is guaranteed to carry traffic, so crashing it actually matters. Invalid
-// when no proxy-0 policy has a chain (the fault script then skips the crash).
-net::NodeId pick_victim(const net::GeneratedNetwork& network, const policy::PolicyList& policies,
-                        const core::EnforcementPlan& plan) {
-  if (network.proxies.empty()) return {};
-  const core::NodeConfig& cfg = plan.config(network.proxies[0]);
-  for (const policy::PolicyId pid : cfg.relevant_policies) {
-    const policy::Policy& pol = policies.at(pid);
-    if (pol.deny || pol.actions.empty()) continue;
-    const net::NodeId m = cfg.closest(pol.actions.front());
-    if (m.valid()) return m;
+  const std::string invalid = opt.spec.validate();
+  if (!invalid.empty()) {
+    std::fprintf(stderr, "invalid options: %s\n", invalid.c_str());
+    return false;
   }
-  return {};
+  return true;
 }
 
-// Inject a burst of policy traffic starting at `at`, each flow's packets
-// spread 30 ms apart so the burst overlaps the peer-health probe timeouts.
-void inject_wave(sim::SimNetwork& simnet, const net::GeneratedNetwork& network,
-                 const workload::GeneratedFlows& flows, double at) {
-  for (const auto& f : flows.flows) {
-    const std::uint64_t n = std::min<std::uint64_t>(f.packets, 6);
-    for (std::uint64_t j = 0; j < n; ++j) {
-      packet::Packet p;
-      p.inner.src = f.id.src;
-      p.inner.dst = f.id.dst;
-      p.src_port = f.id.src_port;
-      p.dst_port = f.id.dst_port;
-      p.payload_bytes = 200;
-      p.flow_seq = j;
-      simnet.inject(network.proxies[static_cast<std::size_t>(f.src_subnet)], p,
-                    at + static_cast<double>(j) * 0.03);
+// Packet-level half: wire the sim onto the built world, narrate the fault
+// script, run the chaos timeline, and print / export what the registry saw.
+int run_sim(exp::World& world, const CliOptions& opt) {
+  world.prepare_sim();
+  world.simnet->simulator().attach_log_clock();  // SDMBOX_LOG lines carry sim time
+
+  if (world.spec.faults == exp::FaultScript::kChaos) {
+    if (world.victim.valid()) {
+      std::printf("sim: victim middlebox %s (crash 2.05s, restart 8.0s)\n",
+                  world.deployment.find(world.victim)->name.c_str());
+    } else {
+      std::printf("sim: no chained policy at proxy 0 — crash step skipped\n");
     }
   }
-}
 
-// Packet-level run with telemetry attached. Mirrors the chaos test's
-// timeline: traffic waves at t = 1.0 / 2.2 / 4.3 / 12.0, a victim-middlebox
-// crash at 2.05 (restart 8.0), control-channel loss at 2.5–6.0, and a
-// core<->gateway link flap at 4.0–4.6; the monitor stops at 14.0 and the
-// calendar drains. Everything observable goes through the MetricsRegistry:
-// the per-epoch series and the final values are exported, not printf'd.
-int run_sim(net::GeneratedNetwork& network, core::Deployment& deployment,
-            const workload::GeneratedPolicies& gen, const workload::GeneratedFlows& flows,
-            core::Controller& controller, const core::EnforcementPlan& initial,
-            const CliOptions& opt) {
-  const net::NodeId victim = pick_victim(network, gen.policies, initial);
-
-  const net::NodeId controller_node = control::add_controller_host(network);
-  net::RoutingTables routing = net::RoutingTables::compute(network.topo);
-  const auto resolver = net::AddressResolver::build(network.topo);
-  sim::SimNetwork simnet(network.topo, routing, resolver);
-  simnet.simulator().attach_log_clock();  // SDMBOX_LOG lines carry sim time
-
-  obs::MetricsRegistry registry;
-  obs::PathTracer tracer(opt.trace_sample);
-  simnet.set_tracer(&tracer);
-
-  core::AgentOptions opts;
-  opts.enable_label_switching = true;
-  opts.peer_health.enabled = true;
-  opts.peer_health.probe_timeout = 0.05;
-  opts.peer_health.miss_threshold = 2;
-  opts.peer_health.blacklist_hold = 5.0;
-  opts.peer_health.min_probe_gap = 0.05;
-  auto cp = control::install_control_plane(simnet, network, deployment, gen.policies, controller,
-                                           controller_node, initial, opts);
-
-  sim::FaultInjector injector(simnet, &routing);
-  sim::FaultSchedule schedule;
-  if (victim.valid()) {
-    schedule.crash_node(2.05, victim).restart_node(8.0, victim);
-    std::printf("sim: victim middlebox %s (crash 2.05s, restart 8.0s)\n",
-                deployment.find(victim)->name.c_str());
-  } else {
-    std::printf("sim: no chained policy at proxy 0 — crash step skipped\n");
-  }
-  if (!network.gateways.empty() && !network.core_routers.empty()) {
-    const net::LinkId flap =
-        network.topo.find_link(network.core_routers[0], network.gateways[0]);
-    if (flap.valid()) schedule.link_down(4.0, flap).link_up(4.6, flap);
-  }
-  const net::NodeId attach =
-      network.gateways.empty() ? network.core_routers.front() : network.gateways.front();
-  const net::LinkId ctrl_link = network.topo.find_link(attach, controller_node);
-  if (ctrl_link.valid()) schedule.link_loss(2.5, ctrl_link, 0.15).link_loss(6.0, ctrl_link, 0.0);
-  injector.arm(schedule);
-
-  control::HealthParams hp;
-  hp.probe_period = 0.1;
-  hp.miss_threshold = 8;
-  control::HealthMonitor monitor(*cp.controller, deployment, network, hp);
-
-  // One registry over every layer: the packet plane, the fault script, the
-  // control plane (controller + every managed device), and the detector.
-  simnet.register_metrics(registry);
-  injector.register_metrics(registry);
-  control::register_metrics(registry, cp);
-  monitor.register_metrics(registry);
-
-  obs::EpochRecorder recorder(registry, opt.epoch);
-
-  // Drift-triggered re-optimisation rides on the recorder's load series; its
-  // counters register before the recorder's first snapshot so every export
-  // series spans the full run.
-  std::optional<control::ReoptimizePolicy> reopt;
-  if (opt.reopt_period > 0) {
-    control::ReoptimizeParams rp;
-    rp.epoch_period = opt.reopt_period;
-    rp.drift_threshold = opt.reopt_threshold;
-    rp.cooldown_epochs = opt.reopt_cooldown;
-    rp.min_reports = opt.reopt_min_reports;
-    reopt.emplace(*cp.controller, cp, recorder, rp);
-    reopt->register_metrics(registry);
-  }
-
-  recorder.start(
-      [&](double d, std::function<void()> fn) { simnet.simulator().schedule_in(d, std::move(fn)); },
-      [&] { return simnet.simulator().now(); });
-
-  cp.controller->replan(simnet, control::ReplanRequest{
-                                    .trigger = control::ReplanTrigger::kInitial,
-                                    .plan = &initial});
-  monitor.start(simnet);
-  if (reopt) reopt->start(simnet);
-
-  inject_wave(simnet, network, flows, 1.0);
-  inject_wave(simnet, network, flows, 2.2);
-  inject_wave(simnet, network, flows, 4.3);
-  inject_wave(simnet, network, flows, 12.0);
-
-  simnet.simulator().schedule_at(14.0, [&] {
-    monitor.stop();
-    if (reopt) reopt->stop();
-    recorder.stop();
-  });
-  simnet.run();
+  world.run();
   sim::Simulator::detach_log_clock();
 
-  const auto& nc = simnet.counters();
+  const auto& nc = world.simnet->counters();
+  const obs::MetricsRegistry& registry = world.registry;
   std::printf("\nsim run: %llu injected, %llu delivered, %llu node-down drops, %zu epochs\n",
               static_cast<unsigned long long>(nc.injected),
               static_cast<unsigned long long>(nc.delivered),
-              static_cast<unsigned long long>(nc.dropped_node_down), recorder.epoch_count());
+              static_cast<unsigned long long>(nc.dropped_node_down),
+              world.recorder->epoch_count());
   std::printf("health: %.0f failures declared, %.0f revivals, mean detection latency %.3fs\n",
               registry.total("health_failures_declared"),
-              registry.total("health_revivals_declared"), monitor.mean_detection_latency());
+              registry.total("health_revivals_declared"),
+              world.monitor->mean_detection_latency());
   std::printf("failover: %.0f peer blacklists, %.0f reroutes\n",
               registry.total("peer_blacklists"),
               registry.total("proxy_failover_reroutes") +
                   registry.total("mbx_failover_reroutes"));
-  if (reopt) {
-    const auto& rc = reopt->counters();
+  if (world.reopt) {
+    const auto& rc = world.reopt->counters();
     std::printf("reopt: %llu epochs, %llu triggered / %llu suppressed "
                 "(drift %llu, cooldown %llu, reports %llu), %llu solves "
                 "(%llu pivots, %.2fms modeled), %llu pushes (%llu bytes), "
@@ -353,22 +239,23 @@ int run_sim(net::GeneratedNetwork& network, core::Deployment& deployment,
                 static_cast<unsigned long long>(rc.suppressed_reports),
                 static_cast<unsigned long long>(rc.solves),
                 static_cast<unsigned long long>(rc.solve_pivots),
-                reopt->solve_ms_modeled(),
+                world.reopt->solve_ms_modeled(),
                 static_cast<unsigned long long>(rc.pushes),
                 static_cast<unsigned long long>(rc.push_bytes),
-                reopt->detector().last_drift());
+                world.reopt->detector().last_drift());
   }
 
   if (!opt.metrics_out.empty()) {
-    obs::write_file(opt.metrics_out, obs::render_for_path(registry, &recorder, opt.metrics_out));
+    obs::write_file(opt.metrics_out,
+                    obs::render_for_path(registry, world.recorder.get(), opt.metrics_out));
     std::printf("metrics (%zu series) written to %s\n", registry.size(),
                 opt.metrics_out.c_str());
   }
   if (!opt.trace_out.empty()) {
-    obs::write_file(opt.trace_out, obs::trace_to_json(tracer, &network.topo));
+    obs::write_file(opt.trace_out, obs::trace_to_json(*world.tracer, &world.network.topo));
     std::printf("trace (%llu hop records, rate %.3f) written to %s\n",
-                static_cast<unsigned long long>(tracer.sink().recorded()),
-                tracer.sampler().rate(), opt.trace_out.c_str());
+                static_cast<unsigned long long>(world.tracer->sink().recorded()),
+                world.tracer->sampler().rate(), opt.trace_out.c_str());
   }
   return 0;
 }
@@ -379,25 +266,24 @@ int main(int argc, char** argv) {
   CliOptions opt;
   if (!parse(argc, argv, opt)) return usage(argv[0]);
 
-  util::Rng rng(opt.seed);
-  net::GeneratedNetwork network;
-  if (opt.waxman) {
-    net::WaxmanParams wp;
-    wp.seed = opt.seed;
-    wp.proxy_mode = opt.off_path ? net::ProxyMode::kOffPath : net::ProxyMode::kInPath;
-    network = net::make_waxman_topology(wp);
-  } else {
-    net::CampusParams cp;
-    cp.proxy_mode = opt.off_path ? net::ProxyMode::kOffPath : net::ProxyMode::kInPath;
-    network = net::make_campus_topology(cp);
+  exp::ScenarioSpec spec = opt.spec;
+  // Audit mode never touches the generated policies, so a bad --fail-one must
+  // not abort it — the pre-refactor CLI returned before validating the flag.
+  if (!opt.policy_file.empty()) spec.fail_one.clear();
+
+  std::unique_ptr<exp::World> world;
+  try {
+    world = exp::build_world(spec);
+  } catch (const exp::BuildError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
   }
-  const auto catalog = policy::FunctionCatalog::standard();
-  core::Deployment deployment =
-      core::deploy_middleboxes(network, catalog, core::DeploymentParams{}, rng);
+  exp::World& w = *world;
+
   std::printf("topology: %s (%zu nodes, %zu links), proxies %s, %zu middleboxes\n",
-              opt.waxman ? "waxman" : "campus", network.topo.node_count(),
-              network.topo.link_count(), opt.off_path ? "off-path" : "in-path",
-              deployment.size());
+              spec.topology == exp::TopologyKind::kWaxman ? "waxman" : "campus",
+              w.network.topo.node_count(), w.network.topo.link_count(),
+              spec.off_path ? "off-path" : "in-path", w.deployment.size());
 
   if (!opt.policy_file.empty()) {
     // Audit mode: parse and statically analyze the operator's policy file.
@@ -408,7 +294,7 @@ int main(int argc, char** argv) {
     }
     std::ostringstream text;
     text << in.rdbuf();
-    const auto parsed = policy::parse_policies(text.str(), catalog);
+    const auto parsed = policy::parse_policies(text.str(), w.catalog);
     for (const auto& err : parsed.errors) {
       std::printf("parse error line %zu: %s\n", err.line, err.message.c_str());
     }
@@ -421,64 +307,45 @@ int main(int argc, char** argv) {
     return parsed.ok() && audit.clean() ? 0 : 1;
   }
 
-  workload::PolicyGenParams pp;
-  pp.many_to_one = pp.one_to_many = pp.one_to_one = opt.policies_per_class;
-  const auto gen = workload::generate_policies(network, pp, rng);
-  const auto issues = policy::analyze_policies(gen.policies);
-  std::printf("policies: %zu (analysis: %zu issue(s))\n", gen.policies.size(),
+  const auto issues = policy::analyze_policies(w.gen.policies);
+  std::printf("policies: %zu (analysis: %zu issue(s))\n", w.gen.policies.size(),
               issues.issues.size());
   for (const auto& issue : issues.issues) {
     std::printf("  [%s] %s\n", to_string(issue.kind), issue.detail.c_str());
   }
 
-  workload::FlowGenParams fp;
-  fp.target_total_packets = opt.packets;
-  const auto flows = workload::generate_flows(network, gen, fp, rng);
-  const auto traffic = workload::TrafficMatrix::measure(gen.policies, flows.flows);
-  deployment.set_uniform_capacity(std::max(1.0, traffic.grand_total()));
-  std::printf("workload: %zu flows, %s packets\n", flows.flows.size(),
-              util::with_thousands(flows.total_packets).c_str());
+  std::printf("workload: %zu flows, %s packets\n", w.flows.flows.size(),
+              util::with_thousands(w.flows.total_packets).c_str());
 
-  core::Controller controller(network, deployment, gen.policies);
-  if (!opt.fail_one.empty()) {
-    const policy::FunctionId fn = catalog.find(opt.fail_one);
-    if (!fn.valid() || deployment.implementers(fn).empty()) {
-      std::fprintf(stderr, "unknown or undeployed function for --fail-one: %s\n",
-                   opt.fail_one.c_str());
-      return 2;
-    }
-    const net::NodeId victim = deployment.implementers(fn)[0];
-    deployment.set_failed(victim, true);
-    controller.recompute();
+  if (w.prefailed.valid()) {
     std::printf("failed middlebox: %s (controller recomputed)\n",
-                deployment.find(victim)->name.c_str());
+                w.deployment.find(w.prefailed)->name.c_str());
   }
 
-  const auto plan = controller.compile(
-      opt.strategy, opt.strategy == core::StrategyKind::kLoadBalanced ? &traffic : nullptr);
-  const auto violations = core::validate_plan(plan, network, deployment, gen.policies);
-  std::printf("plan: %s, audit %s", to_string(opt.strategy),
+  const auto violations = core::validate_plan(w.plan, w.network, w.deployment, w.gen.policies);
+  std::printf("plan: %s, audit %s", to_string(spec.strategy),
               violations.empty() ? "clean" : "VIOLATIONS:");
-  if (plan.lambda > 0) std::printf(", lambda=%.4f", plan.lambda);
+  if (w.plan.lambda > 0) std::printf(", lambda=%.4f", w.plan.lambda);
   std::printf("\n");
   for (const auto& v : violations) std::printf("  %s\n", v.c_str());
 
   const auto report =
-      analytic::evaluate_loads(network, deployment, gen.policies, plan, flows.flows);
-  const auto summaries = analytic::summarize_by_function(report, deployment, catalog);
+      analytic::evaluate_loads(w.network, w.deployment, w.gen.policies, w.plan, w.flows.flows);
+  const auto summaries = analytic::summarize_by_function(report, w.deployment, w.catalog);
   stats::TextTable table("per-type loads (packets)");
   table.set_header({"type", "boxes", "max", "min", "total"});
   for (const auto& su : summaries) {
-    table.add_row({su.function_name, std::to_string(deployment.implementers(su.function).size()),
+    table.add_row({su.function_name,
+                   std::to_string(w.deployment.implementers(su.function).size()),
                    util::with_thousands(su.max_load), util::with_thousands(su.min_load),
                    util::with_thousands(su.total_load)});
   }
   std::printf("\n%s\n", table.to_string().c_str());
 
-  const auto rt = net::RoutingTables::compute(network.topo);
+  const auto rt = net::RoutingTables::compute(w.network.topo);
   const auto stretch =
-      analytic::evaluate_path_stretch(network, gen.policies, plan, rt, flows.flows);
-  const auto fp_dist = core::measure_distribution(plan);
+      analytic::evaluate_path_stretch(w.network, w.gen.policies, w.plan, rt, w.flows.flows);
+  const auto fp_dist = core::measure_distribution(w.plan);
   std::printf("path stretch: %.2f (direct %.2f hops -> enforced %.2f hops)\n",
               stretch.stretch(), stretch.direct_hops, stretch.enforced_hops);
   std::printf("controller distribution: %s bytes to %llu devices (%llu candidates, %llu policy "
@@ -491,7 +358,7 @@ int main(int argc, char** argv) {
 
   if (opt.wants_sim()) {
     std::printf("\n");
-    return run_sim(network, deployment, gen, flows, controller, plan, opt);
+    return run_sim(w, opt);
   }
   return 0;
 }

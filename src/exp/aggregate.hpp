@@ -1,0 +1,64 @@
+// Replicate aggregation + suite export.
+//
+// A sweep arm runs the same ScenarioSpec under `n` replicate seeds and gets
+// back `n` metric snapshots. aggregate_snapshots() folds them into one
+// summary statistic per metric — count / mean / sample stddev / min / max /
+// 95% confidence interval half-width — and suite_to_json() renders the whole
+// suite with the obs exporters' deterministic number recipe.
+//
+// Determinism contract: the suite JSON is a pure function of the specs and
+// the replicate seeds. Wall-clock time and the worker-thread count are
+// deliberately excluded, which is what lets CI diff the --jobs 1 and
+// --jobs N outputs byte-for-byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/spec.hpp"
+#include "exp/world.hpp"
+
+namespace sdmbox::exp {
+
+/// Summary statistics over one metric's replicate values.
+struct Aggregate {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;  // sample standard deviation (n - 1 denominator)
+  double min = 0;
+  double max = 0;
+  double ci95 = 0;  // normal-approx 95% CI half-width: 1.96 * stddev / sqrt(n)
+};
+
+/// Fold raw replicate values. Empty input yields a zero Aggregate; a single
+/// value has stddev = ci95 = 0 (no spread estimate from one sample).
+Aggregate aggregate_values(const std::vector<double>& values);
+
+struct MetricAggregate {
+  std::string name;  // flattened `name{labels}` key from MetricsSnapshot
+  Aggregate agg;
+};
+
+/// Per-metric aggregation across replicate snapshots, keyed by the flattened
+/// metric name and returned sorted by it. Metrics absent from some
+/// replicates aggregate over the replicates that do report them (agg.count
+/// says how many).
+std::vector<MetricAggregate> aggregate_snapshots(const std::vector<MetricsSnapshot>& replicates);
+
+/// One sweep arm: a named spec, the replicate seeds that ran it, and the
+/// aggregated metrics.
+struct ArmResult {
+  std::string name;
+  ScenarioSpec spec;
+  std::vector<std::uint64_t> seeds;
+  std::vector<MetricAggregate> metrics;
+};
+
+/// Deterministic suite document. No timestamps, no wall times, no job
+/// counts — byte-identical for byte-identical inputs.
+std::string suite_to_json(const std::string& suite_name, std::uint64_t base_seed,
+                          std::size_t seeds_per_arm, const std::vector<ArmResult>& arms);
+
+}  // namespace sdmbox::exp

@@ -1,0 +1,226 @@
+#include "exp/world.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sdmbox::exp {
+namespace {
+
+/// The hot-potato target of proxy 0's first chained policy: a middlebox that
+/// is guaranteed to carry traffic, so crashing it actually matters. Invalid
+/// when no proxy-0 policy has a chain (the chaos script then skips the
+/// crash). Lifted verbatim from scenario_cli so spec-driven runs pick the
+/// same victim the CLI always picked.
+net::NodeId pick_victim(const net::GeneratedNetwork& network, const policy::PolicyList& policies,
+                        const core::EnforcementPlan& plan) {
+  if (network.proxies.empty()) return {};
+  const core::NodeConfig& cfg = plan.config(network.proxies[0]);
+  for (const policy::PolicyId pid : cfg.relevant_policies) {
+    const policy::Policy& pol = policies.at(pid);
+    if (pol.deny || pol.actions.empty()) continue;
+    const net::NodeId m = cfg.closest(pol.actions.front());
+    if (m.valid()) return m;
+  }
+  return {};
+}
+
+}  // namespace
+
+std::unique_ptr<World> build_world(const ScenarioSpec& spec) {
+  const std::string invalid = spec.validate();
+  if (!invalid.empty()) throw BuildError("invalid scenario spec: " + invalid);
+
+  auto world = std::make_unique<World>();
+  World& w = *world;
+  w.spec = spec;
+
+  // Same master-RNG consumption order as scenario_cli: topology generators
+  // take the seed by value, then deployment, policies and flows draw from
+  // the one stream — byte-identical worlds for byte-identical specs.
+  util::Rng rng(spec.seed);
+  if (spec.topology == TopologyKind::kWaxman) {
+    net::WaxmanParams wp;
+    wp.seed = spec.seed;
+    wp.edge_count = spec.waxman_edge_count;
+    wp.core_count = spec.waxman_core_count;
+    wp.proxy_mode = spec.off_path ? net::ProxyMode::kOffPath : net::ProxyMode::kInPath;
+    w.network = net::make_waxman_topology(wp);
+  } else {
+    net::CampusParams cp;
+    cp.edge_count = spec.campus_edge_count;
+    cp.core_count = spec.campus_core_count;
+    cp.proxy_mode = spec.off_path ? net::ProxyMode::kOffPath : net::ProxyMode::kInPath;
+    w.network = net::make_campus_topology(cp);
+  }
+  w.deployment = core::deploy_middleboxes(w.network, w.catalog, core::DeploymentParams{}, rng);
+
+  workload::PolicyGenParams pp;
+  pp.many_to_one = pp.one_to_many = pp.one_to_one = spec.policies_per_class;
+  w.gen = workload::generate_policies(w.network, pp, rng);
+
+  workload::FlowGenParams fp;
+  fp.target_total_packets = spec.packets;
+  w.flows = workload::generate_flows(w.network, w.gen, fp, rng);
+  w.traffic = workload::TrafficMatrix::measure(w.gen.policies, w.flows.flows);
+  w.deployment.set_uniform_capacity(std::max(1.0, w.traffic.grand_total()));
+
+  w.controller = std::make_unique<core::Controller>(w.network, w.deployment, w.gen.policies);
+  if (!spec.fail_one.empty()) {
+    const policy::FunctionId fn = w.catalog.find(spec.fail_one);
+    if (!fn.valid() || w.deployment.implementers(fn).empty()) {
+      throw BuildError("unknown or undeployed function for --fail-one: " + spec.fail_one);
+    }
+    w.prefailed = w.deployment.implementers(fn)[0];
+    w.deployment.set_failed(w.prefailed, true);
+    w.controller->recompute();
+  }
+
+  w.plan = w.controller->compile(
+      spec.strategy,
+      spec.strategy == core::StrategyKind::kLoadBalanced ? &w.traffic : nullptr);
+  return world;
+}
+
+void World::prepare_sim() {
+  SDM_CHECK_MSG(!sim_prepared_, "prepare_sim() is one-shot per world");
+  SDM_CHECK_MSG(controller != nullptr, "world has no static part — use build_world()");
+  sim_prepared_ = true;
+
+  if (spec.faults == FaultScript::kChaos) victim = pick_victim(network, gen.policies, plan);
+
+  controller_node = control::add_controller_host(network);
+  routing = net::RoutingTables::compute(network.topo);
+  resolver = net::AddressResolver::build(network.topo);
+  simnet = std::make_unique<sim::SimNetwork>(network.topo, routing, resolver);
+
+  tracer = std::make_unique<obs::PathTracer>(spec.trace_sample);
+  simnet->set_tracer(tracer.get());
+
+  core::AgentOptions opts;
+  opts.enable_flow_cache = spec.flow_cache;
+  opts.enable_label_switching = spec.label_switching;
+  opts.wp_cache_hit_rate = spec.wp_cache_hit_rate;
+  opts.peer_health.enabled = spec.peer_health;
+  opts.peer_health.probe_timeout = 0.05;
+  opts.peer_health.miss_threshold = 2;
+  opts.peer_health.blacklist_hold = 5.0;
+  opts.peer_health.min_probe_gap = 0.05;
+  cp = control::install_control_plane(*simnet, network, deployment, gen.policies, *controller,
+                                      controller_node, plan, opts);
+
+  injector = std::make_unique<sim::FaultInjector>(*simnet, &routing);
+  arm_faults();
+
+  control::HealthParams hp;
+  hp.probe_period = 0.1;
+  hp.miss_threshold = 8;
+  monitor = std::make_unique<control::HealthMonitor>(*cp.controller, deployment, network, hp);
+
+  // One registry over every layer: the packet plane, the fault script, the
+  // control plane (controller + every managed device), and the detector.
+  simnet->register_metrics(registry);
+  injector->register_metrics(registry);
+  control::register_metrics(registry, cp);
+  monitor->register_metrics(registry);
+
+  recorder = std::make_unique<obs::EpochRecorder>(registry, spec.epoch);
+
+  // Drift-triggered re-optimisation rides on the recorder's load series; its
+  // counters register before the recorder's first snapshot so every export
+  // series spans the full run.
+  if (spec.reopt_period > 0) {
+    control::ReoptimizeParams rp;
+    rp.epoch_period = spec.reopt_period;
+    rp.drift_threshold = spec.reopt_threshold;
+    rp.cooldown_epochs = spec.reopt_cooldown;
+    rp.min_reports = spec.reopt_min_reports;
+    reopt.emplace(*cp.controller, cp, *recorder, rp);
+    reopt->register_metrics(registry);
+  }
+}
+
+void World::arm_faults() {
+  if (spec.faults != FaultScript::kChaos) return;
+  // The chaos timeline shared with tests/chaos_test.cpp: victim crash at
+  // 2.05 (restart 8.0), control-channel loss 2.5–6.0, core<->gateway link
+  // flap 4.0–4.6.
+  sim::FaultSchedule schedule;
+  if (victim.valid()) schedule.crash_node(2.05, victim).restart_node(8.0, victim);
+  if (!network.gateways.empty() && !network.core_routers.empty()) {
+    const net::LinkId flap = network.topo.find_link(network.core_routers[0], network.gateways[0]);
+    if (flap.valid()) schedule.link_down(4.0, flap).link_up(4.6, flap);
+  }
+  const net::NodeId attach =
+      network.gateways.empty() ? network.core_routers.front() : network.gateways.front();
+  const net::LinkId ctrl_link = network.topo.find_link(attach, controller_node);
+  if (ctrl_link.valid()) schedule.link_loss(2.5, ctrl_link, 0.15).link_loss(6.0, ctrl_link, 0.0);
+  injector->arm(schedule);
+}
+
+void World::inject_wave(double at) {
+  // A burst of policy traffic, each flow's packets spread 30 ms apart so the
+  // burst overlaps the peer-health probe timeouts.
+  for (const auto& f : flows.flows) {
+    const std::uint64_t n = std::min<std::uint64_t>(f.packets, 6);
+    for (std::uint64_t j = 0; j < n; ++j) {
+      packet::Packet p;
+      p.inner.src = f.id.src;
+      p.inner.dst = f.id.dst;
+      p.src_port = f.id.src_port;
+      p.dst_port = f.id.dst_port;
+      p.payload_bytes = 200;
+      p.flow_seq = j;
+      simnet->inject(network.proxies[static_cast<std::size_t>(f.src_subnet)], p,
+                     at + static_cast<double>(j) * 0.03);
+    }
+  }
+}
+
+void World::run() {
+  SDM_CHECK_MSG(sim_prepared_, "run() requires prepare_sim()");
+  SDM_CHECK_MSG(!ran_, "run() is one-shot per world");
+  ran_ = true;
+
+  recorder->start(
+      [&](double d, std::function<void()> fn) {
+        simnet->simulator().schedule_in(d, std::move(fn));
+      },
+      [&] { return simnet->simulator().now(); });
+
+  cp.controller->replan(*simnet, control::ReplanRequest{
+                                     .trigger = control::ReplanTrigger::kInitial,
+                                     .plan = &plan});
+  monitor->start(*simnet);
+  if (reopt) reopt->start(*simnet);
+
+  inject_wave(1.0);
+  inject_wave(2.2);
+  inject_wave(4.3);
+  inject_wave(12.0);
+
+  simnet->simulator().schedule_at(14.0, [&] {
+    monitor->stop();
+    if (reopt) reopt->stop();
+    recorder->stop();
+  });
+  simnet->run();
+}
+
+MetricsSnapshot World::snapshot() const {
+  MetricsSnapshot out;
+  const auto samples = registry.collect();
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.emplace_back(s.name + s.labels.render(), s.value);
+  return out;
+}
+
+MetricsSnapshot run_scenario(const ScenarioSpec& spec) {
+  auto world = build_world(spec);
+  world->prepare_sim();
+  world->run();
+  return world->snapshot();
+}
+
+}  // namespace sdmbox::exp

@@ -9,12 +9,11 @@
 #include "util/log.hpp"
 
 namespace sdmbox::obs {
-namespace {
 
-/// Deterministic number rendering: integral values print as integers (the
-/// common case for counters), everything else via %.17g, which round-trips
-/// doubles exactly and never depends on locale.
-std::string fmt_number(double v) {
+// Deterministic number rendering: integral values print as integers (the
+// common case for counters), everything else via %.17g, which round-trips
+// doubles exactly and never depends on locale.
+std::string json_number(double v) {
   if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
@@ -50,6 +49,8 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+namespace {
+
 void append_labels_json(std::string& out, const Labels& labels) {
   out += '{';
   bool first = true;
@@ -67,22 +68,22 @@ void append_labels_json(std::string& out, const Labels& labels) {
 
 void append_histogram_json(std::string& out, const stats::HistogramSnapshot& h) {
   out += "{\"count\":";
-  out += fmt_number(static_cast<double>(h.count));
+  out += json_number(static_cast<double>(h.count));
   out += ",\"sum\":";
-  out += fmt_number(h.sum);
+  out += json_number(h.sum);
   out += ",\"min\":";
-  out += fmt_number(h.min);
+  out += json_number(h.min);
   out += ",\"max\":";
-  out += fmt_number(h.max);
+  out += json_number(h.max);
   out += ",\"mean\":";
-  out += fmt_number(h.mean);
+  out += json_number(h.mean);
   out += ",\"quantiles\":{";
   for (std::size_t i = 0; i < h.quantiles.size(); ++i) {
     if (i) out += ',';
     out += '"';
-    out += fmt_number(h.quantiles[i]);
+    out += json_number(h.quantiles[i]);
     out += "\":";
-    out += fmt_number(h.values[i]);
+    out += json_number(h.values[i]);
   }
   out += "}}";
 }
@@ -106,7 +107,7 @@ std::string to_json(const MetricsRegistry& registry, const EpochRecorder* series
     out += ",\"kind\":\"";
     out += to_string(s.kind);
     out += "\",\"value\":";
-    out += fmt_number(s.value);
+    out += json_number(s.value);
     if (s.kind == MetricKind::kHistogram) {
       out += ",\"histogram\":";
       append_histogram_json(out, s.histogram);
@@ -118,12 +119,12 @@ std::string to_json(const MetricsRegistry& registry, const EpochRecorder* series
   out += "  ]";
   if (series != nullptr) {
     out += ",\n  \"series\": {\n    \"period\": ";
-    out += fmt_number(series->period());
+    out += json_number(series->period());
     out += ",\n    \"epochs\": [";
     const auto& epochs = series->epochs();
     for (std::size_t i = 0; i < epochs.size(); ++i) {
       if (i) out += ',';
-      out += fmt_number(epochs[i]);
+      out += json_number(epochs[i]);
     }
     out += "],\n    \"metrics\": [\n";
     const auto all = series->series();
@@ -136,7 +137,7 @@ std::string to_json(const MetricsRegistry& registry, const EpochRecorder* series
       out += ",\"values\":[";
       for (std::size_t j = 0; j < s.values.size(); ++j) {
         if (j) out += ',';
-        out += fmt_number(s.values[j]);
+        out += json_number(s.values[j]);
       }
       out += "]}";
       if (i + 1 < all.size()) out += ',';
@@ -164,15 +165,15 @@ std::string to_prometheus(const MetricsRegistry& registry) {
     if (s.kind == MetricKind::kHistogram) {
       const auto& h = s.histogram;
       out += s.name + "_count" + s.labels.render() + ' ' +
-             fmt_number(static_cast<double>(h.count)) + '\n';
-      out += s.name + "_sum" + s.labels.render() + ' ' + fmt_number(h.sum) + '\n';
+             json_number(static_cast<double>(h.count)) + '\n';
+      out += s.name + "_sum" + s.labels.render() + ' ' + json_number(h.sum) + '\n';
       for (std::size_t i = 0; i < h.quantiles.size(); ++i) {
         Labels with_q = s.labels;
-        with_q.set("quantile", fmt_number(h.quantiles[i]));
-        out += s.name + with_q.render() + ' ' + fmt_number(h.values[i]) + '\n';
+        with_q.set("quantile", json_number(h.quantiles[i]));
+        out += s.name + with_q.render() + ' ' + json_number(h.values[i]) + '\n';
       }
     } else {
-      out += s.name + s.labels.render() + ' ' + fmt_number(s.value) + '\n';
+      out += s.name + s.labels.render() + ' ' + json_number(s.value) + '\n';
     }
   }
   return out;
@@ -194,10 +195,10 @@ std::string to_csv(const EpochRecorder& recorder) {
   out += '\n';
   const auto& epochs = recorder.epochs();
   for (std::size_t row = 0; row < epochs.size(); ++row) {
-    out += fmt_number(epochs[row]);
+    out += json_number(epochs[row]);
     for (const auto& s : all) {
       out += ',';
-      out += fmt_number(s.values[row]);
+      out += json_number(s.values[row]);
     }
     out += '\n';
   }
@@ -217,13 +218,13 @@ std::string trace_to_json(const PathTracer& tracer, const net::Topology* topo) {
   }
 
   std::string out = "{\n  \"sample_rate\": ";
-  out += fmt_number(tracer.sampler().rate());
+  out += json_number(tracer.sampler().rate());
   out += ",\n  \"seed\": ";
-  out += fmt_number(static_cast<double>(tracer.sampler().seed()));
+  out += json_number(static_cast<double>(tracer.sampler().seed()));
   out += ",\n  \"recorded\": ";
-  out += fmt_number(static_cast<double>(tracer.sink().recorded()));
+  out += json_number(static_cast<double>(tracer.sink().recorded()));
   out += ",\n  \"overwritten\": ";
-  out += fmt_number(static_cast<double>(tracer.sink().overwritten()));
+  out += json_number(static_cast<double>(tracer.sink().overwritten()));
   out += ",\n  \"flows\": [\n";
   for (std::size_t i = 0; i < flows.size(); ++i) {
     const auto& [flow, hops] = flows[i];
@@ -233,9 +234,9 @@ std::string trace_to_json(const PathTracer& tracer, const net::Topology* topo) {
     for (std::size_t j = 0; j < hops.size(); ++j) {
       const TraceRecord& r = *hops[j];
       out += "      {\"at\":";
-      out += fmt_number(r.at);
+      out += json_number(r.at);
       out += ",\"node\":";
-      out += fmt_number(static_cast<double>(r.node.v));
+      out += json_number(static_cast<double>(r.node.v));
       if (topo != nullptr && r.node.v < topo->node_count()) {
         out += ",\"device\":\"";
         out += json_escape(topo->node(r.node).name);
@@ -246,7 +247,7 @@ std::string trace_to_json(const PathTracer& tracer, const net::Topology* topo) {
       out += '"';
       if (r.detail != 0) {
         out += ",\"detail\":";
-        out += fmt_number(static_cast<double>(r.detail));
+        out += json_number(static_cast<double>(r.detail));
       }
       out += '}';
       if (j + 1 < hops.size()) out += ',';

@@ -38,6 +38,16 @@ std::string trace_to_json(const PathTracer& tracer, const net::Topology* topo = 
 std::string render_for_path(const MetricsRegistry& registry, const EpochRecorder* series,
                             const std::string& path);
 
+/// The exporters' deterministic number recipe, for other modules emitting
+/// JSON that must stay byte-identical across same-seed runs: integral values
+/// print as integers, everything else via %.17g (exact double round-trip);
+/// NaN renders as `null`, infinities as ±1e999.
+std::string json_number(double v);
+
+/// JSON string-body escaping matching the exporters (quotes, backslash,
+/// control characters).
+std::string json_escape(std::string_view s);
+
 /// Write `content` to `path`; false (with a warning log) on I/O failure.
 bool write_file(const std::string& path, const std::string& content);
 

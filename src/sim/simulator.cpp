@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "util/log.hpp"
@@ -169,7 +170,10 @@ void Simulator::schedule_at(SimTime at, Handler fn) {
 }
 
 std::shared_ptr<Simulator::Periodic> Simulator::schedule_every(SimTime period, Handler fn) {
-  SDM_CHECK_MSG(period > 0, "periodic events need a positive period");
+  // A zero / negative period would spin the calendar forever at `now`; an
+  // infinite or NaN period would silently never fire again. Both are caller
+  // bugs — reject them loudly.
+  SDM_CHECK_MSG(std::isfinite(period) && period > 0, "periodic events need a positive period");
   SDM_CHECK(fn != nullptr);
   auto handle = std::make_shared<Periodic>();
   // Each firing owns the chain state and re-enqueues a copy of itself, so a

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "net/topologies.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -70,6 +72,18 @@ TEST(Simulator, SchedulingInThePastRejected) {
   s.schedule_at(5.0, [] {});
   s.run();
   EXPECT_THROW(s.schedule_at(1.0, [] {}), ContractViolation);
+}
+
+TEST(Simulator, PeriodicRejectsNonPositiveAndNonFinitePeriods) {
+  Simulator s;
+  EXPECT_THROW(s.schedule_every(0.0, [] {}), ContractViolation);
+  EXPECT_THROW(s.schedule_every(-0.5, [] {}), ContractViolation);
+  EXPECT_THROW(s.schedule_every(std::numeric_limits<double>::infinity(), [] {}),
+               ContractViolation);
+  EXPECT_THROW(s.schedule_every(std::numeric_limits<double>::quiet_NaN(), [] {}),
+               ContractViolation);
+  // The rejected calls must leave no half-scheduled chain behind.
+  EXPECT_EQ(s.pending(), 0u);
 }
 
 TEST(Simulator, ResetClearsState) {
