@@ -17,6 +17,11 @@
 //                [--metrics-out FILE]   # telemetry dump (.json/.csv/.prom);
 //                                       # implies --sim
 //                [--trace-out FILE]     # per-flow path trace JSON; implies --sim
+//                [--verify]             # attach the enforcement-invariant
+//                                       # oracle live; non-zero exit on any
+//                                       # violation; implies --sim
+//                [--faults none|chaos|generated]  # fault timeline
+//                [--chaos-seed N]       # seed for `generated` (0 = master seed)
 //                [--epoch SECS]         # time-series sampling period (0.5)
 //                [--trace-sample RATE]  # flow sampling rate in [0,1] (1.0)
 //                [--reopt-period SECS]  # drift-triggered re-optimisation
@@ -49,6 +54,7 @@
 #include "sim/simulator.hpp"
 #include "stats/table.hpp"
 #include "util/strings.hpp"
+#include "verify/oracle.hpp"
 
 using namespace sdmbox;
 
@@ -62,7 +68,8 @@ struct CliOptions {
   std::string trace_out;    // per-flow path trace JSON path; implies sim
 
   bool wants_sim() const {
-    return sim || !metrics_out.empty() || !trace_out.empty() || spec.reopt_period > 0;
+    return sim || !metrics_out.empty() || !trace_out.empty() || spec.reopt_period > 0 ||
+           spec.verify;
   }
 };
 
@@ -73,6 +80,7 @@ int usage(const char* argv0) {
                "          [--packets N] [--policies-per-class N] [--seed N]\n"
                "          [--off-path] [--fail-one FW|IDS|WP|TM]\n"
                "          [--sim] [--metrics-out FILE] [--trace-out FILE]\n"
+               "          [--verify] [--faults none|chaos|generated] [--chaos-seed N]\n"
                "          [--epoch SECS] [--trace-sample RATE]\n"
                "          [--reopt-period SECS] [--reopt-threshold X]\n"
                "          [--reopt-cooldown N] [--reopt-min-reports N]\n",
@@ -148,6 +156,24 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       opt.policy_file = v;
     } else if (arg == "--sim") {
       opt.sim = true;
+    } else if (arg == "--verify") {
+      opt.spec.verify = true;
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "none") == 0) {
+        opt.spec.faults = exp::FaultScript::kNone;
+      } else if (std::strcmp(v, "chaos") == 0) {
+        opt.spec.faults = exp::FaultScript::kChaos;
+      } else if (std::strcmp(v, "generated") == 0) {
+        opt.spec.faults = exp::FaultScript::kGenerated;
+      } else {
+        return false;
+      }
+    } else if (arg == "--chaos-seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.spec.chaos_seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--metrics-out") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -256,6 +282,15 @@ int run_sim(exp::World& world, const CliOptions& opt) {
     std::printf("trace (%llu hop records, rate %.3f) written to %s\n",
                 static_cast<unsigned long long>(world.tracer->sink().recorded()),
                 world.tracer->sampler().rate(), opt.trace_out.c_str());
+  }
+  if (world.oracle) {
+    const verify::VerifyReport& vr = world.oracle->report();
+    std::printf("\n%s\n", vr.summary().c_str());
+    if (!vr.ok()) {
+      // Every violation in full, hop-by-hop: the narratives ARE the product.
+      for (const auto& v : vr.violations) std::printf("%s\n", v.narrative.c_str());
+      return 3;
+    }
   }
   return 0;
 }

@@ -16,6 +16,10 @@
 //             [--spec FILE] # run ONE arm from a key=value spec file instead
 //                           # of the built-in ablation grid
 //             [--out FILE]  # suite JSON path (suite.json)
+//             [--verify]    # run the enforcement-invariant oracle inside
+//                           # EVERY replicate of EVERY arm; exit 3 if any
+//                           # replicate reports a violation or incomplete
+//                           # trace coverage
 //
 // Example:
 //   ./build/examples/suite_cli --jobs 8 --seeds 5 --out suite.json
@@ -72,7 +76,8 @@ std::vector<Arm> default_arms() {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--jobs N] [--seeds N] [--seed N] [--spec FILE] [--out FILE]\n",
+               "usage: %s [--jobs N] [--seeds N] [--seed N] [--spec FILE] [--out FILE]"
+               " [--verify]\n",
                argv0);
   return 2;
 }
@@ -83,7 +88,21 @@ struct CliOptions {
   std::uint64_t seed = 2019;  // base seed
   std::string spec_file;      // single-arm mode
   std::string out = "suite.json";
+  bool verify = false;        // oracle inside every replicate
 };
+
+/// Sum of a snapshot's series whose flattened key starts with `prefix`
+/// (covers labelled families like verify_violations{class=...}).
+double snapshot_sum(const exp::MetricsSnapshot& snap, const std::string& prefix) {
+  double sum = 0;
+  for (const auto& [key, value] : snap) {
+    if (key.compare(0, prefix.size(), prefix) == 0 &&
+        (key.size() == prefix.size() || key[prefix.size()] == '{')) {
+      sum += value;
+    }
+  }
+  return sum;
+}
 
 bool parse(int argc, char** argv, CliOptions& opt) {
   for (int i = 1; i < argc; ++i) {
@@ -109,6 +128,8 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.out = v;
+    } else if (arg == "--verify") {
+      opt.verify = true;
     } else {
       return false;
     }
@@ -154,6 +175,9 @@ int main(int argc, char** argv) {
     arms.push_back({opt.spec_file, parsed.spec});
   } else {
     arms = default_arms();
+  }
+  if (opt.verify) {
+    for (auto& arm : arms) arm.spec.verify = true;
   }
 
   const exp::SweepRunner runner(opt.jobs);
@@ -201,5 +225,35 @@ int main(int argc, char** argv) {
   if (!obs::write_file(opt.out, json)) return 1;
   std::printf("suite (%zu arms, %zu runs) written to %s\n", results.size(), tasks,
               opt.out.c_str());
+
+  // Invariant gate: every replicate already ran its own oracle (verify_*
+  // series in its snapshot); fail the whole suite if ANY replicate saw a
+  // violation or lost trace coverage. Checked after the JSON export so the
+  // offending run's numbers are on disk for the postmortem.
+  if (opt.verify) {
+    std::size_t bad = 0;
+    for (std::size_t a = 0; a < arms.size(); ++a) {
+      for (std::size_t j = 0; j < opt.seeds; ++j) {
+        const std::size_t i = a * opt.seeds + j;
+        const double violations = snapshot_sum(snapshots[i], "verify_violations");
+        const double uncovered = snapshot_sum(snapshots[i], "verify_coverage_incomplete");
+        if (violations > 0 || uncovered > 0) {
+          ++bad;
+          std::fprintf(stderr,
+                       "VERIFY FAIL: arm %s seed %llu: %.0f violation(s), coverage %s\n",
+                       arms[a].name.c_str(),
+                       static_cast<unsigned long long>(exp::derive_seed(opt.seed, i)),
+                       violations, uncovered > 0 ? "INCOMPLETE" : "complete");
+        }
+      }
+    }
+    if (bad > 0) {
+      std::fprintf(stderr, "verify: %zu of %zu replicate(s) violated enforcement invariants\n",
+                   bad, tasks);
+      return 3;
+    }
+    std::printf("verify: all %zu replicate(s) clean — no enforcement-invariant violations\n",
+                tasks);
+  }
   return 0;
 }

@@ -13,8 +13,8 @@ using policy::PolicyId;
 namespace {
 // Trace hook: one pointer test when tracing is off.
 inline void trace(sim::SimNetwork& net, obs::Hop hop, const packet::FlowId& flow, double at,
-                  net::NodeId node, std::uint64_t detail = 0) {
-  if (obs::PathTracer* t = net.tracer()) t->record(hop, flow, at, node, detail);
+                  net::NodeId node, std::uint64_t detail = 0, std::uint64_t seq = 0) {
+  if (obs::PathTracer* t = net.tracer()) t->record(hop, flow, at, node, detail, seq);
 }
 }  // namespace
 
@@ -137,21 +137,27 @@ ProxyAgent::ProxyAgent(const net::GeneratedNetwork& network, std::size_t subnet_
   // Flows pinned (tunneled or label-switched) to a box declared locally dead
   // must re-establish through a live candidate: drop their cache entries so
   // the next packet reclassifies and reselects.
-  peer_health_.on_blacklist([this](sim::SimNetwork&, net::NodeId peer, net::IpAddress) {
-    flow_table_.invalidate_where(
-        [peer](const tables::FlowEntry& e) { return e.next_hop_node == peer.v; });
+  peer_health_.on_blacklist([this](sim::SimNetwork& net, net::NodeId peer, net::IpAddress) {
+    const sim::SimTime now = net.simulator().now();
+    flow_table_.invalidate_where([&](const tables::FlowEntry& e) {
+      if (e.next_hop_node != peer.v) return false;
+      // Labeled bindings die with the entry: make the teardown visible in
+      // traces (the riskiest window — the label may be reallocated next).
+      if (e.label != 0) trace(net, obs::Hop::kLabelTeardown, e.flow, now, self_, e.label);
+      return true;
+    });
   });
   apply_config(slice_for_device(plan, self_));
 }
 
 net::NodeId ProxyAgent::apply_failover(sim::SimNetwork& net, net::NodeId pick,
                                        policy::FunctionId e, const packet::FlowId& flow,
-                                       sim::SimTime now) {
+                                       sim::SimTime now, std::uint64_t seq) {
   if (!options_.peer_health.enabled || !peer_health_.blacklisted(pick, now)) return pick;
   const net::NodeId alt = failover_pick(config_.node, e, pick, peer_health_, now);
   if (alt != pick) {
     ++counters_.failover_reroutes;
-    trace(net, obs::Hop::kFailoverReroute, flow, now, self_, alt.v);
+    trace(net, obs::Hop::kFailoverReroute, flow, now, self_, alt.v, seq);
   }
   return alt;
 }
@@ -235,8 +241,11 @@ void ProxyAgent::on_packet(sim::SimNetwork& net, Packet pkt, net::NodeId /*from*
       // flow so its next packet re-establishes through a live candidate.
       ++counters_.teardowns_received;
       const auto label = static_cast<std::uint16_t>(pkt.control_seq);
-      flow_table_.invalidate_where(
-          [label](const tables::FlowEntry& e) { return e.label != 0 && e.label == label; });
+      flow_table_.invalidate_where([&](const tables::FlowEntry& e) {
+        if (e.label == 0 || e.label != label) return false;
+        trace(net, obs::Hop::kLabelTeardown, e.flow, now, self_, e.label);
+        return true;
+      });
       net.deliver(self_, pkt);
       return;
     }
@@ -270,16 +279,16 @@ void ProxyAgent::handle_outbound(sim::SimNetwork& net, Packet pkt) {
     const std::uint64_t flow_hash = tables::FlowTable::hash_of(flow);
     entry = flow_table_.lookup(flow, flow_hash, now);
     if (entry == nullptr) {
-      trace(net, obs::Hop::kCacheMiss, flow, now, self_);
+      trace(net, obs::Hop::kCacheMiss, flow, now, self_, 0, pkt.flow_seq);
       ++counters_.classifier_lookups;
       const policy::Policy* pol = classifier_->first_match(flow);
-      trace(net, obs::Hop::kClassified, flow, now, self_, pol ? pol->id.v : 0);
+      trace(net, obs::Hop::kClassified, flow, now, self_, pol ? pol->id.v : 0, pkt.flow_seq);
       entry = &flow_table_.insert(flow, flow_hash, pol ? pol->id : PolicyId{},
                                   pol ? pol->actions : policy::ActionList{}, now);
       // Cache the destination-subnet index for measurement reporting.
       entry->user_tag = resolve_dst_subnet(flow.dst);
     } else {
-      trace(net, obs::Hop::kCacheHit, flow, now, self_);
+      trace(net, obs::Hop::kCacheHit, flow, now, self_, 0, pkt.flow_seq);
     }
     matched = entry->policy;
     actions = &entry->actions;
@@ -287,7 +296,7 @@ void ProxyAgent::handle_outbound(sim::SimNetwork& net, Packet pkt) {
   } else {
     ++counters_.classifier_lookups;
     const policy::Policy* pol = classifier_->first_match(flow);
-    trace(net, obs::Hop::kClassified, flow, now, self_, pol ? pol->id.v : 0);
+    trace(net, obs::Hop::kClassified, flow, now, self_, pol ? pol->id.v : 0, pkt.flow_seq);
     static const policy::ActionList kEmpty;
     matched = pol ? pol->id : PolicyId{};
     actions = pol ? &pol->actions : &kEmpty;
@@ -305,22 +314,33 @@ void ProxyAgent::handle_outbound(sim::SimNetwork& net, Packet pkt) {
     if (matched.valid() && policies_.at(matched).deny) {
       // Deny rule: the proxy drops the packet inline.
       ++counters_.denied_packets;
-      trace(net, obs::Hop::kDenied, flow, now, self_, matched.v);
+      trace(net, obs::Hop::kDenied, flow, now, self_, matched.v, pkt.flow_seq);
       return;
     }
     // No policy, or an explicit permit: plain routing.
     ++counters_.permit_packets;
-    trace(net, obs::Hop::kPermitted, flow, now, self_);
+    trace(net, obs::Hop::kPermitted, flow, now, self_, 0, pkt.flow_seq);
     net.forward(self_, std::move(pkt));
     return;
   }
 
   const policy::Policy& pol = policies_.at(matched);
   const policy::FunctionId first_fn = actions->front();
-  net::NodeId first =
-      select_next_hop(config_, pol, first_fn, flow, subnet_index(), dst_subnet);
-  SDM_CHECK_MSG(first.valid(), "no candidate middlebox for first chain function");
-  first = apply_failover(net, first, first_fn, flow, now);
+  net::NodeId first;
+  const bool pinned = options_.enable_label_switching && entry != nullptr &&
+                      entry->label_switched && net::NodeId{entry->next_hop_node}.valid();
+  if (pinned) {
+    // Confirmed switched chains are pinned: the downstream label tables bind
+    // this label to the hop sequence established at setup, so re-running
+    // selection (a replan may have shifted split ratios since) would steer
+    // labeled packets to a box holding no matching entry. Blacklisting the
+    // pinned box drops this entry, which un-pins the flow.
+    first = net::NodeId{entry->next_hop_node};
+  } else {
+    first = select_next_hop(config_, pol, first_fn, flow, subnet_index(), dst_subnet);
+    SDM_CHECK_MSG(first.valid(), "no candidate middlebox for first chain function");
+    first = apply_failover(net, first, first_fn, flow, now, pkt.flow_seq);
+  }
   const net::IpAddress first_addr = net.topology().node(first).address;
   if (entry != nullptr) entry->next_hop_node = first.v;
   peer_health_.on_use(net, self_, address_, first, first_addr);
@@ -334,7 +354,7 @@ void ProxyAgent::handle_outbound(sim::SimNetwork& net, Packet pkt) {
       packet::set_label(pkt.inner, entry->label);
       pkt.inner.dst = first_addr;
       ++counters_.label_switched_packets;
-      trace(net, obs::Hop::kLabelSwitchTx, flow, now, self_, entry->label);
+      trace(net, obs::Hop::kLabelSwitchTx, flow, now, self_, entry->label, pkt.flow_seq);
       net.forward(self_, std::move(pkt));
       return;
     }
@@ -346,7 +366,7 @@ void ProxyAgent::handle_outbound(sim::SimNetwork& net, Packet pkt) {
   pkt.chain_pos = 0;  // service index: the first middlebox serves action 0
   pkt.encapsulate(address_, first_addr);
   ++counters_.tunneled_packets;
-  trace(net, obs::Hop::kTunnelEncap, flow, now, self_, first.v);
+  trace(net, obs::Hop::kTunnelEncap, flow, now, self_, first.v, pkt.flow_seq);
   net.forward(self_, std::move(pkt));
 }
 
@@ -394,6 +414,13 @@ MiddleboxAgent::MiddleboxAgent(const net::GeneratedNetwork& network, const Middl
   // idle timeout).
   peer_health_.on_blacklist([this](sim::SimNetwork& net, net::NodeId, net::IpAddress peer_addr) {
     for (const auto& [key, entry] : label_table_.invalidate_next_hop(peer_addr)) {
+      // Make the teardown visible in traces under the label's owning source
+      // (label entries don't keep the full 5-tuple; the proxy-side teardown
+      // carries the exact flows).
+      packet::FlowId torn;
+      torn.src = key.src;
+      torn.dst = entry.proxy_addr;
+      trace(net, obs::Hop::kLabelTeardown, torn, net.simulator().now(), info_.node, key.label);
       Packet teardown;
       teardown.kind = packet::PacketKind::kLabelTeardown;
       teardown.inner.src = net.topology().node(info_.node).address;
@@ -410,12 +437,12 @@ MiddleboxAgent::MiddleboxAgent(const net::GeneratedNetwork& network, const Middl
 
 net::NodeId MiddleboxAgent::apply_failover(sim::SimNetwork& net, net::NodeId pick,
                                            policy::FunctionId e, const packet::FlowId& flow,
-                                           sim::SimTime now) {
+                                           sim::SimTime now, std::uint64_t seq) {
   if (!options_.peer_health.enabled || !peer_health_.blacklisted(pick, now)) return pick;
   const net::NodeId alt = failover_pick(config_.node, e, pick, peer_health_, now);
   if (alt != pick) {
     ++counters_.failover_reroutes;
-    trace(net, obs::Hop::kFailoverReroute, flow, now, info_.node, alt.v);
+    trace(net, obs::Hop::kFailoverReroute, flow, now, info_.node, alt.v, seq);
   }
   return alt;
 }
@@ -454,21 +481,21 @@ bool MiddleboxAgent::apply_config(DeviceConfig config) {
 
 MiddleboxAgent::Resolved MiddleboxAgent::resolve_policy(sim::SimNetwork& net,
                                                         const packet::FlowId& flow,
-                                                        sim::SimTime now) {
+                                                        sim::SimTime now, std::uint64_t seq) {
   Resolved out;
   if (options_.enable_flow_cache) {
     // One 5-tuple hash per packet: the miss path reuses it for the insert.
     const std::uint64_t flow_hash = tables::FlowTable::hash_of(flow);
     if (tables::FlowEntry* entry = flow_table_.lookup(flow, flow_hash, now)) {
-      trace(net, obs::Hop::kCacheHit, flow, now, info_.node);
+      trace(net, obs::Hop::kCacheHit, flow, now, info_.node, 0, seq);
       out.pol = entry->is_negative() ? nullptr : &policies_.at(entry->policy);
       std::tie(out.src_subnet, out.dst_subnet) = unpack_subnets(entry->user_tag);
       return out;
     }
-    trace(net, obs::Hop::kCacheMiss, flow, now, info_.node);
+    trace(net, obs::Hop::kCacheMiss, flow, now, info_.node, 0, seq);
     ++counters_.classifier_lookups;
     out.pol = classifier_->first_match(flow);
-    trace(net, obs::Hop::kClassified, flow, now, info_.node, out.pol ? out.pol->id.v : 0);
+    trace(net, obs::Hop::kClassified, flow, now, info_.node, out.pol ? out.pol->id.v : 0, seq);
     out.src_subnet = subnet_index_of(network_, flow.src);
     out.dst_subnet = subnet_index_of(network_, flow.dst);
     tables::FlowEntry& entry =
@@ -479,7 +506,7 @@ MiddleboxAgent::Resolved MiddleboxAgent::resolve_policy(sim::SimNetwork& net,
   }
   ++counters_.classifier_lookups;
   out.pol = classifier_->first_match(flow);
-  trace(net, obs::Hop::kClassified, flow, now, info_.node, out.pol ? out.pol->id.v : 0);
+  trace(net, obs::Hop::kClassified, flow, now, info_.node, out.pol ? out.pol->id.v : 0, seq);
   out.src_subnet = subnet_index_of(network_, flow.src);
   out.dst_subnet = subnet_index_of(network_, flow.dst);
   return out;
@@ -513,7 +540,8 @@ void MiddleboxAgent::on_packet(sim::SimNetwork& net, Packet pkt, net::NodeId /*f
   // Anything else is misdirected: a middlebox is a leaf and should only see
   // traffic addressed to it. Count and sink.
   ++counters_.anomalies;
-  trace(net, obs::Hop::kAnomaly, pkt.flow_id(), net.simulator().now(), info_.node);
+  trace(net, obs::Hop::kAnomaly, pkt.flow_id(), net.simulator().now(), info_.node, 0,
+        pkt.flow_seq);
   net.deliver(info_.node, pkt);
 }
 
@@ -522,8 +550,8 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
   const packet::Ipv4Header outer = pkt.decapsulate();  // outer.src = originating proxy
 
   const packet::FlowId flow = pkt.flow_id();
-  trace(net, obs::Hop::kTunnelDecap, flow, now, info_.node);
-  const Resolved resolved = resolve_policy(net, flow, now);
+  trace(net, obs::Hop::kTunnelDecap, flow, now, info_.node, 0, pkt.flow_seq);
+  const Resolved resolved = resolve_policy(net, flow, now, pkt.flow_seq);
   const policy::Policy* pol = resolved.pol;
   const std::size_t first_position = pkt.chain_pos;
   std::size_t position = pkt.chain_pos;
@@ -534,7 +562,7 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
     // destination — still counting one processing pass.
     ++counters_.processed_packets;
     ++counters_.anomalies;
-    trace(net, obs::Hop::kAnomaly, flow, now, info_.node);
+    trace(net, obs::Hop::kAnomaly, flow, now, info_.node, 0, pkt.flow_seq);
     net.forward(info_.node, std::move(pkt));
     return;
   }
@@ -544,13 +572,14 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
   // middlebox never forwards to itself (Π_x excludes own functions).
   for (;;) {
     ++counters_.processed_packets;
-    trace(net, obs::Hop::kFunctionApplied, flow, now, info_.node, pol->actions[position].v);
+    trace(net, obs::Hop::kFunctionApplied, flow, now, info_.node, pol->actions[position].v,
+          pkt.flow_seq);
     // §III.F: a web proxy with the page cached answers the source directly;
     // the rest of the chain never sees the flow.
     if (pol->actions[position] == policy::kWebProxy &&
         wp_cache_hit(flow, options_.wp_cache_hit_rate)) {
       ++counters_.cache_responses;
-      trace(net, obs::Hop::kWpCacheResponse, flow, now, info_.node);
+      trace(net, obs::Hop::kWpCacheResponse, flow, now, info_.node, 0, pkt.flow_seq);
       std::swap(pkt.inner.src, pkt.inner.dst);
       std::swap(pkt.src_port, pkt.dst_port);
       packet::clear_label(pkt.inner);
@@ -573,7 +602,7 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
                                     resolved.dst_subnet);
     SDM_CHECK_MSG(y.valid(), "no candidate middlebox for mid-chain function");
     SDM_CHECK_MSG(y != info_.node, "local continuation must not re-tunnel to self");
-    y = apply_failover(net, y, next_fn, flow, now);
+    y = apply_failover(net, y, next_fn, flow, now, pkt.flow_seq);
     const net::IpAddress y_addr = net.topology().node(y).address;
     peer_health_.on_use(net, info_.node, net.topology().node(info_.node).address, y, y_addr);
     if (label != 0) {
@@ -595,7 +624,7 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
     pkt.chain_pos = static_cast<std::uint8_t>(position + 1);
     pkt.encapsulate(outer.src, y_addr);
     ++counters_.tunneled_out;
-    trace(net, obs::Hop::kTunnelEncap, flow, now, info_.node, y.v);
+    trace(net, obs::Hop::kTunnelEncap, flow, now, info_.node, y.v, pkt.flow_seq);
     net.forward(info_.node, std::move(pkt));
     return;
   }
@@ -603,7 +632,7 @@ void MiddleboxAgent::handle_tunneled(sim::SimNetwork& net, Packet pkt) {
   // Chain tail: record ⟨src|l, a, dst⟩, notify the proxy, release the packet
   // toward its true destination on plain routing (§III.B/E).
   ++counters_.chain_tails;
-  trace(net, obs::Hop::kChainTail, flow, now, info_.node);
+  trace(net, obs::Hop::kChainTail, flow, now, info_.node, 0, pkt.flow_seq);
   if (label != 0) {
     const tables::LabelKey key{pkt.inner.src, label};
     const std::uint64_t key_hash = tables::LabelTable::hash_of(key);
@@ -644,21 +673,21 @@ void MiddleboxAgent::handle_switched(sim::SimNetwork& net, Packet pkt) {
   // the rewritten tuple (best effort).
   packet::FlowId tflow = pkt.flow_id();
   if (entry != nullptr && entry->is_chain_tail()) tflow.dst = *entry->final_dst;
-  trace(net, obs::Hop::kLabelSwitchRx, tflow, now, info_.node, label);
+  trace(net, obs::Hop::kLabelSwitchRx, tflow, now, info_.node, label, pkt.flow_seq);
   counters_.processed_packets += entry != nullptr ? entry->functions_applied() : 1;
   if (entry == nullptr) {
     // Soft state expired under us; without the original destination the
     // packet cannot be repaired here. Count and drop — the transport layer
     // retransmits and the proxy's next first-packet re-establishes state.
     ++counters_.anomalies;
-    trace(net, obs::Hop::kAnomaly, tflow, now, info_.node, label);
+    trace(net, obs::Hop::kAnomaly, tflow, now, info_.node, label, pkt.flow_seq);
     return;
   }
   if (entry->is_chain_tail()) {
     pkt.inner.dst = *entry->final_dst;
     packet::clear_label(pkt.inner);
     ++counters_.chain_tails;
-    trace(net, obs::Hop::kChainTail, tflow, now, info_.node);
+    trace(net, obs::Hop::kChainTail, tflow, now, info_.node, 0, pkt.flow_seq);
   } else {
     SDM_CHECK(entry->next_hop.has_value());
     const net::IpAddress nh = *entry->next_hop;

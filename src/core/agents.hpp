@@ -199,7 +199,7 @@ private:
   /// past the end of M_x^e); keeps `pick` if every alternative is also
   /// blacklisted (fail open — a guess beats a guaranteed drop).
   net::NodeId apply_failover(sim::SimNetwork& net, net::NodeId pick, policy::FunctionId e,
-                             const packet::FlowId& flow, sim::SimTime now);
+                             const packet::FlowId& flow, sim::SimTime now, std::uint64_t seq);
 
   const net::GeneratedNetwork& network_;
   const policy::PolicyList& policies_;
@@ -252,9 +252,10 @@ private:
     int src_subnet = -1;
     int dst_subnet = -1;
   };
-  Resolved resolve_policy(sim::SimNetwork& net, const packet::FlowId& flow, sim::SimTime now);
+  Resolved resolve_policy(sim::SimNetwork& net, const packet::FlowId& flow, sim::SimTime now,
+                          std::uint64_t seq);
   net::NodeId apply_failover(sim::SimNetwork& net, net::NodeId pick, policy::FunctionId e,
-                             const packet::FlowId& flow, sim::SimTime now);
+                             const packet::FlowId& flow, sim::SimTime now, std::uint64_t seq);
 
   const net::GeneratedNetwork& network_;
   const MiddleboxInfo& info_;

@@ -116,6 +116,7 @@ const char* to_string(FaultScript f) noexcept {
   switch (f) {
     case FaultScript::kNone: return "none";
     case FaultScript::kChaos: return "chaos";
+    case FaultScript::kGenerated: return "generated";
   }
   return "?";
 }
@@ -137,6 +138,7 @@ std::string ScenarioSpec::validate() const {
     return "reopt_threshold must be in [0, 1]";
   if (reopt_cooldown < 1) return "reopt_cooldown must be >= 1";
   if (label_switching && !flow_cache) return "label_switching requires flow_cache";
+  if (verify && trace_sample <= 0) return "verify requires trace_sample > 0";
   return {};
 }
 
@@ -158,8 +160,10 @@ std::string ScenarioSpec::to_text() const {
   out << "wp_cache_hit_rate = " << fmt_double(wp_cache_hit_rate) << '\n';
   out << "peer_health = " << (peer_health ? "true" : "false") << '\n';
   out << "faults = " << to_string(faults) << '\n';
+  out << "chaos_seed = " << chaos_seed << '\n';
   out << "epoch = " << fmt_double(epoch) << '\n';
   out << "trace_sample = " << fmt_double(trace_sample) << '\n';
+  out << "verify = " << (verify ? "true" : "false") << '\n';
   out << "reopt_period = " << fmt_double(reopt_period) << '\n';
   out << "reopt_threshold = " << fmt_double(reopt_threshold) << '\n';
   out << "reopt_cooldown = " << reopt_cooldown << '\n';
@@ -230,13 +234,19 @@ SpecParseResult parse_text(const std::string& text, const ScenarioSpec& defaults
         s.faults = FaultScript::kNone;
       } else if (value == "chaos") {
         s.faults = FaultScript::kChaos;
+      } else if (value == "generated") {
+        s.faults = FaultScript::kGenerated;
       } else {
         ok = false;
       }
+    } else if (key == "chaos_seed") {
+      ok = parse_u64(value, s.chaos_seed);
     } else if (key == "epoch") {
       ok = parse_double(value, s.epoch);
     } else if (key == "trace_sample") {
       ok = parse_double(value, s.trace_sample);
+    } else if (key == "verify") {
+      ok = parse_bool(value, s.verify);
     } else if (key == "reopt_period") {
       ok = parse_double(value, s.reopt_period);
     } else if (key == "reopt_threshold") {

@@ -37,9 +37,11 @@ enum class TopologyKind : std::uint8_t { kCampus, kWaxman };
 
 /// Scripted fault timeline applied during the packet-level run.
 enum class FaultScript : std::uint8_t {
-  kNone,   // fault-free run
-  kChaos,  // victim-middlebox crash + restart, core<->gateway link flap,
-           // lossy control channel (the chaos_test / scenario_cli timeline)
+  kNone,       // fault-free run
+  kChaos,      // victim-middlebox crash + restart, core<->gateway link flap,
+               // lossy control channel (the chaos_test / scenario_cli timeline)
+  kGenerated,  // randomized crash/restart/link-flap schedule derived from
+               // chaos_seed (verify::generate_chaos) — many timelines, one knob
 };
 
 const char* to_string(TopologyKind k) noexcept;
@@ -73,8 +75,16 @@ struct ScenarioSpec {
 
   // --- packet-level run ---
   FaultScript faults = FaultScript::kChaos;
+  /// Seed for the kGenerated fault schedule; 0 = reuse the master seed.
+  std::uint64_t chaos_seed = 0;
   double epoch = 0.5;         // EpochRecorder sampling period (simulated s)
   double trace_sample = 1.0;  // PathTracer flow sampling rate in [0, 1]
+
+  // --- enforcement-invariant verification ---
+  /// Attach the verify::InvariantOracle as a live trace observer and report
+  /// violations in the run's metrics (verify_* series). Off by default: the
+  /// oracle needs the trace stream (trace_sample > 0 to see anything).
+  bool verify = false;
 
   // --- drift-triggered re-optimisation (0 period = loop off) ---
   double reopt_period = 0;

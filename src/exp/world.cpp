@@ -4,6 +4,7 @@
 
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "verify/chaosgen.hpp"
 
 namespace sdmbox::exp {
 namespace {
@@ -98,6 +99,17 @@ void World::prepare_sim() {
   tracer = std::make_unique<obs::PathTracer>(spec.trace_sample);
   simnet->set_tracer(tracer.get());
 
+  if (spec.verify) {
+    // Live attachment: the oracle sees every sampled record as it happens,
+    // independent of ring capacity. Observers never mutate the sink, so
+    // trace/metric exports stay byte-identical to a non-verify run (modulo
+    // the verify_* series registered below).
+    oracle = std::make_unique<verify::InvariantOracle>(network, deployment, gen.policies, plan,
+                                                       &catalog);
+    oracle->set_complete_stream(spec.trace_sample >= 1.0);
+    tracer->set_observer(oracle.get());
+  }
+
   core::AgentOptions opts;
   opts.enable_flow_cache = spec.flow_cache;
   opts.enable_label_switching = spec.label_switching;
@@ -122,6 +134,7 @@ void World::prepare_sim() {
   // control plane (controller + every managed device), and the detector.
   simnet->register_metrics(registry);
   injector->register_metrics(registry);
+  if (oracle) oracle->register_metrics(registry);
   control::register_metrics(registry, cp);
   monitor->register_metrics(registry);
 
@@ -142,6 +155,14 @@ void World::prepare_sim() {
 }
 
 void World::arm_faults() {
+  if (spec.faults == FaultScript::kGenerated) {
+    // Seeded randomized schedule: one knob, many distinct fault timelines.
+    // chaos_seed 0 reuses the master seed so `faults = generated` alone is
+    // already a valid (and reproducible) spec.
+    const std::uint64_t seed = spec.chaos_seed != 0 ? spec.chaos_seed : spec.seed;
+    injector->arm(verify::generate_chaos(network, deployment, seed));
+    return;
+  }
   if (spec.faults != FaultScript::kChaos) return;
   // The chaos timeline shared with tests/chaos_test.cpp: victim crash at
   // 2.05 (restart 8.0), control-channel loss 2.5–6.0, core<->gateway link
@@ -159,9 +180,11 @@ void World::arm_faults() {
   injector->arm(schedule);
 }
 
-void World::inject_wave(double at) {
+void World::inject_wave(double at, std::uint64_t wave) {
   // A burst of policy traffic, each flow's packets spread 30 ms apart so the
-  // burst overlaps the peer-health probe timeouts.
+  // burst overlaps the peer-health probe timeouts. flow_seq is unique and
+  // nonzero per (flow, packet) across waves: the invariant oracle keys
+  // packets on (flow, seq), and 0 is the "no sequence" sentinel.
   for (const auto& f : flows.flows) {
     const std::uint64_t n = std::min<std::uint64_t>(f.packets, 6);
     for (std::uint64_t j = 0; j < n; ++j) {
@@ -171,7 +194,7 @@ void World::inject_wave(double at) {
       p.src_port = f.id.src_port;
       p.dst_port = f.id.dst_port;
       p.payload_bytes = 200;
-      p.flow_seq = j;
+      p.flow_seq = wave * 6 + j + 1;
       simnet->inject(network.proxies[static_cast<std::size_t>(f.src_subnet)], p,
                      at + static_cast<double>(j) * 0.03);
     }
@@ -195,10 +218,10 @@ void World::run() {
   monitor->start(*simnet);
   if (reopt) reopt->start(*simnet);
 
-  inject_wave(1.0);
-  inject_wave(2.2);
-  inject_wave(4.3);
-  inject_wave(12.0);
+  inject_wave(1.0, 0);
+  inject_wave(2.2, 1);
+  inject_wave(4.3, 2);
+  inject_wave(12.0, 3);
 
   simnet->simulator().schedule_at(14.0, [&] {
     monitor->stop();
@@ -206,6 +229,7 @@ void World::run() {
     recorder->stop();
   });
   simnet->run();
+  if (oracle) oracle->finish();
 }
 
 MetricsSnapshot World::snapshot() const {

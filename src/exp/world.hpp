@@ -33,6 +33,7 @@
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/faults.hpp"
+#include "verify/oracle.hpp"
 #include "workload/flow_gen.hpp"
 #include "workload/policy_gen.hpp"
 #include "workload/traffic_matrix.hpp"
@@ -77,6 +78,10 @@ public:
   std::unique_ptr<obs::EpochRecorder> recorder;
   std::optional<control::ReoptimizePolicy> reopt;
   net::NodeId victim;  // chaos-script crash target (invalid when none found)
+  /// Enforcement-invariant oracle, attached live to the tracer when
+  /// spec.verify is set (null otherwise). run() finishes it; read
+  /// oracle->report() afterwards.
+  std::unique_ptr<verify::InvariantOracle> oracle;
 
   World() = default;
   World(const World&) = delete;
@@ -97,7 +102,7 @@ public:
 
 private:
   void arm_faults();
-  void inject_wave(double at);
+  void inject_wave(double at, std::uint64_t wave);
   bool sim_prepared_ = false;
   bool ran_ = false;
 };

@@ -249,6 +249,10 @@ std::string trace_to_json(const PathTracer& tracer, const net::Topology* topo) {
         out += ",\"detail\":";
         out += json_number(static_cast<double>(r.detail));
       }
+      if (r.seq != 0) {
+        out += ",\"seq\":";
+        out += json_number(static_cast<double>(r.seq));
+      }
       out += '}';
       if (j + 1 < hops.size()) out += ',';
       out += '\n';

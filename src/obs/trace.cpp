@@ -30,13 +30,18 @@ const char* to_string(Hop hop) noexcept {
     case Hop::kDropQueue: return "drop_queue";
     case Hop::kDropLinkDown: return "drop_link_down";
     case Hop::kDropLinkLoss: return "drop_link_loss";
+    case Hop::kLabelTeardown: return "label_teardown";
   }
   return "?";
 }
 
 TraceSampler::TraceSampler(double rate, std::uint64_t seed) : rate_(rate), seed_(seed) {
-  SDM_CHECK_MSG(rate >= 0.0 && rate <= 1.0, "trace sample rate must be in [0, 1]");
-  threshold_ = static_cast<std::uint64_t>(std::llround(rate * 4294967296.0));  // rate * 2^32
+  // Clamp instead of asserting: a rate above 1 would overflow the 2^32
+  // threshold scaling (llround of e.g. 1.5 * 2^32 truncates modulo 2^32 on
+  // some platforms and traces *nothing*); NaN and negatives mean "off".
+  if (!(rate_ >= 0.0)) rate_ = 0.0;  // also catches NaN
+  if (rate_ > 1.0) rate_ = 1.0;
+  threshold_ = static_cast<std::uint64_t>(std::llround(rate_ * 4294967296.0));  // rate * 2^32
 }
 
 TraceSink::TraceSink(std::size_t capacity) : capacity_(capacity) {
@@ -49,6 +54,7 @@ void TraceSink::record(TraceRecord r) {
     ring_.push_back(r);
   } else {
     ring_[recorded_ % capacity_] = r;
+    ++dropped_;
   }
   ++recorded_;
 }

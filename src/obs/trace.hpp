@@ -45,6 +45,7 @@ enum class Hop : std::uint8_t {
   kDropQueue,       // drop-tail queue overflow
   kDropLinkDown,    // transmitted onto a failed link
   kDropLinkLoss,    // injected probabilistic wire loss
+  kLabelTeardown,   // a label binding was invalidated (detail = label)
 };
 
 const char* to_string(Hop hop) noexcept;
@@ -55,11 +56,23 @@ struct TraceRecord {
   net::NodeId node;         // where the event happened
   Hop hop = Hop::kInjected;
   std::uint64_t detail = 0; // hop-specific (label, function id, node id); 0 = none
+  std::uint64_t seq = 0;    // packet index within its flow (ties records to one packet)
+};
+
+/// Live consumer of sampled trace records, notified as each record is made
+/// (before any ring eviction, so it sees the full stream even when the
+/// bounded sink wraps). Observers must not mutate the tracer.
+class TraceObserver {
+public:
+  virtual ~TraceObserver() = default;
+  virtual void on_record(const TraceRecord& r) = 0;
 };
 
 /// Deterministic flow sampler: a flow is traced iff the low 32 bits of its
 /// seeded 5-tuple hash fall under rate * 2^32. Stateless, so every packet of
-/// a flow agrees, and runs with equal seeds trace equal flow sets.
+/// a flow agrees, and runs with equal seeds trace equal flow sets. Rates
+/// outside [0, 1] are clamped (a rate > 1 would otherwise overflow the 2^32
+/// threshold scaling and trace nothing).
 class TraceSampler {
 public:
   explicit TraceSampler(double rate = 0.0, std::uint64_t seed = kDefaultSeed);
@@ -81,7 +94,9 @@ private:
 };
 
 /// Bounded ring of trace records: the newest `capacity` records survive, and
-/// the overwritten count says how much history was shed.
+/// the dropped count says how much history was shed (each overwrite drops
+/// exactly one record, counted explicitly so consumers can tell a complete
+/// ring from a wrapped one).
 class TraceSink {
 public:
   explicit TraceSink(std::size_t capacity = 1 << 16);
@@ -93,18 +108,21 @@ public:
 
   std::size_t capacity() const noexcept { return capacity_; }
   std::uint64_t recorded() const noexcept { return recorded_; }
-  std::uint64_t overwritten() const noexcept {
-    return recorded_ <= capacity_ ? 0 : recorded_ - capacity_;
-  }
+  /// Records shed from the ring by overwrite; > 0 means history is incomplete.
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t overwritten() const noexcept { return dropped_; }
 
 private:
   std::size_t capacity_;
   std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
   std::vector<TraceRecord> ring_;
 };
 
 /// Sampler + sink, wired into SimNetwork via set_tracer(). Agents call
 /// record() unconditionally for traced events; the sampler gate is inside.
+/// An optional live observer (e.g. the enforcement-invariant oracle) sees
+/// every sampled record as it happens, independent of ring capacity.
 class PathTracer {
 public:
   explicit PathTracer(double sample_rate, std::size_t capacity = 1 << 16,
@@ -112,10 +130,16 @@ public:
       : sampler_(sample_rate, seed), sink_(capacity) {}
 
   void record(Hop hop, const packet::FlowId& flow, double at, net::NodeId node,
-              std::uint64_t detail = 0) {
+              std::uint64_t detail = 0, std::uint64_t seq = 0) {
     if (!sampler_.sampled(flow)) return;
-    sink_.record(TraceRecord{at, flow, node, hop, detail});
+    const TraceRecord r{at, flow, node, hop, detail, seq};
+    sink_.record(r);
+    if (observer_ != nullptr) observer_->on_record(r);
   }
+
+  /// Attach/detach a live record consumer; nullptr detaches. Not owned.
+  void set_observer(TraceObserver* observer) noexcept { observer_ = observer; }
+  TraceObserver* observer() const noexcept { return observer_; }
 
   bool sampled(const packet::FlowId& flow) const noexcept { return sampler_.sampled(flow); }
 
@@ -125,6 +149,7 @@ public:
 private:
   TraceSampler sampler_;
   TraceSink sink_;
+  TraceObserver* observer_ = nullptr;
 };
 
 }  // namespace sdmbox::obs

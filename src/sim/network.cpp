@@ -12,7 +12,7 @@ namespace {
 // inside record().
 inline void trace(obs::PathTracer* t, obs::Hop hop, const packet::Packet& pkt, double at,
                   net::NodeId node, std::uint64_t detail = 0) {
-  if (t != nullptr) t->record(hop, pkt.flow_id(), at, node, detail);
+  if (t != nullptr) t->record(hop, pkt.flow_id(), at, node, detail, pkt.flow_seq);
 }
 }  // namespace
 

@@ -1,0 +1,94 @@
+#include "verify/chaosgen.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sdmbox::verify {
+namespace {
+
+/// Links safe to flap: both endpoints are pure forwarders (gateway / core /
+/// edge routers). Stub links to hosts, proxies or middleboxes would isolate
+/// an element outright instead of forcing a reroute.
+std::vector<net::LinkId> flappable_links(const net::Topology& topo) {
+  std::vector<net::LinkId> out;
+  for (std::uint32_t i = 0; i < topo.link_count(); ++i) {
+    const net::LinkId id{i};
+    const net::Link& l = topo.link(id);
+    const net::NodeKind ka = topo.node(l.a).kind;
+    const net::NodeKind kb = topo.node(l.b).kind;
+    const auto routerish = [](net::NodeKind k) {
+      return k == net::NodeKind::kGatewayRouter || k == net::NodeKind::kCoreRouter ||
+             k == net::NodeKind::kEdgeRouter;
+    };
+    if (routerish(ka) && routerish(kb)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+sim::FaultSchedule generate_chaos(const net::GeneratedNetwork& network,
+                                  const core::Deployment& deployment, std::uint64_t seed,
+                                  const ChaosGenParams& params) {
+  sim::FaultSchedule schedule;
+  const double span = params.horizon - params.start;
+  if (!(span > 0)) return schedule;
+
+  // Distinct stream per concern so adding flaps never reshuffles crashes.
+  util::Rng crash_rng(util::mix64(seed ^ 0xc4a55eedULL));
+  util::Rng link_rng(util::mix64(seed ^ 0xf1a95eedULL));
+  util::Rng loss_rng(util::mix64(seed ^ 0x1055edULL));
+
+  std::vector<net::NodeId> boxes;
+  for (const core::MiddleboxInfo& m : deployment.middleboxes()) boxes.push_back(m.node);
+
+  // Crash/restart pairs in disjoint time slices: each victim is down for a
+  // random sub-window of its slice and guaranteed back up before the next
+  // fault of this class — no compounding, every schedule recoverable.
+  if (!boxes.empty() && params.crash_pairs > 0) {
+    const double slice = span / params.crash_pairs;
+    for (int i = 0; i < params.crash_pairs; ++i) {
+      const net::NodeId victim = boxes[crash_rng.pick_index(boxes.size())];
+      const double s = params.start + slice * i;
+      const double down = s + crash_rng.next_double() * slice * 0.4;
+      const double outage =
+          params.min_outage + crash_rng.next_double() * (slice * 0.5 - params.min_outage);
+      schedule.crash_node(down, victim);
+      schedule.restart_node(down + std::max(params.min_outage, outage), victim);
+    }
+  }
+
+  const std::vector<net::LinkId> links = flappable_links(network.topo);
+  if (!links.empty() && params.link_flaps > 0) {
+    const double slice = span / params.link_flaps;
+    for (int i = 0; i < params.link_flaps; ++i) {
+      const net::LinkId link = links[link_rng.pick_index(links.size())];
+      const double s = params.start + slice * i;
+      const double down = s + link_rng.next_double() * slice * 0.4;
+      const double outage =
+          params.min_outage + link_rng.next_double() * (slice * 0.5 - params.min_outage);
+      schedule.link_down(down, link);
+      schedule.link_up(down + std::max(params.min_outage, outage), link);
+    }
+  }
+
+  if (!links.empty() && params.loss_episodes > 0) {
+    const double slice = span / params.loss_episodes;
+    for (int i = 0; i < params.loss_episodes; ++i) {
+      const net::LinkId link = links[loss_rng.pick_index(links.size())];
+      const double s = params.start + slice * i;
+      const double begin = s + loss_rng.next_double() * slice * 0.4;
+      const double length =
+          params.min_outage + loss_rng.next_double() * (slice * 0.5 - params.min_outage);
+      const double rate = 0.05 + loss_rng.next_double() * (params.max_loss - 0.05);
+      schedule.link_loss(begin, link, rate);
+      schedule.link_loss(begin + std::max(params.min_outage, length), link, 0.0);
+    }
+  }
+
+  return schedule;
+}
+
+}  // namespace sdmbox::verify

@@ -1,0 +1,43 @@
+// Seeded chaos-schedule generator: many fault timelines from one knob.
+//
+// The hand-written kChaos script exercises ONE failure interleaving. The
+// generator derives a randomized crash/restart + link-flap + transient-loss
+// schedule from a single seed, so a suite can sweep dozens of distinct
+// fault interleavings (one derived seed each) and the invariant oracle can
+// assert enforcement holds under all of them — same seed, same schedule,
+// byte-identical runs.
+//
+// Construction rules keep every schedule recoverable: crash/restart pairs
+// and link outages are confined to disjoint time slices of [start, horizon]
+// (no compounding outages of the same element), victims are deployed
+// middleboxes (local failover's job), and flapped links attach to core
+// routers (redundant paths exist; a downed stub link would just silence a
+// subnet, testing nothing).
+#pragma once
+
+#include <cstdint>
+
+#include "core/deployment.hpp"
+#include "net/topologies.hpp"
+#include "sim/faults.hpp"
+
+namespace sdmbox::verify {
+
+struct ChaosGenParams {
+  double start = 1.5;    // first fault no earlier than this
+  double horizon = 12.0; // every element restored by this time
+  int crash_pairs = 2;   // middlebox crash/restart pairs
+  int link_flaps = 2;    // link down/up pairs on core-adjacent links
+  int loss_episodes = 1; // transient probabilistic-loss windows
+  double min_outage = 0.3;
+  double max_loss = 0.3; // peak loss rate of a loss episode
+};
+
+/// Derive a deterministic fault schedule from `seed`. Same inputs, same
+/// schedule — the generator is a pure function, so generated-fault runs keep
+/// the simulator's byte-identical replay property.
+sim::FaultSchedule generate_chaos(const net::GeneratedNetwork& network,
+                                  const core::Deployment& deployment, std::uint64_t seed,
+                                  const ChaosGenParams& params = {});
+
+}  // namespace sdmbox::verify

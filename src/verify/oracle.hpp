@@ -1,0 +1,244 @@
+// Online enforcement-invariant oracle — the "dependable" in dependable
+// policy enforcement, checked instead of assumed.
+//
+// The oracle is a live obs::TraceObserver: attached to the PathTracer it
+// sees every sampled record the instant an agent emits it, independent of
+// the bounded ring (which may wrap on long runs). From the record stream
+// plus the controller's compiled state it asserts, per traced packet:
+//
+//  1. Chain completeness & order — every packet of a flow matched to a
+//     chained policy visits every required function, in policy order,
+//     before delivery. Failover and replans may change WHICH middlebox
+//     serves a function, never skip or reorder one.
+//  2. Isolation — no such packet reaches its destination without a complete
+//     chain, including across label teardown/reuse and mid-replan windows.
+//     Legitimate in-flight losses (crashed node, dark link, expired label
+//     state) are accounted as drops, never silently excused as "enforced".
+//  3. Label-path / IP-path equivalence — a label-switched packet's
+//     middlebox hop sequence must equal a sequence its flow actually
+//     established with tunneled (IP-over-IP) packets in the current label
+//     epoch (epochs advance on teardown; §III.E soft state).
+//
+// Legal non-delivery outcomes the oracle accounts for instead of flagging:
+// inline deny (kDenied), WP cache response truncating the chain (§III.F),
+// every drop class, anomaly-sunk packets consumed away from the true
+// destination, and packets still in flight at end of run.
+//
+// Two deliberate relaxations, both documented in DESIGN.md §11: a flow may
+// establish SEVERAL box paths per epoch (failover during establishment), so
+// a switched sequence passes if it matches ANY of them; and below trace
+// rate 1.0 mid-chain switched records (whose on-wire 5-tuple is rewritten)
+// may be unsampled, so strict label-path comparison only runs when the
+// caller promises a complete stream (set_complete_stream).
+//
+// Determinism: the oracle is a pure function of the record stream, so
+// same-seed runs produce identical reports, and attaching it never perturbs
+// the run (observers cannot mutate the tracer; metrics are registered only
+// in verify mode).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "core/plan.hpp"
+#include "net/routing.hpp"
+#include "net/topologies.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "policy/function.hpp"
+#include "policy/policy.hpp"
+
+namespace sdmbox::verify {
+
+/// Invariant-violation classes the oracle distinguishes (one counter each).
+enum class ViolationKind : std::uint8_t {
+  kSkippedFunction,        // delivered with required chain functions unvisited
+  kReorderedChain,         // functions applied out of policy order
+  kUnexpectedFunction,     // function applied off-policy or by a non-implementer
+  kDeliveredWithoutChain,  // chained-policy packet delivered with no chain evidence
+  kLabelPathDivergence,    // switched hop sequence matches no established path
+  kPostTeardownLabelUse,   // label path used after teardown without re-establishment
+};
+inline constexpr std::size_t kViolationKindCount = 6;
+
+const char* to_string(ViolationKind k) noexcept;
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kSkippedFunction;
+  packet::FlowId flow;   // original 5-tuple of the offending packet
+  std::uint64_t seq = 0; // packet index within the flow
+  double at = 0;         // simulated time the violation became definite
+  /// Human-readable account: what the policy required, what the packet did,
+  /// hop by hop with times and device names.
+  std::string narrative;
+};
+
+/// Everything the oracle concluded about one run.
+struct VerifyReport {
+  std::vector<Violation> violations;  // record order — deterministic
+
+  // Packet accounting (every tracked packet lands in exactly one bucket).
+  std::uint64_t records_seen = 0;
+  std::uint64_t packets_tracked = 0;
+  std::uint64_t packets_delivered_ok = 0;
+  std::uint64_t packets_denied = 0;
+  std::uint64_t packets_dropped = 0;       // legitimate in-flight losses
+  std::uint64_t packets_wp_served = 0;     // §III.F legal chain truncation
+  std::uint64_t packets_anomaly_sunk = 0;  // consumed away from the destination
+  std::uint64_t packets_in_flight = 0;     // still open at finish()
+  std::uint64_t packets_violating = 0;     // packets with >= 1 violation
+  std::uint64_t packets_unverified = 0;    // ambiguous identity (alias collision)
+  std::uint64_t untracked_records = 0;     // records matching no tracked packet
+  std::uint64_t teardown_notices = 0;      // label-teardown records consumed
+  std::uint64_t policy_conflicts = 0;      // re-classification disagreed with first
+
+  /// False when the oracle may have missed records (post-hoc replay over a
+  /// wrapped ring). A live-attached oracle always has complete coverage.
+  bool coverage_complete = true;
+  std::string coverage_note;
+
+  bool ok() const noexcept { return violations.empty() && coverage_complete; }
+  /// One-paragraph human summary (counts + first violations).
+  std::string summary() const;
+};
+
+/// Live enforcement-invariant checker. Construct over the run's compiled
+/// state, attach to the tracer (tracer.set_observer(&oracle)) or replay a
+/// sink post-hoc, then finish() to close accounting and read the report.
+class InvariantOracle : public obs::TraceObserver {
+public:
+  InvariantOracle(const net::GeneratedNetwork& network, const core::Deployment& deployment,
+                  const policy::PolicyList& policies, const core::EnforcementPlan& plan,
+                  const policy::FunctionCatalog* catalog = nullptr);
+
+  /// Promise that every record of every traced flow reaches the oracle
+  /// (trace rate 1.0, live attachment). Enables the strict label-path
+  /// equivalence check; below rate 1.0 mid-chain switched records carry a
+  /// rewritten 5-tuple the sampler may reject, so only the weaker
+  /// subsequence check is sound. Default: strict.
+  void set_complete_stream(bool complete) noexcept { complete_stream_ = complete; }
+
+  /// Live entry point (TraceObserver).
+  void on_record(const obs::TraceRecord& r) override;
+
+  /// Post-hoc mode: feed a ring's surviving records. Sets coverage-incomplete
+  /// when the ring wrapped (records were shed), instead of false-passing.
+  void replay(const obs::TraceSink& sink);
+
+  /// Close accounting (open packets become in-flight counts; no violations
+  /// are emitted for them — their fate is unknown, not wrong). Idempotent.
+  const VerifyReport& finish();
+
+  const VerifyReport& report() const noexcept { return report_; }
+
+  /// Expose verify_* series. Register only in verify mode so non-verify
+  /// exports stay byte-identical.
+  void register_metrics(obs::MetricsRegistry& registry) const;
+
+private:
+  // ---- per-packet state ----
+  struct PacketKey {
+    packet::FlowId flow;
+    std::uint64_t seq = 0;
+    friend bool operator==(const PacketKey&, const PacketKey&) noexcept = default;
+  };
+  struct PacketKeyHash {
+    std::size_t operator()(const PacketKey& k) const noexcept;
+  };
+
+  enum class Mode : std::uint8_t {
+    kOpen,      // injected, not yet classified into a path
+    kPlain,     // permitted: plain routing, no chain required
+    kDenied,    // inline deny at the proxy (terminal)
+    kTunneled,  // IP-over-IP chain traversal
+    kSwitched,  // label-switched chain traversal
+  };
+
+  struct PacketState {
+    PacketKey key;
+    Mode mode = Mode::kOpen;
+    bool chain_tail = false;
+    bool violated = false;
+    bool anomaly = false;
+    bool unverified = false;  // alias collision: identity ambiguous
+    std::uint32_t visited = 0;        // chain functions confirmed in order
+    std::uint32_t path_epoch = 0;     // flow's teardown epoch at switch time
+    std::uint16_t label = 0;
+    bool has_alias = false;
+    std::vector<policy::FunctionId> applied;  // functions applied, in order
+    std::vector<net::NodeId> boxes;   // distinct consecutive middlebox visits
+    std::vector<obs::TraceRecord> history;  // capped; fuels narratives
+  };
+
+  // ---- per-flow state ----
+  struct FlowState {
+    policy::PolicyId policy;      // committed matched policy
+    bool policy_known = false;
+    bool touched_proxy = false;   // flow crossed a policy proxy (in scope)
+    std::uint64_t candidate = 0;  // last proxy kClassified detail, pre-commit
+    bool has_candidate = false;
+    std::uint32_t epoch = 0;      // bumped on label teardown
+    double torn_at = -1;          // last teardown time; < 0 = never
+    /// Box sequences completed by tunneled packets, indexed by epoch. A set
+    /// per epoch: failover during establishment can legally install several.
+    std::vector<std::vector<std::vector<net::NodeId>>> established;
+  };
+  struct FlowHash {
+    std::size_t operator()(const packet::FlowId& f) const noexcept { return f.hash(0x5eedULL); }
+  };
+
+  PacketState* find_packet(const obs::TraceRecord& r);
+  FlowState& flow_state(const packet::FlowId& flow);
+  const policy::Policy* committed_policy(const FlowState& fs) const;
+
+  void handle_classified(const obs::TraceRecord& r, FlowState& fs);
+  void handle_teardown(const obs::TraceRecord& r);
+  void handle_function(const obs::TraceRecord& r, PacketState& ps);
+  void handle_chain_tail(const obs::TraceRecord& r, PacketState& ps);
+  void handle_delivered(const obs::TraceRecord& r, PacketState& ps);
+  void finalize(PacketState& ps);  // remove from open maps after terminal hop
+
+  void violation(ViolationKind kind, const PacketState& ps, double at,
+                 const std::string& cause);
+  std::string describe_chain(const policy::Policy& pol) const;
+  std::string function_name(policy::FunctionId fn) const;
+  std::string node_name(net::NodeId n) const;
+  std::string hop_story(const PacketState& ps) const;
+
+  bool is_proxy(net::NodeId n) const noexcept;
+  bool at_destination(net::NodeId n, const packet::FlowId& flow) const;
+  const policy::FunctionSet* box_functions(net::NodeId n) const;
+
+  const net::Topology* topo_;
+  const core::Deployment* deployment_;
+  const policy::PolicyList* policies_;
+  const core::EnforcementPlan* plan_;
+  const policy::FunctionCatalog* catalog_;
+  /// Same resolution the network delivers by: exact device address first,
+  /// then longest-prefix stub subnet → terminal. Generated flows use host
+  /// addresses without device nodes, so their delivery point is the
+  /// destination subnet's terminal, not a node owning the exact address.
+  net::AddressResolver resolver_;
+  std::vector<bool> proxy_nodes_;                       // indexed by NodeId.v
+  std::unordered_map<std::uint32_t, policy::FunctionSet> box_functions_;
+
+  bool complete_stream_ = true;
+  bool finished_ = false;
+
+  std::unordered_map<packet::FlowId, FlowState, FlowHash> flows_;
+  std::unordered_map<PacketKey, PacketState, PacketKeyHash> packets_;
+  /// Mid-chain switched records carry a rewritten destination; this alias —
+  /// keyed on everything BUT the destination — maps them back to the packet.
+  /// Registered at kLabelSwitchTx, dropped at finalize. A colliding alias
+  /// marks both packets unverified (counted, never silently excused).
+  std::unordered_map<PacketKey, PacketKey, PacketKeyHash> aliases_;
+
+  VerifyReport report_;
+  std::array<std::uint64_t, kViolationKindCount> violation_counts_{};
+};
+
+}  // namespace sdmbox::verify

@@ -1,9 +1,15 @@
 // End-to-end dependability loop under a scripted fault schedule — and with
-// NO oracle calls: nobody tells the controller `set_failed`. The heartbeat
-// monitor has to notice the crash over the (lossy) control channel, the
-// reliable push channel has to land the recovery plan on every surviving
-// device, the proxies' local peer health has to bridge the detection gap,
-// and the whole run has to be bit-reproducible.
+// NO failure-oracle calls: nobody tells the controller `set_failed`. The
+// heartbeat monitor has to notice the crash over the (lossy) control
+// channel, the reliable push channel has to land the recovery plan on every
+// surviving device, the proxies' local peer health has to bridge the
+// detection gap, and the whole run has to be bit-reproducible.
+//
+// The enforcement-invariant oracle rides along LIVE for the entire fault
+// timeline (trace rate 1.0): crash windows, link flaps, lossy control
+// channel, recovery — through all of it, no packet may be delivered with its
+// chain skipped, reordered, or riding stale label state. Drops at dead nodes
+// are legal; silent enforcement gaps are not.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -15,8 +21,11 @@
 #include "core/validate.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scenario.hpp"
 #include "sim/faults.hpp"
+#include "verify/chaosgen.hpp"
+#include "verify/oracle.hpp"
 
 namespace sdmbox {
 namespace {
@@ -41,7 +50,9 @@ net::NodeId pick_victim(const Scenario& s, const core::EnforcementPlan& plan) {
 // Inject a burst of policy traffic starting at `at`, each flow's packets
 // spread 30 ms apart so the burst overlaps the peer-health probe timeouts
 // (an instantaneous burst would finish before any blacklist could fire).
-void inject_wave(sim::SimNetwork& net, const Scenario& s, double at) {
+// flow_seq is unique across waves so the oracle can tie every trace record
+// to exactly one packet.
+void inject_wave(sim::SimNetwork& net, const Scenario& s, double at, std::uint64_t wave) {
   for (const auto& f : s.flows.flows) {
     const std::uint64_t n = std::min<std::uint64_t>(f.packets, 6);
     for (std::uint64_t j = 0; j < n; ++j) {
@@ -51,7 +62,7 @@ void inject_wave(sim::SimNetwork& net, const Scenario& s, double at) {
       p.src_port = f.id.src_port;
       p.dst_port = f.id.dst_port;
       p.payload_bytes = 200;
-      p.flow_seq = j;
+      p.flow_seq = wave * 6 + j + 1;
       net.inject(s.network.proxies[static_cast<std::size_t>(f.src_subnet)], p,
                  at + static_cast<double>(j) * 0.03);
     }
@@ -82,6 +93,13 @@ struct ChaosOutcome {
   std::string violations;   // validate_plan output on the final plan, joined
   std::string fingerprint;  // every counter in the system, for determinism
   std::string metrics_json;  // full registry export, for byte-identity
+  // Live enforcement-invariant oracle, attached for the full fault timeline.
+  std::string verify_summary;
+  std::size_t verify_violations = 0;
+  bool verify_coverage = false;
+  std::uint64_t verify_tracked = 0;
+  std::uint64_t verify_delivered_ok = 0;
+  std::uint64_t verify_dropped = 0;
 };
 
 // One full chaos run. Timeline (seconds):
@@ -112,6 +130,15 @@ ChaosOutcome run_chaos() {
   net::RoutingTables routing = net::RoutingTables::compute(s.network.topo);
   const auto resolver = net::AddressResolver::build(s.network.topo);
   sim::SimNetwork simnet(s.network.topo, routing, resolver);
+
+  // Trace EVERY flow and verify enforcement invariants live, throughout the
+  // whole fault schedule — the point of the chaos run is that dependability
+  // holds DURING the failures, not just after recovery.
+  obs::PathTracer tracer(1.0);
+  simnet.set_tracer(&tracer);
+  verify::InvariantOracle oracle(s.network, s.deployment, s.gen.policies, initial, &s.catalog);
+  oracle.set_complete_stream(true);
+  tracer.set_observer(&oracle);
 
   core::AgentOptions opts;
   opts.enable_label_switching = true;
@@ -159,10 +186,10 @@ ChaosOutcome run_chaos() {
                                     .plan = &initial});
   monitor.start(simnet);
 
-  inject_wave(simnet, s, 1.0);
-  inject_wave(simnet, s, 2.2);
-  inject_wave(simnet, s, 4.3);
-  inject_wave(simnet, s, 12.0);
+  inject_wave(simnet, s, 1.0, 0);
+  inject_wave(simnet, s, 2.2, 1);
+  inject_wave(simnet, s, 4.3, 2);
+  inject_wave(simnet, s, 12.0, 3);
 
   std::uint64_t drops_at_11_9 = 0;
   simnet.simulator().schedule_at(
@@ -171,6 +198,13 @@ ChaosOutcome run_chaos() {
   simnet.run();
 
   ChaosOutcome out;
+  const verify::VerifyReport& vr = oracle.finish();
+  out.verify_summary = vr.summary();
+  out.verify_violations = vr.violations.size();
+  out.verify_coverage = vr.coverage_complete;
+  out.verify_tracked = vr.packets_tracked;
+  out.verify_delivered_ok = vr.packets_delivered_ok;
+  out.verify_dropped = vr.packets_dropped;
   out.crash_at = injector.crash_time(victim).value_or(-1);
   for (const auto& e : monitor.log()) {
     if (e.node != victim) continue;
@@ -284,6 +318,19 @@ TEST(Chaos, DependabilityLoopSurvivesScriptedFailures) {
   EXPECT_EQ(out.violations, "");
 }
 
+TEST(Chaos, EnforcementInvariantsHoldThroughFaultTimeline) {
+  const ChaosOutcome out = run_chaos();
+  // The oracle watched every packet of every wave, live, across the crash,
+  // both link events, and the lossy control channel: no packet was delivered
+  // with its chain skipped, reordered, or on stale label state — while the
+  // crash window's real losses are accounted as drops, not excused.
+  EXPECT_EQ(out.verify_violations, 0u) << out.verify_summary;
+  EXPECT_TRUE(out.verify_coverage);
+  EXPECT_GT(out.verify_tracked, 0u);
+  EXPECT_GT(out.verify_delivered_ok, 0u);
+  EXPECT_GT(out.verify_dropped, 0u) << "the crash window should cost some in-flight packets";
+}
+
 TEST(Chaos, SameScheduleSameSeedIsBitIdentical) {
   const ChaosOutcome a = run_chaos();
   const ChaosOutcome b = run_chaos();
@@ -293,6 +340,54 @@ TEST(Chaos, SameScheduleSameSeedIsBitIdentical) {
   // The full telemetry export is byte-identical too — the property the
   // scenario CLI's --metrics-out dumps inherit.
   EXPECT_EQ(a.metrics_json, b.metrics_json);
+  // The oracle is a pure function of the record stream, so its whole report
+  // (counts AND narratives) reproduces bit-for-bit.
+  EXPECT_EQ(a.verify_summary, b.verify_summary);
+}
+
+// The same dependability loop under GENERATED chaos: seeded random schedules
+// instead of the hand-scripted timeline, oracle still attached throughout.
+TEST(Chaos, GeneratedSchedulesKeepInvariants) {
+  for (const std::uint64_t chaos_seed : {101ULL, 202ULL}) {
+    ScenarioParams sp;
+    sp.seed = 85;
+    sp.target_packets = 4000;
+    Scenario s = make_scenario(sp);
+    const auto initial = s.controller->compile(core::StrategyKind::kHotPotato);
+
+    const net::NodeId controller_node = control::add_controller_host(s.network);
+    net::RoutingTables routing = net::RoutingTables::compute(s.network.topo);
+    const auto resolver = net::AddressResolver::build(s.network.topo);
+    sim::SimNetwork simnet(s.network.topo, routing, resolver);
+
+    obs::PathTracer tracer(1.0);
+    simnet.set_tracer(&tracer);
+    verify::InvariantOracle oracle(s.network, s.deployment, s.gen.policies, initial,
+                                   &s.catalog);
+    tracer.set_observer(&oracle);
+
+    core::AgentOptions opts;
+    opts.enable_label_switching = true;
+    opts.peer_health.enabled = true;
+    auto cp = control::install_control_plane(simnet, s.network, s.deployment, s.gen.policies,
+                                             *s.controller, controller_node, initial, opts);
+
+    sim::FaultInjector injector(simnet, &routing);
+    injector.arm(verify::generate_chaos(s.network, s.deployment, chaos_seed));
+
+    cp.controller->replan(simnet, control::ReplanRequest{
+                                      .trigger = control::ReplanTrigger::kInitial,
+                                      .plan = &initial});
+    inject_wave(simnet, s, 1.0, 0);
+    inject_wave(simnet, s, 2.2, 1);
+    inject_wave(simnet, s, 4.3, 2);
+    inject_wave(simnet, s, 12.0, 3);
+    simnet.run();
+
+    const verify::VerifyReport& vr = oracle.finish();
+    EXPECT_TRUE(vr.ok()) << "chaos seed " << chaos_seed << ": " << vr.summary();
+    EXPECT_GT(vr.packets_tracked, 0u);
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -208,10 +209,65 @@ TEST(Trace, RingSinkShedsOldestAndCountsOverwrites) {
   }
   EXPECT_EQ(tracer.sink().recorded(), 10u);
   EXPECT_EQ(tracer.sink().overwritten(), 6u);
+  EXPECT_EQ(tracer.sink().dropped(), 6u);  // overwritten() alias; > 0 = wrapped
   const auto records = tracer.sink().records();
   ASSERT_EQ(records.size(), 4u);
   EXPECT_EQ(records.front().at, 6.0);  // oldest survivor first
   EXPECT_EQ(records.back().at, 9.0);
+}
+
+TEST(Sampler, OutOfRangeRatesAreClamped) {
+  // Rate 1.0 exactly traces everything; rate 0.0 exactly traces nothing.
+  const TraceSampler all(1.0), none(0.0);
+  // Above 1 clamps to 1 (unclamped it would overflow the 2^32 threshold and
+  // trace NOTHING); below 0 and NaN clamp to 0.
+  const TraceSampler over(1.5), under(-0.25);
+  const TraceSampler nan(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(all.rate(), 1.0);
+  EXPECT_EQ(none.rate(), 0.0);
+  EXPECT_EQ(over.rate(), 1.0);
+  EXPECT_EQ(under.rate(), 0.0);
+  EXPECT_EQ(nan.rate(), 0.0);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const packet::FlowId f = make_flow(i);
+    EXPECT_TRUE(all.sampled(f));
+    EXPECT_TRUE(over.sampled(f));
+    EXPECT_FALSE(none.sampled(f));
+    EXPECT_FALSE(under.sampled(f));
+    EXPECT_FALSE(nan.sampled(f));
+  }
+}
+
+TEST(Trace, ObserverSeesEverySampledRecordBeforeEviction) {
+  struct Collector : obs::TraceObserver {
+    std::vector<obs::TraceRecord> seen;
+    void on_record(const obs::TraceRecord& r) override { seen.push_back(r); }
+  };
+  Collector live;
+  PathTracer tracer(1.0, /*capacity=*/4);  // ring far smaller than the stream
+  tracer.set_observer(&live);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    tracer.record(obs::Hop::kInjected, make_flow(i), static_cast<double>(i), net::NodeId{1},
+                  /*detail=*/i, /*seq=*/i);
+  }
+  // The observer got the FULL stream, in emission order, even though the
+  // ring kept only the newest 4 — the property the live oracle depends on.
+  ASSERT_EQ(live.seen.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(live.seen[i].at, static_cast<double>(i));
+    EXPECT_EQ(live.seen[i].seq, i);
+  }
+  EXPECT_EQ(tracer.sink().records().size(), 4u);
+
+  // Detaching stops delivery; unsampled flows never reach the observer.
+  tracer.set_observer(nullptr);
+  tracer.record(obs::Hop::kInjected, make_flow(0), 99.0, net::NodeId{1});
+  EXPECT_EQ(live.seen.size(), 10u);
+  Collector gated;
+  PathTracer off(0.0);
+  off.set_observer(&gated);
+  off.record(obs::Hop::kInjected, make_flow(0), 1.0, net::NodeId{1});
+  EXPECT_TRUE(gated.seen.empty());
 }
 
 }  // namespace

@@ -1,0 +1,452 @@
+// The enforcement-invariant oracle, tested from both sides:
+//
+//  * positive — synthetic traversals that honour the policy chain, and full
+//    simulated runs (every placement strategy, scripted chaos, generated
+//    chaos, closed-loop reoptimisation), must report ZERO violations;
+//  * negative — streams with enforcement deliberately broken one way at a
+//    time must each be caught AND named by the right violation class. An
+//    oracle that cannot fail is not evidence of anything.
+//
+// Plus the seeded chaos-schedule generator (a pure function of its seed) and
+// the post-hoc replay coverage contract (a wrapped ring can never
+// false-pass).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "exp/spec.hpp"
+#include "exp/world.hpp"
+#include "net/routing.hpp"
+#include "obs/trace.hpp"
+#include "scenario.hpp"
+#include "verify/chaosgen.hpp"
+#include "verify/oracle.hpp"
+
+namespace sdmbox {
+namespace {
+
+using sdmbox::testing::Scenario;
+using sdmbox::testing::ScenarioParams;
+using sdmbox::testing::make_scenario;
+using verify::InvariantOracle;
+using verify::ViolationKind;
+
+// ---------------------------------------------------------------------------
+// Synthetic-stream harness: a real scenario (topology, deployment, policies,
+// plan) but hand-authored TraceRecords, so each test controls exactly which
+// enforcement step is broken.
+// ---------------------------------------------------------------------------
+
+struct OracleRig {
+  Scenario s;
+  core::EnforcementPlan plan;
+  std::unique_ptr<InvariantOracle> oracle;
+
+  // A flow matched to a chained (>= 2 function) policy, plus the nodes its
+  // enforcement legitimately involves.
+  packet::FlowId flow;
+  const policy::Policy* pol = nullptr;
+  net::NodeId proxy;                  // ingress policy proxy
+  net::NodeId dst_terminal;           // where delivery legitimately happens
+  std::vector<net::NodeId> boxes;     // one implementer per chain function
+};
+
+OracleRig make_rig() {
+  OracleRig rig;
+  ScenarioParams sp;
+  sp.seed = 21;
+  sp.target_packets = 2000;
+  rig.s = make_scenario(sp);
+  rig.plan = rig.s.controller->compile(core::StrategyKind::kHotPotato);
+  rig.oracle = std::make_unique<InvariantOracle>(rig.s.network, rig.s.deployment,
+                                                 rig.s.gen.policies, rig.plan, &rig.s.catalog);
+
+  const auto resolver = net::AddressResolver::build(rig.s.network.topo);
+  for (const auto& f : rig.s.flows.flows) {
+    const policy::Policy* pol = rig.s.gen.policies.first_match(f.id);
+    if (pol == nullptr || pol->deny || pol->actions.size() < 2) continue;
+    // Every chain function needs a live implementer, and the destination a
+    // resolvable terminal, or the traversal cannot be authored.
+    std::vector<net::NodeId> boxes;
+    for (const policy::FunctionId fn : pol->actions) {
+      net::NodeId box;
+      for (const core::MiddleboxInfo& m : rig.s.deployment.middleboxes()) {
+        if (m.functions.contains(fn)) {
+          box = m.node;
+          break;
+        }
+      }
+      if (!box.valid()) break;
+      boxes.push_back(box);
+    }
+    const auto terminal = resolver.resolve(f.id.dst);
+    if (boxes.size() != pol->actions.size() || !terminal.has_value()) continue;
+    rig.flow = f.id;
+    rig.pol = pol;
+    rig.proxy = rig.s.network.proxies[static_cast<std::size_t>(f.src_subnet)];
+    rig.dst_terminal = *terminal;
+    rig.boxes = std::move(boxes);
+    return rig;
+  }
+  ADD_FAILURE() << "scenario has no authorable chained flow";
+  return rig;
+}
+
+obs::TraceRecord rec(obs::Hop hop, const packet::FlowId& flow, double at, net::NodeId node,
+                     std::uint64_t detail = 0, std::uint64_t seq = 1) {
+  return obs::TraceRecord{at, flow, node, hop, detail, seq};
+}
+
+// Feed a legitimate, complete tunneled traversal for (flow, seq): classify,
+// encap, every chain function in policy order at its implementer, chain
+// tail, delivery at the destination terminal.
+void feed_clean_tunneled(OracleRig& rig, std::uint64_t seq, double t0 = 1.0) {
+  using obs::Hop;
+  InvariantOracle& o = *rig.oracle;
+  o.on_record(rec(Hop::kInjected, rig.flow, t0, rig.proxy, 0, seq));
+  o.on_record(rec(Hop::kClassified, rig.flow, t0 + 0.01, rig.proxy, rig.pol->id.v, seq));
+  o.on_record(rec(Hop::kTunnelEncap, rig.flow, t0 + 0.02, rig.proxy, rig.boxes[0].v, seq));
+  double t = t0 + 0.03;
+  for (std::size_t i = 0; i < rig.boxes.size(); ++i, t += 0.01) {
+    o.on_record(rec(Hop::kFunctionApplied, rig.flow, t, rig.boxes[i], rig.pol->actions[i].v, seq));
+  }
+  o.on_record(rec(Hop::kChainTail, rig.flow, t, rig.boxes.back(), 0, seq));
+  o.on_record(rec(Hop::kDelivered, rig.flow, t + 0.01, rig.dst_terminal, 0, seq));
+}
+
+std::uint64_t count_of(const verify::VerifyReport& r, ViolationKind k) {
+  return static_cast<std::uint64_t>(
+      std::count_if(r.violations.begin(), r.violations.end(),
+                    [&](const verify::Violation& v) { return v.kind == k; }));
+}
+
+TEST(Oracle, CleanTunneledTraversalDeliversOk) {
+  OracleRig rig = make_rig();
+  ASSERT_NE(rig.pol, nullptr);
+  feed_clean_tunneled(rig, 1);
+  const auto& r = rig.oracle->finish();
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.packets_tracked, 1u);
+  EXPECT_EQ(r.packets_delivered_ok, 1u);
+  EXPECT_EQ(r.packets_in_flight, 0u);
+}
+
+TEST(Oracle, CatchesSkippedFunction) {
+  using obs::Hop;
+  OracleRig rig = make_rig();
+  ASSERT_NE(rig.pol, nullptr);
+  InvariantOracle& o = *rig.oracle;
+  // Visit every chain function EXCEPT the last, then deliver anyway.
+  o.on_record(rec(Hop::kInjected, rig.flow, 1.0, rig.proxy));
+  o.on_record(rec(Hop::kClassified, rig.flow, 1.01, rig.proxy, rig.pol->id.v));
+  o.on_record(rec(Hop::kTunnelEncap, rig.flow, 1.02, rig.proxy, rig.boxes[0].v));
+  for (std::size_t i = 0; i + 1 < rig.boxes.size(); ++i) {
+    o.on_record(rec(Hop::kFunctionApplied, rig.flow, 1.03 + 0.01 * static_cast<double>(i),
+                    rig.boxes[i], rig.pol->actions[i].v));
+  }
+  o.on_record(rec(Hop::kDelivered, rig.flow, 1.2, rig.dst_terminal));
+  const auto& r = o.finish();
+  ASSERT_EQ(r.violations.size(), 1u) << r.summary();
+  EXPECT_EQ(count_of(r, ViolationKind::kSkippedFunction), 1u);
+  EXPECT_NE(r.violations[0].narrative.find("skipped_function"), std::string::npos);
+  EXPECT_NE(r.violations[0].narrative.find("unvisited"), std::string::npos);
+}
+
+TEST(Oracle, CatchesReorderedChain) {
+  using obs::Hop;
+  OracleRig rig = make_rig();
+  ASSERT_NE(rig.pol, nullptr);
+  ASSERT_GE(rig.boxes.size(), 2u);
+  InvariantOracle& o = *rig.oracle;
+  // Apply function 2 before function 1 — both at legitimate implementers, so
+  // only the ORDER is wrong.
+  o.on_record(rec(Hop::kInjected, rig.flow, 1.0, rig.proxy));
+  o.on_record(rec(Hop::kClassified, rig.flow, 1.01, rig.proxy, rig.pol->id.v));
+  o.on_record(rec(Hop::kTunnelEncap, rig.flow, 1.02, rig.proxy, rig.boxes[1].v));
+  o.on_record(rec(Hop::kFunctionApplied, rig.flow, 1.03, rig.boxes[1], rig.pol->actions[1].v));
+  o.on_record(rec(Hop::kFunctionApplied, rig.flow, 1.04, rig.boxes[0], rig.pol->actions[0].v));
+  o.on_record(rec(Hop::kDelivered, rig.flow, 1.2, rig.dst_terminal));
+  const auto& r = o.finish();
+  EXPECT_GE(count_of(r, ViolationKind::kReorderedChain), 1u) << r.summary();
+  EXPECT_NE(r.violations[0].narrative.find("out of policy order"), std::string::npos);
+}
+
+TEST(Oracle, CatchesFunctionAtNonImplementer) {
+  using obs::Hop;
+  OracleRig rig = make_rig();
+  ASSERT_NE(rig.pol, nullptr);
+  InvariantOracle& o = *rig.oracle;
+  // The proxy is not a middlebox; a function "applied" there is forged.
+  o.on_record(rec(Hop::kInjected, rig.flow, 1.0, rig.proxy));
+  o.on_record(rec(Hop::kClassified, rig.flow, 1.01, rig.proxy, rig.pol->id.v));
+  o.on_record(rec(Hop::kTunnelEncap, rig.flow, 1.02, rig.proxy, rig.boxes[0].v));
+  o.on_record(rec(Hop::kFunctionApplied, rig.flow, 1.03, rig.proxy, rig.pol->actions[0].v));
+  const auto& r = o.finish();
+  EXPECT_EQ(count_of(r, ViolationKind::kUnexpectedFunction), 1u) << r.summary();
+  EXPECT_NE(r.violations[0].narrative.find("does not implement"), std::string::npos);
+}
+
+TEST(Oracle, CatchesDeliveryWithoutChain) {
+  using obs::Hop;
+  OracleRig rig = make_rig();
+  ASSERT_NE(rig.pol, nullptr);
+  InvariantOracle& o = *rig.oracle;
+  // The proxy lets a chained-policy packet straight through to delivery.
+  o.on_record(rec(Hop::kInjected, rig.flow, 1.0, rig.proxy));
+  o.on_record(rec(Hop::kClassified, rig.flow, 1.01, rig.proxy, rig.pol->id.v));
+  o.on_record(rec(Hop::kPermitted, rig.flow, 1.02, rig.proxy));
+  o.on_record(rec(Hop::kDelivered, rig.flow, 1.1, rig.dst_terminal));
+  const auto& r = o.finish();
+  ASSERT_EQ(r.violations.size(), 1u) << r.summary();
+  EXPECT_EQ(r.violations[0].kind, ViolationKind::kDeliveredWithoutChain);
+  EXPECT_NE(r.violations[0].narrative.find("no enforcement at all"), std::string::npos);
+}
+
+TEST(Oracle, CatchesPostTeardownLabelReuse) {
+  using obs::Hop;
+  OracleRig rig = make_rig();
+  ASSERT_NE(rig.pol, nullptr);
+  InvariantOracle& o = *rig.oracle;
+  // seq 1 establishes the label path with a full tunneled traversal...
+  feed_clean_tunneled(rig, 1);
+  // ...the proxy tears the label state down (epoch advances)...
+  o.on_record(rec(Hop::kLabelTeardown, rig.flow, 2.0, rig.proxy, 7, 0));
+  // ...and seq 2 still rides the label with no re-establishment in between.
+  o.on_record(rec(Hop::kInjected, rig.flow, 2.1, rig.proxy, 0, 2));
+  o.on_record(rec(Hop::kLabelSwitchTx, rig.flow, 2.11, rig.proxy, 7, 2));
+  for (const net::NodeId box : rig.boxes) {
+    o.on_record(rec(Hop::kLabelSwitchRx, rig.flow, 2.12, box, 7, 2));
+  }
+  o.on_record(rec(Hop::kChainTail, rig.flow, 2.13, rig.boxes.back(), 0, 2));
+  o.on_record(rec(Hop::kDelivered, rig.flow, 2.2, rig.dst_terminal, 0, 2));
+  const auto& r = o.finish();
+  ASSERT_EQ(r.violations.size(), 1u) << r.summary();
+  EXPECT_EQ(r.violations[0].kind, ViolationKind::kPostTeardownLabelUse);
+  EXPECT_EQ(r.teardown_notices, 1u);
+  EXPECT_NE(r.violations[0].narrative.find("after teardown"), std::string::npos);
+}
+
+TEST(Oracle, CatchesLabelPathDivergence) {
+  using obs::Hop;
+  OracleRig rig = make_rig();
+  ASSERT_NE(rig.pol, nullptr);
+  ASSERT_GE(rig.boxes.size(), 2u);
+  InvariantOracle& o = *rig.oracle;
+  feed_clean_tunneled(rig, 1);  // establishes boxes in policy order
+  // seq 2 switches through the SAME boxes in the reverse order — a label
+  // path no tunneled packet ever established.
+  o.on_record(rec(Hop::kInjected, rig.flow, 2.0, rig.proxy, 0, 2));
+  o.on_record(rec(Hop::kLabelSwitchTx, rig.flow, 2.01, rig.proxy, 9, 2));
+  for (auto it = rig.boxes.rbegin(); it != rig.boxes.rend(); ++it) {
+    o.on_record(rec(Hop::kLabelSwitchRx, rig.flow, 2.02, *it, 9, 2));
+  }
+  o.on_record(rec(Hop::kChainTail, rig.flow, 2.03, rig.boxes.front(), 0, 2));
+  o.on_record(rec(Hop::kDelivered, rig.flow, 2.1, rig.dst_terminal, 0, 2));
+  const auto& r = o.finish();
+  ASSERT_EQ(r.violations.size(), 1u) << r.summary();
+  EXPECT_EQ(r.violations[0].kind, ViolationKind::kLabelPathDivergence);
+  EXPECT_NE(r.violations[0].narrative.find("established"), std::string::npos);
+}
+
+TEST(Oracle, AcceptsSwitchedPacketOnEstablishedPath) {
+  using obs::Hop;
+  OracleRig rig = make_rig();
+  ASSERT_NE(rig.pol, nullptr);
+  InvariantOracle& o = *rig.oracle;
+  feed_clean_tunneled(rig, 1);
+  // seq 2 follows exactly the established box sequence over labels.
+  o.on_record(rec(Hop::kInjected, rig.flow, 2.0, rig.proxy, 0, 2));
+  o.on_record(rec(Hop::kLabelSwitchTx, rig.flow, 2.01, rig.proxy, 9, 2));
+  double t = 2.02;
+  for (const net::NodeId box : rig.boxes) {
+    o.on_record(rec(Hop::kLabelSwitchRx, rig.flow, t, box, 9, 2));
+    t += 0.01;
+  }
+  o.on_record(rec(Hop::kChainTail, rig.flow, t, rig.boxes.back(), 0, 2));
+  o.on_record(rec(Hop::kDelivered, rig.flow, t + 0.01, rig.dst_terminal, 0, 2));
+  const auto& r = o.finish();
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.packets_delivered_ok, 2u);
+}
+
+TEST(Oracle, AccountsTerminalOutcomesWithoutViolations) {
+  using obs::Hop;
+  OracleRig rig = make_rig();
+  ASSERT_NE(rig.pol, nullptr);
+  InvariantOracle& o = *rig.oracle;
+  // Inline deny.
+  o.on_record(rec(Hop::kInjected, rig.flow, 1.0, rig.proxy, 0, 1));
+  o.on_record(rec(Hop::kClassified, rig.flow, 1.01, rig.proxy, rig.pol->id.v, 1));
+  o.on_record(rec(Hop::kDenied, rig.flow, 1.02, rig.proxy, rig.pol->id.v, 1));
+  // WP cache response (§III.F legal truncation).
+  o.on_record(rec(Hop::kInjected, rig.flow, 2.0, rig.proxy, 0, 2));
+  o.on_record(rec(Hop::kWpCacheResponse, rig.flow, 2.01, rig.boxes[0], 0, 2));
+  // In-flight loss at a crashed node.
+  o.on_record(rec(Hop::kInjected, rig.flow, 3.0, rig.proxy, 0, 3));
+  o.on_record(rec(Hop::kDropNodeDown, rig.flow, 3.01, rig.boxes[0], 0, 3));
+  // Still in flight at end of run.
+  o.on_record(rec(Hop::kInjected, rig.flow, 4.0, rig.proxy, 0, 4));
+  const auto& r = o.finish();
+  EXPECT_TRUE(r.violations.empty()) << r.summary();
+  EXPECT_EQ(r.packets_denied, 1u);
+  EXPECT_EQ(r.packets_wp_served, 1u);
+  EXPECT_EQ(r.packets_dropped, 1u);
+  EXPECT_EQ(r.packets_in_flight, 1u);
+  EXPECT_EQ(r.packets_tracked, 4u);
+}
+
+TEST(Oracle, AliasCollisionMarksBothPacketsUnverified) {
+  using obs::Hop;
+  OracleRig rig = make_rig();
+  ASSERT_NE(rig.pol, nullptr);
+  InvariantOracle& o = *rig.oracle;
+  // Two flows identical except for the destination, same seq, both switched:
+  // mid-chain records (destination rewritten) cannot be attributed to either.
+  packet::FlowId other = rig.flow;
+  other.dst = net::IpAddress(rig.flow.dst.value() + 1);
+  for (const packet::FlowId& f : {rig.flow, other}) {
+    o.on_record(rec(Hop::kInjected, f, 1.0, rig.proxy, 0, 5));
+    o.on_record(rec(Hop::kClassified, f, 1.01, rig.proxy, rig.pol->id.v, 5));
+    o.on_record(rec(Hop::kLabelSwitchTx, f, 1.02, rig.proxy, 11, 5));
+  }
+  o.on_record(rec(Hop::kDelivered, rig.flow, 1.2, rig.dst_terminal, 0, 5));
+  const auto& r = o.finish();
+  EXPECT_TRUE(r.violations.empty()) << r.summary();
+  EXPECT_EQ(r.packets_unverified, 1u);  // the delivered one; the other is open
+  EXPECT_EQ(r.packets_in_flight, 1u);
+}
+
+TEST(Oracle, ReplayOverWrappedRingReportsIncompleteCoverage) {
+  OracleRig rig = make_rig();
+  ASSERT_NE(rig.pol, nullptr);
+  obs::TraceSink sink(4);  // tiny ring: guaranteed to shed history
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    sink.record(rec(obs::Hop::kInjected, rig.flow, 1.0 + static_cast<double>(i), rig.proxy, 0,
+                    i + 1));
+  }
+  ASSERT_GT(sink.dropped(), 0u);
+  rig.oracle->replay(sink);
+  const auto& r = rig.oracle->finish();
+  EXPECT_FALSE(r.coverage_complete);
+  EXPECT_FALSE(r.ok()) << "a wrapped ring must never false-pass";
+  EXPECT_NE(r.coverage_note.find("shed"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded chaos-schedule generator: one knob, many timelines, zero wall-clock.
+// ---------------------------------------------------------------------------
+
+std::string schedule_fingerprint(const sim::FaultSchedule& s) {
+  std::string out;
+  for (const auto& e : s.events()) {
+    out += std::to_string(e.at) + ':' + std::to_string(static_cast<int>(e.kind)) + ':' +
+           std::to_string(e.node.v) + ':' + std::to_string(e.link.v) + ':' +
+           std::to_string(e.loss_rate) + '\n';
+  }
+  return out;
+}
+
+TEST(ChaosGen, SameSeedSameSchedule) {
+  ScenarioParams sp;
+  sp.seed = 21;
+  const Scenario s = make_scenario(sp);
+  const auto a = verify::generate_chaos(s.network, s.deployment, 42);
+  const auto b = verify::generate_chaos(s.network, s.deployment, 42);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(schedule_fingerprint(a), schedule_fingerprint(b));
+}
+
+TEST(ChaosGen, DistinctSeedsDistinctSchedules) {
+  ScenarioParams sp;
+  sp.seed = 21;
+  const Scenario s = make_scenario(sp);
+  std::vector<std::string> prints;
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    const auto sched = verify::generate_chaos(s.network, s.deployment, seed);
+    EXPECT_FALSE(sched.empty()) << "seed " << seed;
+    // Every crash is paired with a restart and every loss episode is cleared,
+    // so a generated run always ends with the network whole again.
+    std::uint64_t crashes = 0, restarts = 0;
+    for (const auto& e : sched.events()) {
+      crashes += e.kind == sim::FaultEvent::Kind::kNodeDown;
+      restarts += e.kind == sim::FaultEvent::Kind::kNodeUp;
+    }
+    EXPECT_EQ(crashes, restarts) << "seed " << seed;
+    prints.push_back(schedule_fingerprint(sched));
+  }
+  std::sort(prints.begin(), prints.end());
+  EXPECT_EQ(std::unique(prints.begin(), prints.end()), prints.end())
+      << "seeds collided into identical schedules";
+}
+
+// ---------------------------------------------------------------------------
+// End to end: full simulated runs with the oracle attached live must be
+// violation-free on every arm the paper evaluates.
+// ---------------------------------------------------------------------------
+
+double snapshot_sum(const exp::MetricsSnapshot& snap, const std::string& prefix) {
+  double sum = 0;
+  for (const auto& [key, value] : snap) {
+    if (key.compare(0, prefix.size(), prefix) == 0 &&
+        (key.size() == prefix.size() || key[prefix.size()] == '{')) {
+      sum += value;
+    }
+  }
+  return sum;
+}
+
+exp::ScenarioSpec verified_spec() {
+  exp::ScenarioSpec spec;
+  spec.packets = 800;
+  spec.verify = true;
+  spec.trace_sample = 1.0;
+  return spec;
+}
+
+TEST(OracleEndToEnd, AllPlacementStrategiesRunClean) {
+  for (const core::StrategyKind strat :
+       {core::StrategyKind::kHotPotato, core::StrategyKind::kRandom,
+        core::StrategyKind::kLoadBalanced}) {
+    exp::ScenarioSpec spec = verified_spec();
+    spec.strategy = strat;
+    const auto snap = exp::run_scenario(spec);
+    EXPECT_EQ(snapshot_sum(snap, "verify_violations"), 0.0)
+        << "strategy " << static_cast<int>(strat);
+    EXPECT_EQ(snapshot_sum(snap, "verify_coverage_incomplete"), 0.0);
+    EXPECT_GT(snapshot_sum(snap, "verify_packets_tracked"), 0.0);
+  }
+}
+
+TEST(OracleEndToEnd, GeneratedChaosRunsClean) {
+  for (const std::uint64_t chaos_seed : {3ULL, 4ULL}) {
+    exp::ScenarioSpec spec = verified_spec();
+    spec.faults = exp::FaultScript::kGenerated;
+    spec.chaos_seed = chaos_seed;
+    const auto snap = exp::run_scenario(spec);
+    EXPECT_EQ(snapshot_sum(snap, "verify_violations"), 0.0) << "chaos seed " << chaos_seed;
+    EXPECT_GT(snapshot_sum(snap, "verify_packets_tracked"), 0.0);
+  }
+}
+
+TEST(OracleEndToEnd, ClosedLoopReoptimisationRunsClean) {
+  exp::ScenarioSpec spec = verified_spec();
+  spec.reopt_period = 2.0;
+  spec.reopt_threshold = 0.1;
+  const auto snap = exp::run_scenario(spec);
+  EXPECT_EQ(snapshot_sum(snap, "verify_violations"), 0.0);
+  EXPECT_EQ(snapshot_sum(snap, "verify_coverage_incomplete"), 0.0);
+}
+
+TEST(OracleEndToEnd, VerifiedRunsAreDeterministic) {
+  exp::ScenarioSpec spec = verified_spec();
+  spec.faults = exp::FaultScript::kGenerated;
+  spec.chaos_seed = 11;
+  const auto a = exp::run_scenario(spec);
+  const auto b = exp::run_scenario(spec);
+  EXPECT_EQ(a, b) << "same seed + verify must reproduce every metric bit-for-bit";
+}
+
+}  // namespace
+}  // namespace sdmbox
