@@ -17,6 +17,8 @@
 //                [--metrics-out FILE]   # telemetry dump (.json/.csv/.prom);
 //                                       # implies --sim
 //                [--trace-out FILE]     # per-flow path trace JSON; implies --sim
+//                [--spans-out FILE]     # control-plane span export
+//                                       # (.json/.csv); implies --sim
 //                [--verify]             # attach the enforcement-invariant
 //                                       # oracle live; non-zero exit on any
 //                                       # violation; implies --sim
@@ -29,6 +31,11 @@
 //                [--reopt-threshold X]  # total-variation drift trigger (0.1)
 //                [--reopt-cooldown N]   # epochs between solves (2)
 //                [--reopt-min-reports N] # reports required per solve (1)
+//                [--help]               # print usage to stdout, exit 0
+//
+// Exit codes (the contract cli_test drives): 0 = run completed (and, with
+// --verify, the oracle passed); 2 = bad usage / unbuildable spec; 3 =
+// --verify found violations or could not verify the run.
 //
 // Example:
 //   ./build/examples/scenario_cli --topology waxman --strategy lb --packets 5000000
@@ -66,26 +73,32 @@ struct CliOptions {
   bool sim = false;         // packet-level run with the scripted fault timeline
   std::string metrics_out;  // telemetry dump path (.json / .csv / .prom); implies sim
   std::string trace_out;    // per-flow path trace JSON path; implies sim
+  std::string spans_out;    // control-plane span export (.json / .csv); implies sim
+  bool help = false;        // --help: print usage to stdout, exit 0
 
   bool wants_sim() const {
-    return sim || !metrics_out.empty() || !trace_out.empty() || spec.reopt_period > 0 ||
-           spec.verify;
+    return sim || !metrics_out.empty() || !trace_out.empty() || !spans_out.empty() ||
+           spec.reopt_period > 0 || spec.verify;
   }
 };
 
-int usage(const char* argv0) {
-  std::fprintf(stderr,
+void usage(const char* argv0, std::FILE* out) {
+  std::fprintf(out,
                "usage: %s [--spec FILE]\n"
                "          [--topology campus|waxman] [--strategy hp|rand|lb]\n"
                "          [--packets N] [--policies-per-class N] [--seed N]\n"
                "          [--off-path] [--fail-one FW|IDS|WP|TM]\n"
                "          [--sim] [--metrics-out FILE] [--trace-out FILE]\n"
+               "          [--spans-out FILE]\n"
                "          [--verify] [--faults none|chaos|generated] [--chaos-seed N]\n"
                "          [--epoch SECS] [--trace-sample RATE]\n"
                "          [--reopt-period SECS] [--reopt-threshold X]\n"
-               "          [--reopt-cooldown N] [--reopt-min-reports N]\n",
+               "          [--reopt-cooldown N] [--reopt-min-reports N]\n"
+               "          [--help]\n"
+               "exit codes: 0 = run completed (and --verify passed)\n"
+               "            2 = bad usage or unbuildable spec\n"
+               "            3 = --verify found violations or could not verify\n",
                argv0);
-  return 2;
 }
 
 bool parse(int argc, char** argv, CliOptions& opt) {
@@ -182,6 +195,14 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.trace_out = v;
+    } else if (arg == "--spans-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.spans_out = v;
+      opt.spec.spans = true;  // an export path always wins over `spans = false`
+    } else if (arg == "--help" || arg == "-h") {
+      opt.help = true;
+      return true;
     } else if (arg == "--epoch") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -283,6 +304,13 @@ int run_sim(exp::World& world, const CliOptions& opt) {
                 static_cast<unsigned long long>(world.tracer->sink().recorded()),
                 world.tracer->sampler().rate(), opt.trace_out.c_str());
   }
+  if (!opt.spans_out.empty() && world.spans != nullptr) {
+    obs::write_file(opt.spans_out, obs::render_spans_for_path(*world.spans, opt.spans_out));
+    std::printf("spans (%llu started, %llu dropped) written to %s\n",
+                static_cast<unsigned long long>(world.spans->started()),
+                static_cast<unsigned long long>(world.spans->dropped()),
+                opt.spans_out.c_str());
+  }
   if (world.oracle) {
     const verify::VerifyReport& vr = world.oracle->report();
     std::printf("\n%s\n", vr.summary().c_str());
@@ -299,7 +327,14 @@ int run_sim(exp::World& world, const CliOptions& opt) {
 
 int main(int argc, char** argv) {
   CliOptions opt;
-  if (!parse(argc, argv, opt)) return usage(argv[0]);
+  if (!parse(argc, argv, opt)) {
+    usage(argv[0], stderr);
+    return 2;
+  }
+  if (opt.help) {
+    usage(argv[0], stdout);
+    return 0;
+  }
 
   exp::ScenarioSpec spec = opt.spec;
   // Audit mode never touches the generated policies, so a bad --fail-one must

@@ -140,7 +140,8 @@ bool parse(int argc, char** argv, CliOptions& opt) {
 /// Headline value for the summary table: the metric's mean summed over every
 /// label set (the registry.total() analogue — per-device counters like
 /// peer_blacklists{device=...} roll up), "-" when the arm never reported it.
-std::string mean_of(const std::vector<exp::MetricAggregate>& metrics, const std::string& name) {
+std::string mean_of(const std::vector<exp::MetricAggregate>& metrics, const std::string& name,
+                    int decimals = 1) {
   double sum = 0;
   bool found = false;
   for (const auto& m : metrics) {
@@ -149,7 +150,7 @@ std::string mean_of(const std::vector<exp::MetricAggregate>& metrics, const std:
       found = true;
     }
   }
-  return found ? util::format_fixed(sum, 1) : "-";
+  return found ? util::format_fixed(sum, decimals) : "-";
 }
 
 }  // namespace
@@ -211,12 +212,17 @@ int main(int argc, char** argv) {
   }
 
   stats::TextTable table("suite summary (means over " + std::to_string(opt.seeds) + " seed(s))");
-  table.set_header({"arm", "injected", "delivered", "node-down drops", "blacklists", "reroutes"});
+  table.set_header({"arm", "injected", "delivered", "node-down drops", "blacklists", "reroutes",
+                    "unenforced (s)"});
   for (const auto& r : results) {
+    // The last column is the span subsystem's convergence headline: mean
+    // total unenforced-window seconds per run (fault onset -> plan live,
+    // summed over episodes) — "-" when spans were off for the arm.
     table.add_row({r.name, mean_of(r.metrics, "net_injected"), mean_of(r.metrics, "net_delivered"),
                    mean_of(r.metrics, "net_dropped_node_down"),
                    mean_of(r.metrics, "peer_blacklists"),
-                   mean_of(r.metrics, "proxy_failover_reroutes")});
+                   mean_of(r.metrics, "proxy_failover_reroutes"),
+                   mean_of(r.metrics, "conv_total_unenforced_window_sum", 3)});
   }
   std::printf("\n%s\n", table.to_string().c_str());
 

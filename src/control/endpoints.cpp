@@ -142,13 +142,21 @@ void ControllerAgent::on_packet(sim::SimNetwork& net, packet::Packet pkt, net::N
     ++acks_;
     const auto node_it = addr_to_node_.find(pkt.inner.src.value());
     if (node_it != addr_to_node_.end()) {
+      double attempts = 1;
       const auto p = pending_.find(node_it->second);
       if (p != pending_.end() && p->second.seq == pkt.control_seq) {
+        attempts = p->second.attempts;
         pending_.erase(p);  // rollout confirmed; retransmission timers go idle
       } else if (pkt.control_seq != 0) {
         // Ack for a push no longer outstanding (duplicate after a
         // retransmission, or overtaken by a newer push).
         ++stale_acks_;
+      }
+      if (spans_ != nullptr) {
+        const auto sp = span_pending_.find(node_it->second);
+        if (sp != span_pending_.end() && sp->second.seq == pkt.control_seq) {
+          resolve_push_span(node_it->second, net.simulator().now(), "ack", attempts);
+        }
       }
     }
     net.deliver(node_, pkt);
@@ -199,14 +207,66 @@ void ControllerAgent::schedule_retransmit(sim::SimNetwork& net, std::uint32_t de
       // may never have applied this slice) would be skipped forever.
       ++pushes_abandoned_;
       last_pushed_.erase(device_v);
+      const double attempts = push.attempts;
       pending_.erase(it);
+      resolve_push_span(device_v, net.simulator().now(), "abandoned", attempts);
       return;
     }
     ++push.attempts;
     ++retransmissions_;
+    if (spans_ != nullptr) {
+      const auto sp = span_pending_.find(device_v);
+      if (sp != span_pending_.end() && sp->second.seq == seq) {
+        const auto id = spans_->instant("retransmit", net.simulator().now(),
+                                        sp->second.push_span, "", "controller");
+        spans_->set_attr(id, "attempt", push.attempts);
+      }
+    }
     send_push(net, push);
     schedule_retransmit(net, device_v, seq, rto * retransmit_.backoff);
   });
+}
+
+void ControllerAgent::resolve_push_span(std::uint32_t device_v, double now, const char* how,
+                                        double attempts) {
+  if (spans_ == nullptr) return;
+  const auto it = span_pending_.find(device_v);
+  if (it == span_pending_.end()) return;
+  const PushSpanState state = it->second;
+  span_pending_.erase(it);
+  if (std::string_view(how) == "ack") {
+    const auto ack = spans_->instant("ack", now, state.push_span, "", "controller");
+    spans_->set_attr(ack, "attempts", attempts);
+  } else {
+    // superseded / abandoned / voided: mark the push span with its fate.
+    spans_->set_attr(state.push_span, how, 1);
+  }
+  spans_->end(state.push_span, now);
+  const auto rs = replan_spans_.find(state.replan_span);
+  if (rs != replan_spans_.end() && rs->second.outstanding > 0) {
+    if (--rs->second.outstanding == 0) complete_replan_span(state.replan_span, now);
+  }
+}
+
+void ControllerAgent::complete_replan_span(obs::SpanId replan_span, double now) {
+  const auto it = replan_spans_.find(replan_span);
+  if (it == replan_spans_.end()) return;
+  const ReplanSpanState state = std::move(it->second);
+  replan_spans_.erase(it);
+  spans_->end(replan_span, now);
+  conv_push_latency_.add(now - state.started_at);
+  // The rollout is live everywhere it could land: close the episodes this
+  // replan was acting for. An unenforced episode's full lifetime — fault to
+  // plan-live — is the paper's dangerous window.
+  for (const obs::SpanId episode : state.episodes) {
+    const obs::Span* e = spans_->find(episode);
+    if (e == nullptr || !e->open()) continue;
+    if (e->attr_or("unenforced") == 1) {
+      conv_total_unenforced_window_.add(now - e->start);
+      spans_->set_attr(episode, "unenforced_window", now - e->start);
+    }
+    spans_->end(episode, now);
+  }
 }
 
 std::size_t ControllerAgent::distribute(sim::SimNetwork& net,
@@ -234,6 +294,18 @@ std::size_t ControllerAgent::distribute(sim::SimNetwork& net,
     push.payload =
         std::make_shared<const std::vector<std::uint8_t>>(encode_device_config(slice));
     addr_to_node_[push.device_addr.value()] = node_v;
+    if (spans_ != nullptr) {
+      const double now = net.simulator().now();
+      // A newer push to the same device supersedes any older in-flight one.
+      resolve_push_span(node_v, now, "superseded", 0);
+      const auto span = spans_->begin("push", now, current_replan_span_,
+                                      net.topology().node(device).name, "controller");
+      spans_->set_attr(span, "bytes", static_cast<double>(push.payload->size()));
+      spans_->set_attr(span, "seq", static_cast<double>(push.seq));
+      span_pending_[node_v] = PushSpanState{push.seq, span, current_replan_span_};
+      const auto rs = replan_spans_.find(current_replan_span_);
+      if (rs != replan_spans_.end()) ++rs->second.outstanding;
+    }
     send_push(net, push);
     if (retransmit_.enabled) {
       const std::uint64_t seq = push.seq;
@@ -249,6 +321,11 @@ std::size_t ControllerAgent::distribute(sim::SimNetwork& net,
 void ControllerAgent::forget_device(net::NodeId device) {
   last_pushed_.erase(device.v);
   pending_.erase(device.v);
+  // Any in-flight push span is voided — the device's applied state is
+  // unknown, the next replan resends its full slice.
+  if (spans_ != nullptr && span_clock_ != nullptr) {
+    resolve_push_span(device.v, span_clock_->now(), "voided", 0);
+  }
 }
 
 ReplanOutcome ControllerAgent::replan(sim::SimNetwork& net, const ReplanRequest& request) {
@@ -257,10 +334,32 @@ ReplanOutcome ControllerAgent::replan(sim::SimNetwork& net, const ReplanRequest&
   ++replans_;
   const std::uint64_t skipped_before = pushes_skipped_;
   const std::uint64_t bytes_before = push_bytes_;
+  const double now = net.simulator().now();
+
+  obs::SpanId rspan = 0;
+  if (spans_ != nullptr) {
+    // Parent under the episode span a caller parked on the context stack
+    // (fault declaration, revival, drift trigger); no context = a root
+    // replan (e.g. the initial rollout).
+    rspan = spans_->begin(std::string("replan:") + to_string(request.trigger), now,
+                          spans_->context(), "", "controller");
+    ReplanSpanState state;
+    state.started_at = now;
+    // Snapshot every parked episode: a multi-failure round pushes several,
+    // and all of them are resolved by this one rollout.
+    for (const obs::SpanId ep : spans_->context_stack()) {
+      if (const obs::Span* e = spans_->find(ep); e != nullptr && e->open()) {
+        state.episodes.push_back(ep);
+      }
+    }
+    spans_->set_attr(rspan, "episodes", static_cast<double>(state.episodes.size()));
+    replan_spans_.emplace(rspan, std::move(state));
+  }
 
   const auto started = std::chrono::steady_clock::now();
   if (request.recompute_assignments) controller_.recompute();
 
+  bool compiled = false;
   if (request.plan != nullptr) {
     out.plan = *request.plan;
   } else if (request.strategy == core::StrategyKind::kLoadBalanced) {
@@ -270,18 +369,25 @@ ReplanOutcome ControllerAgent::replan(sim::SimNetwork& net, const ReplanRequest&
         // solve would assign no ratios anyway — the agents would fall back to
         // hot-potato wherever ratios are absent — so compile that directly.
         out.plan = controller_.compile(core::StrategyKind::kHotPotato);
+        compiled = true;
       } else {
         // Zero reports since the last solve: the matrix is empty, a solve
         // would push a meaningless plan networkwide. No-op.
         ++replans_suppressed_;
         out.suppressed = true;
         out.plan = last_plan_;
+        if (rspan != 0) {
+          spans_->set_attr(rspan, "suppressed", 1);
+          spans_->end(rspan, now);
+          replan_spans_.erase(rspan);
+        }
         return out;
       }
     } else {
       core::Controller::SolveInfo info;
       out.plan = controller_.compile(core::StrategyKind::kLoadBalanced, &collected_, &info);
       out.solved = true;
+      compiled = true;
       out.lambda = info.lambda;
       out.lp_pivots = info.pivots;
       out.reports_used = pending_reports_;
@@ -290,14 +396,43 @@ ReplanOutcome ControllerAgent::replan(sim::SimNetwork& net, const ReplanRequest&
     }
   } else {
     out.plan = controller_.compile(request.strategy);
+    compiled = true;
   }
   out.solve_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                            started)
                      .count();
 
+  if (rspan != 0 && compiled) {
+    // Solve cost is modeled from the pivot count (wall time isn't
+    // deterministic); a strategy compile without an LP records the base cost.
+    const double modeled_ms = modeled_solve_ms(out.lp_pivots);
+    const auto solve = spans_->instant("solve", now, rspan, "", "controller");
+    spans_->set_attr(solve, "lambda", out.lambda);
+    spans_->set_attr(solve, "modeled_ms", modeled_ms);
+    spans_->set_attr(solve, "pivots", static_cast<double>(out.lp_pivots));
+    spans_->set_attr(solve, "reports", static_cast<double>(out.reports_used));
+    spans_->set_attr(solve, "solved", out.solved ? 1 : 0);
+    conv_solve_latency_.add(modeled_ms / 1000.0);
+  }
+
+  current_replan_span_ = rspan;
   out.pushes_sent = distribute(net, out.plan);
+  current_replan_span_ = 0;
   out.pushes_skipped = static_cast<std::size_t>(pushes_skipped_ - skipped_before);
   out.push_bytes = push_bytes_ - bytes_before;
+
+  if (rspan != 0) {
+    const auto diff = spans_->instant("plan_diff", now, rspan, "", "controller");
+    spans_->set_attr(diff, "bytes", static_cast<double>(out.push_bytes));
+    spans_->set_attr(diff, "devices", static_cast<double>(out.plan.configs.size()));
+    spans_->set_attr(diff, "pushed", static_cast<double>(out.pushes_sent));
+    spans_->set_attr(diff, "skipped", static_cast<double>(out.pushes_skipped));
+    // Nothing to roll out (every slice unchanged): the plan is live now.
+    const auto it = replan_spans_.find(rspan);
+    if (it != replan_spans_.end() && it->second.outstanding == 0) {
+      complete_replan_span(rspan, now);
+    }
+  }
   return out;
 }
 
@@ -407,6 +542,14 @@ void ControllerAgent::register_metrics(obs::MetricsRegistry& registry) const {
                         [this] { return static_cast<double>(pending_.size()); });
   registry.expose_gauge("ctrl_config_version", labels,
                         [this] { return static_cast<double>(version_); });
+  // conv_* series exist only when the span machinery is attached, so an
+  // unattached run's metrics dump stays byte-identical.
+  if (spans_ != nullptr) {
+    registry.expose_histogram("conv_push_latency", labels, &conv_push_latency_);
+    registry.expose_histogram("conv_solve_latency", labels, &conv_solve_latency_);
+    registry.expose_histogram("conv_total_unenforced_window", labels,
+                              &conv_total_unenforced_window_);
+  }
 }
 
 void register_metrics(obs::MetricsRegistry& registry, const ControlPlane& plane) {

@@ -29,12 +29,25 @@
 
 #include "control/codec.hpp"
 #include "core/agents.hpp"
+#include "obs/span.hpp"
 #include "sim/network.hpp"
+#include "stats/histogram.hpp"
 #include "workload/traffic_matrix.hpp"
 
 namespace sdmbox::control {
 
 class HealthMonitor;
+
+/// Deterministic model of LP solve cost, shared by the reoptimize loop's
+/// reopt_* series and the controller's solve spans / conv_solve_latency:
+/// measured wall time is machine-dependent, so exports derive solve cost
+/// from the pivot count instead.
+inline constexpr double kModeledSolveBaseMs = 0.5;
+inline constexpr double kModeledMsPerPivot = 0.02;
+
+inline double modeled_solve_ms(std::size_t pivots) noexcept {
+  return kModeledSolveBaseMs + kModeledMsPerPivot * static_cast<double>(pivots);
+}
 
 struct ControlCounters {
   std::uint64_t configs_applied = 0;
@@ -227,8 +240,28 @@ public:
   std::uint64_t current_version() const noexcept { return version_; }
   net::IpAddress address() const noexcept { return address_; }
 
-  /// Expose the push/ack/report bookkeeping as ctrl_* registry views.
+  /// Expose the push/ack/report bookkeeping as ctrl_* registry views. When
+  /// a span tracer is attached (set_spans BEFORE this call) additionally
+  /// registers the conv_solve_latency / conv_push_latency /
+  /// conv_total_unenforced_window histograms derived from spans.
   void register_metrics(obs::MetricsRegistry& registry) const;
+
+  /// Attach a span tracer (+ the simulator clock, for span timestamps on
+  /// paths that don't receive a SimNetwork, e.g. forget_device). Every
+  /// replan then emits one `replan:<trigger>` span — parented under the
+  /// episode on the tracer's context stack, if any — with `solve`,
+  /// `plan_diff`, and per-device `push` children; push spans close at ack
+  /// (gaining an `ack` instant child), supersede, abandonment, or
+  /// forget_device. When the last outstanding push of a replan resolves,
+  /// the replan span ends, conv_push_latency records the rollout time, and
+  /// every episode the replan was acting for is closed — unenforced
+  /// episodes record their full fault->plan-live window into
+  /// conv_total_unenforced_window. Pure observation: attaching never
+  /// changes protocol behavior.
+  void set_spans(obs::SpanTracer* spans, const sim::Simulator* clock) noexcept {
+    spans_ = spans;
+    span_clock_ = clock;
+  }
 
 private:
   struct PendingPush {
@@ -238,12 +271,34 @@ private:
     int attempts = 1;  // sends so far (initial + retries)
   };
 
+  /// Span bookkeeping for one in-flight push, kept separate from the
+  /// protocol's pending_ map so observation works even when retransmission
+  /// is disabled (fire-and-forget pushes still have an ack to await).
+  struct PushSpanState {
+    std::uint64_t seq = 0;
+    obs::SpanId push_span = 0;
+    obs::SpanId replan_span = 0;
+  };
+
+  /// Open replan span -> rollout progress (outstanding pushes + the episode
+  /// spans this replan acts for, snapshotted from the context stack).
+  struct ReplanSpanState {
+    double started_at = 0;
+    std::size_t outstanding = 0;
+    std::vector<obs::SpanId> episodes;
+  };
+
   void send_push(sim::SimNetwork& net, const PendingPush& push);
   void schedule_retransmit(sim::SimNetwork& net, std::uint32_t device_v, std::uint64_t seq,
                            double rto);
   /// Differential distribution of `plan` (the body behind replan/push_plan).
   /// Returns the number of pushes sent; increments the config version.
   std::size_t distribute(sim::SimNetwork& net, const core::EnforcementPlan& plan);
+
+  /// Close a push span (ack / supersede / abandon / forget) and, when its
+  /// replan has no outstanding pushes left, complete the replan span.
+  void resolve_push_span(std::uint32_t device_v, double now, const char* how, double attempts);
+  void complete_replan_span(obs::SpanId replan_span, double now);
 
   net::NodeId node_;
   net::IpAddress address_;
@@ -272,6 +327,14 @@ private:
   std::uint64_t stale_acks_ = 0;
   core::EnforcementPlan last_plan_;
   HealthMonitor* health_ = nullptr;
+  obs::SpanTracer* spans_ = nullptr;
+  const sim::Simulator* span_clock_ = nullptr;
+  std::unordered_map<std::uint32_t, PushSpanState> span_pending_;  // device node -> span state
+  std::unordered_map<obs::SpanId, ReplanSpanState> replan_spans_;
+  obs::SpanId current_replan_span_ = 0;  // set around distribute() by replan()
+  stats::Histogram conv_solve_latency_;
+  stats::Histogram conv_push_latency_;
+  stats::Histogram conv_total_unenforced_window_;
 };
 
 struct ControlPlane {

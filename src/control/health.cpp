@@ -1,6 +1,7 @@
 #include "control/health.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/log.hpp"
 
 namespace sdmbox::control {
@@ -37,29 +38,56 @@ bool HealthMonitor::declared_failed(net::NodeId node) const {
   return false;
 }
 
-void HealthMonitor::declare(sim::SimNetwork& net, Device& device, sim::SimTime now) {
+bool HealthMonitor::declare(sim::SimNetwork& net, Device& device, sim::SimTime now) {
   device.declared_failed = true;
   ++counters_.failures_declared;
-  if (net.node_up(device.node)) ++counters_.false_positives;
+  const bool false_positive = net.node_up(device.node);
+  if (false_positive) ++counters_.false_positives;
   counters_.detection_latency_total += now - device.last_reply_at;
   log_.push_back(Event{device.node, now, true});
+  bool pushed_context = false;
+  if (spans_ != nullptr) {
+    const std::string& name = net.topology().node(device.node).name;
+    // Join the fault injector's episode tree via the node-id correlation; a
+    // declaration with no open fault episode (false positive, or a crash
+    // before the tracer attached) roots its own.
+    obs::SpanId episode = spans_->correlated_open(device.node.v);
+    if (episode == 0) {
+      episode = spans_->begin("episode:declared", device.last_reply_at, 0, name, "health");
+      spans_->set_attr(episode, "node", static_cast<double>(device.node.v));
+      spans_->set_attr(episode, "unenforced", false_positive ? 0 : 1);
+      spans_->correlate(device.node.v, episode);
+    }
+    // The detection span covers the silent interval: last heard from ->
+    // declared failed. Its duration IS the detection latency the registry's
+    // health_detection_latency_total sums.
+    const obs::SpanId detect = spans_->begin("detect", device.last_reply_at, episode, name, "health");
+    spans_->set_attr(detect, "misses", device.misses);
+    spans_->set_attr(detect, "false_positive", false_positive ? 1 : 0);
+    spans_->end(detect, now);
+    conv_detection_latency_.add(now - device.last_reply_at);
+    spans_->push_context(episode);
+    pushed_context = true;
+  }
   SDM_LOG_INFO("health", "declared " << net.topology().node(device.node).name
                                      << " failed after " << device.misses << " silent rounds");
   // Deliberately keep the device's differential fingerprint: pushing its
   // full slice now would only feed the retransmission machinery a guaranteed
   // abandonment. The fingerprint is voided on revival (forcing a full
   // resync) and by push abandonment itself.
+  return pushed_context;
 }
 
 void HealthMonitor::round(sim::SimNetwork& net) {
   if (!running_) return;
   const sim::SimTime now = net.simulator().now();
   bool changed = false;
+  int contexts_pushed = 0;
   for (Device& d : devices_) {
     if (d.seq_sent > d.seq_acked) {
       ++d.misses;
       if (!d.declared_failed && d.misses >= params_.miss_threshold) {
-        declare(net, d, now);
+        if (declare(net, d, now)) ++contexts_pushed;
         // Proxies can't be routed around (they ARE the subnet's enforcement
         // point); only middlebox failures change the assignment problem.
         if (!d.is_proxy && deployment_.set_failed(d.node, true)) changed = true;
@@ -78,6 +106,11 @@ void HealthMonitor::round(sim::SimNetwork& net) {
     net.inject(agent_.node(), std::move(probe), now);
   }
   if (changed && params_.auto_repair) repush(net);
+  // The episode contexts only existed so the repush's replan span could
+  // parent under (and later close) them.
+  for (; contexts_pushed > 0; --contexts_pushed) {
+    if (spans_ != nullptr) spans_->pop_context();
+  }
   net.simulator().schedule_in(params_.probe_period, [this, &net] { round(net); });
 }
 
@@ -99,9 +132,17 @@ void HealthMonitor::on_probe_reply(sim::SimNetwork& net, net::IpAddress from,
   log_.push_back(Event{d.node, d.last_reply_at, false});
   SDM_LOG_INFO("health", "revived " << net.topology().node(d.node).name);
   agent_.forget_device(d.node);
+  // The restart episode (opened by the fault injector, if any) is the
+  // revival's causal root: the resync replan parents under it.
+  obs::SpanId episode = 0;
+  if (spans_ != nullptr) {
+    episode = spans_->correlated_open(d.node.v);
+    if (episode != 0) spans_->push_context(episode);
+  }
   if (!d.is_proxy && deployment_.set_failed(d.node, false) && params_.auto_repair) {
     repush(net);
   }
+  if (episode != 0) spans_->pop_context();
 }
 
 void HealthMonitor::repush(sim::SimNetwork& net) {
@@ -132,6 +173,12 @@ void HealthMonitor::register_metrics(obs::MetricsRegistry& registry) const {
                         [this] { return counters_.detection_latency_total; });
   registry.expose_gauge("health_mean_detection_latency_s", labels,
                         [this] { return mean_detection_latency(); });
+  // conv_* series exist only when the span machinery is attached, so an
+  // unattached run's metrics dump stays byte-identical (the acceptance
+  // contract for "attaching the tracer perturbs nothing").
+  if (spans_ != nullptr) {
+    registry.expose_histogram("conv_detection_latency", labels, &conv_detection_latency_);
+  }
 }
 
 }  // namespace sdmbox::control

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "control/endpoints.hpp"
+#include "stats/histogram.hpp"
 
 namespace sdmbox::control {
 
@@ -89,8 +90,18 @@ public:
   const HealthParams& params() const noexcept { return params_; }
 
   /// Expose the detection bookkeeping as health_* registry views (probes,
-  /// declarations, false positives, detection-latency total and mean).
+  /// declarations, false positives, detection-latency total and mean). When
+  /// a span tracer is attached (set_spans BEFORE this call) additionally
+  /// registers the conv_detection_latency histogram derived from spans.
   void register_metrics(obs::MetricsRegistry& registry) const;
+
+  /// Attach a span tracer: each declaration emits a `detect` child span
+  /// under the fault's episode root (found via node-id correlation; a
+  /// declaration with no matching fault — a false positive — opens its own
+  /// episode root) and samples conv_detection_latency. Repush-triggering
+  /// declarations park their episode on the tracer's context stack so the
+  /// controller's replan span joins the same trace tree.
+  void set_spans(obs::SpanTracer* spans) noexcept { spans_ = spans; }
 
   double mean_detection_latency() const noexcept {
     return counters_.failures_declared == 0
@@ -113,11 +124,15 @@ private:
 
   void round(sim::SimNetwork& net);
   void repush(sim::SimNetwork& net);
-  void declare(sim::SimNetwork& net, Device& device, sim::SimTime now);
+  /// Returns true when the declaration parked an episode span on the
+  /// tracer's context stack (the caller pops after any repush).
+  bool declare(sim::SimNetwork& net, Device& device, sim::SimTime now);
 
   ControllerAgent& agent_;
   core::Deployment& deployment_;
   HealthParams params_;
+  obs::SpanTracer* spans_ = nullptr;
+  stats::Histogram conv_detection_latency_;
   std::vector<Device> devices_;
   std::unordered_map<std::uint32_t, std::size_t> by_addr_;  // address -> devices_ index
   HealthCounters counters_;

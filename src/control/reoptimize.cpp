@@ -10,11 +10,6 @@ namespace sdmbox::control {
 
 namespace {
 
-// Deterministic stand-in for LP wall time in registry exports: same pivots
-// => same cost on every machine.
-constexpr double kModeledSolveBaseMs = 0.5;
-constexpr double kModeledMsPerPivot = 0.02;
-
 std::vector<double> normalize(const std::vector<double>& raw) {
   const double total = std::accumulate(raw.begin(), raw.end(), 0.0);
   std::vector<double> shares(raw.size(), 0.0);
@@ -136,15 +131,32 @@ void ReoptimizePolicy::epoch(sim::SimNetwork& net) {
 
   DriftDetector::Decision decision = detector_.evaluate(window, agent_.pending_reports());
   if (decision == DriftDetector::Decision::kTrigger) {
+    // The drift trigger roots this episode's trace tree, exactly like a
+    // crash roots a failure episode: the replan span below becomes its
+    // child via the context stack. Drift never leaves the network
+    // unenforced — the old plan keeps enforcing while the new one rolls out.
+    obs::SpanId episode = 0;
+    if (spans_ != nullptr) {
+      episode = spans_->begin("episode:drift", net.simulator().now(), 0, "", "reoptimize");
+      spans_->set_attr(episode, "drift", detector_.last_drift());
+      spans_->set_attr(episode, "threshold", params_.drift_threshold);
+      spans_->set_attr(episode, "unenforced", 0);
+      spans_->push_context(episode);
+    }
     ReplanRequest request;
     request.trigger = ReplanTrigger::kDrift;
     const ReplanOutcome outcome = agent_.replan(net, request);
+    if (episode != 0) spans_->pop_context();
     if (outcome.suppressed) {
       // The report pool emptied between the gate and the solve (cannot
       // happen from this loop, but replan() owns the final word).
       ++counters_.suppressed;
       ++counters_.suppressed_reports;
       decision = DriftDetector::Decision::kTooFewReports;
+      if (episode != 0) {
+        spans_->set_attr(episode, "suppressed", 1);
+        spans_->end(episode, net.simulator().now());
+      }
     } else {
       ++counters_.triggered;
       ++counters_.solves;
@@ -152,8 +164,7 @@ void ReoptimizePolicy::epoch(sim::SimNetwork& net) {
       counters_.pushes += outcome.pushes_sent;
       counters_.push_bytes += outcome.push_bytes;
       solve_ms_wall_ += outcome.solve_ms;
-      solve_ms_modeled_ +=
-          kModeledSolveBaseMs + kModeledMsPerPivot * static_cast<double>(outcome.lp_pivots);
+      solve_ms_modeled_ += modeled_solve_ms(outcome.lp_pivots);
       detector_.mark_solved(window);
       base_ = cum;
       SDM_LOG_INFO("reopt", "drift " << detector_.last_drift() << " > "

@@ -150,11 +150,17 @@ public:
   /// Expose the loop as reopt_* series ({subsystem: reoptimize} labels).
   void register_metrics(obs::MetricsRegistry& registry) const;
 
+  /// Attach a span tracer: each drift trigger opens an `episode:drift` root
+  /// span and parks it on the context stack so the replan's span tree roots
+  /// under it (the controller closes the episode at plan-live time).
+  void set_spans(obs::SpanTracer* spans) noexcept { spans_ = spans; }
+
 private:
   void epoch(sim::SimNetwork& net);
   std::vector<double> cumulative_loads() const;
 
   ControllerAgent& agent_;
+  obs::SpanTracer* spans_ = nullptr;
   std::vector<ManagedDevice*> proxies_;
   std::vector<ManagedDevice*> middleboxes_;
   const obs::EpochRecorder& recorder_;

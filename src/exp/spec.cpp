@@ -164,6 +164,7 @@ std::string ScenarioSpec::to_text() const {
   out << "epoch = " << fmt_double(epoch) << '\n';
   out << "trace_sample = " << fmt_double(trace_sample) << '\n';
   out << "verify = " << (verify ? "true" : "false") << '\n';
+  out << "spans = " << (spans ? "true" : "false") << '\n';
   out << "reopt_period = " << fmt_double(reopt_period) << '\n';
   out << "reopt_threshold = " << fmt_double(reopt_threshold) << '\n';
   out << "reopt_cooldown = " << reopt_cooldown << '\n';
@@ -247,6 +248,8 @@ SpecParseResult parse_text(const std::string& text, const ScenarioSpec& defaults
       ok = parse_double(value, s.trace_sample);
     } else if (key == "verify") {
       ok = parse_bool(value, s.verify);
+    } else if (key == "spans") {
+      ok = parse_bool(value, s.spans);
     } else if (key == "reopt_period") {
       ok = parse_double(value, s.reopt_period);
     } else if (key == "reopt_threshold") {

@@ -86,6 +86,14 @@ struct ScenarioSpec {
   /// oracle needs the trace stream (trace_sample > 0 to see anything).
   bool verify = false;
 
+  // --- control-plane spans ---
+  /// Attach the obs::SpanTracer to the whole control plane: fault episodes,
+  /// detection, replan/solve/push/ack become causal span trees and the
+  /// conv_* convergence-latency histograms appear in the registry. On by
+  /// default — attaching is pure observation (exports beyond the additive
+  /// conv_* series are byte-identical either way).
+  bool spans = true;
+
   // --- drift-triggered re-optimisation (0 period = loop off) ---
   double reopt_period = 0;
   double reopt_threshold = 0.1;

@@ -99,6 +99,13 @@ void World::prepare_sim() {
   tracer = std::make_unique<obs::PathTracer>(spec.trace_sample);
   simnet->set_tracer(tracer.get());
 
+  // Span attachment is pure observation: the tracer draws no randomness and
+  // schedules no events, so a spans-on run and a spans-off run stay
+  // byte-identical except for the additive conv_* registry series (which
+  // every component gates on the tracer being attached before
+  // register_metrics — that ordering is load-bearing below).
+  if (spec.spans) spans = std::make_unique<obs::SpanTracer>();
+
   if (spec.verify) {
     // Live attachment: the oracle sees every sampled record as it happens,
     // independent of ring capacity. Observers never mutate the sink, so
@@ -108,6 +115,7 @@ void World::prepare_sim() {
                                                        &catalog);
     oracle->set_complete_stream(spec.trace_sample >= 1.0);
     tracer->set_observer(oracle.get());
+    if (spans) oracle->set_span_tracer(spans.get());
   }
 
   core::AgentOptions opts;
@@ -121,14 +129,17 @@ void World::prepare_sim() {
   opts.peer_health.min_probe_gap = 0.05;
   cp = control::install_control_plane(*simnet, network, deployment, gen.policies, *controller,
                                       controller_node, plan, opts);
+  if (spans) cp.controller->set_spans(spans.get(), &simnet->simulator());
 
   injector = std::make_unique<sim::FaultInjector>(*simnet, &routing);
+  if (spans) injector->set_spans(spans.get());
   arm_faults();
 
   control::HealthParams hp;
   hp.probe_period = 0.1;
   hp.miss_threshold = 8;
   monitor = std::make_unique<control::HealthMonitor>(*cp.controller, deployment, network, hp);
+  if (spans) monitor->set_spans(spans.get());
 
   // One registry over every layer: the packet plane, the fault script, the
   // control plane (controller + every managed device), and the detector.
@@ -150,6 +161,7 @@ void World::prepare_sim() {
     rp.cooldown_epochs = spec.reopt_cooldown;
     rp.min_reports = spec.reopt_min_reports;
     reopt.emplace(*cp.controller, cp, *recorder, rp);
+    if (spans) reopt->set_spans(spans.get());
     reopt->register_metrics(registry);
   }
 }
@@ -236,7 +248,14 @@ MetricsSnapshot World::snapshot() const {
   MetricsSnapshot out;
   const auto samples = registry.collect();
   out.reserve(samples.size());
-  for (const auto& s : samples) out.emplace_back(s.name + s.labels.render(), s.value);
+  for (const auto& s : samples) {
+    out.emplace_back(s.name + s.labels.render(), s.value);
+    // Histograms flatten to count (above) AND sum, so suite aggregation can
+    // average totals (e.g. conv_total_unenforced_window_sum) across seeds.
+    if (s.kind == obs::MetricKind::kHistogram) {
+      out.emplace_back(s.name + "_sum" + s.labels.render(), s.histogram.sum);
+    }
+  }
   return out;
 }
 

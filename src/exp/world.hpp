@@ -30,6 +30,7 @@
 #include "exp/spec.hpp"
 #include "net/topologies.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/faults.hpp"
@@ -82,6 +83,10 @@ public:
   /// spec.verify is set (null otherwise). run() finishes it; read
   /// oracle->report() afterwards.
   std::unique_ptr<verify::InvariantOracle> oracle;
+  /// Control-plane span tracer, attached to the injector, health monitor,
+  /// controller, drift loop and oracle when spec.spans is set (null
+  /// otherwise). Export via obs::spans_to_json / render_spans_for_path.
+  std::unique_ptr<obs::SpanTracer> spans;
 
   World() = default;
   World(const World&) = delete;

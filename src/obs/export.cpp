@@ -265,6 +265,87 @@ std::string trace_to_json(const PathTracer& tracer, const net::Topology* topo) {
   return out;
 }
 
+std::string spans_to_json(const SpanTracer& tracer) {
+  const auto spans = tracer.spans();
+  std::string out = "{\n  \"started\": ";
+  out += json_number(static_cast<double>(tracer.started()));
+  out += ",\n  \"dropped\": ";
+  out += json_number(static_cast<double>(tracer.dropped()));
+  out += ",\n  \"spans\": [\n";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    out += "    {\"id\":";
+    out += json_number(static_cast<double>(s.id));
+    out += ",\"parent\":";
+    out += json_number(static_cast<double>(s.parent));
+    out += ",\"trace\":";
+    out += json_number(static_cast<double>(s.trace));
+    out += ",\"name\":\"";
+    out += json_escape(s.name);
+    out += "\",\"device\":\"";
+    out += json_escape(s.device);
+    out += "\",\"subsystem\":\"";
+    out += json_escape(s.subsystem);
+    out += "\",\"start\":";
+    out += json_number(s.start);
+    out += ",\"end\":";
+    // An un-ended span exports end:null, never a sentinel value.
+    out += s.open() ? "null" : json_number(s.end);
+    out += ",\"duration\":";
+    out += s.open() ? "null" : json_number(s.duration());
+    out += ",\"attrs\":{";
+    for (std::size_t j = 0; j < s.attrs.size(); ++j) {
+      if (j) out += ',';
+      out += '"';
+      out += json_escape(s.attrs[j].first);
+      out += "\":";
+      out += json_number(s.attrs[j].second);
+    }
+    out += "}}";
+    if (i + 1 < spans.size()) out += ',';
+    out += '\n';
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string spans_to_csv(const SpanTracer& tracer) {
+  std::string out = "id,parent,trace,name,device,subsystem,start,end,duration,attrs\n";
+  for (const Span& s : tracer.spans()) {
+    out += json_number(static_cast<double>(s.id));
+    out += ',';
+    out += json_number(static_cast<double>(s.parent));
+    out += ',';
+    out += json_number(static_cast<double>(s.trace));
+    out += ',';
+    out += s.name;  // span names are fixed identifiers, never need quoting
+    out += ',';
+    out += s.device;
+    out += ',';
+    out += s.subsystem;
+    out += ',';
+    out += json_number(s.start);
+    out += ',';
+    if (!s.open()) out += json_number(s.end);
+    out += ',';
+    if (!s.open()) out += json_number(s.duration());
+    out += ",\"";
+    for (std::size_t j = 0; j < s.attrs.size(); ++j) {
+      if (j) out += ';';
+      out += s.attrs[j].first;
+      out += '=';
+      out += json_number(s.attrs[j].second);
+    }
+    out += "\"\n";
+  }
+  return out;
+}
+
+std::string render_spans_for_path(const SpanTracer& tracer, const std::string& path) {
+  if (ends_with(path, ".csv")) return spans_to_csv(tracer);
+  return spans_to_json(tracer);
+}
+
 std::string render_for_path(const MetricsRegistry& registry, const EpochRecorder* series,
                             const std::string& path) {
   if (ends_with(path, ".csv")) {

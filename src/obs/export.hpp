@@ -8,6 +8,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
@@ -32,6 +33,20 @@ std::string to_csv(const EpochRecorder& recorder);
 /// Trace dump: records grouped per flow in first-traced order, each hop with
 /// simulated time, node id, node name (when `topo` is given) and hop kind.
 std::string trace_to_json(const PathTracer& tracer, const net::Topology* topo = nullptr);
+
+/// Span dump: {"started", "dropped", "spans": [...]} with spans in id
+/// (creation) order; each span carries ids, name, device/subsystem, trace
+/// tree links, sim-time start/end/duration, and sorted numeric attrs.
+std::string spans_to_json(const SpanTracer& tracer);
+
+/// Flat CSV of the span table, one row per surviving span in id order:
+/// id,parent,trace,name,device,subsystem,start,end,duration,attrs
+/// (attrs as `k=v` pairs joined by `;` inside one quoted cell).
+std::string spans_to_csv(const SpanTracer& tracer);
+
+/// Render `tracer` in the format implied by `path`'s extension:
+/// .csv -> CSV, anything else -> JSON.
+std::string render_spans_for_path(const SpanTracer& tracer, const std::string& path);
 
 /// Render `registry` (+ optional series) in the format implied by `path`'s
 /// extension: .csv -> CSV, .prom/.txt -> Prometheus, anything else -> JSON.

@@ -1,0 +1,120 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+namespace sdmbox::obs {
+
+double Span::attr_or(std::string_view key, double fallback) const noexcept {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+SpanTracer::SpanTracer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+SpanId SpanTracer::begin(std::string name, double at, SpanId parent, std::string device,
+                         std::string subsystem) {
+  const SpanId id = next_++;
+  Span& s = ring_[slot(id)];
+  if (s.id != 0 && s.open()) {
+    // Evicting an open span: drop it from the open list too.
+    open_.erase(std::remove(open_.begin(), open_.end(), s.id), open_.end());
+  }
+  s = Span{};
+  s.id = id;
+  s.name = std::move(name);
+  s.device = std::move(device);
+  s.subsystem = std::move(subsystem);
+  s.start = at;
+  if (const Span* p = find(parent); p != nullptr) {
+    s.parent = parent;
+    s.trace = p->trace;
+  } else {
+    s.parent = 0;  // evicted/unknown parent degrades to a root
+    s.trace = id;
+  }
+  open_.push_back(id);
+  return id;
+}
+
+void SpanTracer::end(SpanId id, double at) {
+  Span* s = mutable_find(id);
+  if (s == nullptr || !s->open()) return;
+  s->end = at;
+  open_.erase(std::remove(open_.begin(), open_.end(), id), open_.end());
+}
+
+SpanId SpanTracer::instant(std::string name, double at, SpanId parent, std::string device,
+                           std::string subsystem) {
+  const SpanId id =
+      begin(std::move(name), at, parent, std::move(device), std::move(subsystem));
+  end(id, at);
+  return id;
+}
+
+void SpanTracer::set_attr(SpanId id, std::string_view key, double value) {
+  Span* s = mutable_find(id);
+  if (s == nullptr) return;
+  auto it = std::lower_bound(s->attrs.begin(), s->attrs.end(), key,
+                             [](const auto& kv, std::string_view k) { return kv.first < k; });
+  if (it != s->attrs.end() && it->first == key) {
+    it->second = value;
+  } else {
+    s->attrs.emplace(it, std::string(key), value);
+  }
+}
+
+void SpanTracer::add_attr(SpanId id, std::string_view key, double delta) {
+  Span* s = mutable_find(id);
+  if (s == nullptr) return;
+  set_attr(id, key, s->attr_or(key, 0) + delta);
+}
+
+const Span* SpanTracer::find(SpanId id) const noexcept {
+  if (id == 0 || id >= next_) return nullptr;
+  if (next_ - 1 - id >= capacity_) return nullptr;  // evicted
+  const Span& s = ring_[slot(id)];
+  return s.id == id ? &s : nullptr;
+}
+
+Span* SpanTracer::mutable_find(SpanId id) noexcept {
+  return const_cast<Span*>(static_cast<const SpanTracer*>(this)->find(id));
+}
+
+std::vector<Span> SpanTracer::spans() const {
+  std::vector<Span> out;
+  const SpanId total = next_ - 1;
+  const SpanId first = total > capacity_ ? total - capacity_ + 1 : 1;
+  out.reserve(total - first + 1);
+  for (SpanId id = first; id <= total; ++id) {
+    if (const Span* s = find(id)) out.push_back(*s);
+  }
+  return out;
+}
+
+std::uint64_t SpanTracer::dropped() const noexcept {
+  const std::uint64_t total = next_ - 1;
+  return total > capacity_ ? total - capacity_ : 0;
+}
+
+SpanId SpanTracer::latest_open(std::string_view prefix) const noexcept {
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    const Span* s = find(*it);
+    if (s != nullptr && s->name.compare(0, prefix.size(), prefix) == 0) return *it;
+  }
+  return 0;
+}
+
+void SpanTracer::correlate(std::uint64_t key, SpanId id) { correlations_[key] = id; }
+
+SpanId SpanTracer::correlated_open(std::uint64_t key) const noexcept {
+  auto it = correlations_.find(key);
+  if (it == correlations_.end()) return 0;
+  const Span* s = find(it->second);
+  return (s != nullptr && s->open()) ? it->second : 0;
+}
+
+}  // namespace sdmbox::obs

@@ -1,6 +1,7 @@
 #include "sim/faults.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/log.hpp"
 
 namespace sdmbox::sim {
@@ -50,21 +51,47 @@ std::optional<SimTime> FaultInjector::crash_time(net::NodeId node) const {
 
 void FaultInjector::apply(const FaultEvent& event) {
   switch (event.kind) {
-    case FaultEvent::Kind::kNodeDown:
+    case FaultEvent::Kind::kNodeDown: {
       net_.set_node_up(event.node, false);
-      crash_times_[event.node.v] = net_.simulator().now();
+      const SimTime now = net_.simulator().now();
+      crash_times_[event.node.v] = now;
       ++counters_.node_crashes;
+      if (spans_ != nullptr) {
+        // Root of this dependability episode's trace tree. The episode is
+        // "unenforced" from this instant: the crashed box may be mid-chain
+        // for live flows. The health monitor finds the span through the
+        // node-id correlation; the controller closes it at plan-live time.
+        const auto id = spans_->begin("episode:crash", now, 0,
+                                      net_.topology().node(event.node).name, "fault");
+        spans_->set_attr(id, "node", static_cast<double>(event.node.v));
+        spans_->set_attr(id, "unenforced", 1);
+        spans_->correlate(event.node.v, id);
+      }
       SDM_LOG_INFO("fault", "node " << net_.topology().node(event.node).name << " crashed");
       break;
-    case FaultEvent::Kind::kNodeUp:
+    }
+    case FaultEvent::Kind::kNodeUp: {
       net_.set_node_up(event.node, true);
       ++counters_.node_restarts;
+      if (spans_ != nullptr) {
+        const auto id =
+            spans_->begin("episode:restart", net_.simulator().now(), 0,
+                          net_.topology().node(event.node).name, "fault");
+        spans_->set_attr(id, "node", static_cast<double>(event.node.v));
+        spans_->set_attr(id, "unenforced", 0);
+        spans_->correlate(event.node.v, id);
+      }
       SDM_LOG_INFO("fault", "node " << net_.topology().node(event.node).name << " restarted");
       break;
+    }
     case FaultEvent::Kind::kLinkDown:
       net_.set_link_up(event.link, false);
       down_links_[event.link.v] = true;
       ++counters_.link_downs;
+      if (spans_ != nullptr) {
+        const auto id = spans_->instant("fault:link_down", net_.simulator().now(), 0, "", "fault");
+        spans_->set_attr(id, "link", static_cast<double>(event.link.v));
+      }
       SDM_LOG_INFO("fault", "link " << event.link.v << " down, reconverging");
       reconverge();
       break;
@@ -72,12 +99,21 @@ void FaultInjector::apply(const FaultEvent& event) {
       net_.set_link_up(event.link, true);
       down_links_[event.link.v] = false;
       ++counters_.link_ups;
+      if (spans_ != nullptr) {
+        const auto id = spans_->instant("fault:link_up", net_.simulator().now(), 0, "", "fault");
+        spans_->set_attr(id, "link", static_cast<double>(event.link.v));
+      }
       SDM_LOG_INFO("fault", "link " << event.link.v << " up, reconverging");
       reconverge();
       break;
     case FaultEvent::Kind::kLinkLoss:
       net_.set_link_loss(event.link, event.loss_rate);
       ++counters_.loss_changes;
+      if (spans_ != nullptr) {
+        const auto id = spans_->instant("fault:link_loss", net_.simulator().now(), 0, "", "fault");
+        spans_->set_attr(id, "link", static_cast<double>(event.link.v));
+        spans_->set_attr(id, "rate", event.loss_rate);
+      }
       SDM_LOG_INFO("fault", "link " << event.link.v << " loss rate -> " << event.loss_rate);
       break;
   }

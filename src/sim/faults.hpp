@@ -22,6 +22,10 @@
 #include "net/routing.hpp"
 #include "sim/network.hpp"
 
+namespace sdmbox::obs {
+class SpanTracer;
+}
+
 namespace sdmbox::sim {
 
 struct FaultEvent {
@@ -87,6 +91,12 @@ class FaultInjector {
   /// Expose the fault bookkeeping as fault_* registry views.
   void register_metrics(obs::MetricsRegistry& registry) const;
 
+  /// Attach a span tracer: every crash/restart opens an `episode:*` root
+  /// span correlated under the node id (the health monitor and controller
+  /// pick it up downstream), link events emit instant root spans. Pure
+  /// observation — attaching never changes the run.
+  void set_spans(obs::SpanTracer* spans) noexcept { spans_ = spans; }
+
   /// Time of the most recent crash of `node`, if it ever crashed — ground
   /// truth for detection-latency measurements.
   std::optional<SimTime> crash_time(net::NodeId node) const;
@@ -97,6 +107,7 @@ class FaultInjector {
 
   SimNetwork& net_;
   net::RoutingTables* routing_;
+  obs::SpanTracer* spans_ = nullptr;
   std::vector<bool> down_links_;
   std::unordered_map<std::uint32_t, SimTime> crash_times_;
   FaultCounters counters_;

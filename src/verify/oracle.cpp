@@ -54,6 +54,11 @@ std::string VerifyReport::summary() const {
          " anomaly_sunk=" + std::to_string(packets_anomaly_sunk) +
          " in_flight=" + std::to_string(packets_in_flight) +
          " unverified=" + std::to_string(packets_unverified) + ")";
+  if (packets_in_unenforced_window > 0) {
+    out += "\n" + std::to_string(packets_in_unenforced_window) +
+           " packet(s) were forwarded inside unenforced windows (open replan or "
+           "crash episode) — tolerated, attributed to their episode spans";
+  }
   if (!coverage_complete) out += "\ncoverage INCOMPLETE: " + coverage_note;
   const std::size_t shown = std::min(violations.size(), kSummaryViolations);
   for (std::size_t i = 0; i < shown; ++i) out += "\n  " + violations[i].narrative;
@@ -265,6 +270,26 @@ void InvariantOracle::handle_chain_tail(const obs::TraceRecord& r, PacketState& 
   (void)r;
 }
 
+void InvariantOracle::note_delivered_ok() {
+  ++report_.packets_delivered_ok;
+  if (spans_ == nullptr) return;
+  // Attribute the delivery to the transient window it rode through, if any:
+  // a replan still rolling out is the concrete unenforced window the PR-6
+  // oracle merely tolerated; failing that, an open unenforced fault episode
+  // (crash detected but recovery not yet begun).
+  obs::SpanId target = spans_->latest_open("replan");
+  if (target == 0) {
+    const obs::SpanId episode = spans_->latest_open("episode");
+    if (episode != 0) {
+      const obs::Span* e = spans_->find(episode);
+      if (e != nullptr && e->attr_or("unenforced") == 1) target = episode;
+    }
+  }
+  if (target == 0) return;
+  ++report_.packets_in_unenforced_window;
+  spans_->add_attr(target, "packets_in_window", 1);
+}
+
 void InvariantOracle::handle_delivered(const obs::TraceRecord& r, PacketState& ps) {
   FlowState& fs = flow_state(ps.key.flow);
   if (!fs.touched_proxy) {
@@ -304,7 +329,7 @@ void InvariantOracle::handle_delivered(const obs::TraceRecord& r, PacketState& p
   }
   const policy::ActionList& required = gt != nullptr ? gt->actions : policy::ActionList{};
   if (required.empty()) {
-    ++report_.packets_delivered_ok;
+    note_delivered_ok();
     return;
   }
   if (ps.violated) return;  // already reported upstream; don't cascade
@@ -324,7 +349,7 @@ void InvariantOracle::handle_delivered(const obs::TraceRecord& r, PacketState& p
     }
     case Mode::kTunneled: {
       if (ps.applied == required) {
-        ++report_.packets_delivered_ok;
+        note_delivered_ok();
         return;
       }
       if (ps.applied.empty()) {
@@ -405,7 +430,7 @@ void InvariantOracle::handle_delivered(const obs::TraceRecord& r, PacketState& p
         ++report_.packets_violating;
         return;
       }
-      ++report_.packets_delivered_ok;
+      note_delivered_ok();
       return;
     }
   }
@@ -572,6 +597,15 @@ void InvariantOracle::replay(const obs::TraceSink& sink) {
 const VerifyReport& InvariantOracle::finish() {
   if (finished_) return report_;
   finished_ = true;
+  if (report_.records_seen == 0) {
+    // Zero records means zero verification, not a clean pass: the sampler
+    // may have rejected every flow (tiny trace rate), or the oracle was
+    // never attached to a live stream.
+    report_.coverage_complete = false;
+    report_.coverage_note =
+        "no trace records reached the oracle — nothing was verified (raise the "
+        "trace sample rate or attach the oracle to a live tracer)";
+  }
   // Open packets are unfinished business, not violations: their terminal
   // record never arrived (in flight at end of run, or silently consumed
   // after an anomaly). Counted so nothing is silently excused.
@@ -607,6 +641,12 @@ void InvariantOracle::register_metrics(obs::MetricsRegistry& registry) const {
   }
   registry.expose_gauge("verify_coverage_incomplete", base,
                         [this] { return report_.coverage_complete ? 0.0 : 1.0; });
+  // conv_* series exist only when the span machinery is attached, so a
+  // verified-but-unspanned run's metrics dump is unchanged.
+  if (spans_ != nullptr) {
+    registry.expose_counter("conv_unenforced_window_packets", base,
+                            &report_.packets_in_unenforced_window);
+  }
 }
 
 }  // namespace sdmbox::verify

@@ -48,6 +48,7 @@
 #include "net/routing.hpp"
 #include "net/topologies.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "policy/function.hpp"
 #include "policy/policy.hpp"
@@ -95,6 +96,10 @@ struct VerifyReport {
   std::uint64_t untracked_records = 0;     // records matching no tracked packet
   std::uint64_t teardown_notices = 0;      // label-teardown records consumed
   std::uint64_t policy_conflicts = 0;      // re-classification disagreed with first
+  /// Deliveries that happened while a replan was still rolling out or an
+  /// unenforced fault episode was open (span tracer attached only): the
+  /// paper's transient windows, tolerated but never uncounted.
+  std::uint64_t packets_in_unenforced_window = 0;
 
   /// False when the oracle may have missed records (post-hoc replay over a
   /// wrapped ring). A live-attached oracle always has complete coverage.
@@ -136,8 +141,16 @@ public:
   const VerifyReport& report() const noexcept { return report_; }
 
   /// Expose verify_* series. Register only in verify mode so non-verify
-  /// exports stay byte-identical.
+  /// exports stay byte-identical. With a span tracer attached (before this
+  /// call) also exposes conv_unenforced_window_packets.
   void register_metrics(obs::MetricsRegistry& registry) const;
+
+  /// Cross-link the control-plane span tracer: each delivered-ok packet
+  /// that lands while a replan span (or unenforced fault episode) is open
+  /// is counted into packets_in_unenforced_window and attributed onto that
+  /// span's `packets_in_window` attribute — "packets forwarded inside
+  /// unenforced windows", per episode. Observation only.
+  void set_span_tracer(obs::SpanTracer* spans) noexcept { spans_ = spans; }
 
 private:
   // ---- per-packet state ----
@@ -193,6 +206,9 @@ private:
 
   PacketState* find_packet(const obs::TraceRecord& r);
   FlowState& flow_state(const packet::FlowId& flow);
+  /// Count a clean delivery, attributing it to any open replan/unenforced
+  /// episode span.
+  void note_delivered_ok();
   const policy::Policy* committed_policy(const FlowState& fs) const;
 
   void handle_classified(const obs::TraceRecord& r, FlowState& fs);
@@ -228,6 +244,7 @@ private:
 
   bool complete_stream_ = true;
   bool finished_ = false;
+  obs::SpanTracer* spans_ = nullptr;
 
   std::unordered_map<packet::FlowId, FlowState, FlowHash> flows_;
   std::unordered_map<PacketKey, PacketState, PacketKeyHash> packets_;

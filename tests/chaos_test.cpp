@@ -21,6 +21,7 @@
 #include "core/validate.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "scenario.hpp"
 #include "sim/faults.hpp"
@@ -100,6 +101,12 @@ struct ChaosOutcome {
   std::uint64_t verify_tracked = 0;
   std::uint64_t verify_delivered_ok = 0;
   std::uint64_t verify_dropped = 0;
+  std::uint64_t verify_window_packets = 0;
+  // Control-plane span tree (empty / "" when the tracer was not attached).
+  std::vector<obs::Span> spans;
+  std::string spans_json;
+  double conv_detection_sum = -1;      // conv_detection_latency histogram sum
+  double detection_latency_total = 0;  // the monitor's own counter
 };
 
 // One full chaos run. Timeline (seconds):
@@ -117,7 +124,7 @@ struct ChaosOutcome {
 //   8.00  victim restarts; heartbeat revival folds it back in (full resync)
 //  12.00  wave 4 — post-recovery traffic, must see zero node-down drops
 //  14.00  monitor stopped; calendar drains
-ChaosOutcome run_chaos() {
+ChaosOutcome run_chaos(bool with_spans = true) {
   ScenarioParams sp;
   sp.seed = 85;
   sp.target_packets = 4000;
@@ -140,6 +147,11 @@ ChaosOutcome run_chaos() {
   oracle.set_complete_stream(true);
   tracer.set_observer(&oracle);
 
+  // The span tracer rides along on the whole control plane (attachment must
+  // precede register_metrics so the conv_* series are exposed).
+  obs::SpanTracer spans;
+  if (with_spans) oracle.set_span_tracer(&spans);
+
   core::AgentOptions opts;
   opts.enable_label_switching = true;
   opts.peer_health.enabled = true;
@@ -149,8 +161,10 @@ ChaosOutcome run_chaos() {
   opts.peer_health.min_probe_gap = 0.05;
   auto cp = control::install_control_plane(simnet, s.network, s.deployment, s.gen.policies,
                                            *s.controller, controller_node, initial, opts);
+  if (with_spans) cp.controller->set_spans(&spans, &simnet.simulator());
 
   sim::FaultInjector injector(simnet, &routing);
+  if (with_spans) injector.set_spans(&spans);
   const net::LinkId flap =
       s.network.topo.find_link(s.network.core_routers[0], s.network.gateways[0]);
   const net::NodeId attach =
@@ -170,6 +184,7 @@ ChaosOutcome run_chaos() {
   hp.probe_period = 0.1;
   hp.miss_threshold = 8;
   control::HealthMonitor monitor(*cp.controller, s.deployment, s.network, hp);
+  if (with_spans) monitor.set_spans(&spans);
 
   // Everything observable goes through one registry, exactly as the CLI's
   // sim mode wires it; the assertions below read the exported values.
@@ -205,6 +220,15 @@ ChaosOutcome run_chaos() {
   out.verify_tracked = vr.packets_tracked;
   out.verify_delivered_ok = vr.packets_delivered_ok;
   out.verify_dropped = vr.packets_dropped;
+  out.verify_window_packets = vr.packets_in_unenforced_window;
+  if (with_spans) {
+    out.spans = spans.spans();
+    out.spans_json = obs::spans_to_json(spans);
+    for (const auto& sample : registry.collect()) {
+      if (sample.name == "conv_detection_latency") out.conv_detection_sum = sample.histogram.sum;
+    }
+  }
+  out.detection_latency_total = monitor.counters().detection_latency_total;
   out.crash_at = injector.crash_time(victim).value_or(-1);
   for (const auto& e : monitor.log()) {
     if (e.node != victim) continue;
@@ -343,6 +367,124 @@ TEST(Chaos, SameScheduleSameSeedIsBitIdentical) {
   // The oracle is a pure function of the record stream, so its whole report
   // (counts AND narratives) reproduces bit-for-bit.
   EXPECT_EQ(a.verify_summary, b.verify_summary);
+}
+
+// Drop every line that mentions a conv_* series from a multi-line metrics
+// JSON dump. The conv_* histograms are the ONLY additive difference a span
+// tracer makes to the registry, so the filtered dumps must match exactly.
+std::string strip_conv_lines(const std::string& json) {
+  std::istringstream in(json);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("conv_") == std::string::npos) out << line << '\n';
+  }
+  return out.str();
+}
+
+// The tentpole acceptance: one causal, sim-clocked span tree per
+// dependability episode — fault injection roots it, heartbeat detection,
+// replan, LP solve, per-device pushes and acks hang under it, and the
+// latencies embedded in the tree agree with the registry's counters.
+TEST(ChaosSpans, EveryFaultEpisodeProducesACompleteSpanTree) {
+  const ChaosOutcome out = run_chaos();
+  ASSERT_FALSE(out.spans.empty());
+
+  const auto children_of = [&](obs::SpanId parent, const std::string& name) {
+    std::vector<const obs::Span*> found;
+    for (const auto& s : out.spans) {
+      if (s.parent == parent && s.name.compare(0, name.size(), name) == 0) found.push_back(&s);
+    }
+    return found;
+  };
+
+  // The scripted crash at t=2.05 roots an unenforced episode on the victim,
+  // closed by the time the run ends (outstanding == 0 proves rollouts
+  // completed, so no episode may be left open).
+  const obs::Span* crash = nullptr;
+  const obs::Span* restart = nullptr;
+  for (const auto& s : out.spans) {
+    if (s.name == "episode:crash") crash = &s;
+    if (s.name == "episode:restart") restart = &s;
+    if (s.name.compare(0, 7, "episode") == 0 || s.name.compare(0, 6, "replan") == 0 ||
+        s.name == "push" || s.name == "detect") {
+      EXPECT_FALSE(s.open()) << s.name << " span " << s.id << " never closed";
+    }
+  }
+  ASSERT_NE(crash, nullptr);
+  ASSERT_NE(restart, nullptr);
+  EXPECT_EQ(crash->start, 2.05);
+  EXPECT_FALSE(crash->device.empty());
+  EXPECT_EQ(crash->attr_or("unenforced"), 1.0);
+  EXPECT_GT(crash->attr_or("unenforced_window"), 0.0);
+  EXPECT_EQ(restart->start, 8.0);
+  EXPECT_EQ(restart->attr_or("unenforced"), 0.0);
+
+  // fault -> detection: the detect child spans [last heartbeat reply, the
+  // declaration], so its duration IS the detection latency the health
+  // registry reports — and the conv_ histogram sums every one of them.
+  const auto detects = children_of(crash->id, "detect");
+  ASSERT_EQ(detects.size(), 1u);
+  EXPECT_GT(detects[0]->duration(), 0.0);
+  EXPECT_LE(detects[0]->duration(), 0.9 + 0.1);
+  EXPECT_DOUBLE_EQ(out.conv_detection_sum, out.detection_latency_total);
+
+  // detection -> replan -> solve -> per-device push -> ack, for BOTH
+  // episodes (the crash recovery and the restart resync).
+  for (const obs::Span* episode : {crash, restart}) {
+    const auto replans = children_of(episode->id, "replan:");
+    ASSERT_GE(replans.size(), 1u) << episode->name << " has no replan child";
+    for (const obs::Span* replan : replans) {
+      if (replan->attr_or("suppressed") != 0) continue;
+      EXPECT_EQ(children_of(replan->id, "solve").size(), 1u);
+      EXPECT_EQ(children_of(replan->id, "plan_diff").size(), 1u);
+      const auto pushes = children_of(replan->id, "push");
+      ASSERT_GE(pushes.size(), 1u);
+      std::size_t acked = 0;
+      for (const obs::Span* push : pushes) {
+        EXPECT_FALSE(push->device.empty());
+        const bool resolved_terminally = push->attr_or("superseded") != 0 ||
+                                         push->attr_or("abandoned") != 0 ||
+                                         push->attr_or("voided") != 0;
+        const auto acks = children_of(push->id, "ack");
+        EXPECT_TRUE(resolved_terminally || acks.size() == 1)
+            << "push span " << push->id << " to " << push->device
+            << " neither acked nor terminally resolved";
+        acked += acks.size();
+      }
+      EXPECT_GE(acked, 1u) << "no push under " << replan->name << " was ever acked";
+    }
+  }
+
+  // Oracle cross-link: every delivery the PR-6 oracle tolerated inside a
+  // transient window is attributed onto exactly one concrete span.
+  double attributed = 0;
+  for (const auto& s : out.spans) attributed += s.attr_or("packets_in_window");
+  EXPECT_EQ(attributed, static_cast<double>(out.verify_window_packets));
+  EXPECT_GT(out.verify_window_packets, 0u);
+}
+
+// The obs determinism contract, both halves: attaching the tracer perturbs
+// nothing (identical fingerprints; metrics identical modulo the additive
+// conv_* series), and the span export itself reproduces byte-for-byte.
+TEST(ChaosSpans, AttachmentIsPureObservationAndExportIsByteIdentical) {
+  const ChaosOutcome on = run_chaos(true);
+  const ChaosOutcome on2 = run_chaos(true);
+  const ChaosOutcome off = run_chaos(false);
+
+  EXPECT_EQ(on.fingerprint, off.fingerprint);
+  EXPECT_EQ(on.declared_at, off.declared_at);
+  EXPECT_EQ(on.revived_at, off.revived_at);
+  EXPECT_EQ(on.verify_violations, off.verify_violations);
+  EXPECT_EQ(on.verify_tracked, off.verify_tracked);
+  EXPECT_EQ(on.verify_delivered_ok, off.verify_delivered_ok);
+  EXPECT_EQ(strip_conv_lines(on.metrics_json), strip_conv_lines(off.metrics_json));
+  EXPECT_NE(on.metrics_json, off.metrics_json) << "conv_* series should only exist with spans";
+
+  EXPECT_FALSE(on.spans_json.empty());
+  EXPECT_EQ(on.spans_json, on2.spans_json);
+  EXPECT_TRUE(off.spans_json.empty());
+  EXPECT_EQ(off.conv_detection_sum, -1) << "conv_* must not register without a tracer";
 }
 
 // The same dependability loop under GENERATED chaos: seeded random schedules
