@@ -1,8 +1,13 @@
-// Micro-benchmark: the from-scratch simplex solver on synthetic min-max-load
-// problems shaped like the controller's Eq. (2) instances (sources ->
-// middlebox layer 1 -> middlebox layer 2, capacity rows, min λ).
-#include <benchmark/benchmark.h>
+// Micro-benchmark: dense tableau vs sparse revised simplex on synthetic
+// min-max-load problems shaped like the controller's Eq. (2) instances
+// (sources -> middlebox layer 1 -> middlebox layer 2, capacity rows, min λ).
+// Plain main (no google-benchmark): sweeps both engines across model sizes,
+// asserts their objectives agree to 1e-6, prints one table row per (size,
+// engine), and emits every series into a single BENCH_micro_simplex.json.
+#include <cmath>
+#include <cstdio>
 
+#include "common.hpp"
 #include "lp/simplex.hpp"
 #include "util/rng.hpp"
 
@@ -61,20 +66,58 @@ lp::LpModel make_chain_lp(std::size_t sources, std::size_t layer1, std::size_t l
   return m;
 }
 
-void BM_SimplexChainLp(benchmark::State& state) {
-  const auto sources = static_cast<std::size_t>(state.range(0));
-  const lp::LpModel m = make_chain_lp(sources, 7, 7, 3);
+struct EngineResult {
+  double solve_ms = 0;
+  double objective = 0;
   std::size_t pivots = 0;
-  for (auto _ : state) {
-    const lp::Solution s = lp::solve(m);
-    benchmark::DoNotOptimize(s.objective);
-    pivots = s.pivots;
-    if (s.status != lp::SolveStatus::kOptimal) state.SkipWithError("not optimal");
+};
+
+EngineResult time_engine(const lp::LpModel& m, lp::SimplexEngine engine, int reps) {
+  lp::SimplexOptions opt;
+  opt.engine = engine;
+  // Warm once (page in the model), then time `reps` full solves.
+  lp::Solution sol = lp::solve(m, opt);
+  SDM_CHECK_MSG(sol.status == lp::SolveStatus::kOptimal, "chain LP must be optimal");
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    sol = lp::solve(m, opt);
+    bench::keep(sol.objective);
   }
-  state.counters["vars"] = static_cast<double>(m.variable_count());
-  state.counters["rows"] = static_cast<double>(m.constraint_count());
-  state.counters["pivots"] = static_cast<double>(pivots);
+  EngineResult out;
+  out.solve_ms = bench::seconds_since(start) * 1000.0 / reps;
+  out.objective = sol.objective;
+  out.pivots = sol.pivots;
+  return out;
 }
-BENCHMARK(BM_SimplexChainLp)->Arg(10)->Arg(40)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main() {
+  const std::size_t kSources[] = {10, 40, 100, 200, 400};
+  std::vector<bench::BenchMetric> metrics;
+
+  std::printf("%8s %6s %6s | %12s %8s | %12s %8s | %8s\n", "sources", "vars", "rows",
+              "dense_ms", "pivots", "sparse_ms", "pivots", "speedup");
+  for (const std::size_t sources : kSources) {
+    const lp::LpModel m = make_chain_lp(sources, 7, 7, 3);
+    const int reps = sources <= 100 ? 5 : 2;
+    const EngineResult dense = time_engine(m, lp::SimplexEngine::kDense, reps);
+    const EngineResult sparse = time_engine(m, lp::SimplexEngine::kSparse, reps);
+    SDM_CHECK_MSG(std::fabs(dense.objective - sparse.objective) <= 1e-6,
+                  "dense and sparse objectives disagree");
+    const double speedup = dense.solve_ms / sparse.solve_ms;
+    std::printf("%8zu %6zu %6zu | %12.3f %8zu | %12.3f %8zu | %7.2fx\n", sources,
+                m.variable_count(), m.constraint_count(), dense.solve_ms, dense.pivots,
+                sparse.solve_ms, sparse.pivots, speedup);
+    const std::string tag = "src" + std::to_string(sources);
+    metrics.push_back({tag + "_vars", static_cast<double>(m.variable_count())});
+    metrics.push_back({tag + "_rows", static_cast<double>(m.constraint_count())});
+    metrics.push_back({tag + "_dense_solve_ms", dense.solve_ms});
+    metrics.push_back({tag + "_dense_pivots", static_cast<double>(dense.pivots)});
+    metrics.push_back({tag + "_sparse_solve_ms", sparse.solve_ms});
+    metrics.push_back({tag + "_sparse_pivots", static_cast<double>(sparse.pivots)});
+    metrics.push_back({tag + "_speedup_dense_over_sparse", speedup});
+  }
+  bench::emit_bench_json("micro_simplex", metrics);
+  return 0;
+}

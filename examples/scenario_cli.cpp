@@ -10,6 +10,8 @@
 //                [--topology campus|waxman] [--strategy hp|rand|lb]
 //                [--packets N] [--policies-per-class N] [--seed N]
 //                [--off-path] [--fail-one FW|IDS|WP|TM]
+//                [--lp-engine sparse|dense]  # LB simplex engine
+//                [--lp-warm-start]      # re-solve from the last basis
 //                [--policy-file FILE]   # Table-I-style file; replaces the
 //                                       # generated policy list for analysis
 //                [--sim]                # packet-level run with a scripted
@@ -88,6 +90,7 @@ void usage(const char* argv0, std::FILE* out) {
                "          [--topology campus|waxman] [--strategy hp|rand|lb]\n"
                "          [--packets N] [--policies-per-class N] [--seed N]\n"
                "          [--off-path] [--fail-one FW|IDS|WP|TM]\n"
+               "          [--lp-engine sparse|dense] [--lp-warm-start]\n"
                "          [--sim] [--metrics-out FILE] [--trace-out FILE]\n"
                "          [--spans-out FILE]\n"
                "          [--verify] [--faults none|chaos|generated] [--chaos-seed N]\n"
@@ -163,6 +166,18 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.spec.fail_one = v;
+    } else if (arg == "--lp-engine") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "sparse") == 0) {
+        opt.spec.lp_engine = lp::SimplexEngine::kSparse;
+      } else if (std::strcmp(v, "dense") == 0) {
+        opt.spec.lp_engine = lp::SimplexEngine::kDense;
+      } else {
+        return false;
+      }
+    } else if (arg == "--lp-warm-start") {
+      opt.spec.lp_warm_start = true;
     } else if (arg == "--policy-file") {
       const char* v = next();
       if (v == nullptr) return false;

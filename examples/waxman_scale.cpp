@@ -1,79 +1,316 @@
-// Scale demo: the full 400-edge-router Waxman network of §IV.A. Shows that
-// the controller's offline work — candidate-set computation over 425
-// routers + 422 SDM devices, traffic aggregation from 400 proxies, and the
-// Eq. (2) LP with exact source aggregation — runs in well under a second,
-// supporting the paper's claim that the controller "is unlikely to become a
-// bottleneck".
+// Scale demo: ISP-scale Waxman worlds, from the paper's 400-edge §IV.A
+// network up to 10k routers. Flows come from the streaming generator
+// (workload/stream_gen) so the flow list is never resident, the LB plan is
+// solved by the sparse revised simplex, and — at sizes where the dense
+// tableau still finishes — both engines are run and cross-checked to 1e-6.
 //
-// Run: ./build/examples/waxman_scale
+// Run: ./build/examples/waxman_scale                # sweep 400..5000 edges
+//      ./build/examples/waxman_scale --edges 1000   # one size
+// Flags:
+//   --edges N             single-size mode (default: sweep)
+//   --max-edges N         cap the sweep sizes (default 5000, max 10000)
+//   --dense-max-edges N   dense cross-check at sizes <= N (default 1000)
+//   --packets N           workload volume per world (default 2000000)
+//   --engine sparse|dense engine for the primary timed solve
+//   --seed S              master seed (default 1)
+//   --json FILE           write deterministic per-size metrics (no wall
+//                         times, no RSS) for same-seed reproducibility diffs
+//   --bench               write BENCH_waxman_scale.json (wall times + RSS)
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
-#include "analytic/load_evaluator.hpp"
 #include "core/controller.hpp"
 #include "net/topologies.hpp"
-#include "workload/flow_gen.hpp"
+#include "obs/export.hpp"
 #include "workload/policy_gen.hpp"
-#include "workload/traffic_matrix.hpp"
+#include "workload/stream_gen.hpp"
 
 using namespace sdmbox;
 
 namespace {
+
 double secs(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
-}  // namespace
 
-int main() {
+/// Peak resident set size in kB from /proc/self/status (VmHWM). A coarse
+/// process-wide high-water mark — monotone across a sweep, so per-size
+/// values record "peak so far". 0 when unavailable (non-Linux).
+double peak_rss_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) return std::atof(line.c_str() + 6);
+  }
+  return 0;
+}
+
+struct Args {
+  std::size_t edges = 0;  // 0 = sweep
+  std::size_t max_edges = 5000;
+  std::size_t dense_max_edges = 1000;
+  std::uint64_t packets = 2'000'000;
+  lp::SimplexEngine engine = lp::SimplexEngine::kSparse;
+  std::uint64_t seed = 1;
+  std::string json_path;
+  bool bench = false;
+};
+
+/// Deterministic facts about one world+solve: everything here must be a
+/// pure function of (seed, size, engine) — no clocks, no RSS — so two runs
+/// with the same arguments produce byte-identical --json exports.
+struct SizeResult {
+  std::size_t edges = 0;
+  std::size_t routers = 0;  // core + edge routers
+  std::size_t nodes = 0;
+  std::size_t links = 0;
+  std::size_t middleboxes = 0;
+  std::uint64_t flows = 0;
+  std::size_t peak_resident = 0;
+  double traffic_total = 0;
+  std::size_t lp_vars = 0;
+  std::size_t lp_rows = 0;
+  std::size_t pivots = 0;
+  double lambda = 0;
+  // Record-only (BENCH json, never the deterministic export):
+  double build_s = 0;
+  double stream_s = 0;
+  double solve_ms = 0;
+  double dense_solve_ms = 0;  // 0 when the dense cross-check was skipped
+  std::size_t dense_pivots = 0;
+  double rss_kb = 0;
+};
+
+SizeResult run_size(std::size_t edges, const Args& args) {
+  SizeResult r;
+  r.edges = edges;
   auto t0 = std::chrono::steady_clock::now();
-  net::WaxmanParams wp;  // paper defaults: 400 edge, 25 core, degree 4
-  net::GeneratedNetwork network = net::make_waxman_topology(wp);
-  std::printf("Waxman topology built in %.3fs: %zu nodes, %zu links\n", secs(t0),
-              network.topo.node_count(), network.topo.link_count());
 
-  util::Rng rng(1);
+  net::WaxmanParams wp;
+  wp.seed = args.seed;
+  wp.edge_count = edges;
+  // /20 slices run out at 4094 stubs; wider worlds get /22 (16382 stubs).
+  wp.subnet_prefix_len = edges + 2 < (1u << 12) ? 20 : 22;
+  net::GeneratedNetwork network = net::make_waxman_topology(wp);
+
+  util::Rng rng(args.seed);
   const auto catalog = policy::FunctionCatalog::standard();
-  core::Deployment deployment =
-      core::deploy_middleboxes(network, catalog, core::DeploymentParams{}, rng);
+  // Scale the paper's FW7/IDS7/WP4/TM4 mix with the world: one replica set
+  // per 400 edge routers, capped at 8x (the LP stays middlebox-bound).
+  const std::size_t mult = std::min<std::size_t>(8, std::max<std::size_t>(1, edges / 400));
+  core::DeploymentParams dp;
+  for (auto& [fn, count] : dp.counts) count *= mult;
+  core::Deployment deployment = core::deploy_middleboxes(network, catalog, dp, rng);
 
   workload::PolicyGenParams pp;
-  pp.many_to_one = 6;
-  pp.one_to_many = 6;
-  pp.one_to_one = 6;
+  pp.many_to_one = pp.one_to_many = pp.one_to_one = 6;
   const auto gen = workload::generate_policies(network, pp, rng);
 
+  r.routers = network.core_routers.size() + network.edge_routers.size();
+  r.nodes = network.topo.node_count();
+  r.links = network.topo.link_count();
+  r.middleboxes = deployment.size();
+  r.build_s = secs(t0);
+
+  // Streaming workload: flows are measured into the traffic matrix one at a
+  // time; the full flow list (millions of records at 10k routers) is never
+  // materialized.
   t0 = std::chrono::steady_clock::now();
   workload::FlowGenParams fp;
-  fp.target_total_packets = 5'000'000;
-  const auto flows = workload::generate_flows(network, gen, fp, rng);
-  const auto traffic = workload::TrafficMatrix::measure(gen.policies, flows.flows);
-  std::printf("Workload: %zu flows / %llu packets generated+measured in %.3fs\n",
-              flows.flows.size(), static_cast<unsigned long long>(flows.total_packets), secs(t0));
-  deployment.set_uniform_capacity(traffic.grand_total());
+  fp.target_total_packets = args.packets;
+  workload::FlowStream stream(network, gen, fp, rng);
+  const workload::TrafficMatrix traffic = workload::measure_stream(gen.policies, stream);
+  SDM_CHECK_MSG(stream.peak_resident() <= workload::FlowStream::kMaxResident,
+                "streaming generator exceeded its residency bound");
+  r.flows = stream.emitted();
+  r.peak_resident = stream.peak_resident();
+  r.traffic_total = traffic.grand_total();
+  r.stream_s = secs(t0);
+  deployment.set_uniform_capacity(std::max(1.0, traffic.grand_total()));
 
+  core::ControllerParams params;
+  params.lp.simplex.engine = args.engine;
+  const core::Controller controller(network, deployment, gen.policies, params);
   t0 = std::chrono::steady_clock::now();
-  core::Controller controller(network, deployment, gen.policies);
-  std::printf("Controller assignments (m_x^e, M_x^e, P_x for %zu devices) in %.3fs\n",
-              controller.configs().size(), secs(t0));
+  const core::RatioResult lp = controller.solve_load_balancing(traffic);
+  r.solve_ms = secs(t0) * 1000.0;
+  SDM_CHECK_MSG(lp.status == lp::SolveStatus::kOptimal, "LB solve must be optimal");
+  r.lp_vars = lp.stats.variables;
+  r.lp_rows = lp.stats.constraints;
+  r.pivots = lp.pivots;
+  r.lambda = lp.lambda;
 
-  t0 = std::chrono::steady_clock::now();
-  const auto lp = controller.solve_load_balancing(traffic);
-  std::printf("Eq.(2) LP: %zu vars / %zu rows, %zu pivots, lambda=%.4f, solved in %.3fs\n",
-              lp.stats.variables, lp.stats.constraints, lp.pivots, lp.lambda, secs(t0));
-
-  const auto plan = controller.compile(core::StrategyKind::kLoadBalanced, &traffic);
-  const auto report =
-      analytic::evaluate_loads(network, deployment, gen.policies, plan, flows.flows);
-  const auto summaries = analytic::summarize_by_function(report, deployment, catalog);
-  std::printf("\nPer-type load under LB (max / min, packets):\n");
-  for (const auto& s : summaries) {
-    std::printf("  %-4s %9llu / %-9llu (%zu boxes)\n", s.function_name.c_str(),
-                static_cast<unsigned long long>(s.max_load),
-                static_cast<unsigned long long>(s.min_load),
-                deployment.implementers(s.function).size());
+  if (edges <= args.dense_max_edges && args.engine != lp::SimplexEngine::kDense) {
+    core::ControllerParams dparams;
+    dparams.lp.simplex.engine = lp::SimplexEngine::kDense;
+    const core::Controller dense_ctrl(network, deployment, gen.policies, dparams);
+    t0 = std::chrono::steady_clock::now();
+    const core::RatioResult dlp = dense_ctrl.solve_load_balancing(traffic);
+    r.dense_solve_ms = secs(t0) * 1000.0;
+    SDM_CHECK_MSG(dlp.status == lp::SolveStatus::kOptimal, "dense LB solve must be optimal");
+    SDM_CHECK_MSG(std::fabs(dlp.lambda - lp.lambda) <= 1e-6,
+                  "dense and sparse lambda disagree");
+    r.dense_pivots = dlp.pivots;
   }
-  std::printf("\nSplit-ratio table pushed to devices: %zu entries — the only state the\n"
-              "controller distributes; routers keep zero policy state.\n",
-              plan.ratios.size());
+  r.rss_kb = peak_rss_kb();
+  return r;
+}
+
+void append_num(std::string& out, const char* key, double v, const char* sep = ",\n") {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += "      \"";
+  out += key;
+  out += "\": ";
+  out += buf;
+  out += sep;
+}
+
+/// Deterministic export for CI same-seed diffs: facts only, no timings.
+void write_metrics_json(const std::string& path, const Args& args,
+                        const std::vector<SizeResult>& results) {
+  std::string out = "{\n  \"example\": \"waxman_scale\",\n  \"engine\": \"";
+  out += lp::to_string(args.engine);
+  out += "\",\n  \"seed\": " + std::to_string(args.seed);
+  out += ",\n  \"packets\": " + std::to_string(args.packets);
+  out += ",\n  \"sizes\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SizeResult& r = results[i];
+    out += "    {\n";
+    append_num(out, "edges", static_cast<double>(r.edges));
+    append_num(out, "routers", static_cast<double>(r.routers));
+    append_num(out, "nodes", static_cast<double>(r.nodes));
+    append_num(out, "links", static_cast<double>(r.links));
+    append_num(out, "middleboxes", static_cast<double>(r.middleboxes));
+    append_num(out, "flows", static_cast<double>(r.flows));
+    append_num(out, "peak_resident_flows", static_cast<double>(r.peak_resident));
+    append_num(out, "traffic_total", r.traffic_total);
+    append_num(out, "lp_vars", static_cast<double>(r.lp_vars));
+    append_num(out, "lp_rows", static_cast<double>(r.lp_rows));
+    append_num(out, "pivots", static_cast<double>(r.pivots));
+    append_num(out, "lambda", r.lambda, "\n");
+    out += i + 1 < results.size() ? "    },\n" : "    }\n";
+  }
+  out += "  ]\n}\n";
+  obs::write_file(path, out);
+  std::fprintf(stderr, "deterministic metrics written to %s\n", path.c_str());
+}
+
+/// Perf-trajectory record (same schema as bench/common.hpp's
+/// emit_bench_json — examples don't link the bench scaffolding).
+void write_bench_json(const std::vector<SizeResult>& results) {
+  std::string body = "{\n  \"bench\": \"waxman_scale\",\n  \"metrics\": {";
+  const char* sep = "\n";
+  const auto add = [&](const std::string& name, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    body += sep;
+    body += "    \"" + name + "\": " + buf;
+    sep = ",\n";
+  };
+  for (const SizeResult& r : results) {
+    const std::string tag = "e" + std::to_string(r.edges);
+    add(tag + "_routers", static_cast<double>(r.routers));
+    add(tag + "_flows", static_cast<double>(r.flows));
+    add(tag + "_lp_vars", static_cast<double>(r.lp_vars));
+    add(tag + "_lp_rows", static_cast<double>(r.lp_rows));
+    add(tag + "_build_s", r.build_s);
+    add(tag + "_stream_s", r.stream_s);
+    add(tag + "_solve_ms", r.solve_ms);
+    add(tag + "_pivots", static_cast<double>(r.pivots));
+    add(tag + "_peak_rss_kb", r.rss_kb);
+    if (r.dense_solve_ms > 0) {
+      add(tag + "_dense_solve_ms", r.dense_solve_ms);
+      add(tag + "_dense_pivots", static_cast<double>(r.dense_pivots));
+      add(tag + "_speedup_dense_over_sparse", r.dense_solve_ms / r.solve_ms);
+    }
+  }
+  body += "\n  }\n}\n";
+  obs::write_file("BENCH_waxman_scale.json", body);
+  std::fprintf(stderr, "bench metrics written to BENCH_waxman_scale.json\n");
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--edges N] [--max-edges N] [--dense-max-edges N] [--packets N]\n"
+               "          [--engine sparse|dense] [--seed S] [--json FILE] [--bench]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&]() -> const char* {
+      SDM_CHECK_MSG(i + 1 < argc, "missing value for flag");
+      return argv[++i];
+    };
+    if (a == "--edges") {
+      args.edges = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (a == "--max-edges") {
+      args.max_edges = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (a == "--dense-max-edges") {
+      args.dense_max_edges = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (a == "--packets") {
+      args.packets = std::strtoull(value(), nullptr, 10);
+    } else if (a == "--seed") {
+      args.seed = std::strtoull(value(), nullptr, 10);
+    } else if (a == "--engine") {
+      const std::string e = value();
+      if (e == "sparse") {
+        args.engine = lp::SimplexEngine::kSparse;
+      } else if (e == "dense") {
+        args.engine = lp::SimplexEngine::kDense;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (a == "--json") {
+      args.json_path = value();
+    } else if (a == "--bench") {
+      args.bench = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::vector<std::size_t> sizes;
+  if (args.edges > 0) {
+    sizes.push_back(args.edges);
+  } else {
+    for (const std::size_t e : {std::size_t{400}, std::size_t{1000}, std::size_t{2000},
+                                std::size_t{5000}, std::size_t{10000}}) {
+      if (e <= args.max_edges) sizes.push_back(e);
+    }
+  }
+
+  std::vector<SizeResult> results;
+  std::printf("%7s %8s %9s %9s | %8s %8s | %11s %8s | %11s | %9s\n", "edges", "routers",
+              "flows", "lp_vars", "build_s", "flows_s", "solve_ms", "pivots", "dense_ms",
+              "rss_MB");
+  for (const std::size_t edges : sizes) {
+    const SizeResult r = run_size(edges, args);
+    std::printf("%7zu %8zu %9llu %9zu | %8.2f %8.2f | %11.2f %8zu | ", r.edges, r.routers,
+                static_cast<unsigned long long>(r.flows), r.lp_vars, r.build_s, r.stream_s,
+                r.solve_ms, r.pivots);
+    if (r.dense_solve_ms > 0) {
+      std::printf("%11.2f", r.dense_solve_ms);
+    } else {
+      std::printf("%11s", "-");
+    }
+    std::printf(" | %9.1f\n", r.rss_kb / 1024.0);
+    results.push_back(r);
+  }
+
+  if (!args.json_path.empty()) write_metrics_json(args.json_path, args, results);
+  if (args.bench) write_bench_json(results);
   return 0;
 }

@@ -390,6 +390,7 @@ ReplanOutcome ControllerAgent::replan(sim::SimNetwork& net, const ReplanRequest&
       compiled = true;
       out.lambda = info.lambda;
       out.lp_pivots = info.pivots;
+      out.lp_warm_started = info.warm_started;
       out.reports_used = pending_reports_;
       collected_ = workload::TrafficMatrix{};
       pending_reports_ = 0;

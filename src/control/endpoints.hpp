@@ -149,6 +149,7 @@ struct ReplanOutcome {
   std::uint64_t reports_used = 0;   // proxy reports consumed by the solve
   double lambda = 0;                // LP objective (0 when no solve ran)
   std::size_t lp_pivots = 0;        // simplex pivots (0 when no solve ran)
+  bool lp_warm_started = false;     // solve re-used the previous basis
   double solve_ms = 0;              // measured wall-clock compile time — NOT
                                     // deterministic; never feed into exports
 };

@@ -161,6 +161,7 @@ void ReoptimizePolicy::epoch(sim::SimNetwork& net) {
       ++counters_.triggered;
       ++counters_.solves;
       counters_.solve_pivots += outcome.lp_pivots;
+      if (outcome.lp_warm_started) ++counters_.solve_warm_starts;
       counters_.pushes += outcome.pushes_sent;
       counters_.push_bytes += outcome.push_bytes;
       solve_ms_wall_ += outcome.solve_ms;
@@ -201,6 +202,7 @@ void ReoptimizePolicy::register_metrics(obs::MetricsRegistry& registry) const {
   registry.expose_counter("reopt_suppressed_reports", labels, &counters_.suppressed_reports);
   registry.expose_counter("reopt_solves", labels, &counters_.solves);
   registry.expose_counter("reopt_solve_pivots", labels, &counters_.solve_pivots);
+  registry.expose_counter("reopt_solve_warm_starts", labels, &counters_.solve_warm_starts);
   registry.expose_counter("reopt_pushes", labels, &counters_.pushes);
   registry.expose_counter("reopt_push_bytes", labels, &counters_.push_bytes);
   // Modeled (pivot-derived), NOT wall time: keeps same-seed exports

@@ -62,6 +62,7 @@ struct ReoptimizeCounters {
   std::uint64_t suppressed_reports = 0;   //   ... too few pending reports
   std::uint64_t solves = 0;               // LP solves actually run
   std::uint64_t solve_pivots = 0;         // simplex pivots across those solves
+  std::uint64_t solve_warm_starts = 0;    // solves that re-used the last basis
   std::uint64_t pushes = 0;               // config pushes sent by those solves
   std::uint64_t push_bytes = 0;           // plan churn: bytes actually pushed
 };

@@ -125,6 +125,7 @@ EnforcementPlan Controller::compile(StrategyKind strategy,
       solve_out->lambda = lp.lambda;
       solve_out->stats = lp.stats;
       solve_out->pivots = lp.pivots;
+      solve_out->warm_started = lp.warm_started;
     }
   }
   return plan;
@@ -132,7 +133,15 @@ EnforcementPlan Controller::compile(StrategyKind strategy,
 
 RatioResult Controller::solve_load_balancing(const workload::TrafficMatrix& traffic) const {
   const FormulationInputs inputs{network_, deployment_, policies_, configs_, traffic};
-  return params_.use_eq1 ? solve_eq1(inputs, params_.lp) : solve_eq2(inputs, params_.lp);
+  FormulationOptions opt = params_.lp;
+  if (params_.warm_start_lb && !last_lb_basis_.empty()) {
+    opt.simplex.warm_start = &last_lb_basis_;
+  }
+  RatioResult out = params_.use_eq1 ? solve_eq1(inputs, opt) : solve_eq2(inputs, opt);
+  if (params_.warm_start_lb && out.status == lp::SolveStatus::kOptimal) {
+    last_lb_basis_ = out.basis;
+  }
+  return out;
 }
 
 }  // namespace sdmbox::core

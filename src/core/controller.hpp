@@ -34,6 +34,12 @@ struct ControllerParams {
   std::size_t default_k = 1;
   /// Use the per-(s,d,p) Eq. (1) instead of Eq. (2) (ablation only).
   bool use_eq1 = false;
+  /// Warm-start each load-balancing solve from the previous compile's
+  /// optimal basis (sparse engine only). The solver falls back to a cold
+  /// start whenever the cached basis no longer fits the new instance, so
+  /// this is always safe — it only changes how many pivots a re-solve
+  /// takes, never the optimum. The incremental-reoptimization hook.
+  bool warm_start_lb = false;
   FormulationOptions lp;
 };
 
@@ -64,6 +70,8 @@ public:
     double lambda = 0;
     LpBuildStats stats;
     std::size_t pivots = 0;
+    /// True when the LP re-used the previous compile's basis (warm start).
+    bool warm_started = false;
   };
 
   /// Compile a full enforcement plan. `traffic` is required for
@@ -87,6 +95,10 @@ private:
   const policy::PolicyList& policies_;
   ControllerParams params_;
   std::unordered_map<std::uint32_t, NodeConfig> configs_;
+  /// Basis of the last optimal primary LB solve, kept for warm_start_lb.
+  /// Mutable: caching the previous optimum does not change what compile()
+  /// computes, only how fast the solver reaches it.
+  mutable lp::Basis last_lb_basis_;
 };
 
 }  // namespace sdmbox::core

@@ -90,6 +90,8 @@ public:
     std::string violation = lp::check_feasible(model_, sol.values, 1e-5);
     SDM_CHECK_MSG(violation.empty(), "LP solution failed feasibility audit: " + violation);
     out.lambda = sol.value(lambda_);
+    out.basis = sol.basis;
+    out.warm_started = sol.warm_started;
 
     if (opt.even_secondary) {
       // Lexicographic pass 2: the min-max objective pins only the most

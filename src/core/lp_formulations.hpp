@@ -51,6 +51,13 @@ struct RatioResult {
   lp::SolveStatus status = lp::SolveStatus::kIterationLimit;
   LpBuildStats stats;
   std::size_t pivots = 0;
+  /// Optimal basis of the PRIMARY λ-solve (not the lexicographic second
+  /// pass, whose model has extra dev variables): feed it back through
+  /// FormulationOptions::simplex.warm_start to re-solve a same-shaped
+  /// instance from the previous optimum.
+  lp::Basis basis;
+  /// True when the solver accepted a warm-start basis for the primary solve.
+  bool warm_started = false;
 };
 
 struct FormulationOptions {

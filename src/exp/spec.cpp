@@ -102,6 +102,18 @@ const char* strategy_token(core::StrategyKind s) noexcept {
   return "?";
 }
 
+bool parse_engine(const std::string& v, lp::SimplexEngine& out) {
+  if (v == "sparse") {
+    out = lp::SimplexEngine::kSparse;
+    return true;
+  }
+  if (v == "dense") {
+    out = lp::SimplexEngine::kDense;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 const char* to_string(TopologyKind k) noexcept {
@@ -155,6 +167,8 @@ std::string ScenarioSpec::to_text() const {
   out << "policies_per_class = " << policies_per_class << '\n';
   out << "strategy = " << strategy_token(strategy) << '\n';
   out << "fail_one = " << fail_one << '\n';
+  out << "lp_engine = " << lp::to_string(lp_engine) << '\n';
+  out << "lp_warm_start = " << (lp_warm_start ? "true" : "false") << '\n';
   out << "flow_cache = " << (flow_cache ? "true" : "false") << '\n';
   out << "label_switching = " << (label_switching ? "true" : "false") << '\n';
   out << "wp_cache_hit_rate = " << fmt_double(wp_cache_hit_rate) << '\n';
@@ -222,6 +236,10 @@ SpecParseResult parse_text(const std::string& text, const ScenarioSpec& defaults
       ok = parse_strategy(value, s.strategy);
     } else if (key == "fail_one") {
       s.fail_one = value;
+    } else if (key == "lp_engine") {
+      ok = parse_engine(value, s.lp_engine);
+    } else if (key == "lp_warm_start") {
+      ok = parse_bool(value, s.lp_warm_start);
     } else if (key == "flow_cache") {
       ok = parse_bool(value, s.flow_cache);
     } else if (key == "label_switching") {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/plan.hpp"
+#include "lp/simplex.hpp"
 #include "util/hash.hpp"
 
 namespace sdmbox::exp {
@@ -66,6 +67,12 @@ struct ScenarioSpec {
   // --- enforcement ---
   core::StrategyKind strategy = core::StrategyKind::kLoadBalanced;
   std::string fail_one;  // pre-fail one implementer of this function ("" = none)
+  /// Which simplex engine solves the LB LPs: the sparse revised simplex
+  /// (default) or the dense tableau oracle. Same optimum either way; the
+  /// pivot sequences (and so pivot-derived metrics) differ per engine.
+  lp::SimplexEngine lp_engine = lp::SimplexEngine::kSparse;
+  /// Warm-start re-solves from the previous compile's basis (sparse only).
+  bool lp_warm_start = false;
 
   // --- datapath options (core::AgentOptions) ---
   bool flow_cache = true;        // §III.D flow cache in front of the classifier

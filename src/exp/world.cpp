@@ -67,7 +67,11 @@ std::unique_ptr<World> build_world(const ScenarioSpec& spec) {
   w.traffic = workload::TrafficMatrix::measure(w.gen.policies, w.flows.flows);
   w.deployment.set_uniform_capacity(std::max(1.0, w.traffic.grand_total()));
 
-  w.controller = std::make_unique<core::Controller>(w.network, w.deployment, w.gen.policies);
+  core::ControllerParams ctrl_params;
+  ctrl_params.lp.simplex.engine = spec.lp_engine;
+  ctrl_params.warm_start_lb = spec.lp_warm_start;
+  w.controller =
+      std::make_unique<core::Controller>(w.network, w.deployment, w.gen.policies, ctrl_params);
   if (!spec.fail_one.empty()) {
     const policy::FunctionId fn = w.catalog.find(spec.fail_one);
     if (!fn.valid() || w.deployment.implementers(fn).empty()) {

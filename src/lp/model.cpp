@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace sdmbox::lp {
 
@@ -18,7 +19,26 @@ VarId LpModel::add_variable(std::string name, double objective_coeff) {
   SDM_CHECK_MSG(std::isfinite(objective_coeff), "objective coefficient must be finite");
   var_names_.push_back(std::move(name));
   objective_.push_back(objective_coeff);
+  lower_.push_back(0.0);
+  upper_.push_back(std::numeric_limits<double>::infinity());
   return VarId{static_cast<std::uint32_t>(var_names_.size() - 1)};
+}
+
+void LpModel::set_bounds(VarId v, double lo, double hi) {
+  SDM_CHECK(v.v < lower_.size());
+  SDM_CHECK_MSG(!std::isnan(lo) && !std::isnan(hi), "bounds must not be NaN");
+  SDM_CHECK_MSG(lo < std::numeric_limits<double>::infinity(), "lower bound must not be +inf");
+  SDM_CHECK_MSG(hi > -std::numeric_limits<double>::infinity(), "upper bound must not be -inf");
+  SDM_CHECK_MSG(lo <= hi, "lower bound must not exceed upper bound");
+  lower_[v.v] = lo;
+  upper_[v.v] = hi;
+}
+
+bool LpModel::has_default_bounds() const noexcept {
+  for (std::size_t j = 0; j < lower_.size(); ++j) {
+    if (lower_[j] != 0.0 || upper_[j] != std::numeric_limits<double>::infinity()) return false;
+  }
+  return true;
 }
 
 void LpModel::set_objective_coeff(VarId v, double coeff) {

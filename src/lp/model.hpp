@@ -2,10 +2,14 @@
 //
 // The controller's load-balancing optimizations (Eq. (1) and Eq. (2) of the
 // paper) are built as LpModel instances and handed to the simplex solver.
-// Conventions: all variables are non-negative reals, the objective is
+// Conventions: variables default to non-negative reals, the objective is
 // MINIMIZED, and constraints are sparse rows with a relation and rhs.
-// Upper bounds (e.g. λ ≤ 1) are expressed as ordinary constraints.
+// Simple bounds (set_bounds) are handled implicitly by the sparse revised
+// simplex — no explicit constraint rows; the dense oracle engine only
+// accepts models with the default [0, +inf) bounds.
 #pragma once
+
+#include <limits>
 
 #include <cstdint>
 #include <string>
@@ -53,6 +57,22 @@ public:
   void add_constraint(std::vector<Term> terms, Relation relation, double rhs,
                       std::string name = {});
 
+  /// Replace a variable's simple bounds. `lo` may be -inf (free below), `hi`
+  /// may be +inf; lo == hi fixes the variable. Defaults are [0, +inf).
+  void set_bounds(VarId v, double lo, double hi);
+
+  double lower_bound(VarId v) const {
+    SDM_CHECK(v.v < lower_.size());
+    return lower_[v.v];
+  }
+  double upper_bound(VarId v) const {
+    SDM_CHECK(v.v < upper_.size());
+    return upper_[v.v];
+  }
+  /// True when every variable still has the default [0, +inf) bounds (the
+  /// only shape the dense oracle engine understands).
+  bool has_default_bounds() const noexcept;
+
   std::size_t variable_count() const noexcept { return var_names_.size(); }
   std::size_t constraint_count() const noexcept { return constraints_.size(); }
 
@@ -74,6 +94,8 @@ public:
 private:
   std::vector<std::string> var_names_;
   std::vector<double> objective_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
   std::vector<Constraint> constraints_;
 };
 

@@ -16,6 +16,14 @@ const char* to_string(SolveStatus s) noexcept {
   return "?";
 }
 
+const char* to_string(SimplexEngine e) noexcept {
+  switch (e) {
+    case SimplexEngine::kSparse: return "sparse";
+    case SimplexEngine::kDense: return "dense";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Dense tableau with an explicit basis. Column layout:
@@ -236,7 +244,10 @@ Solution solve(const LpModel& model, const SimplexOptions& options) {
     }
     return sol;
   }
+  if (options.engine == SimplexEngine::kSparse) return solve_sparse(model, options);
 
+  SDM_CHECK_MSG(model.has_default_bounds(),
+                "dense oracle engine only supports default [0, +inf) bounds");
   Tableau tableau(model, options.tolerance);
   SolveStatus st = tableau.phase1(options, sol.pivots);
   if (st != SolveStatus::kOptimal) {
@@ -256,9 +267,14 @@ std::string check_feasible(const LpModel& model, const std::vector<double>& valu
                            double tolerance) {
   if (values.size() != model.variable_count()) return "value vector size mismatch";
   for (std::size_t j = 0; j < values.size(); ++j) {
-    if (values[j] < -tolerance) {
-      return "variable " + model.variable_name(VarId{static_cast<std::uint32_t>(j)}) +
-             " negative: " + std::to_string(values[j]);
+    const VarId v{static_cast<std::uint32_t>(j)};
+    if (values[j] < model.lower_bound(v) - tolerance) {
+      return "variable " + model.variable_name(v) +
+             " below lower bound: " + std::to_string(values[j]);
+    }
+    if (values[j] > model.upper_bound(v) + tolerance) {
+      return "variable " + model.variable_name(v) +
+             " above upper bound: " + std::to_string(values[j]);
     }
   }
   for (const Constraint& c : model.constraints()) {

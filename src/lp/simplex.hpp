@@ -1,16 +1,18 @@
-// Two-phase primal simplex on a dense tableau.
+// Simplex solvers for the controller's load-balancing LPs.
 //
-// Written from scratch (no external solver dependency) for the controller's
-// load-balancing LPs. Design choices:
-//  * dense tableau — the Eq. (2) instances we solve are a few thousand
-//    variables by a few thousand constraints after source aggregation, where
-//    dense row operations are simple and fast enough (seconds, offline at
-//    the controller, matching the paper's "calculation is done offline");
-//  * Dantzig pricing (most negative reduced cost) with an automatic switch
-//    to Bland's rule after a run of degenerate pivots, which guarantees
-//    termination;
-//  * two phases — artificial variables are driven out in phase 1, so
-//    arbitrary =/>= constraints are supported.
+// Two engines, selected by SimplexOptions::engine:
+//  * kSparse (default) — revised simplex on a CSC-stored constraint matrix.
+//    The basis is held as an LU factorization plus a product-form eta file,
+//    refactorized periodically; FTRAN/BTRAN are sparse triangular solves.
+//    Simple bounds are handled implicitly (bounded-variable ratio test with
+//    bound flips), so Eq. (2)'s capacity rows need no explicit slack
+//    columns. Scales to the ISP-sized worlds built by examples/waxman_scale.
+//  * kDense — the original two-phase tableau, kept as a cross-check oracle
+//    for small models (O(rows x cols) per pivot; default bounds only).
+// Both engines use Dantzig pricing with an automatic switch to Bland's rule
+// after a run of degenerate pivots, which guarantees termination, and both
+// are deterministic: the same model and options always produce the same
+// pivot sequence, so downstream exports are byte-identical across reruns.
 #pragma once
 
 #include <cstdint>
@@ -30,12 +32,42 @@ enum class SolveStatus : std::uint8_t {
 
 const char* to_string(SolveStatus s) noexcept;
 
+enum class SimplexEngine : std::uint8_t {
+  kSparse,  // revised simplex, LU + eta file (default)
+  kDense,   // dense tableau oracle
+};
+
+const char* to_string(SimplexEngine e) noexcept;
+
+/// Where a variable sits in an optimal basis. Nonbasic variables rest on a
+/// bound (or at zero for free variables); basic variables carry the solve.
+enum class VarStatus : std::uint8_t { kAtLower, kAtUpper, kNonbasicFree, kBasic };
+
+/// Optimal basis exported by the sparse engine: one status per structural
+/// variable and one per constraint row's implicit logical variable. Feed it
+/// back through SimplexOptions::warm_start to re-solve a same-shaped model
+/// from the previous optimum (the incremental-reoptimization hook).
+struct Basis {
+  std::vector<VarStatus> structural;
+  std::vector<VarStatus> logical;
+  bool empty() const noexcept { return structural.empty() && logical.empty(); }
+};
+
 struct SimplexOptions {
   double tolerance = 1e-9;
   /// Max pivots per phase; 0 derives a limit from the model size.
   std::size_t max_iterations = 0;
   /// Consecutive degenerate pivots before switching to Bland's rule.
   std::size_t degenerate_switch = 64;
+  SimplexEngine engine = SimplexEngine::kSparse;
+  /// Sparse engine: basis updates between LU refactorizations (eta-file
+  /// length). Smaller = more stable, larger = faster per pivot.
+  std::size_t refactor_interval = 64;
+  /// Sparse engine: start from this basis instead of the all-logical one.
+  /// Ignored (cold start) when the shape mismatches, the basis is singular,
+  /// or its vertex is primal-infeasible for the new model. Not owned; must
+  /// outlive the solve() call.
+  const Basis* warm_start = nullptr;
 };
 
 struct Solution {
@@ -43,6 +75,10 @@ struct Solution {
   double objective = 0;
   std::vector<double> values;  // indexed by VarId.v
   std::size_t pivots = 0;
+  /// Optimal basis (sparse engine only; empty from the dense oracle).
+  Basis basis;
+  /// True when the sparse engine accepted options.warm_start.
+  bool warm_started = false;
 
   double value(VarId v) const {
     SDM_CHECK(v.v < values.size());
@@ -51,11 +87,14 @@ struct Solution {
   bool optimal() const noexcept { return status == SolveStatus::kOptimal; }
 };
 
-/// Minimize the model's objective subject to its constraints, x >= 0.
+/// Minimize the model's objective subject to its constraints and bounds.
 Solution solve(const LpModel& model, const SimplexOptions& options = {});
 
+/// Sparse revised simplex entry point (called through solve()).
+Solution solve_sparse(const LpModel& model, const SimplexOptions& options);
+
 /// Verify a candidate solution against the model within `tolerance`
-/// (non-negativity + every constraint). Used by tests and as a postcondition
+/// (bounds + every constraint). Used by tests and as a postcondition
 /// in the controller. Returns a human-readable violation, or empty if valid.
 std::string check_feasible(const LpModel& model, const std::vector<double>& values,
                            double tolerance = 1e-6);

@@ -23,11 +23,19 @@ IpAddress AddressPlan::next_device() {
   return IpAddress((172u << 24) | (16u << 16) | device_count_);
 }
 
+AddressPlan::AddressPlan(std::uint8_t subnet_prefix_len)
+    : subnet_prefix_len_(subnet_prefix_len) {
+  // Slices must fit inside 10.0.0.0/8 and leave room for base+broadcast+2
+  // usable hosts per subnet (random_host needs span >= 1 at /28).
+  SDM_CHECK_MSG(subnet_prefix_len_ > 8 && subnet_prefix_len_ <= 28,
+                "subnet prefix length must be in (8, 28]");
+}
+
 Prefix AddressPlan::next_subnet() {
   ++subnet_count_;
-  SDM_CHECK_MSG(subnet_count_ < (1u << 12), "subnet address space exhausted");
-  const std::uint32_t base = (10u << 24) | (subnet_count_ << 12);
-  return Prefix(IpAddress(base), 20);
+  SDM_CHECK_MSG(subnet_count_ <= max_subnets(), "subnet address space exhausted");
+  const std::uint32_t base = (10u << 24) | (subnet_count_ << (32 - subnet_prefix_len_));
+  return Prefix(IpAddress(base), subnet_prefix_len_);
 }
 
 IpAddress AddressPlan::host_in(const Prefix& subnet, std::uint32_t index) const {
@@ -104,7 +112,9 @@ GeneratedNetwork make_waxman_topology(const WaxmanParams& params) {
   SDM_CHECK(params.core_degree >= 1 && params.core_degree < params.core_count);
   GeneratedNetwork net;
   net.proxy_mode = params.proxy_mode;
-  AddressPlan plan;
+  AddressPlan plan(params.subnet_prefix_len);
+  SDM_CHECK_MSG(params.edge_count < plan.max_subnets(),
+                "edge_count exceeds the subnet space; widen subnet_prefix_len");
   util::Rng rng(params.seed);
 
   // Place core routers at random coordinates in the region.

@@ -49,14 +49,23 @@ struct GeneratedNetwork {
   int subnet_index_of_proxy(NodeId proxy) const noexcept;
 };
 
-/// Hands out device addresses and stub subnets deterministically.
+/// Hands out device addresses and stub subnets deterministically. The
+/// subnet slice width is configurable: /20 slices of 10.0.0.0/8 give 4095
+/// subnets (the historical default, kept for byte-identical campus/Waxman
+/// addressing), /22 slices give 16383 — enough for 10k-router scale worlds.
 class AddressPlan {
 public:
+  explicit AddressPlan(std::uint8_t subnet_prefix_len = 20);
+
   IpAddress next_device();        // from 172.16.0.0/12
-  Prefix next_subnet();           // /20 slices of 10.0.0.0/8
+  Prefix next_subnet();           // /len slices of 10.0.0.0/8
   IpAddress host_in(const Prefix& subnet, std::uint32_t index) const;
 
+  /// Subnets this plan can hand out before exhausting 10.0.0.0/8.
+  std::uint32_t max_subnets() const noexcept { return (1u << (subnet_prefix_len_ - 8)) - 1; }
+
 private:
+  std::uint8_t subnet_prefix_len_;
   std::uint32_t device_count_ = 0;
   std::uint32_t subnet_count_ = 0;
 };
@@ -88,6 +97,10 @@ struct WaxmanParams {
   LinkParams edge_link{};
   LinkParams stub_link{};
   std::uint64_t seed = 1;
+  /// Stub subnet slice width. The default /20 caps edge_count at 4094; use
+  /// /22 for 10k-router worlds. Changing it changes every stub address, so
+  /// it is a new-world knob, not a drop-in toggle.
+  std::uint8_t subnet_prefix_len = 20;
 };
 
 /// Build a Waxman random topology per §IV.A. Deterministic for a fixed seed;

@@ -1,0 +1,76 @@
+// Streaming flow synthesis for ISP-scale worlds.
+//
+// generate_flows() materializes the whole flow set — fine at 30k flows,
+// hopeless at the 10k-router scales examples/waxman_scale builds, where the
+// flow list alone would dwarf the topology. FlowStream produces the SAME
+// flow sequence one record at a time: it consumes the caller's Rng in
+// exactly the order the batch generator does (the web-return companion is
+// derived from its forward flow without further draws, so it can be held
+// back in a one-slot buffer), which makes stream-vs-batch equivalence an
+// exact, testable contract. Peak residency is O(1) — the current record
+// plus at most one pending companion — regardless of how many flows the
+// stream emits.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/flow_gen.hpp"
+#include "workload/traffic_matrix.hpp"
+
+namespace sdmbox::workload {
+
+class FlowStream {
+public:
+  /// Upper bound on FlowRecords the stream ever holds at once (the record
+  /// being emitted + one buffered web-return companion). The residency test
+  /// pins this: streaming never becomes O(total flows).
+  static constexpr std::size_t kMaxResident = 2;
+
+  /// `network`, `policies` and `rng` must outlive the stream. The rng is
+  /// advanced exactly as generate_flows(params) would advance it.
+  FlowStream(const net::GeneratedNetwork& network, const GeneratedPolicies& policies,
+             const FlowGenParams& params, util::Rng& rng);
+
+  /// Produce the next flow; false when the stream is exhausted (the batch
+  /// generator's stopping rule: policy packets reached the target, then the
+  /// background tail).
+  bool next(FlowRecord& out);
+
+  std::uint64_t emitted() const noexcept { return emitted_; }
+  std::uint64_t total_packets() const noexcept { return total_packets_; }
+  std::uint64_t background_packets() const noexcept { return background_packets_; }
+  /// High-water mark of resident FlowRecords (<= kMaxResident by design).
+  std::size_t peak_resident() const noexcept { return peak_resident_; }
+
+private:
+  FlowRecord make_main_flow();
+  FlowRecord make_background_flow();
+
+  const net::GeneratedNetwork& network_;
+  const GeneratedPolicies& policies_;
+  FlowGenParams params_;
+  util::Rng& rng_;
+
+  std::vector<const PolicyClassInfo*> pools_[3];
+  double weight_total_ = 0;
+
+  enum class Phase : std::uint8_t { kMain, kBackground, kDone };
+  Phase phase_ = Phase::kMain;
+  FlowRecord pending_;  // web-return companion awaiting emission
+  bool has_pending_ = false;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t main_flow_count_ = 0;  // batch out.flows.size() before background
+  std::uint64_t background_target_ = 0;
+  std::uint64_t background_emitted_ = 0;
+  std::uint64_t total_packets_ = 0;
+  std::uint64_t background_packets_ = 0;
+  std::size_t peak_resident_ = 0;
+};
+
+/// Measure a whole stream into a TrafficMatrix without ever materializing
+/// the flow list: the streaming twin of TrafficMatrix::measure, same
+/// sampling recipe, byte-identical totals for the same flow sequence.
+TrafficMatrix measure_stream(const policy::PolicyList& policies, FlowStream& stream,
+                             const MeasureOptions& options = {});
+
+}  // namespace sdmbox::workload

@@ -115,6 +115,14 @@ TEST(ScenarioSpec, ParseRejectsOutOfDomainValues) {
   EXPECT_TRUE(parse_text("flow_cache = false\nlabel_switching = false\n").ok());
 }
 
+TEST(ScenarioSpec, LpEngineKeyParsesAndRejects) {
+  const auto dense = parse_text("lp_engine = dense\nlp_warm_start = true\n");
+  ASSERT_TRUE(dense.ok());
+  EXPECT_EQ(dense.spec.lp_engine, lp::SimplexEngine::kDense);
+  EXPECT_TRUE(dense.spec.lp_warm_start);
+  EXPECT_FALSE(parse_text("lp_engine = tableau\n").ok());
+}
+
 // ---------------------------------------------------------------------------
 // Seed derivation
 // ---------------------------------------------------------------------------

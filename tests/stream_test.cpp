@@ -1,0 +1,155 @@
+// FlowStream's contract: the SAME flow sequence as generate_flows for the
+// same Rng seed (including web-return companions and the background tail),
+// measure_stream == TrafficMatrix::measure, and O(1) peak residency no
+// matter how many flows are emitted.
+#include <gtest/gtest.h>
+
+#include "net/topologies.hpp"
+#include "workload/flow_gen.hpp"
+#include "workload/policy_gen.hpp"
+#include "workload/stream_gen.hpp"
+
+namespace sdmbox::workload {
+namespace {
+
+struct StreamWorld {
+  net::GeneratedNetwork network;
+  GeneratedPolicies gen;
+};
+
+StreamWorld make_world(std::uint64_t seed, bool web_return = false) {
+  StreamWorld w;
+  net::CampusParams cp;
+  w.network = net::make_campus_topology(cp);
+  util::Rng rng(seed);
+  PolicyGenParams pp;
+  pp.many_to_one = pp.one_to_many = pp.one_to_one = 3;
+  pp.web_return_companions = web_return;
+  w.gen = generate_policies(w.network, pp, rng);
+  return w;
+}
+
+void expect_same_flow(const FlowRecord& a, const FlowRecord& b, std::size_t i) {
+  SCOPED_TRACE(i);
+  EXPECT_EQ(a.id.src.value(), b.id.src.value());
+  EXPECT_EQ(a.id.dst.value(), b.id.dst.value());
+  EXPECT_EQ(a.id.src_port, b.id.src_port);
+  EXPECT_EQ(a.id.dst_port, b.id.dst_port);
+  EXPECT_EQ(a.id.protocol, b.id.protocol);
+  EXPECT_EQ(a.packets, b.packets);
+  EXPECT_EQ(a.src_subnet, b.src_subnet);
+  EXPECT_EQ(a.dst_subnet, b.dst_subnet);
+  EXPECT_EQ(a.intended.v, b.intended.v);
+}
+
+void expect_stream_equals_batch(const StreamWorld& w, const FlowGenParams& fp,
+                                std::uint64_t seed) {
+  util::Rng batch_rng(seed);
+  const GeneratedFlows batch = generate_flows(w.network, w.gen, fp, batch_rng);
+
+  util::Rng stream_rng(seed);
+  FlowStream stream(w.network, w.gen, fp, stream_rng);
+  std::size_t i = 0;
+  FlowRecord f;
+  while (stream.next(f)) {
+    ASSERT_LT(i, batch.flows.size());
+    expect_same_flow(batch.flows[i], f, i);
+    ++i;
+  }
+  EXPECT_EQ(i, batch.flows.size());
+  EXPECT_EQ(stream.emitted(), batch.flows.size());
+  EXPECT_EQ(stream.total_packets(), batch.total_packets);
+  EXPECT_EQ(stream.background_packets(), batch.background_packets);
+  // Both consumed the Rng identically: the next draw must agree too.
+  EXPECT_EQ(batch_rng.next_below(1u << 30), stream_rng.next_below(1u << 30));
+}
+
+TEST(FlowStream, MatchesBatchGenerator) {
+  const StreamWorld w = make_world(3);
+  FlowGenParams fp;
+  fp.target_total_packets = 100000;
+  expect_stream_equals_batch(w, fp, 17);
+}
+
+TEST(FlowStream, MatchesBatchWithBackgroundTail) {
+  const StreamWorld w = make_world(5);
+  FlowGenParams fp;
+  fp.target_total_packets = 80000;
+  fp.background_flow_fraction = 0.3;
+  expect_stream_equals_batch(w, fp, 23);
+}
+
+TEST(FlowStream, MatchesBatchWithWebReturnTraffic) {
+  const StreamWorld w = make_world(7, /*web_return=*/true);
+  FlowGenParams fp;
+  fp.target_total_packets = 80000;
+  fp.web_return_traffic = true;
+  fp.web_return_scale = 1.5;
+  fp.background_flow_fraction = 0.2;
+  expect_stream_equals_batch(w, fp, 29);
+}
+
+TEST(FlowStream, MeasureStreamMatchesBatchMatrix) {
+  const StreamWorld w = make_world(11, /*web_return=*/true);
+  FlowGenParams fp;
+  fp.target_total_packets = 120000;
+  fp.web_return_traffic = true;
+  fp.background_flow_fraction = 0.25;
+  for (const double rate : {1.0, 0.25}) {
+    SCOPED_TRACE(rate);
+    MeasureOptions mo;
+    mo.sample_rate = rate;
+    mo.seed = 99;
+
+    util::Rng batch_rng(31);
+    const GeneratedFlows batch = generate_flows(w.network, w.gen, fp, batch_rng);
+    const TrafficMatrix want = TrafficMatrix::measure(w.gen.policies, batch.flows, mo);
+
+    util::Rng stream_rng(31);
+    FlowStream stream(w.network, w.gen, fp, stream_rng);
+    const TrafficMatrix got = measure_stream(w.gen.policies, stream, mo);
+
+    EXPECT_EQ(want.grand_total(), got.grand_total());  // byte-identical, not NEAR
+    for (const policy::Policy& p : w.gen.policies.all()) {
+      EXPECT_EQ(want.total(p.id), got.total(p.id));
+      ASSERT_EQ(want.active_pairs(p.id), got.active_pairs(p.id));
+      for (const auto& [s, d] : want.active_pairs(p.id)) {
+        EXPECT_EQ(want.between(p.id, s, d), got.between(p.id, s, d));
+      }
+    }
+  }
+}
+
+TEST(FlowStream, PeakResidencyIsBounded) {
+  // The scale contract: tens of thousands of flows stream through while at
+  // most kMaxResident (= 2) FlowRecords are ever alive inside the stream.
+  const StreamWorld w = make_world(13, /*web_return=*/true);
+  FlowGenParams fp;
+  fp.target_total_packets = 500000;
+  fp.web_return_traffic = true;
+  fp.background_flow_fraction = 0.5;
+  util::Rng rng(37);
+  FlowStream stream(w.network, w.gen, fp, rng);
+  FlowRecord f;
+  std::uint64_t n = 0;
+  while (stream.next(f)) ++n;
+  EXPECT_GT(n, 10000u);
+  EXPECT_EQ(stream.emitted(), n);
+  EXPECT_LE(stream.peak_resident(), FlowStream::kMaxResident);
+  EXPECT_GE(stream.peak_resident(), 1u);
+}
+
+TEST(FlowStream, EmptyTargetYieldsOnlyBackground) {
+  const StreamWorld w = make_world(17);
+  FlowGenParams fp;
+  fp.target_total_packets = 0;
+  fp.background_flow_fraction = 0.5;  // of zero main flows — nothing at all
+  util::Rng rng(41);
+  FlowStream stream(w.network, w.gen, fp, rng);
+  FlowRecord f;
+  EXPECT_FALSE(stream.next(f));
+  EXPECT_EQ(stream.emitted(), 0u);
+}
+
+}  // namespace
+}  // namespace sdmbox::workload
