@@ -11,7 +11,8 @@
 //                [--packets N] [--policies-per-class N] [--seed N]
 //                [--off-path] [--fail-one FW|IDS|WP|TM]
 //                [--lp-engine sparse|dense]  # LB simplex engine
-//                [--lp-warm-start]      # re-solve from the last basis
+//                [--lp-warm-start]      # re-solve from the last basis (default)
+//                [--lp-cold-start]      # force from-scratch re-solves
 //                [--policy-file FILE]   # Table-I-style file; replaces the
 //                                       # generated policy list for analysis
 //                [--sim]                # packet-level run with a scripted
@@ -33,6 +34,11 @@
 //                [--reopt-threshold X]  # total-variation drift trigger (0.1)
 //                [--reopt-cooldown N]   # epochs between solves (2)
 //                [--reopt-min-reports N] # reports required per solve (1)
+//                [--reopt-adaptive]     # raise the trigger to the measured
+//                                       # report noise floor
+//                [--reopt-noise-mult X] # noise multiplier for adaptive (3.0)
+//                [--reopt-predictive]   # trigger on the one-epoch-ahead
+//                                       # trend extrapolation
 //                [--help]               # print usage to stdout, exit 0
 //
 // Exit codes (the contract cli_test drives): 0 = run completed (and, with
@@ -80,7 +86,7 @@ struct CliOptions {
 
   bool wants_sim() const {
     return sim || !metrics_out.empty() || !trace_out.empty() || !spans_out.empty() ||
-           spec.reopt_period > 0 || spec.verify;
+           spec.reopt.epoch_period > 0 || spec.verify;
   }
 };
 
@@ -90,13 +96,14 @@ void usage(const char* argv0, std::FILE* out) {
                "          [--topology campus|waxman] [--strategy hp|rand|lb]\n"
                "          [--packets N] [--policies-per-class N] [--seed N]\n"
                "          [--off-path] [--fail-one FW|IDS|WP|TM]\n"
-               "          [--lp-engine sparse|dense] [--lp-warm-start]\n"
+               "          [--lp-engine sparse|dense] [--lp-warm-start] [--lp-cold-start]\n"
                "          [--sim] [--metrics-out FILE] [--trace-out FILE]\n"
                "          [--spans-out FILE]\n"
                "          [--verify] [--faults none|chaos|generated] [--chaos-seed N]\n"
                "          [--epoch SECS] [--trace-sample RATE]\n"
                "          [--reopt-period SECS] [--reopt-threshold X]\n"
                "          [--reopt-cooldown N] [--reopt-min-reports N]\n"
+               "          [--reopt-adaptive] [--reopt-noise-mult X] [--reopt-predictive]\n"
                "          [--help]\n"
                "exit codes: 0 = run completed (and --verify passed)\n"
                "            2 = bad usage or unbuildable spec\n"
@@ -178,6 +185,8 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       }
     } else if (arg == "--lp-warm-start") {
       opt.spec.lp_warm_start = true;
+    } else if (arg == "--lp-cold-start") {
+      opt.spec.lp_warm_start = false;
     } else if (arg == "--policy-file") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -229,19 +238,27 @@ bool parse(int argc, char** argv, CliOptions& opt) {
     } else if (arg == "--reopt-period") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt.spec.reopt_period = std::strtod(v, nullptr);
+      opt.spec.reopt.epoch_period = std::strtod(v, nullptr);
     } else if (arg == "--reopt-threshold") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt.spec.reopt_threshold = std::strtod(v, nullptr);
+      opt.spec.reopt.drift_threshold = std::strtod(v, nullptr);
     } else if (arg == "--reopt-cooldown") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt.spec.reopt_cooldown = static_cast<int>(std::strtol(v, nullptr, 10));
+      opt.spec.reopt.cooldown_epochs = static_cast<int>(std::strtol(v, nullptr, 10));
     } else if (arg == "--reopt-min-reports") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt.spec.reopt_min_reports = std::strtoull(v, nullptr, 10);
+      opt.spec.reopt.min_reports = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--reopt-adaptive") {
+      opt.spec.reopt.adaptive = true;
+    } else if (arg == "--reopt-noise-mult") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.spec.reopt.noise_multiplier = std::strtod(v, nullptr);
+    } else if (arg == "--reopt-predictive") {
+      opt.spec.reopt.predictive = true;
     } else {
       return false;
     }
@@ -289,18 +306,20 @@ int run_sim(exp::World& world, const CliOptions& opt) {
                   registry.total("mbx_failover_reroutes"));
   if (world.reopt) {
     const auto& rc = world.reopt->counters();
-    std::printf("reopt: %llu epochs, %llu triggered / %llu suppressed "
+    std::printf("reopt: %llu epochs, %llu triggered (%llu predicted) / %llu suppressed "
                 "(drift %llu, cooldown %llu, reports %llu), %llu solves "
-                "(%llu pivots, %.2fms modeled), %llu pushes (%llu bytes), "
+                "(%llu pivots, %llu warm, %.2fms modeled), %llu pushes (%llu bytes), "
                 "last drift %.4f\n",
                 static_cast<unsigned long long>(rc.epochs),
                 static_cast<unsigned long long>(rc.triggered),
+                static_cast<unsigned long long>(rc.triggered_predicted),
                 static_cast<unsigned long long>(rc.suppressed),
                 static_cast<unsigned long long>(rc.suppressed_drift),
                 static_cast<unsigned long long>(rc.suppressed_cooldown),
                 static_cast<unsigned long long>(rc.suppressed_reports),
                 static_cast<unsigned long long>(rc.solves),
                 static_cast<unsigned long long>(rc.solve_pivots),
+                static_cast<unsigned long long>(rc.solve_warm_starts),
                 world.reopt->solve_ms_modeled(),
                 static_cast<unsigned long long>(rc.pushes),
                 static_cast<unsigned long long>(rc.push_bytes),

@@ -68,8 +68,8 @@ std::vector<Arm> default_arms() {
   arms.push_back({"no_label_switching", no_labels});
 
   exp::ScenarioSpec reopt = base;
-  reopt.reopt_period = 0.5;
-  reopt.reopt_threshold = 0.05;
+  reopt.reopt.epoch_period = 0.5;
+  reopt.reopt.drift_threshold = 0.05;
   arms.push_back({"drift_reopt", reopt});
   return arms;
 }

@@ -96,8 +96,10 @@ PolicyStudy run_policy_study(const net::GeneratedNetwork& network, core::Deploym
     plan = controller.compile(core::StrategyKind::kLoadBalanced, &traffic, &info);
     e.solved = true;
     e.lp_pivots = info.pivots;
+    e.lp_warm_started = info.warm_started;
     ++study.solves;
     study.lp_pivots += info.pivots;
+    if (info.warm_started) ++study.lp_warm_starts;
     for (const auto& [node_v, cfg] : plan.configs) {
       const core::DeviceConfig slice = core::slice_for_device(plan, net::NodeId{node_v}, 0);
       std::vector<std::uint8_t> fingerprint = control::encode_device_config(slice);

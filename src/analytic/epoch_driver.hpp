@@ -49,6 +49,7 @@ struct PolicyEpoch {
   std::size_t pushes = 0;        // devices whose serialized slice changed on that solve
   std::uint64_t push_bytes = 0;  // bytes of those changed slices (plan churn)
   std::size_t lp_pivots = 0;     // simplex pivots of that solve
+  bool lp_warm_started = false;  // that solve re-used the previous basis
   /// Per-middlebox realized loads (deployment order) — what a drift
   /// detector watches.
   std::vector<double> loads;
@@ -60,6 +61,7 @@ struct PolicyStudy {
   std::size_t pushes = 0;
   std::uint64_t push_bytes = 0;
   std::uint64_t lp_pivots = 0;
+  std::size_t lp_warm_starts = 0;  // solves that re-used the previous basis
 };
 
 /// Decides, AFTER epoch `epoch` realized `loads` under the current plan and

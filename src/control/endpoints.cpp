@@ -1,5 +1,6 @@
 #include "control/endpoints.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "control/health.hpp"
@@ -357,10 +358,46 @@ ReplanOutcome ControllerAgent::replan(sim::SimNetwork& net, const ReplanRequest&
   }
 
   const auto started = std::chrono::steady_clock::now();
-  if (request.recompute_assignments) controller_.recompute();
+  // A kFailure replan scoped to exactly one failed element patches the last
+  // distributed plan locally instead of recomputing + recompiling: only the
+  // devices whose chains traverse the failed element change, so every other
+  // slice stays byte-identical and the differential push skips it. Without a
+  // distributed plan to patch, the scope degrades to a full recompute.
+  const bool has_scope = request.trigger == ReplanTrigger::kFailure &&
+                         (request.failed_node.valid() != request.failed_link.valid());
+  const bool scoped_failure =
+      has_scope && request.plan == nullptr && !last_plan_.configs.empty();
+  if (!scoped_failure && (request.recompute_assignments || has_scope)) {
+    controller_.recompute();
+  }
 
   bool compiled = false;
-  if (request.plan != nullptr) {
+  if (scoped_failure) {
+    const std::vector<net::NodeId> affected =
+        request.failed_node.valid() ? controller_.patch_failed_node(request.failed_node)
+                                    : controller_.patch_failed_link(request.failed_link);
+    out.plan = last_plan_;
+    for (const net::NodeId d : affected) {
+      out.plan.configs[d.v] = controller_.configs().at(d.v);
+    }
+    // Shares whose target is no longer a candidate of the sender (the dead
+    // box, or a survivor evicted by re-ranking) are dropped; the agents fall
+    // back to hot-potato there until the next LP solve re-balances. Only
+    // affected devices can lose shares — the LP never assigned any outside
+    // the candidate sets, which are unchanged everywhere else.
+    out.plan.ratios.filter_shares(
+        [&](net::NodeId from, policy::FunctionId e, net::NodeId to) {
+          const auto it = out.plan.configs.find(from.v);
+          if (it == out.plan.configs.end()) return true;
+          const std::vector<net::NodeId>& cands = it->second.candidates[e.v];
+          return std::find(cands.begin(), cands.end(), to) != cands.end();
+        });
+    out.patched = true;
+    out.devices_patched = affected.size();
+    out.lambda = out.plan.lambda;
+    ++replans_patched_;
+    compiled = true;
+  } else if (request.plan != nullptr) {
     out.plan = *request.plan;
   } else if (request.strategy == core::StrategyKind::kLoadBalanced) {
     if (pending_reports_ == 0) {
@@ -413,6 +450,8 @@ ReplanOutcome ControllerAgent::replan(sim::SimNetwork& net, const ReplanRequest&
     spans_->set_attr(solve, "pivots", static_cast<double>(out.lp_pivots));
     spans_->set_attr(solve, "reports", static_cast<double>(out.reports_used));
     spans_->set_attr(solve, "solved", out.solved ? 1 : 0);
+    spans_->set_attr(solve, "warm", out.lp_warm_started ? 1 : 0);
+    spans_->set_attr(solve, "patched", out.patched ? 1 : 0);
     conv_solve_latency_.add(modeled_ms / 1000.0);
   }
 
@@ -428,6 +467,7 @@ ReplanOutcome ControllerAgent::replan(sim::SimNetwork& net, const ReplanRequest&
     spans_->set_attr(diff, "devices", static_cast<double>(out.plan.configs.size()));
     spans_->set_attr(diff, "pushed", static_cast<double>(out.pushes_sent));
     spans_->set_attr(diff, "skipped", static_cast<double>(out.pushes_skipped));
+    spans_->set_attr(diff, "patched_devices", static_cast<double>(out.devices_patched));
     // Nothing to roll out (every slice unchanged): the plan is live now.
     const auto it = replan_spans_.find(rspan);
     if (it != replan_spans_.end() && it->second.outstanding == 0) {
@@ -435,26 +475,6 @@ ReplanOutcome ControllerAgent::replan(sim::SimNetwork& net, const ReplanRequest&
     }
   }
   return out;
-}
-
-std::size_t ControllerAgent::push_plan(sim::SimNetwork& net, const core::EnforcementPlan& plan) {
-  ReplanRequest request;
-  request.trigger = ReplanTrigger::kInitial;
-  request.plan = &plan;
-  return replan(net, request).pushes_sent;
-}
-
-core::EnforcementPlan ControllerAgent::recompute_and_push(sim::SimNetwork& net,
-                                                          core::StrategyKind strategy) {
-  ReplanRequest request;
-  request.trigger = ReplanTrigger::kFailure;
-  request.strategy = strategy;
-  request.recompute_assignments = true;
-  return replan(net, request).plan;
-}
-
-core::EnforcementPlan ControllerAgent::reoptimize_and_push(sim::SimNetwork& net) {
-  return replan(net, ReplanRequest{}).plan;
 }
 
 // ---------------------------------------------------------------------------
@@ -537,6 +557,7 @@ void ControllerAgent::register_metrics(obs::MetricsRegistry& registry) const {
   registry.expose_counter("ctrl_stale_acks", labels, &stale_acks_);
   registry.expose_counter("ctrl_replans", labels, &replans_);
   registry.expose_counter("ctrl_replans_suppressed", labels, &replans_suppressed_);
+  registry.expose_counter("ctrl_replans_patched", labels, &replans_patched_);
   registry.expose_gauge("ctrl_pending_reports", labels,
                         [this] { return static_cast<double>(pending_reports_); });
   registry.expose_gauge("ctrl_outstanding_pushes", labels,

@@ -16,9 +16,10 @@
 //  * ControllerAgent — collects measurement reports into a TrafficMatrix;
 //    replan() is the single re-plan entry point (initial rollout, failure
 //    recovery, §III.C measurement re-solve, drift-triggered re-solve): it
-//    obtains a plan, serializes per-device slices and injects the changed
-//    ones. The legacy push_plan/recompute_and_push/reoptimize_and_push
-//    names survive as deprecated wrappers.
+//    obtains a plan — compiled, precompiled, or locally PATCHED from the
+//    last plan when the request scopes a kFailure replan to a single failed
+//    node or link — serializes per-device slices and injects the changed
+//    ones.
 //  * install_control_plane — attaches a controller host node plus managed
 //    devices over a whole GeneratedNetwork.
 #pragma once
@@ -117,12 +118,11 @@ enum class ReplanTrigger : std::uint8_t {
 const char* to_string(ReplanTrigger t) noexcept;
 
 /// One request to the unified ControllerAgent::replan() entry point.
-///
-/// The three legacy entry points map onto it as:
-///   push_plan(net, plan)          -> {kInitial, plan = &plan}
-///   recompute_and_push(net, s)    -> {kFailure, strategy = s,
-///                                     recompute_assignments = true}
-///   reoptimize_and_push(net)      -> {kMeasurement} (defaults)
+/// Common shapes:
+///   initial rollout    -> {kInitial, .plan = &plan}
+///   full recovery      -> {kFailure, .strategy = s, .recompute_assignments = true}
+///   scoped recovery    -> {kFailure, .failed_node = box}  (local patch)
+///   §III.C re-solve    -> {kMeasurement} (defaults)
 struct ReplanRequest {
   ReplanTrigger trigger = ReplanTrigger::kMeasurement;
   /// Strategy to compile when `plan` is null. kLoadBalanced solves Eq. (2)
@@ -135,6 +135,18 @@ struct ReplanRequest {
   /// Distribute this precompiled plan instead of compiling one. Must outlive
   /// the call.
   const core::EnforcementPlan* plan = nullptr;
+  /// Single-failure scope, kFailure only: when exactly one of these is set
+  /// (and a plan has been distributed before), the replan PATCHES the
+  /// current plan instead of recomputing + recompiling it — candidate sets
+  /// are rebuilt only for devices whose chains traverse the failed element,
+  /// and split shares pointing at a dead or evicted candidate are dropped
+  /// (agents fall back to hot-potato there until the next solve). All other
+  /// device slices stay byte-identical, so the differential push reaches
+  /// only the affected devices. `failed_node` must already be marked failed
+  /// in the deployment (HealthMonitor does this before calling). When no
+  /// plan was ever distributed, the scope degrades to a full recompute.
+  net::NodeId failed_node{};
+  net::LinkId failed_link{};
 };
 
 /// What one replan() actually did.
@@ -150,6 +162,8 @@ struct ReplanOutcome {
   double lambda = 0;                // LP objective (0 when no solve ran)
   std::size_t lp_pivots = 0;        // simplex pivots (0 when no solve ran)
   bool lp_warm_started = false;     // solve re-used the previous basis
+  bool patched = false;             // plan locally patched, no recompile
+  std::size_t devices_patched = 0;  // devices whose assignments the patch touched
   double solve_ms = 0;              // measured wall-clock compile time — NOT
                                     // deterministic; never feed into exports
 };
@@ -179,10 +193,8 @@ public:
   /// which fall back to hot-potato wherever ratios are absent).
   ReplanOutcome replan(sim::SimNetwork& net, const ReplanRequest& request);
 
-  /// Deprecated shim for replan({kInitial, .plan = &plan}); returns
-  /// outcome.pushes_sent.
-  [[deprecated("use replan(net, {.trigger = ReplanTrigger::kInitial, .plan = &plan})")]]
-  std::size_t push_plan(sim::SimNetwork& net, const core::EnforcementPlan& plan);
+  /// The controller this agent fronts (assignments, deployment, LP).
+  const core::Controller& controller() const noexcept { return controller_; }
 
   /// Devices acknowledge applied configs; lets the controller see rollout
   /// completion instead of assuming it.
@@ -200,20 +212,12 @@ public:
   std::uint64_t stale_acks() const noexcept { return stale_acks_; }
 
   /// Forget the differential-push state for `device` (and any pending
-  /// retransmission): the next push_plan sends its full slice. Called when a
+  /// retransmission): the next replan sends its full slice. Called when a
   /// device is declared failed or revived — its applied config can no longer
   /// be assumed to match what was last sent.
   void forget_device(net::NodeId device);
 
-  /// Deprecated shim for replan({kFailure, strategy,
-  /// .recompute_assignments = true}); returns outcome.plan.
-  [[deprecated(
-      "use replan(net, {.trigger = ReplanTrigger::kFailure, .strategy = strategy, "
-      ".recompute_assignments = true})")]]
-  core::EnforcementPlan recompute_and_push(
-      sim::SimNetwork& net, core::StrategyKind strategy = core::StrategyKind::kHotPotato);
-
-  /// The plan most recently passed to push_plan (empty before the first
+  /// The plan most recently distributed by replan() (empty before the first
   /// push) — what the controller currently believes the network enforces.
   const core::EnforcementPlan& last_plan() const noexcept { return last_plan_; }
 
@@ -222,10 +226,6 @@ public:
   void set_health_monitor(HealthMonitor* monitor) { health_ = monitor; }
 
   net::NodeId node() const noexcept { return node_; }
-
-  /// Deprecated shim for replan({kMeasurement}); returns outcome.plan.
-  [[deprecated("use replan(net, {.trigger = ReplanTrigger::kMeasurement})")]]
-  core::EnforcementPlan reoptimize_and_push(sim::SimNetwork& net);
 
   /// Matrix assembled from reports received so far.
   const workload::TrafficMatrix& collected() const noexcept { return collected_; }
@@ -237,6 +237,9 @@ public:
   /// Measurement replans turned into no-ops because zero reports had
   /// arrived since the last solve (the pool would have been empty).
   std::uint64_t replans_suppressed() const noexcept { return replans_suppressed_; }
+  /// Failure replans resolved by the scoped patch path (no LP, no full
+  /// recompute): only devices touching the failed element were repushed.
+  std::uint64_t replans_patched() const noexcept { return replans_patched_; }
   std::uint64_t malformed_messages() const noexcept { return malformed_; }
   std::uint64_t current_version() const noexcept { return version_; }
   net::IpAddress address() const noexcept { return address_; }
@@ -292,7 +295,7 @@ private:
   void send_push(sim::SimNetwork& net, const PendingPush& push);
   void schedule_retransmit(sim::SimNetwork& net, std::uint32_t device_v, std::uint64_t seq,
                            double rto);
-  /// Differential distribution of `plan` (the body behind replan/push_plan).
+  /// Differential distribution of `plan` (the push half of replan()).
   /// Returns the number of pushes sent; increments the config version.
   std::size_t distribute(sim::SimNetwork& net, const core::EnforcementPlan& plan);
 
@@ -310,6 +313,7 @@ private:
   std::uint64_t pending_reports_ = 0;  // reports since the last consumed solve
   std::uint64_t replans_ = 0;
   std::uint64_t replans_suppressed_ = 0;
+  std::uint64_t replans_patched_ = 0;
   std::uint64_t malformed_ = 0;
   std::uint64_t version_ = 0;
   std::uint64_t acks_ = 0;

@@ -81,7 +81,7 @@ bool HealthMonitor::declare(sim::SimNetwork& net, Device& device, sim::SimTime n
 void HealthMonitor::round(sim::SimNetwork& net) {
   if (!running_) return;
   const sim::SimTime now = net.simulator().now();
-  bool changed = false;
+  std::vector<net::NodeId> newly_failed;  // middleboxes marked failed this round
   int contexts_pushed = 0;
   for (Device& d : devices_) {
     if (d.seq_sent > d.seq_acked) {
@@ -90,7 +90,9 @@ void HealthMonitor::round(sim::SimNetwork& net) {
         if (declare(net, d, now)) ++contexts_pushed;
         // Proxies can't be routed around (they ARE the subnet's enforcement
         // point); only middlebox failures change the assignment problem.
-        if (!d.is_proxy && deployment_.set_failed(d.node, true)) changed = true;
+        if (!d.is_proxy && deployment_.set_failed(d.node, true)) {
+          newly_failed.push_back(d.node);
+        }
       }
     } else {
       d.misses = 0;
@@ -105,7 +107,12 @@ void HealthMonitor::round(sim::SimNetwork& net) {
     ++counters_.probes_sent;
     net.inject(agent_.node(), std::move(probe), now);
   }
-  if (changed && params_.auto_repair) repush(net);
+  if (!newly_failed.empty() && params_.auto_repair) {
+    // One dead middlebox -> patch the plan around it; anything more complex
+    // falls back to the full recompute path.
+    repush(net, params_.patch_single_failure && newly_failed.size() == 1 ? newly_failed.front()
+                                                                         : net::NodeId{});
+  }
   // The episode contexts only existed so the repush's replan span could
   // parent under (and later close) them.
   for (; contexts_pushed > 0; --contexts_pushed) {
@@ -145,12 +152,16 @@ void HealthMonitor::on_probe_reply(sim::SimNetwork& net, net::IpAddress from,
   if (episode != 0) spans_->pop_context();
 }
 
-void HealthMonitor::repush(sim::SimNetwork& net) {
+void HealthMonitor::repush(sim::SimNetwork& net, net::NodeId failed_node) {
   try {
     ReplanRequest request;
     request.trigger = ReplanTrigger::kFailure;
     request.strategy = params_.repush_strategy;
-    request.recompute_assignments = true;
+    if (failed_node.valid()) {
+      request.failed_node = failed_node;
+    } else {
+      request.recompute_assignments = true;
+    }
     agent_.replan(net, request);
     ++counters_.repushes;
   } catch (const ContractViolation&) {

@@ -41,6 +41,12 @@ struct HealthParams {
   /// Strategy for the recovery plan (kLoadBalanced additionally needs fresh
   /// measurement reports at the controller).
   core::StrategyKind repush_strategy = core::StrategyKind::kHotPotato;
+  /// When a probe round declares exactly ONE middlebox failed, scope the
+  /// recovery replan to it (ReplanRequest.failed_node): the plan is patched
+  /// locally and only devices whose chains traversed the dead box are
+  /// re-pushed. Multi-failure rounds and revivals always take the full
+  /// recompute path.
+  bool patch_single_failure = true;
 };
 
 struct HealthCounters {
@@ -123,7 +129,8 @@ private:
   };
 
   void round(sim::SimNetwork& net);
-  void repush(sim::SimNetwork& net);
+  /// Recovery replan; `failed_node` (when valid) scopes it to a local patch.
+  void repush(sim::SimNetwork& net, net::NodeId failed_node = {});
   /// Returns true when the declaration parked an episode span on the
   /// tracer's context stack (the caller pops after any repush).
   bool declare(sim::SimNetwork& net, Device& device, sim::SimTime now);

@@ -24,6 +24,7 @@ const char* to_string(DriftDetector::Decision d) noexcept {
   switch (d) {
     case DriftDetector::Decision::kSeeded: return "seeded";
     case DriftDetector::Decision::kTrigger: return "trigger";
+    case DriftDetector::Decision::kTriggerPredicted: return "trigger-predicted";
     case DriftDetector::Decision::kBelowThreshold: return "below-threshold";
     case DriftDetector::Decision::kCooldown: return "cooldown";
     case DriftDetector::Decision::kTooFewReports: return "too-few-reports";
@@ -36,9 +37,20 @@ const char* to_string(DriftDetector::Decision d) noexcept {
 // ---------------------------------------------------------------------------
 
 DriftDetector::DriftDetector(double threshold, int cooldown_epochs, std::uint64_t min_reports)
-    : threshold_(threshold), cooldown_(cooldown_epochs), min_reports_(min_reports) {
-  SDM_CHECK_MSG(threshold >= 0 && threshold <= 1, "drift threshold must be in [0, 1]");
-  SDM_CHECK_MSG(cooldown_epochs >= 1, "cooldown must be at least 1 epoch");
+    : DriftDetector([&] {
+        ReoptimizeOptions o;
+        o.drift_threshold = threshold;
+        o.cooldown_epochs = cooldown_epochs;
+        o.min_reports = min_reports;
+        return o;
+      }()) {}
+
+DriftDetector::DriftDetector(const ReoptimizeOptions& options) : opt_(options) {
+  SDM_CHECK_MSG(opt_.drift_threshold >= 0 && opt_.drift_threshold <= 1,
+                "drift threshold must be in [0, 1]");
+  SDM_CHECK_MSG(opt_.cooldown_epochs >= 1, "cooldown must be at least 1 epoch");
+  SDM_CHECK_MSG(opt_.noise_multiplier >= 0, "noise multiplier must be non-negative");
+  effective_threshold_ = opt_.drift_threshold;
 }
 
 double DriftDetector::drift(const std::vector<double>& reference,
@@ -55,35 +67,106 @@ double DriftDetector::drift(const std::vector<double>& reference,
   return 0.5 * tv;
 }
 
+double DriftDetector::drift_grouped(const std::vector<double>& reference,
+                                    const std::vector<double>& observed) const {
+  double d = drift(reference, observed);
+  std::vector<double> ref_g;
+  std::vector<double> obs_g;
+  for (const std::vector<std::size_t>& g : groups_) {
+    ref_g.clear();
+    obs_g.clear();
+    for (const std::size_t i : g) {
+      if (i >= reference.size()) continue;
+      ref_g.push_back(reference[i]);
+      obs_g.push_back(observed[i]);
+    }
+    // drift() renormalizes each sub-vector by its own total, so this is the
+    // TV distance of the load distribution WITHIN one function's
+    // implementers — a shift confined there can't hide in the global sum.
+    d = std::max(d, drift(ref_g, obs_g));
+  }
+  return d;
+}
+
+void DriftDetector::update_noise(const std::vector<double>& shares) {
+  if (share_mean_.size() != shares.size()) {
+    share_mean_.assign(shares.size(), 0.0);
+    share_m2_.assign(shares.size(), 0.0);
+    share_samples_ = 0;
+  }
+  ++share_samples_;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const double delta = shares[i] - share_mean_[i];
+    share_mean_[i] += delta / static_cast<double>(share_samples_);
+    share_m2_[i] += delta * (shares[i] - share_mean_[i]);
+  }
+}
+
+double DriftDetector::share_noise() const noexcept {
+  if (share_samples_ < 2) return 0;
+  double sum = 0;
+  for (const double m2 : share_m2_) {
+    sum += std::sqrt(std::max(0.0, m2) / static_cast<double>(share_samples_ - 1));
+  }
+  return 0.5 * sum;
+}
+
 DriftDetector::Decision DriftDetector::evaluate(const std::vector<double>& observed,
                                                 std::uint64_t pending_reports) {
   ++epochs_since_solve_;
-  if (pending_reports < min_reports_) return Decision::kTooFewReports;
+  if (pending_reports < opt_.min_reports) return Decision::kTooFewReports;
   const double total = std::accumulate(observed.begin(), observed.end(), 0.0);
   if (total <= 0) {
     // No load observed at all: nothing to compare (and nothing worth
     // re-balancing). Never seed the reference from silence.
     last_drift_ = 0;
+    last_predicted_drift_ = 0;
     return Decision::kBelowThreshold;
+  }
+  const std::vector<double> shares = normalize(observed);
+  update_noise(shares);
+  effective_threshold_ = opt_.drift_threshold;
+  if (opt_.adaptive) {
+    effective_threshold_ = std::max(opt_.drift_threshold, opt_.noise_multiplier * share_noise());
   }
   if (!has_reference_) {
     // Observe-first: the first usable window defines what the current plan
     // serves; drift is measured against it from the next epoch on.
-    reference_ = normalize(observed);
+    reference_ = shares;
     has_reference_ = true;
     last_drift_ = 0;
+    last_predicted_drift_ = 0;
+    prev_shares_ = shares;
     return Decision::kSeeded;
   }
   SDM_CHECK_MSG(observed.size() == reference_.size(),
                 "drift needs load vectors over the same middlebox set");
-  last_drift_ = drift(reference_, observed);
-  if (epochs_since_solve_ < cooldown_) return Decision::kCooldown;
-  return last_drift_ > threshold_ ? Decision::kTrigger : Decision::kBelowThreshold;
+  last_drift_ = drift_grouped(reference_, observed);
+  // One-epoch-ahead linear extrapolation of the share vector: where the
+  // distribution will be if the current trend holds for one more epoch.
+  last_predicted_drift_ = 0;
+  if (opt_.predictive && prev_shares_.size() == shares.size()) {
+    std::vector<double> predicted(shares.size());
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      predicted[i] = std::max(0.0, 2 * shares[i] - prev_shares_[i]);
+    }
+    last_predicted_drift_ = drift_grouped(reference_, predicted);
+  }
+  prev_shares_ = shares;
+  if (epochs_since_solve_ < opt_.cooldown_epochs) return Decision::kCooldown;
+  if (last_drift_ > effective_threshold_) return Decision::kTrigger;
+  if (opt_.predictive && last_predicted_drift_ > effective_threshold_) {
+    return Decision::kTriggerPredicted;
+  }
+  return Decision::kBelowThreshold;
 }
 
 void DriftDetector::mark_solved(const std::vector<double>& observed) {
   reference_ = normalize(observed);
   has_reference_ = true;
+  // The trend restarts at the new reference: the measurement window is
+  // re-based after a solve, so yesterday's shares no longer extrapolate.
+  prev_shares_ = reference_;
   epochs_since_solve_ = 0;
 }
 
@@ -92,16 +175,32 @@ void DriftDetector::mark_solved(const std::vector<double>& observed) {
 // ---------------------------------------------------------------------------
 
 ReoptimizePolicy::ReoptimizePolicy(ControllerAgent& agent, const ControlPlane& plane,
-                                   const obs::EpochRecorder& recorder, ReoptimizeParams params)
+                                   const obs::EpochRecorder& recorder, ReoptimizeOptions params)
     : agent_(agent),
       proxies_(plane.proxies),
       middleboxes_(plane.middleboxes),
       recorder_(recorder),
       params_(params),
-      detector_(params.drift_threshold, params.cooldown_epochs, params.min_reports) {
+      detector_(params) {
   SDM_CHECK_MSG(params_.epoch_period > 0, "re-optimisation epoch period must be positive");
   SDM_CHECK_MSG(!middleboxes_.empty(), "the loop needs middleboxes to watch");
   base_.assign(middleboxes_.size(), 0.0);
+  // Per-function drift groups: plane.middleboxes parallels the deployment's
+  // middlebox order, which is also the order cumulative_loads() reads, so
+  // index i in the observed vector IS deployment middlebox i. Groups that
+  // span the whole deployment duplicate the global drift and are skipped.
+  const core::Deployment& dep = agent_.controller().deployment();
+  SDM_CHECK_MSG(dep.middleboxes().size() == middleboxes_.size(),
+                "control plane and deployment disagree on the middlebox set");
+  std::vector<std::vector<std::size_t>> groups;
+  for (const policy::FunctionId e : dep.all_functions().to_vector()) {
+    std::vector<std::size_t> g;
+    for (std::size_t i = 0; i < dep.middleboxes().size(); ++i) {
+      if (dep.middleboxes()[i].functions.contains(e)) g.push_back(i);
+    }
+    if (!g.empty() && g.size() < dep.middleboxes().size()) groups.push_back(std::move(g));
+  }
+  detector_.set_groups(std::move(groups));
 }
 
 void ReoptimizePolicy::start(sim::SimNetwork& net) {
@@ -130,7 +229,8 @@ void ReoptimizePolicy::epoch(sim::SimNetwork& net) {
   for (std::size_t i = 0; i < cum.size(); ++i) window[i] = cum[i] - base_[i];
 
   DriftDetector::Decision decision = detector_.evaluate(window, agent_.pending_reports());
-  if (decision == DriftDetector::Decision::kTrigger) {
+  const bool predicted = decision == DriftDetector::Decision::kTriggerPredicted;
+  if (decision == DriftDetector::Decision::kTrigger || predicted) {
     // The drift trigger roots this episode's trace tree, exactly like a
     // crash roots a failure episode: the replan span below becomes its
     // child via the context stack. Drift never leaves the network
@@ -139,7 +239,10 @@ void ReoptimizePolicy::epoch(sim::SimNetwork& net) {
     if (spans_ != nullptr) {
       episode = spans_->begin("episode:drift", net.simulator().now(), 0, "", "reoptimize");
       spans_->set_attr(episode, "drift", detector_.last_drift());
-      spans_->set_attr(episode, "threshold", params_.drift_threshold);
+      spans_->set_attr(episode, "threshold", detector_.effective_threshold());
+      if (predicted) {
+        spans_->set_attr(episode, "predicted_drift", detector_.last_predicted_drift());
+      }
       spans_->set_attr(episode, "unenforced", 0);
       spans_->push_context(episode);
     }
@@ -159,6 +262,7 @@ void ReoptimizePolicy::epoch(sim::SimNetwork& net) {
       }
     } else {
       ++counters_.triggered;
+      if (predicted) ++counters_.triggered_predicted;
       ++counters_.solves;
       counters_.solve_pivots += outcome.lp_pivots;
       if (outcome.lp_warm_started) ++counters_.solve_warm_starts;
@@ -168,10 +272,12 @@ void ReoptimizePolicy::epoch(sim::SimNetwork& net) {
       solve_ms_modeled_ += modeled_solve_ms(outcome.lp_pivots);
       detector_.mark_solved(window);
       base_ = cum;
-      SDM_LOG_INFO("reopt", "drift " << detector_.last_drift() << " > "
-                                     << params_.drift_threshold << ": re-solved (λ = "
-                                     << outcome.lambda << ", " << outcome.pushes_sent
-                                     << " pushes)");
+      SDM_LOG_INFO("reopt", (predicted ? "predicted drift " : "drift ")
+                                << (predicted ? detector_.last_predicted_drift()
+                                              : detector_.last_drift())
+                                << " > " << detector_.effective_threshold()
+                                << ": re-solved (λ = " << outcome.lambda << ", "
+                                << outcome.pushes_sent << " pushes)");
     }
   } else if (decision == DriftDetector::Decision::kSeeded) {
     // The reference window is consumed: measure future windows from here.
@@ -196,6 +302,7 @@ void ReoptimizePolicy::register_metrics(obs::MetricsRegistry& registry) const {
   const obs::Labels labels{{"subsystem", "reoptimize"}};
   registry.expose_counter("reopt_epochs", labels, &counters_.epochs);
   registry.expose_counter("reopt_triggered", labels, &counters_.triggered);
+  registry.expose_counter("reopt_triggered_predicted", labels, &counters_.triggered_predicted);
   registry.expose_counter("reopt_suppressed", labels, &counters_.suppressed);
   registry.expose_counter("reopt_suppressed_drift", labels, &counters_.suppressed_drift);
   registry.expose_counter("reopt_suppressed_cooldown", labels, &counters_.suppressed_cooldown);
@@ -209,6 +316,8 @@ void ReoptimizePolicy::register_metrics(obs::MetricsRegistry& registry) const {
   // byte-identical. solve_ms_wall() has the measured number.
   registry.expose_gauge("reopt_solve_ms", labels, [this] { return solve_ms_modeled_; });
   registry.expose_gauge("reopt_last_drift", labels, [this] { return detector_.last_drift(); });
+  registry.expose_gauge("reopt_effective_threshold", labels,
+                        [this] { return detector_.effective_threshold(); });
 }
 
 }  // namespace sdmbox::control

@@ -27,28 +27,11 @@
 #include <vector>
 
 #include "control/endpoints.hpp"
+#include "control/reoptimize_options.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/simulator.hpp"
 
 namespace sdmbox::control {
-
-struct ReoptimizeParams {
-  /// Simulated seconds between drift evaluations. Keep the EpochRecorder's
-  /// period at or below this, or the loop reads stale snapshots.
-  double epoch_period = 0.5;
-  /// Total-variation drift (in [0, 1]) above which a re-solve triggers.
-  double drift_threshold = 0.1;
-  /// Hysteresis: a re-solve is allowed only once at least this many
-  /// evaluations have passed since the previous solve. 1 disables it.
-  int cooldown_epochs = 2;
-  /// Proxy reports that must be pending at the controller before a solve
-  /// may run (an Eq. (2) solve on a near-empty matrix is noise).
-  std::uint64_t min_reports = 1;
-  /// Ask every proxy for a fresh measurement report at the end of each
-  /// epoch, so the next evaluation has current data. Disable when another
-  /// component already drives reporting.
-  bool request_reports = true;
-};
 
 /// Loop bookkeeping, exposable as reopt_* registry series. All counts are
 /// deterministic for a fixed seed (modeled solve cost included — see
@@ -56,6 +39,7 @@ struct ReoptimizeParams {
 struct ReoptimizeCounters {
   std::uint64_t epochs = 0;               // evaluations run
   std::uint64_t triggered = 0;            // drift triggers that led to a solve
+  std::uint64_t triggered_predicted = 0;  //   ... of which trend-extrapolation fired early
   std::uint64_t suppressed = 0;           // evaluations that did NOT solve
   std::uint64_t suppressed_drift = 0;     //   ... drift below threshold
   std::uint64_t suppressed_cooldown = 0;  //   ... inside the cooldown window
@@ -68,20 +52,35 @@ struct ReoptimizeCounters {
 };
 
 /// The pure trigger core: given an observed per-middlebox load vector and
-/// the number of pending reports, decide whether to re-solve. Stateful only
-/// in the reference share vector (what the current plan was solved for) and
-/// the cooldown clock.
+/// the number of pending reports, decide whether to re-solve. Stateful in
+/// the reference share vector (what the current plan was solved for), the
+/// cooldown clock, and — for the adaptive/predictive modes — a running
+/// noise estimate of the share vector and the previous window's shares.
 class DriftDetector {
 public:
   enum class Decision : std::uint8_t {
-    kSeeded,          // first usable window: reference established, no solve
-    kTrigger,         // drift above threshold, gates passed — re-solve now
-    kBelowThreshold,  // distribution close enough to the reference
-    kCooldown,        // drift may be high, but the last solve is too recent
-    kTooFewReports,   // not enough pending reports to trust a solve
+    kSeeded,            // first usable window: reference established, no solve
+    kTrigger,           // drift above threshold, gates passed — re-solve now
+    kTriggerPredicted,  // current drift below, but the one-epoch-ahead
+                        // extrapolation crosses threshold — re-solve early
+    kBelowThreshold,    // distribution close enough to the reference
+    kCooldown,          // drift may be high, but the last solve is too recent
+    kTooFewReports,     // not enough pending reports to trust a solve
   };
 
   DriftDetector(double threshold, int cooldown_epochs, std::uint64_t min_reports);
+  /// All knobs from one ReoptimizeOptions (epoch_period/request_reports are
+  /// loop concerns and ignored here).
+  explicit DriftDetector(const ReoptimizeOptions& options);
+
+  /// Per-function index groups over the observed vector (the middleboxes
+  /// implementing each deployed function). When set, drift becomes the max
+  /// of the global total-variation distance and each group's own TV
+  /// distance — a shift confined to one function's implementers triggers
+  /// even when it washes out of the global share vector.
+  void set_groups(std::vector<std::vector<std::size_t>> groups) {
+    groups_ = std::move(groups);
+  }
 
   /// Evaluate one epoch. `observed` is the raw (unnormalized) per-middlebox
   /// load window since the last solve; `pending_reports` gates the solve.
@@ -95,8 +94,17 @@ public:
   /// Drift computed by the most recent evaluate() that got far enough to
   /// compare (0 before that).
   double last_drift() const noexcept { return last_drift_; }
+  /// Drift of the one-epoch-ahead extrapolation (predictive mode only; 0
+  /// otherwise).
+  double last_predicted_drift() const noexcept { return last_predicted_drift_; }
   bool has_reference() const noexcept { return has_reference_; }
-  double threshold() const noexcept { return threshold_; }
+  double threshold() const noexcept { return opt_.drift_threshold; }
+  /// Threshold the last evaluate() actually compared against: the base
+  /// threshold, raised to noise_multiplier * noise in adaptive mode.
+  double effective_threshold() const noexcept { return effective_threshold_; }
+  /// Running noise estimate: half the summed per-component stddev of the
+  /// observed share vectors (commensurable with total-variation drift).
+  double share_noise() const noexcept;
 
   /// Total-variation distance between the normalized forms of two raw load
   /// vectors: 0.5 * sum |a_i/sum(a) - b_i/sum(b)|, in [0, 1]. An empty
@@ -106,13 +114,24 @@ public:
                       const std::vector<double>& observed);
 
 private:
-  double threshold_;
-  int cooldown_;
-  std::uint64_t min_reports_;
+  /// Max of the global TV distance and every group's own TV distance.
+  double drift_grouped(const std::vector<double>& reference,
+                       const std::vector<double>& observed) const;
+  void update_noise(const std::vector<double>& shares);
+
+  ReoptimizeOptions opt_;
+  std::vector<std::vector<std::size_t>> groups_;
   std::vector<double> reference_;  // normalized shares the last solve saw
   bool has_reference_ = false;
   int epochs_since_solve_ = 0;
   double last_drift_ = 0;
+  double last_predicted_drift_ = 0;
+  double effective_threshold_ = 0;
+  std::vector<double> prev_shares_;  // previous usable window (trend base)
+  // Welford running stats over per-middlebox shares, for the noise estimate.
+  std::vector<double> share_mean_;
+  std::vector<double> share_m2_;
+  std::uint64_t share_samples_ = 0;
 };
 
 /// The online loop. Owns nothing but its counters: the agent, control plane
@@ -120,7 +139,7 @@ private:
 class ReoptimizePolicy {
 public:
   ReoptimizePolicy(ControllerAgent& agent, const ControlPlane& plane,
-                   const obs::EpochRecorder& recorder, ReoptimizeParams params = {});
+                   const obs::EpochRecorder& recorder, ReoptimizeOptions params = {});
 
   /// Start evaluating every params.epoch_period on the network's calendar
   /// (first evaluation one period from now). Idempotent while running.
@@ -130,7 +149,7 @@ public:
 
   const ReoptimizeCounters& counters() const noexcept { return counters_; }
   const DriftDetector& detector() const noexcept { return detector_; }
-  const ReoptimizeParams& params() const noexcept { return params_; }
+  const ReoptimizeOptions& params() const noexcept { return params_; }
   /// Measured wall-clock milliseconds spent in LP solves (human-facing
   /// only; NOT deterministic, never exported through the registry).
   double solve_ms_wall() const noexcept { return solve_ms_wall_; }
@@ -165,7 +184,7 @@ private:
   std::vector<ManagedDevice*> proxies_;
   std::vector<ManagedDevice*> middleboxes_;
   const obs::EpochRecorder& recorder_;
-  ReoptimizeParams params_;
+  ReoptimizeOptions params_;
   DriftDetector detector_;
   ReoptimizeCounters counters_;
   std::vector<double> base_;  // cumulative loads at the last reference reset

@@ -34,6 +34,118 @@ std::size_t Controller::k_for(policy::FunctionId e) const noexcept {
 
 void Controller::recompute() { compute_assignments(); }
 
+std::vector<net::NodeId> Controller::patch_failed_node(net::NodeId failed) {
+  const MiddleboxInfo* info = deployment_.find(failed);
+  SDM_CHECK_MSG(info != nullptr, "patch target is not a deployed middlebox");
+  SDM_CHECK_MSG(deployment_.is_failed(failed), "patch target is not marked failed");
+  // Same liveness contract as recompute(), restricted to the functions the
+  // failed box served (no other function's implementer set changed).
+  for (const policy::Policy& p : policies_.all()) {
+    for (policy::FunctionId e : p.actions) {
+      if (info->functions.contains(e)) {
+        SDM_CHECK_MSG(!deployment_.active_implementers(e).empty(),
+                      "all middleboxes for a function required by policy " + p.name +
+                          " are failed");
+      }
+    }
+  }
+
+  // Distances are needed only from the surviving implementers of the failed
+  // box's functions — those are the only candidate lists that can change,
+  // and every node that can enter one implements one of those functions.
+  std::unordered_map<std::uint32_t, net::ShortestPathTree> from_mbox;
+  for (const MiddleboxInfo& m : deployment_.middleboxes()) {
+    if (m.node.v == failed.v) continue;
+    if (m.functions.minus(info->functions) == m.functions) continue;  // disjoint
+    from_mbox.emplace(m.node.v, net::dijkstra(network_.topo, m.node));
+  }
+
+  std::vector<net::NodeId> affected;
+  for (auto& [node_v, cfg] : configs_) {
+    const net::NodeId x{node_v};
+    bool touched = false;
+    for (policy::FunctionId e : info->functions.to_vector()) {
+      auto& cands = cfg.candidates[e.v];
+      const bool uses_failed = std::any_of(cands.begin(), cands.end(), [&](net::NodeId c) {
+        return c.v == failed.v;
+      });
+      // Distances are static, so dropping a node that was never in this
+      // top-k cannot reorder it: only lists containing the failed box move.
+      if (!uses_failed) continue;
+      std::vector<net::NodeId> sorted = deployment_.active_implementers(e);
+      std::sort(sorted.begin(), sorted.end(), [&](net::NodeId a, net::NodeId b) {
+        const double da = from_mbox.at(a.v).distance[x.v];
+        const double db = from_mbox.at(b.v).distance[x.v];
+        if (da != db) return da < db;
+        return util::hash_combine(util::mix64(x.v), a.v) <
+               util::hash_combine(util::mix64(x.v), b.v);
+      });
+      sorted.resize(std::min(k_for(e), sorted.size()));
+      cands = std::move(sorted);
+      touched = true;
+    }
+    if (touched) affected.push_back(x);
+  }
+  std::sort(affected.begin(), affected.end(),
+            [](net::NodeId a, net::NodeId b) { return a.v < b.v; });
+  return affected;
+}
+
+std::vector<net::NodeId> Controller::patch_failed_link(net::LinkId failed) {
+  SDM_CHECK_MSG(failed.v < network_.topo.link_count(),
+                "patch target is not a link of the topology");
+  std::vector<bool> down(network_.topo.link_count(), false);
+  down[failed.v] = true;
+
+  // Trees on the intact and the link-excluded topology from every
+  // middlebox. A device is affected iff the failed link moved at least one
+  // of its current candidates farther away — link removal never shortens a
+  // path, so an untouched list cannot be displaced by an outsider either.
+  std::unordered_map<std::uint32_t, net::ShortestPathTree> before;
+  std::unordered_map<std::uint32_t, net::ShortestPathTree> after;
+  for (const MiddleboxInfo& m : deployment_.middleboxes()) {
+    before.emplace(m.node.v, net::dijkstra(network_.topo, m.node));
+    after.emplace(m.node.v, net::dijkstra(network_.topo, m.node, &down));
+  }
+
+  const policy::FunctionSet all = deployment_.all_functions();
+  std::vector<net::NodeId> affected;
+  for (auto& [node_v, cfg] : configs_) {
+    const net::NodeId x{node_v};
+    bool touched = false;
+    for (const auto& cands : cfg.candidates) {
+      for (const net::NodeId c : cands) {
+        if (before.at(c.v).distance[x.v] != after.at(c.v).distance[x.v]) {
+          touched = true;
+          break;
+        }
+      }
+      if (touched) break;
+    }
+    if (!touched) continue;
+    // Re-rank every list of this device on the link-excluded metric. Lists
+    // whose members all kept their distances re-sort identically. The patch
+    // deliberately diverges from recompute() here: recompute() ranks on the
+    // intact topology and is unaware of link state.
+    for (policy::FunctionId e : all.minus(cfg.own_functions).to_vector()) {
+      std::vector<net::NodeId> sorted = deployment_.active_implementers(e);
+      std::sort(sorted.begin(), sorted.end(), [&](net::NodeId a, net::NodeId b) {
+        const double da = after.at(a.v).distance[x.v];
+        const double db = after.at(b.v).distance[x.v];
+        if (da != db) return da < db;
+        return util::hash_combine(util::mix64(x.v), a.v) <
+               util::hash_combine(util::mix64(x.v), b.v);
+      });
+      sorted.resize(std::min(k_for(e), sorted.size()));
+      cfg.candidates[e.v] = std::move(sorted);
+    }
+    affected.push_back(x);
+  }
+  std::sort(affected.begin(), affected.end(),
+            [](net::NodeId a, net::NodeId b) { return a.v < b.v; });
+  return affected;
+}
+
 void Controller::compute_assignments() {
   // Every function referenced by a policy must still have a live
   // implementer; without one, enforcement of that policy is impossible and

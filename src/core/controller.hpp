@@ -38,8 +38,10 @@ struct ControllerParams {
   /// optimal basis (sparse engine only). The solver falls back to a cold
   /// start whenever the cached basis no longer fits the new instance, so
   /// this is always safe — it only changes how many pivots a re-solve
-  /// takes, never the optimum. The incremental-reoptimization hook.
-  bool warm_start_lb = false;
+  /// takes, never the optimal λ. On by default: the closed loop's drift and
+  /// measurement re-solves are the common case and they start one basis
+  /// exchange away from the previous optimum.
+  bool warm_start_lb = true;
   FormulationOptions lp;
 };
 
@@ -64,6 +66,27 @@ public:
   /// implementer left.
   void recompute();
 
+  /// Locally patch assignments after a SINGLE middlebox failure (the node
+  /// must already be marked failed in the deployment): candidate sets are
+  /// rebuilt only for devices whose sets reference `failed`, and only for
+  /// the functions it implemented. Equivalent to recompute() — candidate
+  /// ranking uses static shortest-path distances, and removing one node
+  /// from a ranked list leaves every other candidate's rank unchanged — but
+  /// it leaves unaffected NodeConfigs untouched so their encoded slices
+  /// stay byte-identical. Returns the affected devices in ascending id
+  /// order. Throws (like recompute()) when a function some policy needs has
+  /// no live implementer left.
+  std::vector<net::NodeId> patch_failed_node(net::NodeId failed);
+
+  /// Locally patch assignments after a single link failure: candidate sets
+  /// are re-ranked on link-excluded distances, but only for devices where
+  /// the failed link changed the distance to at least one current
+  /// candidate (removing a link only lengthens paths, so a non-candidate
+  /// can never overtake an unaffected list). Returns the affected devices
+  /// in ascending id order. The patch is transient: the next recompute()
+  /// re-ranks on the intact topology.
+  std::vector<net::NodeId> patch_failed_link(net::LinkId failed);
+
   /// Solver-side facts about one compile(), for callers that report them
   /// (ReplanOutcome, benches). All zero when the strategy needed no LP.
   struct SolveInfo {
@@ -85,6 +108,7 @@ public:
   RatioResult solve_load_balancing(const workload::TrafficMatrix& traffic) const;
 
   const ControllerParams& params() const noexcept { return params_; }
+  const Deployment& deployment() const noexcept { return deployment_; }
 
 private:
   void compute_assignments();

@@ -221,19 +221,28 @@ public:
 private:
   void build_policy(const policy::Policy& p, const FormulationOptions& opt) {
     const double total = in_.traffic.total(p.id) * scale_;
-    if (p.actions.empty() || total <= 0) return;
+    if (p.actions.empty() || (total <= 0 && !opt.stable_shape)) return;
     const auto& chain = p.actions;
     const std::size_t L = chain.size();
 
     // Source groups: proxies with identical first-hop candidate sets are
-    // interchangeable (exact; see DESIGN.md §6).
+    // interchangeable (exact; see DESIGN.md §6). Under stable_shape every
+    // source is enumerated (zero-volume groups carry a zero RHS) so the
+    // model's shape is independent of the matrix's sparsity.
     struct Group {
       std::vector<net::NodeId> proxies;
       std::vector<net::NodeId> cands;
       double volume = 0;
     };
+    std::vector<int> sources;
+    if (opt.stable_shape) {
+      sources.resize(in_.network.proxies.size());
+      for (std::size_t i = 0; i < sources.size(); ++i) sources[i] = static_cast<int>(i);
+    } else {
+      sources = in_.traffic.active_sources(p.id);
+    }
     std::map<std::vector<std::uint32_t>, Group> groups;
-    for (const int s : in_.traffic.active_sources(p.id)) {
+    for (const int s : sources) {
       const net::NodeId proxy = in_.network.proxies[static_cast<std::size_t>(s)];
       const auto& cands = candidates_of(in_.configs, proxy, chain[0]);
       SDM_CHECK_MSG(!cands.empty(), "no candidate middlebox for a policy's first function");

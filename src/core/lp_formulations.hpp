@@ -71,6 +71,14 @@ struct FormulationOptions {
   /// Include the paper's redundant aggregate-conservation equalities
   /// (they never change the optimum; a test asserts that).
   bool include_redundant_constraints = false;
+  /// Eq. (2): build every policy and every source group into the model even
+  /// when the measured matrix has no traffic for them (their rows get a zero
+  /// RHS, their variables are pinned to 0 and never reach the ratio table).
+  /// The model's SHAPE then depends only on the configs and policies — not
+  /// on the matrix's sparsity — which is what lets a re-solve on the next
+  /// epoch's measurement warm-start from the previous optimal basis.
+  /// Eq. (1) ignores this (its per-(s,d) enumeration would explode).
+  bool stable_shape = true;
   lp::SimplexOptions simplex;
 };
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <unordered_map>
 #include <vector>
 
@@ -118,6 +119,26 @@ public:
       fn(net::NodeId{static_cast<std::uint32_t>(key >> 40)},
          policy::FunctionId{static_cast<std::uint8_t>((key >> 32) & 0xff)},
          policy::PolicyId{static_cast<std::uint32_t>(key & 0xffffffff)}, shares);
+    }
+  }
+
+  /// Remove every share for which keep(from, e, to) is false, aggregate and
+  /// detailed alike; entries left with no shares are erased so consumers
+  /// fall back to hot-potato there. Used by failure patching to drop shares
+  /// that point at a dead or evicted candidate without re-solving the LP.
+  template <typename Keep>
+  void filter_shares(Keep&& keep) {
+    for (auto it = table_.begin(); it != table_.end();) {
+      const net::NodeId from{static_cast<std::uint32_t>(it->first >> 40)};
+      const policy::FunctionId e{static_cast<std::uint8_t>((it->first >> 32) & 0xff)};
+      std::erase_if(it->second, [&](const Share& s) { return !keep(from, e, s.to); });
+      it = it->second.empty() ? table_.erase(it) : std::next(it);
+    }
+    for (auto it = detailed_.begin(); it != detailed_.end();) {
+      const net::NodeId from{static_cast<std::uint32_t>(it->first.from)};
+      const policy::FunctionId e{static_cast<std::uint8_t>(it->first.e)};
+      std::erase_if(it->second, [&](const Share& s) { return !keep(from, e, s.to); });
+      it = it->second.empty() ? detailed_.erase(it) : std::next(it);
     }
   }
 

@@ -144,11 +144,13 @@ std::string ScenarioSpec::validate() const {
   if (!(trace_sample >= 0 && trace_sample <= 1)) return "trace_sample must be in [0, 1]";
   if (!(wp_cache_hit_rate >= 0 && wp_cache_hit_rate <= 1))
     return "wp_cache_hit_rate must be in [0, 1]";
-  if (!(reopt_period >= 0) || !std::isfinite(reopt_period))
+  if (!(reopt.epoch_period >= 0) || !std::isfinite(reopt.epoch_period))
     return "reopt_period must be a non-negative finite period";
-  if (!(reopt_threshold >= 0 && reopt_threshold <= 1))
+  if (!(reopt.drift_threshold >= 0 && reopt.drift_threshold <= 1))
     return "reopt_threshold must be in [0, 1]";
-  if (reopt_cooldown < 1) return "reopt_cooldown must be >= 1";
+  if (reopt.cooldown_epochs < 1) return "reopt_cooldown must be >= 1";
+  if (!(reopt.noise_multiplier >= 0) || !std::isfinite(reopt.noise_multiplier))
+    return "reopt_noise_mult must be non-negative and finite";
   if (label_switching && !flow_cache) return "label_switching requires flow_cache";
   if (verify && trace_sample <= 0) return "verify requires trace_sample > 0";
   return {};
@@ -179,10 +181,14 @@ std::string ScenarioSpec::to_text() const {
   out << "trace_sample = " << fmt_double(trace_sample) << '\n';
   out << "verify = " << (verify ? "true" : "false") << '\n';
   out << "spans = " << (spans ? "true" : "false") << '\n';
-  out << "reopt_period = " << fmt_double(reopt_period) << '\n';
-  out << "reopt_threshold = " << fmt_double(reopt_threshold) << '\n';
-  out << "reopt_cooldown = " << reopt_cooldown << '\n';
-  out << "reopt_min_reports = " << reopt_min_reports << '\n';
+  out << "reopt_period = " << fmt_double(reopt.epoch_period) << '\n';
+  out << "reopt_threshold = " << fmt_double(reopt.drift_threshold) << '\n';
+  out << "reopt_cooldown = " << reopt.cooldown_epochs << '\n';
+  out << "reopt_min_reports = " << reopt.min_reports << '\n';
+  out << "reopt_request_reports = " << (reopt.request_reports ? "true" : "false") << '\n';
+  out << "reopt_adaptive = " << (reopt.adaptive ? "true" : "false") << '\n';
+  out << "reopt_noise_mult = " << fmt_double(reopt.noise_multiplier) << '\n';
+  out << "reopt_predictive = " << (reopt.predictive ? "true" : "false") << '\n';
   return out.str();
 }
 
@@ -269,13 +275,21 @@ SpecParseResult parse_text(const std::string& text, const ScenarioSpec& defaults
     } else if (key == "spans") {
       ok = parse_bool(value, s.spans);
     } else if (key == "reopt_period") {
-      ok = parse_double(value, s.reopt_period);
+      ok = parse_double(value, s.reopt.epoch_period);
     } else if (key == "reopt_threshold") {
-      ok = parse_double(value, s.reopt_threshold);
+      ok = parse_double(value, s.reopt.drift_threshold);
     } else if (key == "reopt_cooldown") {
-      ok = parse_int(value, s.reopt_cooldown);
+      ok = parse_int(value, s.reopt.cooldown_epochs);
     } else if (key == "reopt_min_reports") {
-      ok = parse_u64(value, s.reopt_min_reports);
+      ok = parse_u64(value, s.reopt.min_reports);
+    } else if (key == "reopt_request_reports") {
+      ok = parse_bool(value, s.reopt.request_reports);
+    } else if (key == "reopt_adaptive") {
+      ok = parse_bool(value, s.reopt.adaptive);
+    } else if (key == "reopt_noise_mult") {
+      ok = parse_double(value, s.reopt.noise_multiplier);
+    } else if (key == "reopt_predictive") {
+      ok = parse_bool(value, s.reopt.predictive);
     } else {
       result.errors.push_back("line " + std::to_string(lineno) + ": unknown key `" + key + "`");
       continue;

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "control/reoptimize_options.hpp"
 #include "core/plan.hpp"
 #include "lp/simplex.hpp"
 #include "util/hash.hpp"
@@ -72,7 +73,10 @@ struct ScenarioSpec {
   /// pivot sequences (and so pivot-derived metrics) differ per engine.
   lp::SimplexEngine lp_engine = lp::SimplexEngine::kSparse;
   /// Warm-start re-solves from the previous compile's basis (sparse only).
-  bool lp_warm_start = false;
+  /// On by default since the incremental-reoptimization rework: the solver
+  /// cold-falls-back whenever the cached basis doesn't fit, so warm starts
+  /// change pivot counts, never the optimum.
+  bool lp_warm_start = true;
 
   // --- datapath options (core::AgentOptions) ---
   bool flow_cache = true;        // §III.D flow cache in front of the classifier
@@ -101,11 +105,12 @@ struct ScenarioSpec {
   /// conv_* series are byte-identical either way).
   bool spans = true;
 
-  // --- drift-triggered re-optimisation (0 period = loop off) ---
-  double reopt_period = 0;
-  double reopt_threshold = 0.1;
-  int reopt_cooldown = 2;
-  std::uint64_t reopt_min_reports = 1;
+  // --- drift-triggered re-optimisation (epoch_period 0 = loop off) ---
+  /// Shared knob struct (control::ReoptimizeOptions): the same fields the
+  /// ReoptimizePolicy consumes and scenario_cli's --reopt-* flags set, so
+  /// spec files and CLI stay mechanically in sync. Serialized as the
+  /// reopt_* keys.
+  control::ReoptimizeOptions reopt{.epoch_period = 0};
 
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 

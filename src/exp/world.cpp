@@ -158,13 +158,8 @@ void World::prepare_sim() {
   // Drift-triggered re-optimisation rides on the recorder's load series; its
   // counters register before the recorder's first snapshot so every export
   // series spans the full run.
-  if (spec.reopt_period > 0) {
-    control::ReoptimizeParams rp;
-    rp.epoch_period = spec.reopt_period;
-    rp.drift_threshold = spec.reopt_threshold;
-    rp.cooldown_epochs = spec.reopt_cooldown;
-    rp.min_reports = spec.reopt_min_reports;
-    reopt.emplace(*cp.controller, cp, *recorder, rp);
+  if (spec.reopt.epoch_period > 0) {
+    reopt.emplace(*cp.controller, cp, *recorder, spec.reopt);
     if (spans) reopt->set_spans(spans.get());
     reopt->register_metrics(registry);
   }

@@ -13,6 +13,12 @@
 // updates or when a pivot element looks unstable. Everything — pricing
 // sections, tie-breaks, pivot order — is index-deterministic: the same
 // model and options give the same pivot sequence, bit for bit.
+//
+// Warm starts (SimplexOptions::warm_start) reuse a previous optimal basis
+// of a same-shaped model. A changed RHS usually leaves a few basics outside
+// their bounds; a dedicated repair phase (bound-shifted phase 1, see
+// repair_warm_basis) drives them back before the regular phase 2 runs, and
+// falls back to a cold start when the basis is genuinely unusable.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -195,7 +201,10 @@ public:
 
   Solution run() {
     Solution sol;
-    const bool warm = try_warm_start();
+    bool warm = try_warm_start();
+    if (warm && !repair_.empty() && !repair_warm_basis(sol.pivots)) {
+      warm = false;  // repair stalled: rebuild from scratch, honestly cold
+    }
     sol.warm_started = warm;
     if (!warm) init_cold();
 
@@ -410,12 +419,76 @@ private:
     etas_.clear();
     if (!refactorize()) return false;
     compute_xb();
+    // A changed RHS moves xB = B^-1(b - N x_N): some basics land outside
+    // their bounds. That is the normal warm-start condition, not a reason
+    // to reject — collect the violators for the repair phase.
+    repair_.clear();
     for (std::size_t pos = 0; pos < m_; ++pos) {
       const std::size_t j = static_cast<std::size_t>(basis_[pos]);
-      if (xb_[pos] < lo_[j] - kFeasTol || xb_[pos] > hi_[j] + kFeasTol) return false;
-      xb_[pos] = std::clamp(xb_[pos], lo_[j], hi_[j]);
+      if (xb_[pos] < lo_[j] - kFeasTol || xb_[pos] > hi_[j] + kFeasTol) {
+        repair_.push_back(j);
+      } else {
+        xb_[pos] = std::clamp(xb_[pos], lo_[j], hi_[j]);
+      }
     }
     return true;
+  }
+
+  /// Feasibility repair for a warm basis whose xB drifted out of bounds.
+  ///
+  /// Each below-lower violator temporarily gets bounds (-inf, lo] and cost
+  /// -1; each above-upper violator gets [hi, +inf) and cost +1 (everything
+  /// else costs 0). The basis is feasible for these working bounds, so the
+  /// ordinary bounded primal simplex applies; minimizing drives every
+  /// violator toward its true bound and the ratio test parks it there. The
+  /// objective is bounded below by -(sum of violated bounds), attained
+  /// exactly when every violator reaches its bound, so at optimality either
+  /// the repair succeeded or the basis is genuinely unusable and we return
+  /// false to fall back to a cold start. Restoring bounds afterwards keeps
+  /// every value identical (a violator parked nonbasic at a working bound
+  /// sits on the matching true bound; only its status label flips).
+  bool repair_warm_basis(std::size_t& pivots) {
+    cost_.assign(ntot_, 0.0);
+    std::vector<std::pair<double, double>> saved(repair_.size());
+    std::vector<bool> below(repair_.size());
+    for (std::size_t k = 0; k < repair_.size(); ++k) {
+      const std::size_t j = repair_[k];
+      saved[k] = {lo_[j], hi_[j]};
+      below[k] = xb_[basic_pos_[j]] < lo_[j];
+      if (below[k]) {
+        hi_[j] = lo_[j];
+        lo_[j] = -kInf;
+        cost_[j] = -1.0;
+      } else {
+        lo_[j] = hi_[j];
+        hi_[j] = kInf;
+        cost_[j] = 1.0;
+      }
+    }
+    const std::size_t limit =
+        opt_.max_iterations != 0 ? opt_.max_iterations : 50 * (m_ + ntot_) + 10000;
+    const SolveStatus st = iterate(limit, pivots, /*phase1=*/true);
+
+    bool ok = st == SolveStatus::kOptimal;
+    for (std::size_t k = 0; k < repair_.size(); ++k) {
+      const std::size_t j = repair_[k];
+      lo_[j] = saved[k].first;
+      hi_[j] = saved[k].second;
+      if (vstat_[j] == VarStatus::kBasic) {
+        const std::int32_t pos = basic_pos_[j];
+        if (xb_[pos] < lo_[j] - kFeasTol || xb_[pos] > hi_[j] + kFeasTol) {
+          ok = false;
+        } else {
+          xb_[pos] = std::clamp(xb_[pos], lo_[j], hi_[j]);
+        }
+      } else if (below[k]) {
+        // Left the basis parked at the working upper bound == true lower.
+        vstat_[j] = VarStatus::kAtLower;
+      } else {
+        vstat_[j] = VarStatus::kAtUpper;
+      }
+    }
+    return ok;
   }
 
   bool refactorize() {
@@ -725,6 +798,7 @@ private:
   std::vector<std::int32_t> basis_;      // position -> variable
   std::vector<std::int32_t> basic_pos_;  // variable -> position (-1 nonbasic)
   std::vector<double> xb_;
+  std::vector<std::size_t> repair_;  // warm-start basics outside their bounds
   LuFactors lu_;
   std::vector<Eta> etas_;
   std::size_t price_cursor_ = 0;

@@ -32,12 +32,6 @@ TrafficMatrix TrafficMatrix::measure(const policy::PolicyList& policies,
   return tm;
 }
 
-TrafficMatrix TrafficMatrix::measure_sampled(const policy::PolicyList& policies,
-                                             std::span<const FlowRecord> flows, double rate,
-                                             std::uint64_t seed) {
-  return measure(policies, flows, MeasureOptions{rate, seed});
-}
-
 std::vector<int> TrafficMatrix::active_sources(policy::PolicyId p) const {
   std::vector<int> out;
   for (const auto& [k, v] : from_) {

@@ -42,12 +42,6 @@ public:
   /// from my subnet s, toward subnet d, v packets").
   void add_sample(policy::PolicyId p, int src_subnet, int dst_subnet, double volume);
 
-  /// Deprecated shim for measure(policies, flows, {rate, seed}).
-  [[deprecated("pass MeasureOptions{.sample_rate = rate, .seed = seed} to measure()")]]
-  static TrafficMatrix measure_sampled(const policy::PolicyList& policies,
-                                       std::span<const FlowRecord> flows, double rate,
-                                       std::uint64_t seed = 0);
-
   double total(policy::PolicyId p) const { return get(total_, key1(p)); }
   double from(policy::PolicyId p, int src_subnet) const { return get(from_, key2(p, src_subnet)); }
   double to(policy::PolicyId p, int dst_subnet) const { return get(to_, key2(p, dst_subnet)); }

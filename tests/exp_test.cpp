@@ -40,10 +40,14 @@ ScenarioSpec customized_spec() {
   s.faults = FaultScript::kNone;
   s.epoch = 0.125;
   s.trace_sample = 0.5;
-  s.reopt_period = 0.75;
-  s.reopt_threshold = 0.0625;
-  s.reopt_cooldown = 3;
-  s.reopt_min_reports = 2;
+  s.reopt.epoch_period = 0.75;
+  s.reopt.drift_threshold = 0.0625;
+  s.reopt.cooldown_epochs = 3;
+  s.reopt.min_reports = 2;
+  s.reopt.request_reports = false;
+  s.reopt.adaptive = true;
+  s.reopt.noise_multiplier = 2.5;
+  s.reopt.predictive = true;
   return s;
 }
 

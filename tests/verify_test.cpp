@@ -432,11 +432,25 @@ TEST(OracleEndToEnd, GeneratedChaosRunsClean) {
 
 TEST(OracleEndToEnd, ClosedLoopReoptimisationRunsClean) {
   exp::ScenarioSpec spec = verified_spec();
-  spec.reopt_period = 2.0;
-  spec.reopt_threshold = 0.1;
+  spec.reopt.epoch_period = 2.0;
+  spec.reopt.drift_threshold = 0.1;
   const auto snap = exp::run_scenario(spec);
   EXPECT_EQ(snapshot_sum(snap, "verify_violations"), 0.0);
   EXPECT_EQ(snapshot_sum(snap, "verify_coverage_incomplete"), 0.0);
+}
+
+TEST(OracleEndToEnd, PatchedFailoverRunsClean) {
+  // The scripted chaos arm crashes a single middlebox, so the health
+  // monitor names it and the kFailure replan takes the scoped patch path
+  // (plan patched in place, only affected slices repushed) instead of a
+  // full recompute. The invariant oracle must not notice the difference —
+  // and the patched path must actually have run.
+  exp::ScenarioSpec spec = verified_spec();
+  spec.faults = exp::FaultScript::kChaos;
+  const auto snap = exp::run_scenario(spec);
+  EXPECT_EQ(snapshot_sum(snap, "verify_violations"), 0.0);
+  EXPECT_EQ(snapshot_sum(snap, "verify_coverage_incomplete"), 0.0);
+  EXPECT_GT(snapshot_sum(snap, "ctrl_replans_patched"), 0.0);
 }
 
 TEST(OracleEndToEnd, VerifiedRunsAreDeterministic) {

@@ -133,7 +133,8 @@ TEST(SampledMeasurement, DeprecatedWrapperMatchesMergedApi) {
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const auto legacy =
-      workload::TrafficMatrix::measure_sampled(s.gen.policies, flows.flows, 0.2, 7);
+      workload::TrafficMatrix::measure(s.gen.policies, flows.flows,
+                                       workload::MeasureOptions{.sample_rate = 0.2, .seed = 7});
 #pragma GCC diagnostic pop
   EXPECT_DOUBLE_EQ(legacy.grand_total(), merged.grand_total());
   for (const auto& p : s.gen.policies.all()) {
