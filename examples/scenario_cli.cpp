@@ -29,6 +29,8 @@
 //                [--chaos-seed N]       # seed for `generated` (0 = master seed)
 //                [--epoch SECS]         # time-series sampling period (0.5)
 //                [--trace-sample RATE]  # flow sampling rate in [0,1] (1.0)
+//                [--shards N]           # partitioned parallel sim with N
+//                                       # region threads (1 = serial)
 //                [--reopt-period SECS]  # drift-triggered re-optimisation
 //                                       # loop epoch (0 = off); implies --sim
 //                [--reopt-threshold X]  # total-variation drift trigger (0.1)
@@ -100,7 +102,7 @@ void usage(const char* argv0, std::FILE* out) {
                "          [--sim] [--metrics-out FILE] [--trace-out FILE]\n"
                "          [--spans-out FILE]\n"
                "          [--verify] [--faults none|chaos|generated] [--chaos-seed N]\n"
-               "          [--epoch SECS] [--trace-sample RATE]\n"
+               "          [--epoch SECS] [--trace-sample RATE] [--shards N]\n"
                "          [--reopt-period SECS] [--reopt-threshold X]\n"
                "          [--reopt-cooldown N] [--reopt-min-reports N]\n"
                "          [--reopt-adaptive] [--reopt-noise-mult X] [--reopt-predictive]\n"
@@ -235,6 +237,10 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.spec.trace_sample = std::strtod(v, nullptr);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.spec.shards = std::strtoull(v, nullptr, 10);
     } else if (arg == "--reopt-period") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -333,10 +339,10 @@ int run_sim(exp::World& world, const CliOptions& opt) {
                 opt.metrics_out.c_str());
   }
   if (!opt.trace_out.empty()) {
-    obs::write_file(opt.trace_out, obs::trace_to_json(*world.tracer, &world.network.topo));
+    obs::write_file(opt.trace_out, world.trace_json());
     std::printf("trace (%llu hop records, rate %.3f) written to %s\n",
-                static_cast<unsigned long long>(world.tracer->sink().recorded()),
-                world.tracer->sampler().rate(), opt.trace_out.c_str());
+                static_cast<unsigned long long>(world.trace_recorded()), world.spec.trace_sample,
+                opt.trace_out.c_str());
   }
   if (!opt.spans_out.empty() && world.spans != nullptr) {
     obs::write_file(opt.spans_out, obs::render_spans_for_path(*world.spans, opt.spans_out));

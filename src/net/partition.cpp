@@ -1,0 +1,111 @@
+#include "net/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace sdmbox::net {
+
+namespace {
+
+/// BFS visit order from node 0, restarting at the lowest-id unvisited node
+/// so disconnected components (and isolated hosts) still land somewhere
+/// deterministic.
+std::vector<std::uint32_t> bfs_order(const Topology& topo) {
+  const std::size_t n = topo.node_count();
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  std::vector<bool> seen(n, false);
+  std::vector<std::uint32_t> queue;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    seen[start] = true;
+    queue.clear();
+    queue.push_back(static_cast<std::uint32_t>(start));
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::uint32_t u = queue[head];
+      order.push_back(u);
+      for (const Adjacency& adj : topo.neighbors(NodeId{u})) {
+        if (seen[adj.neighbor.v]) continue;
+        seen[adj.neighbor.v] = true;
+        queue.push_back(static_cast<std::uint32_t>(adj.neighbor.v));
+      }
+    }
+  }
+  return order;
+}
+
+void fill_cross_links(const Topology& topo, Partition& p) {
+  p.cross_links.clear();
+  p.min_cross_delay_s = std::numeric_limits<double>::infinity();
+  for (std::size_t l = 0; l < topo.link_count(); ++l) {
+    const Link& link = topo.link(LinkId{l});
+    if (p.node_region[link.a.v] == p.node_region[link.b.v]) continue;
+    p.cross_links.push_back(LinkId{l});
+    p.min_cross_delay_s = std::min(p.min_cross_delay_s, link.params.delay_us * 1e-6);
+  }
+}
+
+}  // namespace
+
+Partition partition_regions(const Topology& topo, std::size_t regions) {
+  SDM_CHECK_MSG(regions >= 1, "at least one region required");
+  const std::size_t n = topo.node_count();
+  SDM_CHECK_MSG(n > 0, "cannot partition an empty topology");
+  regions = std::min(regions, n);
+
+  Partition p;
+  p.region_count = regions;
+  p.node_region.assign(n, 0);
+  p.region_sizes.assign(regions, 0);
+
+  // Contiguous chunks of the BFS order: region r gets order[r*chunk ..),
+  // sized so the first (n % regions) regions absorb the remainder.
+  const std::vector<std::uint32_t> order = bfs_order(topo);
+  const std::size_t base = n / regions;
+  const std::size_t extra = n % regions;
+  std::size_t pos = 0;
+  for (std::size_t r = 0; r < regions; ++r) {
+    const std::size_t take = base + (r < extra ? 1 : 0);
+    for (std::size_t i = 0; i < take; ++i) p.node_region[order[pos++]] = static_cast<std::uint32_t>(r);
+    p.region_sizes[r] = take;
+  }
+  SDM_CHECK(pos == n);
+
+  if (regions > 1) {
+    // One greedy refinement sweep: move a boundary node to the region most
+    // of its neighbors live in when that strictly reduces the cut, the
+    // source keeps at least one node, and the destination stays within the
+    // imbalance budget. Node-id order + lowest-region tie-break keeps the
+    // result a pure function of (topology, regions).
+    const std::size_t cap = base + (extra != 0 ? 1 : 0) + std::max<std::size_t>(1, n / (10 * regions));
+    std::vector<std::size_t> degree(regions, 0);
+    for (std::size_t u = 0; u < n; ++u) {
+      const std::uint32_t home = p.node_region[u];
+      if (p.region_sizes[home] <= 1) continue;
+      std::fill(degree.begin(), degree.end(), 0);
+      bool boundary = false;
+      for (const Adjacency& adj : topo.neighbors(NodeId{u})) {
+        const std::uint32_t r = p.node_region[adj.neighbor.v];
+        ++degree[r];
+        boundary = boundary || r != home;
+      }
+      if (!boundary) continue;
+      std::uint32_t best = home;
+      for (std::uint32_t r = 0; r < regions; ++r) {
+        if (r != home && degree[r] > degree[best]) best = r;
+      }
+      if (best == home || degree[best] <= degree[home]) continue;
+      if (p.region_sizes[best] + 1 > cap) continue;
+      p.node_region[u] = best;
+      --p.region_sizes[home];
+      ++p.region_sizes[best];
+    }
+  }
+
+  fill_cross_links(topo, p);
+  return p;
+}
+
+}  // namespace sdmbox::net

@@ -1,0 +1,45 @@
+// Region partitioning for the parallel simulation engine (psim).
+//
+// The conservative windowed engine needs the topology cut into contiguous
+// regions: each region gets its own event calendar and worker thread, and
+// the execution window is bounded by the minimum propagation delay across
+// any inter-region link (the classic conservative lookahead). The
+// partitioner here is deliberately METIS-lite: a BFS ordering pass gives
+// contiguous chunks, and one deterministic greedy refinement sweep trims the
+// cut. Quality matters much less than determinism — the partition is part of
+// the reproducibility contract (same topology + same region count => same
+// partition => byte-identical runs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace sdmbox::net {
+
+/// A region assignment over a topology. node_region maps every node to a
+/// region in [0, region_count); cross_links lists every link whose endpoints
+/// land in different regions; min_cross_delay_s is the conservative
+/// lookahead (infinity when there are no cross links, e.g. region_count 1).
+struct Partition {
+  std::size_t region_count = 1;
+  std::vector<std::uint32_t> node_region;
+  std::vector<LinkId> cross_links;
+  double min_cross_delay_s = 0;
+  std::vector<std::size_t> region_sizes;
+
+  std::size_t cut_size() const noexcept { return cross_links.size(); }
+};
+
+/// Partition `topo` into `regions` contiguous regions (clamped to the node
+/// count). BFS from the lowest node id (restarting at the lowest unvisited
+/// node for disconnected components) yields an ordering in which graph
+/// neighbors sit close together; slicing that order into near-equal chunks
+/// gives contiguous regions. A single greedy sweep then moves boundary nodes
+/// to their majority-neighbor region when that strictly shrinks the cut and
+/// keeps region sizes within a small imbalance budget. Fully deterministic:
+/// no RNG, ties broken by lowest id.
+Partition partition_regions(const Topology& topo, std::size_t regions);
+
+}  // namespace sdmbox::net

@@ -1,0 +1,95 @@
+#include "psim/engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sdmbox::psim {
+
+Engine::Engine(sim::SimNetwork& net) : net_(net) {
+  SDM_CHECK_MSG(net.partitioned(), "Engine requires an enable_partition()ed network");
+  const std::size_t regions = net.region_count();
+  // With cross-region links the window must be able to contain at least one
+  // event strictly; a zero lookahead would make windows degenerate.
+  threads_.reserve(regions);
+  for (std::size_t r = 0; r < regions; ++r) {
+    threads_.emplace_back([this, r] { worker(r); });
+  }
+}
+
+Engine::~Engine() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Engine::worker(std::size_t region) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    sim::SimTime window_end;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+      window_end = window_end_;
+    }
+    net_.run_region_window(region, window_end);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--running_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void Engine::run_window(sim::SimTime window_end) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    window_end_ = window_end;
+    running_ = threads_.size();
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return running_ == 0; });
+  }
+}
+
+void Engine::run(sim::SimTime until) {
+  const double lookahead = net_.lookahead_s();
+  for (;;) {
+    sim::SimTime t_r = sim::Simulator::kForever;
+    for (std::size_t r = 0; r < net_.region_count(); ++r) {
+      t_r = std::min(t_r, net_.next_region_event_time(r));
+    }
+    const sim::SimTime t_g = net_.next_global_event_time();
+    const sim::SimTime t_next = std::min(t_r, t_g);
+    // kForever means both calendars drained — also the `until == kForever`
+    // default, where `t_next > until` alone would never fire.
+    if (t_next > until || t_next == sim::Simulator::kForever) break;
+    if (t_g < t_r) {
+      // Coordinator burst: faults, epoch recorders, reoptimization — all
+      // packet events <= t_g have completed (windows never end past t_g),
+      // and whatever the callbacks inject lands at >= t_g in region time.
+      net_.run_global_until(t_g);
+      ++stats_.global_batches;
+      continue;
+    }
+    const sim::SimTime window_end = std::min({t_r + lookahead, t_g, until});
+    run_window(window_end);
+    stats_.cross_messages += net_.drain_mailboxes();
+    ++stats_.windows;
+  }
+}
+
+void Engine::reset() {
+  net_.reset_run();
+  stats_ = EngineStats{};
+}
+
+}  // namespace sdmbox::psim

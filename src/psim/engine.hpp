@@ -1,0 +1,90 @@
+// Conservative windowed parallel simulation engine.
+//
+// Engine drives a region-partitioned SimNetwork (see
+// SimNetwork::enable_partition) with classic null-message-free windowed
+// execution: all regions run concurrently inside a window whose end is
+// bounded by the conservative lookahead W — the minimum propagation delay
+// of any inter-region link — so no region can receive a remote packet dated
+// inside the window it is executing. The loop:
+//
+//   t_r = earliest pending region event, t_g = earliest coordinator event
+//   if t_g <  t_r : run coordinator callbacks at t_g (faults, epochs,
+//                   reoptimization — everything scheduled outside packet
+//                   context), serially
+//   if t_r <= t_g : run every region's calendar up to
+//                   E = min(t_r + W, t_g, until), in parallel; then drain
+//                   the cross-region mailboxes at the barrier
+//
+// Safety: a packet transmitted while handling an event at time s >= t_r
+// arrives at s + tx_time + delay > s + W >= t_r + W >= E, strictly after
+// the window — so mailbox drains never schedule into a region's past, and
+// coordinator events at t_g observe every packet event <= t_g completed.
+//
+// Determinism: windows are a pure function of calendar state, the drain
+// order is (arrival, source-major mailbox, push order), and each region's
+// calendar keeps the serial (time, seq) tiebreak — so for a fixed
+// (seed, partition) every export is byte-identical across runs, regardless
+// of thread scheduling. Threading is phase-exclusive (workers only run
+// inside windows, the coordinator only between them, with the barrier's
+// mutex providing the happens-before edges), which is also the TSan story:
+// no field the phases share needs to be atomic.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace sdmbox::psim {
+
+struct EngineStats {
+  std::uint64_t windows = 0;         // parallel windows executed
+  std::uint64_t global_batches = 0;  // coordinator bursts between windows
+  std::uint64_t cross_messages = 0;  // packets moved through mailboxes
+};
+
+class Engine {
+public:
+  /// The network must already be partitioned (region_count > 1) and must
+  /// outlive the engine. Spawns one persistent worker thread per region.
+  explicit Engine(sim::SimNetwork& net);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Run until every calendar empties or time exceeds `until` (inclusive,
+  /// matching Simulator::run).
+  void run(sim::SimTime until = sim::Simulator::kForever);
+
+  /// Restore the just-constructed network state (clocks, mailboxes,
+  /// counters, fault flags) for a warm rerun. Worker threads stay up.
+  void reset();
+
+  const EngineStats& stats() const noexcept { return stats_; }
+  std::uint64_t mailbox_overflows() const noexcept { return net_.mailbox_overflows(); }
+
+private:
+  void worker(std::size_t region);
+  void run_window(sim::SimTime window_end);
+
+  sim::SimNetwork& net_;
+  EngineStats stats_;
+
+  // Generation-counted barrier. The coordinator bumps epoch_ to release the
+  // workers into a window and sleeps until running_ hits zero; everything
+  // below mu_ is only touched under it (or between phases).
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  std::size_t running_ = 0;
+  sim::SimTime window_end_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sdmbox::psim

@@ -1,0 +1,360 @@
+// Partitioned parallel simulation: the region partitioner, the conservative
+// windowed engine, and the determinism contract that makes it trustworthy —
+// a fixed (seed, shard count) produces byte-identical metrics / trace /
+// span / verify exports run after run, shards = 1 is exactly the legacy
+// serial network, and the oracle stays clean over the merged stream while
+// generated chaos runs at shards = 4. Plus the core-budget guard the sweep
+// runner applies before spawning partitioned worlds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
+#include "exp/world.hpp"
+#include "net/partition.hpp"
+#include "net/topologies.hpp"
+#include "obs/export.hpp"
+#include "psim/engine.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdmbox {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Region partitioner
+// ---------------------------------------------------------------------------
+
+TEST(Partition, CoversEveryNodeExactlyOnce) {
+  const net::GeneratedNetwork g = net::make_campus_topology();
+  const net::Partition p = net::partition_regions(g.topo, 4);
+  ASSERT_EQ(p.region_count, 4u);
+  ASSERT_EQ(p.node_region.size(), g.topo.node_count());
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < p.region_count; ++r) {
+    EXPECT_GT(p.region_sizes[r], 0u) << "region " << r << " is empty";
+    total += p.region_sizes[r];
+  }
+  EXPECT_EQ(total, g.topo.node_count());
+  std::vector<std::size_t> recount(p.region_count, 0);
+  for (const std::uint32_t r : p.node_region) {
+    ASSERT_LT(r, p.region_count);
+    ++recount[r];
+  }
+  for (std::size_t r = 0; r < p.region_count; ++r) EXPECT_EQ(recount[r], p.region_sizes[r]);
+}
+
+TEST(Partition, ClampsRegionCountToNodeCount) {
+  const net::GeneratedNetwork g = net::make_campus_topology();
+  const net::Partition p = net::partition_regions(g.topo, g.topo.node_count() + 100);
+  EXPECT_EQ(p.region_count, g.topo.node_count());
+  for (const std::size_t s : p.region_sizes) EXPECT_EQ(s, 1u);
+}
+
+TEST(Partition, SingleRegionHasNoCutAndInfiniteLookahead) {
+  const net::GeneratedNetwork g = net::make_campus_topology();
+  const net::Partition p = net::partition_regions(g.topo, 1);
+  EXPECT_EQ(p.region_count, 1u);
+  EXPECT_TRUE(p.cross_links.empty());
+  EXPECT_EQ(p.cut_size(), 0u);
+  EXPECT_EQ(p.min_cross_delay_s, std::numeric_limits<double>::infinity());
+}
+
+TEST(Partition, CrossDelayIsTheMinimumOverCutLinks) {
+  const net::GeneratedNetwork g = net::make_campus_topology();
+  const net::Partition p = net::partition_regions(g.topo, 3);
+  ASSERT_FALSE(p.cross_links.empty());
+  double expect = std::numeric_limits<double>::infinity();
+  for (const net::LinkId l : p.cross_links) {
+    const net::Link& link = g.topo.link(l);
+    EXPECT_NE(p.node_region[link.a.v], p.node_region[link.b.v]);
+    expect = std::min(expect, link.params.delay_us * 1e-6);
+  }
+  EXPECT_DOUBLE_EQ(p.min_cross_delay_s, expect);
+  EXPECT_GT(p.min_cross_delay_s, 0.0);
+}
+
+TEST(Partition, IsAPureFunctionOfTopologyAndRegionCount) {
+  const net::GeneratedNetwork g = net::make_campus_topology();
+  const net::Partition a = net::partition_regions(g.topo, 4);
+  const net::Partition b = net::partition_regions(g.topo, 4);
+  EXPECT_EQ(a.node_region, b.node_region);
+  EXPECT_EQ(a.cross_links.size(), b.cross_links.size());
+  EXPECT_DOUBLE_EQ(a.min_cross_delay_s, b.min_cross_delay_s);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator::next_event_time
+// ---------------------------------------------------------------------------
+
+struct NullSink final : sim::PacketSink {
+  void on_packet_event(sim::PacketEvent) override {}
+};
+
+TEST(NextEventTime, ForeverWhenEmptyElseEarliestAcrossHeapAndLanes) {
+  NullSink sink;
+  sim::Simulator s;
+  s.set_packet_sink(&sink);
+  EXPECT_EQ(s.next_event_time(), sim::Simulator::kForever);
+  s.schedule_at(3.0, [] {});
+  EXPECT_DOUBLE_EQ(s.next_event_time(), 3.0);
+  s.schedule_packet_at(1.5, packet::Packet{}, net::NodeId{1}, net::NodeId{}, net::NodeId{}, 0,
+                       true);
+  EXPECT_DOUBLE_EQ(s.next_event_time(), 1.5);  // lane front beats the heap
+  s.run(2.0);
+  EXPECT_DOUBLE_EQ(s.next_event_time(), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Core-budget guard
+// ---------------------------------------------------------------------------
+
+TEST(EffectiveJobs, SerialWorldsKeepHistoricalSemantics) {
+  EXPECT_EQ(exp::effective_jobs(0, 1), 0u);  // 0 still means "hardware" downstream
+  EXPECT_EQ(exp::effective_jobs(5, 1), 5u);
+  EXPECT_EQ(exp::effective_jobs(1, 0), 1u);
+}
+
+TEST(EffectiveJobs, ClampsSoJobsTimesShardsFitTheMachine) {
+  const unsigned hw = exp::SweepRunner::hardware_jobs();
+  // S >= hw leaves budget for exactly one world in flight (shards > 1 so
+  // the clamp path runs even on single-core machines).
+  EXPECT_EQ(exp::effective_jobs(8, static_cast<std::size_t>(hw) * 4), 1u);
+  // jobs = 0 resolves to hw first, then clamps like any explicit request.
+  EXPECT_EQ(exp::effective_jobs(0, static_cast<std::size_t>(hw) * 4), 1u);
+  // A request already within budget passes through untouched.
+  EXPECT_EQ(exp::effective_jobs(1, 2), 1u);
+  // hw / min(2, hw) worlds of 2 shards fit; one more world gets clamped.
+  const unsigned budget = std::max(1u, hw / std::min(2u, hw));
+  EXPECT_EQ(exp::effective_jobs(budget, 2), budget);
+  EXPECT_EQ(exp::effective_jobs(budget + 3, 2), budget);
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioSpec shards knob
+// ---------------------------------------------------------------------------
+
+TEST(SpecShards, RoundTripsAndValidates) {
+  exp::ScenarioSpec s;
+  s.shards = 8;
+  EXPECT_EQ(s.validate(), "");
+  const auto parsed = exp::parse_text(s.to_text());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.spec.shards, 8u);
+
+  exp::ScenarioSpec bad;
+  bad.shards = 0;
+  EXPECT_NE(bad.validate(), "");
+  bad.shards = 65;
+  EXPECT_NE(bad.validate(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Engine vs serial network (sim level)
+// ---------------------------------------------------------------------------
+
+class PsimNetworkTest : public ::testing::Test {
+protected:
+  PsimNetworkTest()
+      : network(net::make_campus_topology()),
+        routing(net::RoutingTables::compute(network.topo)),
+        resolver(net::AddressResolver::build(network.topo)) {}
+
+  packet::Packet host_to_host(std::size_t s, std::size_t d) {
+    packet::Packet p;
+    p.inner.src = network.topo.node(network.hosts[s][0]).address;
+    p.inner.dst = network.topo.node(network.hosts[d][0]).address;
+    p.src_port = 50000;
+    p.dst_port = 80;
+    p.payload_bytes = 500;
+    return p;
+  }
+
+  /// Every (src, dst) host pair with src != dst, injected 0.1 ms apart —
+  /// dense enough that a 2-way split of the campus must cross regions.
+  void inject_all_pairs(sim::SimNetwork& net) {
+    double at = 0.0;
+    for (std::size_t s = 0; s < network.hosts.size(); ++s) {
+      for (std::size_t d = 0; d < network.hosts.size(); ++d) {
+        if (s == d) continue;
+        net.inject(network.hosts[s][0], host_to_host(s, d), at);
+        at += 1e-4;
+      }
+    }
+  }
+
+  net::GeneratedNetwork network;
+  net::RoutingTables routing;
+  net::AddressResolver resolver;
+};
+
+TEST_F(PsimNetworkTest, SingleRegionPartitionIsExactlyTheLegacyNetwork) {
+  sim::SimNetwork legacy(network.topo, routing, resolver);
+  inject_all_pairs(legacy);
+  legacy.run();
+
+  sim::SimNetwork part(network.topo, routing, resolver);
+  part.enable_partition(net::partition_regions(network.topo, 1));
+  EXPECT_FALSE(part.partitioned());
+  inject_all_pairs(part);
+  part.run();
+
+  const sim::NetworkCounters a = legacy.counters();
+  const sim::NetworkCounters b = part.counters();
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_DOUBLE_EQ(a.total_latency, b.total_latency);
+  for (std::size_t l = 0; l < network.topo.link_count(); ++l) {
+    const auto la = legacy.link_counters(net::LinkId{static_cast<std::uint32_t>(l)});
+    const auto lb = part.link_counters(net::LinkId{static_cast<std::uint32_t>(l)});
+    EXPECT_EQ(la.packets, lb.packets) << "link " << l;
+    EXPECT_EQ(la.bytes, lb.bytes) << "link " << l;
+  }
+}
+
+TEST_F(PsimNetworkTest, TwoRegionEngineMatchesSerialTotals) {
+  sim::SimNetwork serial(network.topo, routing, resolver);
+  inject_all_pairs(serial);
+  serial.run();
+
+  sim::SimNetwork part(network.topo, routing, resolver);
+  part.enable_partition(net::partition_regions(network.topo, 2));
+  ASSERT_TRUE(part.partitioned());
+  psim::Engine engine(part);
+  inject_all_pairs(part);
+  engine.run();
+
+  EXPECT_EQ(part.counters().injected, serial.counters().injected);
+  EXPECT_EQ(part.counters().delivered, serial.counters().delivered);
+  EXPECT_DOUBLE_EQ(part.counters().total_latency, serial.counters().total_latency);
+  EXPECT_GT(engine.stats().windows, 0u);
+  EXPECT_GT(engine.stats().cross_messages, 0u);  // all-pairs traffic must cross
+  EXPECT_EQ(part.mailbox_overflows(), 0u);       // default rings are ample here
+}
+
+TEST_F(PsimNetworkTest, MailboxOverflowSpillsWithoutDroppingTraffic) {
+  sim::SimNetwork part(network.topo, routing, resolver);
+  part.set_mailbox_capacity(1);  // force the spill path on every burst
+  part.enable_partition(net::partition_regions(network.topo, 2));
+  psim::Engine engine(part);
+  inject_all_pairs(part);
+  engine.run();
+
+  EXPECT_EQ(part.counters().delivered, part.counters().injected);
+  EXPECT_GT(part.mailbox_overflows(), 0u);
+  EXPECT_EQ(engine.mailbox_overflows(), part.mailbox_overflows());
+}
+
+TEST_F(PsimNetworkTest, RegionWithoutTrafficIsHarmless) {
+  sim::SimNetwork part(network.topo, routing, resolver);
+  part.enable_partition(net::partition_regions(network.topo, 4));
+  psim::Engine engine(part);
+  // One local flow only: whichever region holds host 0's subnet does all the
+  // work; the others idle through every window without deadlock.
+  part.inject(network.hosts[0][0], host_to_host(0, 1), 0.0);
+  engine.run();
+  EXPECT_EQ(part.counters().injected, 1u);
+  EXPECT_EQ(part.counters().delivered, 1u);
+}
+
+TEST_F(PsimNetworkTest, EngineResetRerunsIdentically) {
+  sim::SimNetwork part(network.topo, routing, resolver);
+  part.enable_partition(net::partition_regions(network.topo, 2));
+  psim::Engine engine(part);
+  inject_all_pairs(part);
+  engine.run();
+  const sim::NetworkCounters first = part.counters();
+  const std::uint64_t windows = engine.stats().windows;
+  ASSERT_GT(first.delivered, 0u);
+
+  // The PR-7 reuse pattern: reset restores pristine calendars, mailboxes and
+  // counters, so the same injection schedule replays to identical totals.
+  engine.reset();
+  EXPECT_EQ(part.counters().injected, 0u);
+  inject_all_pairs(part);
+  engine.run();
+  const sim::NetworkCounters second = part.counters();
+  EXPECT_EQ(second.injected, first.injected);
+  EXPECT_EQ(second.delivered, first.delivered);
+  EXPECT_DOUBLE_EQ(second.total_latency, first.total_latency);
+  EXPECT_EQ(engine.stats().windows, windows);
+}
+
+// ---------------------------------------------------------------------------
+// World-level determinism contract
+// ---------------------------------------------------------------------------
+
+struct RunArtifacts {
+  std::string metrics;
+  std::string trace;
+  std::string spans;
+  std::string verify;
+};
+
+exp::ScenarioSpec small_spec(std::size_t shards) {
+  exp::ScenarioSpec s;
+  s.packets = 2000;
+  s.seed = 20190710;
+  s.faults = exp::FaultScript::kGenerated;
+  s.verify = true;
+  s.trace_sample = 1.0;
+  s.shards = shards;
+  return s;
+}
+
+RunArtifacts run_world(const exp::ScenarioSpec& spec) {
+  auto world = exp::build_world(spec);
+  world->prepare_sim();
+  world->run();
+  RunArtifacts a;
+  a.metrics = obs::to_json(world->registry, world->recorder.get());
+  a.trace = world->trace_json();
+  if (world->spans) a.spans = obs::spans_to_json(*world->spans);
+  if (world->oracle) a.verify = world->oracle->report().summary();
+  return a;
+}
+
+TEST(PsimDeterminism, FixedSeedAndShardCountIsByteIdentical) {
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{8}}) {
+    const RunArtifacts a = run_world(small_spec(shards));
+    const RunArtifacts b = run_world(small_spec(shards));
+    EXPECT_EQ(a.metrics, b.metrics) << "shards=" << shards;
+    EXPECT_EQ(a.trace, b.trace) << "shards=" << shards;
+    EXPECT_EQ(a.spans, b.spans) << "shards=" << shards;
+    EXPECT_EQ(a.verify, b.verify) << "shards=" << shards;
+    EXPECT_NE(a.trace.find("\"flows\""), std::string::npos);
+  }
+}
+
+TEST(PsimDeterminism, ShardsOneBuildsTheSerialEngine) {
+  auto world = exp::build_world(small_spec(1));
+  world->prepare_sim();
+  EXPECT_EQ(world->engine, nullptr);
+  EXPECT_NE(world->tracer, nullptr);
+  EXPECT_TRUE(world->region_tracers.empty());
+  EXPECT_EQ(world->partition.region_count, 1u);
+  world->run();
+  ASSERT_NE(world->oracle, nullptr);
+  EXPECT_TRUE(world->oracle->report().ok()) << world->oracle->report().summary();
+}
+
+TEST(PsimDeterminism, OracleStaysCleanAtFourShardsUnderGeneratedChaos) {
+  auto world = exp::build_world(small_spec(4));
+  world->prepare_sim();
+  ASSERT_NE(world->engine, nullptr);
+  EXPECT_EQ(world->region_tracers.size(), 4u);
+  world->run();
+  ASSERT_NE(world->oracle, nullptr);
+  const verify::VerifyReport& r = world->oracle->report();
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_GT(r.packets_tracked, 0u);
+  EXPECT_TRUE(r.coverage_complete);  // unbounded collectors shed nothing
+}
+
+}  // namespace
+}  // namespace sdmbox
